@@ -1,0 +1,202 @@
+//! Def/use (live-variable) analysis over `seqlang` blocks — the "standard
+//! program analyses" Casper's analyzer runs (§3.2, citing the dragon
+//! book) to compute a fragment's input and output variables.
+
+use std::collections::BTreeSet;
+
+use seqlang::ast::{Block, Expr, Stmt};
+
+/// Variables read and written by a region of code, excluding variables
+/// declared locally within the region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefUse {
+    /// Variables read whose definition lies outside the region.
+    pub reads: BTreeSet<String>,
+    /// Variables written whose declaration lies outside the region.
+    pub writes: BTreeSet<String>,
+    /// Variables declared (`let`) inside the region.
+    pub locals: BTreeSet<String>,
+}
+
+/// Compute def/use facts for a sequence of statements.
+pub fn stmts_def_use(stmts: &[Stmt]) -> DefUse {
+    let mut du = DefUse::default();
+    for s in stmts {
+        stmt_def_use(s, &mut du);
+    }
+    du
+}
+
+/// Compute def/use facts for a single statement.
+pub fn stmt_def_use_single(stmt: &Stmt) -> DefUse {
+    let mut du = DefUse::default();
+    stmt_def_use(stmt, &mut du);
+    du
+}
+
+fn stmt_def_use(stmt: &Stmt, du: &mut DefUse) {
+    match stmt {
+        Stmt::Let { name, init, .. } => {
+            expr_reads(init, du);
+            du.locals.insert(name.clone());
+        }
+        Stmt::Assign { target, value, .. } => {
+            expr_reads(value, du);
+            // The written base variable; index/field paths also *read*
+            // their indices and the base (partial update).
+            mark_write(target, du);
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            // Mutating method calls (`list.add`, `map.put`) write their
+            // receiver.
+            if let Expr::MethodCall { recv, method, args, .. } = expr {
+                if matches!(method.as_str(), "add" | "append" | "put") {
+                    mark_write(recv, du);
+                    for a in args {
+                        expr_reads(a, du);
+                    }
+                    return;
+                }
+            }
+            expr_reads(expr, du);
+        }
+        Stmt::If { cond, then_blk, else_blk, .. } => {
+            expr_reads(cond, du);
+            block_def_use_into(then_blk, du);
+            if let Some(b) = else_blk {
+                block_def_use_into(b, du);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            expr_reads(cond, du);
+            block_def_use_into(body, du);
+        }
+        Stmt::For { init, cond, update, body, .. } => {
+            // The induction variable is local to the loop.
+            stmt_def_use(init, du);
+            expr_reads(cond, du);
+            stmt_def_use(update, du);
+            block_def_use_into(body, du);
+        }
+        Stmt::ForEach { var, iterable, body, .. } => {
+            expr_reads(iterable, du);
+            du.locals.insert(var.clone());
+            block_def_use_into(body, du);
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(e) = value {
+                expr_reads(e, du);
+            }
+        }
+        Stmt::Break { .. } | Stmt::Continue { .. } => {}
+    }
+}
+
+fn block_def_use_into(block: &Block, du: &mut DefUse) {
+    for s in &block.stmts {
+        stmt_def_use(s, du);
+    }
+}
+
+fn mark_write(target: &Expr, du: &mut DefUse) {
+    match target {
+        Expr::Var { name, .. } => {
+            if !du.locals.contains(name) {
+                du.writes.insert(name.clone());
+            }
+        }
+        Expr::Index { base, index, .. } => {
+            expr_reads(index, du);
+            mark_write(base, du);
+        }
+        Expr::Field { base, .. } => mark_write(base, du),
+        other => expr_reads(other, du),
+    }
+}
+
+fn expr_reads(expr: &Expr, du: &mut DefUse) {
+    expr.walk(&mut |e| {
+        if let Expr::Var { name, .. } = e {
+            if !du.locals.contains(name) {
+                du.reads.insert(name.clone());
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqlang::compile;
+
+    fn analyze(src: &str) -> DefUse {
+        let p = compile(src).unwrap();
+        stmts_def_use(&p.functions[0].body.stmts)
+    }
+
+    #[test]
+    fn simple_accumulation() {
+        let du = analyze(
+            "fn f(xs: list<int>, s0: int) -> int {
+                let s: int = s0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }",
+        );
+        assert!(du.reads.contains("xs"));
+        assert!(du.reads.contains("s0"));
+        assert!(du.locals.contains("s"));
+        assert!(du.locals.contains("x"));
+        assert!(!du.writes.contains("s"), "s is local to the region");
+    }
+
+    #[test]
+    fn loop_only_region_writes_outer_var() {
+        let src = "fn f(xs: list<int>) -> int {
+            let s: int = 0;
+            for (x in xs) { s = s + x; }
+            return s;
+        }";
+        let p = compile(src).unwrap();
+        // Analyze only the loop statement: `s` is now an outer write.
+        let du = stmt_def_use_single(&p.functions[0].body.stmts[1]);
+        assert!(du.writes.contains("s"));
+        assert!(du.reads.contains("s"), "s is read (accumulated)");
+        assert!(du.reads.contains("xs"));
+    }
+
+    #[test]
+    fn indexed_writes_read_the_index() {
+        let src = "fn f(a: array<int>, n: int) -> void {
+            for (let i: int = 0; i < n; i = i + 1) { a[i] = i; }
+        }";
+        let p = compile(src).unwrap();
+        let du = stmt_def_use_single(&p.functions[0].body.stmts[0]);
+        assert!(du.writes.contains("a"));
+        assert!(du.reads.contains("n"));
+        assert!(!du.writes.contains("i"), "induction var is local");
+    }
+
+    #[test]
+    fn mutating_methods_write_receiver() {
+        let src = "fn f(xs: list<int>, out: list<int>) -> void {
+            for (x in xs) { out.add(x); }
+        }";
+        let p = compile(src).unwrap();
+        let du = stmt_def_use_single(&p.functions[0].body.stmts[0]);
+        assert!(du.writes.contains("out"));
+    }
+
+    #[test]
+    fn conditional_reads_propagate() {
+        let src = "fn f(xs: list<int>, t: int) -> int {
+            let n: int = 0;
+            for (x in xs) { if (x > t) { n = n + 1; } }
+            return n;
+        }";
+        let p = compile(src).unwrap();
+        let du = stmt_def_use_single(&p.functions[0].body.stmts[1]);
+        assert!(du.reads.contains("t"));
+        assert!(du.writes.contains("n"));
+    }
+}

@@ -1,0 +1,612 @@
+//! Candidate code-fragment identification (§6.2).
+//!
+//! Casper traverses the AST looking for loops that iterate one or more
+//! data structures; the selection criteria are deliberately lenient to
+//! avoid false negatives. A fragment consists of the loop plus the
+//! immediately preceding `let` statements that initialise variables the
+//! loop writes.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use casper_ir::mr::DataShape;
+use seqlang::ast::{walk_stmts, BinOp, Block, Expr, Program, Stmt};
+use seqlang::ty::Type;
+use seqlang::value::Value;
+
+use crate::dataflow::{stmt_def_use_single, stmts_def_use};
+use crate::fragment::{DataVarInfo, Fragment, FragmentFeatures, GrammarSeed};
+
+/// Identify all translatable-candidate fragments in a program.
+pub fn identify_fragments(program: &Arc<Program>) -> Vec<Fragment> {
+    let mut out = Vec::new();
+    for func in &program.functions {
+        identify_in_function(program, &func.name, &func.params, &func.body, &mut out);
+    }
+    out
+}
+
+fn identify_in_function(
+    program: &Arc<Program>,
+    func: &str,
+    params: &[(String, Type)],
+    body: &Block,
+    out: &mut Vec<Fragment>,
+) {
+    // Scan top-level statements; track `let` declarations seen so far so
+    // inputs can be typed.
+    let mut decls: Vec<(String, Type)> = params.to_vec();
+    for (idx, stmt) in body.stmts.iter().enumerate() {
+        match stmt {
+            Stmt::Let { name, ty, .. } => decls.push((name.clone(), ty.clone())),
+            Stmt::ForEach { .. } | Stmt::For { .. } => {
+                if let Some(frag) =
+                    build_fragment(program, func, &decls, &body.stmts[..idx], stmt)
+                {
+                    out.push(frag);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn build_fragment(
+    program: &Arc<Program>,
+    func: &str,
+    decls: &[(String, Type)],
+    preceding: &[Stmt],
+    loop_stmt: &Stmt,
+) -> Option<Fragment> {
+    let data_vars = find_data_vars(loop_stmt, decls)?;
+    if data_vars.is_empty() {
+        return None;
+    }
+    let loop_du = stmt_def_use_single(loop_stmt);
+
+    // Collect the contiguous run of preceding `let`s that initialise
+    // variables the loop writes (the fragment's output initialisation).
+    let mut init_stmts: Vec<Stmt> = Vec::new();
+    for s in preceding.iter().rev() {
+        match s {
+            Stmt::Let { name, .. } if loop_du.writes.contains(name) => {
+                init_stmts.push(s.clone());
+            }
+            _ => break,
+        }
+    }
+    init_stmts.reverse();
+    let init_du = stmts_def_use(&init_stmts);
+
+    let lookup_ty = |name: &str| -> Option<Type> {
+        decls.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t.clone()).or_else(|| {
+            // Variables declared by the init statements.
+            init_stmts.iter().find_map(|s| match s {
+                Stmt::Let { name: n, ty, .. } if n == name => Some(ty.clone()),
+                _ => None,
+            })
+        })
+    };
+
+    // Outputs: written by the loop, declared in init or earlier.
+    let mut outputs: Vec<(String, Type)> = Vec::new();
+    for w in &loop_du.writes {
+        if let Some(t) = lookup_ty(w) {
+            outputs.push((w.clone(), t));
+        }
+    }
+    if outputs.is_empty() {
+        return None;
+    }
+
+    // Inputs: read by loop or inits, defined outside the fragment.
+    let mut inputs: Vec<(String, Type)> = Vec::new();
+    let mut seen = BTreeSet::new();
+    for r in loop_du.reads.iter().chain(init_du.reads.iter()) {
+        if init_du.locals.contains(r) || seen.contains(r) {
+            continue;
+        }
+        // Outputs that are also read (accumulators) stay inputs only if
+        // declared before the init run; init-declared ones are internal.
+        if let Some(t) = decls.iter().rev().find(|(n, _)| n == r).map(|(_, t)| t.clone()) {
+            inputs.push((r.clone(), t));
+            seen.insert(r.clone());
+        }
+    }
+
+    let features = extract_features(program, loop_stmt, &data_vars, &inputs, &outputs);
+    let seed = extract_seed(program, loop_stmt);
+    let loc = init_stmts.len() + loop_loc(loop_stmt);
+
+    Some(Fragment {
+        id: format!("{func}:loop@{}", loop_stmt.line()),
+        program: program.clone(),
+        func: func.to_string(),
+        init_stmts,
+        loop_stmt: loop_stmt.clone(),
+        inputs,
+        outputs,
+        data_vars,
+        seed,
+        features,
+        loc,
+    })
+}
+
+fn loop_loc(stmt: &Stmt) -> usize {
+    let block = Block { stmts: vec![stmt.clone()] };
+    seqlang::ast::block_loc(&block)
+}
+
+/// Identify the collections the loop nest iterates and how.
+fn find_data_vars(loop_stmt: &Stmt, decls: &[(String, Type)]) -> Option<Vec<DataVarInfo>> {
+    let ty_of = |name: &str| decls.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t.clone());
+    match loop_stmt {
+        Stmt::ForEach { iterable, body, .. } => {
+            let Expr::Var { name, .. } = iterable else { return None };
+            let ty = ty_of(name)?;
+            let elem = ty.element()?.clone();
+            let mut vars = vec![DataVarInfo {
+                name: name.clone(),
+                ty,
+                shape: DataShape::Flat,
+                elem_ty: elem,
+                len_vars: vec![],
+                index_vars: vec![],
+            }];
+            // A nested for-each over a *different input collection* is the
+            // sequential form of a join (TPC-H Q17-style); the inner
+            // collection becomes a second data source rather than an
+            // inexpressible inner loop.
+            walk_stmts(body, &mut |s| {
+                if let Stmt::ForEach { iterable: Expr::Var { name: inner, .. }, .. } = s {
+                    if inner != name && !vars.iter().any(|d| &d.name == inner) {
+                        if let Some(ity) = ty_of(inner) {
+                            if let Some(ielem) = ity.element().cloned() {
+                                vars.push(DataVarInfo {
+                                    name: inner.clone(),
+                                    ty: ity,
+                                    shape: DataShape::Flat,
+                                    elem_ty: ielem,
+                                    len_vars: vec![],
+                                    index_vars: vec![],
+                                });
+                            }
+                        }
+                    }
+                }
+            });
+            Some(vars)
+        }
+        Stmt::For { init, cond, body, .. } => {
+            let i = induction_var(init)?;
+            let outer_len = bound_var(cond, &i);
+            // Look for an inner counted loop to detect 2-D access.
+            let inner = body.stmts.iter().find_map(|s| match s {
+                Stmt::For { init, cond, body: ib, .. } => {
+                    let j = induction_var(init)?;
+                    Some((j.clone(), bound_var(cond, &j), ib))
+                }
+                _ => None,
+            });
+            let mut found: Vec<DataVarInfo> = Vec::new();
+            let mut record = |name: &str, shape: DataShape, lens: Vec<String>, idxs: Vec<String>| {
+                if found.iter().any(|d| d.name == name) {
+                    return;
+                }
+                let Some(ty) = ty_of(name) else { return };
+                let elem_ty = match (&shape, &ty) {
+                    (DataShape::Indexed2D, Type::Array(inner)) => match &**inner {
+                        Type::Array(e) | Type::List(e) => (**e).clone(),
+                        other => other.clone(),
+                    },
+                    (_, t) => match t.element() {
+                        Some(e) => e.clone(),
+                        None => return,
+                    },
+                };
+                found.push(DataVarInfo {
+                    name: name.to_string(),
+                    ty,
+                    shape,
+                    elem_ty,
+                    len_vars: lens,
+                    index_vars: idxs,
+                });
+            };
+            // 2-D accesses a[i][j] inside the inner loop.
+            if let Some((j, inner_len, _)) = &inner {
+                visit_exprs(loop_stmt, &mut |e| {
+                    if let Expr::Index { base, index, .. } = e {
+                        if let (Expr::Index { base: b2, index: i2, .. }, Expr::Var { name: jn, .. }) =
+                            (&**base, &**index)
+                        {
+                            if jn == j {
+                                if let (Expr::Var { name: a, .. }, Expr::Var { name: iv, .. }) =
+                                    (&**b2, &**i2)
+                                {
+                                    if iv == &i {
+                                        let mut lens = Vec::new();
+                                        if let Some(l) = &outer_len {
+                                            lens.push(l.clone());
+                                        }
+                                        if let Some(l) = inner_len {
+                                            lens.push(l.clone());
+                                        }
+                                        record(
+                                            a,
+                                            DataShape::Indexed2D,
+                                            lens,
+                                            vec![i.clone(), j.clone()],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            // 1-D accesses a[i].
+            visit_exprs(loop_stmt, &mut |e| {
+                if let Expr::Index { base, index, .. } = e {
+                    if let (Expr::Var { name: a, .. }, Expr::Var { name: iv, .. }) =
+                        (&**base, &**index)
+                    {
+                        if iv == &i {
+                            let lens = outer_len.iter().cloned().collect();
+                            record(a, DataShape::Indexed, lens, vec![i.clone()]);
+                        }
+                    }
+                }
+            });
+            if found.is_empty() {
+                None
+            } else {
+                Some(found)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `for (let i: int = 0; ...)` → `i`.
+fn induction_var(init: &Stmt) -> Option<String> {
+    match init {
+        Stmt::Let { name, init: Expr::IntLit(0, _), .. } => Some(name.clone()),
+        Stmt::Assign { target: Expr::Var { name, .. }, value: Expr::IntLit(0, _), .. } => {
+            Some(name.clone())
+        }
+        _ => None,
+    }
+}
+
+/// `i < N` → `Some("N")`; `i < xs.size()` → `None` (length is implicit).
+fn bound_var(cond: &Expr, i: &str) -> Option<String> {
+    if let Expr::Binary { op: BinOp::Lt, lhs, rhs, .. } = cond {
+        if matches!(&**lhs, Expr::Var { name, .. } if name == i) {
+            if let Expr::Var { name, .. } = &**rhs {
+                return Some(name.clone());
+            }
+        }
+    }
+    None
+}
+
+fn visit_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    let block = std::slice::from_ref(stmt);
+    for s in block {
+        visit_stmt_exprs(s, f);
+    }
+}
+
+fn visit_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match stmt {
+        Stmt::Let { init, .. } => init.walk(f),
+        Stmt::Assign { target, value, .. } => {
+            target.walk(f);
+            value.walk(f);
+        }
+        Stmt::ExprStmt { expr, .. } => expr.walk(f),
+        Stmt::If { cond, then_blk, else_blk, .. } => {
+            cond.walk(f);
+            for s in &then_blk.stmts {
+                visit_stmt_exprs(s, f);
+            }
+            if let Some(b) = else_blk {
+                for s in &b.stmts {
+                    visit_stmt_exprs(s, f);
+                }
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            cond.walk(f);
+            for s in &body.stmts {
+                visit_stmt_exprs(s, f);
+            }
+        }
+        Stmt::For { init, cond, update, body, .. } => {
+            visit_stmt_exprs(init, f);
+            cond.walk(f);
+            visit_stmt_exprs(update, f);
+            for s in &body.stmts {
+                visit_stmt_exprs(s, f);
+            }
+        }
+        Stmt::ForEach { iterable, body, .. } => {
+            iterable.walk(f);
+            for s in &body.stmts {
+                visit_stmt_exprs(s, f);
+            }
+        }
+        Stmt::Return { value: Some(e), .. } => e.walk(f),
+        _ => {}
+    }
+}
+
+fn extract_features(
+    program: &Program,
+    loop_stmt: &Stmt,
+    data_vars: &[DataVarInfo],
+    inputs: &[(String, Type)],
+    outputs: &[(String, Type)],
+) -> FragmentFeatures {
+    let mut feats = FragmentFeatures {
+        multiple_datasets: data_vars.len() > 1,
+        multidimensional_data: data_vars.iter().any(|d| d.shape == DataShape::Indexed2D),
+        ..FragmentFeatures::default()
+    };
+    let uses_struct = |t: &Type| {
+        matches!(t, Type::Struct(_))
+            || matches!(t, Type::Array(e) | Type::List(e) if matches!(**e, Type::Struct(_)))
+    };
+    feats.user_defined_types = inputs.iter().any(|(_, t)| uses_struct(t))
+        || outputs.iter().any(|(_, t)| uses_struct(t))
+        || data_vars.iter().any(|d| matches!(d.elem_ty, Type::Struct(_)));
+
+    let body = match loop_stmt {
+        Stmt::ForEach { body, .. } | Stmt::For { body, .. } | Stmt::While { body, .. } => body,
+        _ => return feats,
+    };
+    let mut depth_one_loops = 0usize;
+    walk_stmts(body, &mut |s| match s {
+        Stmt::If { .. } => feats.conditionals = true,
+        Stmt::For { .. } | Stmt::While { .. } => depth_one_loops += 1,
+        Stmt::ForEach { iterable, .. } => {
+            depth_one_loops += 1;
+            // Iterating a collection derived per-element (e.g.
+            // `line.split()`) or a different data structure requires a
+            // loop inside a transformer function — inexpressible.
+            let over_known_data = matches!(
+                iterable,
+                Expr::Var { name, .. } if data_vars.iter().any(|d| &d.name == name)
+            );
+            if !over_known_data {
+                feats.inner_data_loop = true;
+            }
+        }
+        Stmt::ExprStmt { expr, .. } | Stmt::Let { init: expr, .. } => {
+            expr.walk(&mut |e| {
+                if let Expr::Call { func, .. } = e {
+                    if let Some(f) = program.function(func) {
+                        // Methods are supported by inlining; only simple
+                        // single-return functions are inlined (§6.1).
+                        let simple = f.body.stmts.len() == 1
+                            && matches!(f.body.stmts[0], Stmt::Return { .. });
+                        if !simple {
+                            feats.unmodeled_method = true;
+                        }
+                    }
+                }
+            });
+        }
+        _ => {}
+    });
+    feats.nested_loops = depth_one_loops > 0;
+    // A counted inner loop over something other than the known 2-D data
+    // is also an inner data loop (e.g. convolution with a variable-sized
+    // kernel, §7.1's Stats failure).
+    if depth_one_loops > 0 && !feats.multidimensional_data {
+        // Counted inner loops are fine when they realise the second
+        // dimension of a 2-D iteration; otherwise flag them.
+        let mut inner_for_ok = true;
+        walk_stmts(body, &mut |s| {
+            if matches!(s, Stmt::For { .. } | Stmt::While { .. }) {
+                inner_for_ok = false;
+            }
+        });
+        if !inner_for_ok {
+            feats.inner_data_loop = true;
+        }
+    }
+    feats
+}
+
+fn extract_seed(program: &Program, loop_stmt: &Stmt) -> GrammarSeed {
+    let mut seed = GrammarSeed::default();
+    let mut push_op = |op: BinOp| {
+        if !seed.operators.contains(&op) {
+            seed.operators.push(op);
+        }
+    };
+    visit_exprs(loop_stmt, &mut |e| match e {
+        Expr::Binary { op, .. } => push_op(*op),
+        _ => {}
+    });
+    visit_exprs(loop_stmt, &mut |e| match e {
+        Expr::IntLit(n, _) => {
+            let v = Value::Int(*n);
+            if !seed.constants.contains(&v) {
+                seed.constants.push(v);
+            }
+        }
+        Expr::DoubleLit(x, _) => {
+            let v = Value::Double(*x);
+            if !seed.constants.contains(&v) {
+                seed.constants.push(v);
+            }
+        }
+        Expr::StrLit(s, _) => {
+            let v = Value::str(s);
+            if !seed.constants.contains(&v) {
+                seed.constants.push(v);
+            }
+        }
+        Expr::Call { func, .. } => {
+            if program.function(func).is_none() && !seed.methods.contains(func) {
+                seed.methods.push(func.clone());
+            }
+        }
+        Expr::MethodCall { method, .. } => {
+            if !seed.methods.contains(method) {
+                seed.methods.push(method.clone());
+            }
+        }
+        _ => {}
+    });
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqlang::compile;
+
+    fn fragments(src: &str) -> Vec<Fragment> {
+        let p = Arc::new(compile(src).unwrap());
+        identify_fragments(&p)
+    }
+
+    #[test]
+    fn finds_foreach_fragment() {
+        let frags = fragments(
+            "fn sum(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }",
+        );
+        assert_eq!(frags.len(), 1);
+        let f = &frags[0];
+        assert_eq!(f.data_vars[0].name, "xs");
+        assert_eq!(f.data_vars[0].shape, DataShape::Flat);
+        assert_eq!(f.outputs, vec![("s".to_string(), Type::Int)]);
+        assert_eq!(f.init_stmts.len(), 1);
+    }
+
+    #[test]
+    fn finds_2d_fragment_with_len_vars() {
+        let frags = fragments(
+            "fn rwm(mat: array<array<int>>, rows: int, cols: int) -> array<int> {
+                let m: array<int> = new array<int>(rows);
+                for (let i: int = 0; i < rows; i = i + 1) {
+                    let sum: int = 0;
+                    for (let j: int = 0; j < cols; j = j + 1) {
+                        sum = sum + mat[i][j];
+                    }
+                    m[i] = sum / cols;
+                }
+                return m;
+            }",
+        );
+        assert_eq!(frags.len(), 1);
+        let f = &frags[0];
+        let mat = f.data_vars.iter().find(|d| d.name == "mat").unwrap();
+        assert_eq!(mat.shape, DataShape::Indexed2D);
+        assert_eq!(mat.len_vars, vec!["rows".to_string(), "cols".to_string()]);
+        assert_eq!(mat.elem_ty, Type::Int);
+        assert!(f.outputs.iter().any(|(n, _)| n == "m"));
+        assert!(f.features.nested_loops);
+        assert!(f.features.multidimensional_data);
+        assert!(!f.features.inner_data_loop, "counted 2-D scan is expressible");
+    }
+
+    #[test]
+    fn dot_product_has_two_datasets() {
+        let frags = fragments(
+            "fn dot(xs: array<int>, ys: array<int>, n: int) -> int {
+                let d: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) {
+                    d = d + xs[i] * ys[i];
+                }
+                return d;
+            }",
+        );
+        assert_eq!(frags.len(), 1);
+        let f = &frags[0];
+        assert_eq!(f.data_vars.len(), 2);
+        assert!(f.features.multiple_datasets);
+        assert!(f
+            .data_vars
+            .iter()
+            .all(|d| d.shape == DataShape::Indexed && d.len_vars == vec!["n".to_string()]));
+    }
+
+    #[test]
+    fn inner_derived_iteration_is_flagged() {
+        let frags = fragments(
+            "fn wc(lines: list<string>) -> int {
+                let n: int = 0;
+                for (line in lines) {
+                    for (w in line.split()) { n = n + 1; }
+                }
+                return n;
+            }",
+        );
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].features.inner_data_loop);
+        assert!(!frags[0].ir_expressible());
+    }
+
+    #[test]
+    fn conditional_feature_detected() {
+        let frags = fragments(
+            "fn csum(xs: list<int>, t: int) -> int {
+                let s: int = 0;
+                for (x in xs) { if (x > t) { s = s + x; } }
+                return s;
+            }",
+        );
+        assert!(frags[0].features.conditionals);
+        assert!(frags[0].seed.operators.contains(&BinOp::Gt));
+        assert!(frags[0].seed.operators.contains(&BinOp::Add));
+    }
+
+    #[test]
+    fn scalar_loops_are_not_candidates() {
+        let frags = fragments(
+            "fn f(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) { s = s + i; }
+                return s;
+            }",
+        );
+        assert!(frags.is_empty(), "no data structure is iterated");
+    }
+
+    #[test]
+    fn seed_collects_constants_and_methods() {
+        let frags = fragments(
+            "fn f(xs: list<double>) -> double {
+                let s: double = 0.0;
+                for (x in xs) { s = s + abs(x) * 0.5; }
+                return s;
+            }",
+        );
+        let seed = &frags[0].seed;
+        assert!(seed.methods.contains(&"abs".to_string()));
+        assert!(seed.constants.contains(&Value::Double(0.5)));
+    }
+
+    #[test]
+    fn struct_elements_set_udt_feature() {
+        let frags = fragments(
+            "struct P { x: double, y: double }
+            fn f(ps: list<P>) -> double {
+                let s: double = 0.0;
+                for (p in ps) { s = s + p.x; }
+                return s;
+            }",
+        );
+        assert!(frags[0].features.user_defined_types);
+    }
+}

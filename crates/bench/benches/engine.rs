@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks for the MapReduce engine primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapreduce::rdd::Rdd;
+use mapreduce::Context;
+
+fn bench_engine(c: &mut Criterion) {
+    let ctx = Context::with_parallelism(4, 8);
+    let data: Vec<i64> = (0..50_000).collect();
+
+    c.bench_function("engine/map_50k", |b| {
+        let rdd = Rdd::parallelize(&ctx, data.clone());
+        b.iter(|| rdd.map(|x| x * 2).count())
+    });
+
+    c.bench_function("engine/reduce_by_key_50k", |b| {
+        let rdd = Rdd::parallelize(&ctx, data.clone());
+        b.iter(|| {
+            rdd.map_to_pair(|x| (x % 64, *x))
+                .reduce_by_key(|a, b| a + b)
+                .count()
+        })
+    });
+
+    c.bench_function("engine/group_by_key_50k", |b| {
+        let rdd = Rdd::parallelize(&ctx, data.clone());
+        b.iter(|| {
+            rdd.map_to_pair(|x| (x % 64, *x)).group_by_key().count()
+        })
+    });
+
+    c.bench_function("engine/join_5k", |b| {
+        let left = Rdd::parallelize(&ctx, (0i64..5000).map(|i| (i % 512, i)).collect::<Vec<_>>());
+        let right = Rdd::parallelize(&ctx, (0i64..5000).map(|i| (i % 512, i * 3)).collect::<Vec<_>>());
+        b.iter(|| left.join(&right).count())
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

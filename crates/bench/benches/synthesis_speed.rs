@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks for synthesis throughput: grammar
+//! generation, candidate enumeration, and a full findSummary run on the
+//! sum benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use analyzer::identify_fragments;
+use synthesis::{find_summary, generate_classes, FindConfig, Grammar};
+use verifier::{full_verify, VerifyConfig};
+
+const SUM_SRC: &str = "fn sum(xs: list<int>) -> int {
+    let s: int = 0;
+    for (x in xs) { s = s + x; }
+    return s;
+}";
+
+fn bench_synthesis(c: &mut Criterion) {
+    let program = Arc::new(seqlang::compile(SUM_SRC).unwrap());
+    let frag = identify_fragments(&program).remove(0);
+
+    c.bench_function("synthesis/grammar_generation", |b| {
+        b.iter(|| Grammar::for_fragment(&frag))
+    });
+
+    c.bench_function("synthesis/enumerate_g2", |b| {
+        let g = Grammar::for_fragment(&frag);
+        let classes = generate_classes();
+        b.iter(|| synthesis::enumerate::candidates(&g, &classes[1]).len())
+    });
+
+    let mut group = c.benchmark_group("synthesis/find_summary");
+    group.sample_size(10);
+    group.bench_function("sum", |b| {
+        b.iter(|| {
+            let verify = |s: &casper_ir::mr::ProgramSummary| {
+                full_verify(&frag, s, &VerifyConfig::default()).verified
+            };
+            let config = FindConfig {
+                timeout: Duration::from_secs(30),
+                max_solutions: 1,
+                ..FindConfig::default()
+            };
+            find_summary(&frag, &verify, &config)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Figure 8: StringMatch dynamic tuning — candidate costs (8d), the
+//! monitor's selections over skewed datasets (8c), and simulated runtimes
+//! of solutions (b) and (c) (8b).
+
+use casper::{Casper, FragmentOutcome};
+use casper::CasperConfig;
+use synthesis::FindConfig;
+use std::time::Duration;
+use casper_ir::mr::OutputKind;
+use mapreduce::sim::simulate_job;
+use mapreduce::{ClusterSpec, Context, Framework};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqlang::env::Env;
+use seqlang::value::Value;
+use suites::all_benchmarks;
+
+fn main() {
+    let all = all_benchmarks();
+    let b = all.iter().find(|b| b.name == "phoenix/string_match").unwrap();
+    let config = CasperConfig {
+        find: FindConfig {
+            timeout: Duration::from_secs(45),
+            max_solutions: 16,
+            ..FindConfig::default()
+        },
+        ..CasperConfig::default()
+    };
+    let report = Casper::new(config).translate_source(b.source).unwrap();
+    let frag = report.for_function("string_match").expect("fragment");
+    let FragmentOutcome::Translated { program, summaries, .. } = &frag.outcome else {
+        panic!("StringMatch must translate");
+    };
+
+    println!("Figure 8(d) — surviving candidate solutions and static costs\n");
+    for (i, s) in summaries.iter().enumerate() {
+        let kind = match &s.bindings[0].kind {
+            OutputKind::ScalarTuple => "tuple-encoded (solution b)",
+            OutputKind::KeyedScalars { .. } => "keyed emits (solution a/c family)",
+            _ => "other",
+        };
+        println!("  variant {}: {kind}", i + 1);
+        println!("{}", casper_ir::pretty::pretty_summary(s));
+        println!();
+    }
+
+    println!("Figure 8(b)/(c) — monitor selection and runtime vs skew\n");
+    println!(
+        "{:<12} {:>10} {:>14} {:>14}",
+        "Match frac", "Chosen", "Runtime(b) s", "Runtime(c) s"
+    );
+    let spec = ClusterSpec::paper();
+    let ctx = Context::with_parallelism(4, 8);
+    let n = 8000usize;
+    let factor = 2_600_000_000f64 / n as f64;
+    for frac in [0.0, 0.5, 0.95] {
+        let mut rng = StdRng::seed_from_u64(99);
+        // Exactly `frac` of the words match, split across both keys
+        // (p1 + p2 = frac, the x-axis of Figure 8(b)).
+        let words: Vec<Value> = (0..n)
+            .map(|i| {
+                if rng_bool(&mut rng, frac / 2.0) {
+                    Value::str("needle")
+                } else if rng_bool(&mut rng, frac / 2.0 / (1.0 - frac / 2.0).max(1e-9)) {
+                    Value::str("haystack")
+                } else {
+                    Value::str(format!("filler{i}"))
+                }
+            })
+            .collect();
+        let mut state = Env::new();
+        state.set("text", Value::List(words));
+        state.set("key1", Value::str("needle"));
+        state.set("key2", Value::str("haystack"));
+        state.set("found1", Value::Bool(false));
+        state.set("found2", Value::Bool(false));
+
+        let choice = program.choose(&state);
+        let chosen_kind = match &program.variants[choice.chosen].plan.summary.bindings[0].kind
+        {
+            OutputKind::ScalarTuple => "(b)",
+            OutputKind::KeyedScalars { .. } => "(c)",
+            _ => "?",
+        };
+        // Simulated runtime per variant.
+        let mut runtimes = Vec::new();
+        for v in &program.variants {
+            ctx.reset_stats();
+            let _ = v.plan.execute(&ctx, &state);
+            let t = simulate_job(&ctx.stats().scaled(factor), &spec, Framework::Spark)
+                .seconds;
+            let kind = match &v.plan.summary.bindings[0].kind {
+                OutputKind::ScalarTuple => "b",
+                OutputKind::KeyedScalars { .. } => "c",
+                _ => "?",
+            };
+            runtimes.push((kind, t));
+        }
+        let rt = |k: &str| {
+            runtimes
+                .iter()
+                .find(|(kind, _)| *kind == k)
+                .map(|(_, t)| format!("{t:.0}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<12} {:>10} {:>14} {:>14}",
+            format!("{:.0}%", frac * 100.0),
+            chosen_kind,
+            rt("b"),
+            rt("c")
+        );
+    }
+    println!("\n(Paper: (c) wins at 0%/50%, (b) wins at 95% — the monitor's choice\nfollows the crossover.)");
+}
+
+fn rng_bool(rng: &mut StdRng, p: f64) -> bool {
+    use rand::Rng;
+    rng.gen_bool(p.clamp(0.0, 1.0))
+}

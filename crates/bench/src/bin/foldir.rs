@@ -1,0 +1,83 @@
+//! §7.5 extensibility: synthesize Fold-IR summaries for the Ariths suite
+//! (the paper hosts the Fold-IR of prior work with ~5 LOC of new
+//! constructs; here the `ir::fold` module).
+
+use std::sync::Arc;
+
+use analyzer::identify_fragments;
+use analyzer::stategen::{StateGen, StateGenConfig};
+use analyzer::vc::{CheckOutcome, VerificationTask};
+use casper_ir::expr::IrExpr;
+use casper_ir::fold::FoldSummary;
+use casper_ir::mr::DataSource;
+use seqlang::ast::BinOp;
+use seqlang::env::Env;
+use suites::{suite_benchmarks, Suite};
+
+fn main() {
+    println!("§7.5 — Fold-IR synthesis over the Ariths suite\n");
+    let mut found = 0;
+    let mut total = 0;
+    for b in suite_benchmarks(Suite::Ariths) {
+        total += 1;
+        let program = Arc::new(seqlang::compile(b.source).unwrap());
+        let frags = identify_fragments(&program);
+        let Some(frag) = frags.iter().find(|f| f.func == b.func) else { continue };
+        let Some(dv) = frag.data_vars.first() else { continue };
+        let Some((out_var, _)) = frag.outputs.first() else { continue };
+
+        // Enumerate a small Fold-IR space: init ∈ {0, extreme}, body from
+        // the usual combiner atoms over (acc, x).
+        let acc = IrExpr::var("acc");
+        let x = IrExpr::var("x");
+        let bodies = vec![
+            IrExpr::bin(BinOp::Add, acc.clone(), x.clone()),
+            IrExpr::bin(BinOp::Add, acc.clone(), IrExpr::int(1)),
+            IrExpr::Call("min".into(), vec![acc.clone(), x.clone()]),
+            IrExpr::Call("max".into(), vec![acc.clone(), x.clone()]),
+            IrExpr::bin(BinOp::Add, acc.clone(), IrExpr::Call("abs".into(), vec![x.clone()])),
+            IrExpr::bin(BinOp::Add, acc.clone(), IrExpr::bin(BinOp::Mul, x.clone(), x.clone())),
+        ];
+        let inits = vec![
+            IrExpr::int(0),
+            IrExpr::double(0.0),
+            IrExpr::int(1_000_000_000),
+            IrExpr::int(-1_000_000_000),
+        ];
+        let task = VerificationTask::new(frag);
+        let mut gen = StateGen::new(frag, StateGenConfig::bounded());
+        let states = gen.states(20);
+        let mut hit = None;
+        'search: for init in &inits {
+            for body in &bodies {
+                let f = FoldSummary::new(
+                    out_var.clone(),
+                    DataSource { var: dv.name.clone(), shape: dv.shape, elem_ty: dv.elem_ty.clone() },
+                    init.clone(),
+                    body.clone(),
+                );
+                let eval = |pre: &Env| -> seqlang::error::Result<Env> {
+                    let v = f.eval(pre)?;
+                    let mut out = Env::new();
+                    out.set(out_var.clone(), v);
+                    Ok(out)
+                };
+                let ok = states.iter().all(|st| {
+                    !matches!(task.check_state(&eval, st), CheckOutcome::CounterExample(_))
+                });
+                if ok {
+                    hit = Some(format!("fold({}, {init}, λ(acc, x) → {body})", dv.name));
+                    break 'search;
+                }
+            }
+        }
+        match hit {
+            Some(text) => {
+                found += 1;
+                println!("  {:<22} {}", b.name, text);
+            }
+            None => println!("  {:<22} (no Fold-IR summary in the mini-space)", b.name),
+        }
+    }
+    println!("\nFold-IR summaries found for {found}/{total} Ariths benchmarks\n(paper: all Ariths benchmarks expressible in Fold-IR).");
+}

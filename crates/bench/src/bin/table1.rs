@@ -1,0 +1,51 @@
+//! Table 1: number of code fragments translated by Casper per suite, and
+//! the mean/max simulated speedups over the sequential implementations
+//! (Spark backend, paper-scale datasets).
+
+use bench::{run_benchmark, sweep_config};
+use suites::{suite_benchmarks, Suite};
+
+fn main() {
+    println!("Table 1 — translated fragments and speedups (Spark, paper-scale data)\n");
+    println!(
+        "{:<10} {:>12} {:>14} {:>13}",
+        "Suite", "# Translated", "Mean Speedup", "Max Speedup"
+    );
+    let config = sweep_config();
+    let mut grand_identified = 0;
+    let mut grand_translated = 0;
+    for suite in Suite::all() {
+        let mut identified = 0;
+        let mut translated = 0;
+        let mut speedups: Vec<f64> = Vec::new();
+        for b in suite_benchmarks(suite) {
+            let run = run_benchmark(&b, &config);
+            identified += run.identified;
+            translated += run.translated;
+            if let Some(sp) = run.speedup {
+                if run.output_correct {
+                    speedups.push(sp.spark);
+                }
+            }
+        }
+        grand_identified += identified;
+        grand_translated += translated;
+        let mean = if speedups.is_empty() {
+            0.0
+        } else {
+            speedups.iter().sum::<f64>() / speedups.len() as f64
+        };
+        let max = speedups.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{:<10} {:>12} {:>13.1}x {:>12.1}x",
+            suite.name(),
+            format!("{translated} / {identified}"),
+            mean,
+            max
+        );
+    }
+    println!(
+        "\nTotal: {grand_translated} / {grand_identified} fragments translated \
+         (paper: 82 / 101)"
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 2: compilation performance — mean compile time, fragment LOC,
+//! MapReduce operator count, and theorem-prover failures per suite.
+
+use bench::{run_benchmark, sweep_config};
+use suites::{suite_benchmarks, Suite};
+
+fn main() {
+    println!("Table 2 — compilation performance per suite\n");
+    println!(
+        "{:<10} {:>12} {:>10} {:>9} {:>16}",
+        "Suite", "MeanTime(s)", "Mean LOC", "Mean #Op", "Mean TP Failures"
+    );
+    let config = sweep_config();
+    for suite in Suite::all() {
+        let mut times = Vec::new();
+        let mut locs = Vec::new();
+        let mut ops = Vec::new();
+        let mut tps = Vec::new();
+        for b in suite_benchmarks(suite) {
+            let run = run_benchmark(&b, &config);
+            times.push(run.compile_time.as_secs_f64());
+            if run.translated > 0 {
+                locs.push(run.generated_loc as f64);
+                ops.push(run.ops as f64);
+            }
+            tps.push(run.tp_failures as f64);
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        println!(
+            "{:<10} {:>12.2} {:>10.1} {:>9.2} {:>16.2}",
+            suite.name(),
+            mean(&times),
+            mean(&locs),
+            mean(&ops),
+            mean(&tps)
+        );
+    }
+    println!("\n(LOC is the generated Spark code per fragment; times are this machine's\nsynthesis times, not the paper's Sketch times — shapes, not absolutes.)");
+}

@@ -1,0 +1,47 @@
+//! Appendix E.1: syntactic properties of the extracted fragments —
+//! how many fragments with each feature were extracted and translated.
+
+use std::sync::Arc;
+
+use analyzer::identify_fragments;
+use bench::{run_benchmark, sweep_config};
+use suites::all_benchmarks;
+
+fn main() {
+    println!("Appendix E.1 — benchmark syntactic properties\n");
+    let mut rows: Vec<(&str, usize, usize)> = vec![
+        ("Conditionals", 0, 0),
+        ("User Defined Types", 0, 0),
+        ("Nested Loops", 0, 0),
+        ("Multiple Datasets", 0, 0),
+        ("Multidim. Dataset", 0, 0),
+    ];
+    let config = sweep_config();
+    for b in all_benchmarks() {
+        let program = Arc::new(seqlang::compile(b.source).unwrap());
+        let frags = identify_fragments(&program);
+        let run = run_benchmark(&b, &config);
+        let translated = run.translated > 0;
+        for f in frags.iter().filter(|f| f.func == b.func) {
+            let feats = [
+                f.features.conditionals,
+                f.features.user_defined_types,
+                f.features.nested_loops,
+                f.features.multiple_datasets,
+                f.features.multidimensional_data,
+            ];
+            for (row, has) in rows.iter_mut().zip(feats) {
+                if has {
+                    row.1 += 1;
+                    if translated {
+                        row.2 += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("{:<22} {:>11} {:>13}", "Property", "# Extracted", "# Translated");
+    for (name, extracted, translated) in rows {
+        println!("{name:<22} {extracted:>11} {translated:>13}");
+    }
+}

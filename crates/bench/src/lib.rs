@@ -1,0 +1,236 @@
+//! `bench` — the paper-facing evaluation harness.
+//!
+//! One binary per table/figure (see DESIGN.md §4); this library holds the
+//! shared machinery: translate a benchmark, execute the generated program
+//! and the sequential baseline on the same data, extrapolate the measured
+//! stage volumes to paper-scale datasets, and price both on the simulated
+//! cluster (§7's 10× m3.2xlarge).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use analyzer::identify_fragments;
+use casper::{Casper, CasperConfig, FragmentOutcome};
+use codegen::Dialect;
+use mapreduce::sim::{simulate_job, simulate_sequential, speedup};
+use mapreduce::{ClusterSpec, Context, Framework};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqlang::value::{approx_eq, Value};
+use suites::Benchmark;
+use synthesis::FindConfig;
+
+/// Sample size used for measurement runs (records in the primary input).
+pub const MEASURE_N: usize = 1500;
+
+/// Compiler configuration for harness sweeps: short timeout so the
+/// exhausted-search failure class terminates quickly.
+pub fn sweep_config() -> CasperConfig {
+    CasperConfig {
+        find: FindConfig {
+            timeout: Duration::from_secs(12),
+            max_solutions: 6,
+            ..FindConfig::default()
+        },
+        ..CasperConfig::default()
+    }
+}
+
+/// Result of translating + measuring one benchmark.
+pub struct BenchRun {
+    pub name: &'static str,
+    pub suite: suites::Suite,
+    pub identified: usize,
+    pub translated: usize,
+    /// Theorem-prover rejections across the benchmark's fragments.
+    pub tp_failures: u64,
+    pub compile_time: Duration,
+    /// LOC of the primary fragment and its generated code, MR op count.
+    pub fragment_loc: usize,
+    pub generated_loc: usize,
+    pub ops: usize,
+    /// Simulated speedup over sequential per framework (primary fragment).
+    pub speedup: Option<FrameworkSpeedups>,
+    /// Engine output matched the sequential semantics.
+    pub output_correct: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct FrameworkSpeedups {
+    pub spark: f64,
+    pub hadoop: f64,
+    pub flink: f64,
+    /// Simulated sequential and Spark runtimes, seconds.
+    pub sequential_s: f64,
+    pub spark_s: f64,
+}
+
+/// Translate one benchmark and measure its primary fragment.
+pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
+    let report = Casper::new(config.clone())
+        .translate_source(b.source)
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let identified = report.identified_count();
+    let translated = report.translated_count();
+    let tp_failures = report.total_tp_failures();
+    let compile_time = report.total_compile_time();
+
+    let mut fragment_loc = 0;
+    let mut generated_loc = 0;
+    let mut ops = 0;
+    let mut speedups = None;
+    let mut output_correct = true;
+
+    if let Some(frag_report) = report.for_function(b.func) {
+        fragment_loc = frag_report.loc;
+        generated_loc = frag_report.generated_loc();
+        ops = frag_report.op_count();
+        if let FragmentOutcome::Translated { program, .. } = &frag_report.outcome {
+            let (sp, ok) = measure(b, program);
+            speedups = sp;
+            output_correct = ok;
+        }
+    }
+
+    BenchRun {
+        name: b.name,
+        suite: b.suite,
+        identified,
+        translated,
+        tp_failures,
+        compile_time,
+        fragment_loc,
+        generated_loc,
+        ops,
+        speedup: speedups,
+        output_correct,
+    }
+}
+
+/// Execute the generated program and the sequential fragment on the same
+/// data; extrapolate to paper scale and simulate.
+fn measure(
+    b: &Benchmark,
+    program: &codegen::GeneratedProgram,
+) -> (Option<FrameworkSpeedups>, bool) {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let state = (b.gen)(&mut rng, MEASURE_N);
+
+    // Sequential ground truth + abstract work.
+    let source_program = Arc::new(seqlang::compile(b.source).expect("compiles"));
+    let frags = identify_fragments(&source_program);
+    let Some(frag) = frags.iter().find(|f| f.func == b.func) else {
+        return (None, true);
+    };
+    let Ok((post, iterations)) = frag.run_with_work(&state) else {
+        return (None, true);
+    };
+    let expected = frag.project_outputs(&post);
+
+    // Engine execution.
+    let ctx = Context::with_parallelism(4, 8);
+    ctx.reset_stats();
+    let Ok((got, _choice)) = program.run(&ctx, &state) else {
+        return (None, false);
+    };
+    let mut correct = true;
+    for (name, want) in expected.iter() {
+        let ok = got
+            .get(name)
+            .map(|have| outputs_equal(want, have))
+            .unwrap_or(false);
+        if !ok {
+            correct = false;
+        }
+    }
+
+    // Scale measured volumes to the paper-sized dataset and price.
+    let stats = ctx.stats();
+    let n_measured = frag.data_len(&state).max(1) as f64;
+    let factor = b.paper_scale as f64 / n_measured;
+    let scaled = stats.scaled(factor);
+    let spec = ClusterSpec::paper();
+
+    let per_record_iters = iterations as f64 / n_measured;
+    let seq_work = (per_record_iters * b.paper_scale as f64) as u64;
+    let input_bytes: u64 = frag
+        .data_vars
+        .iter()
+        .filter_map(|dv| state.get(&dv.name).map(Value::size_bytes))
+        .sum();
+    let seq_input = (input_bytes as f64 * factor) as u64;
+    let seq = simulate_sequential(seq_work, seq_input, &spec);
+
+    let spark = simulate_job(&scaled, &spec, Framework::Spark);
+    let hadoop = simulate_job(&scaled, &spec, Framework::Hadoop);
+    let flink = simulate_job(&scaled, &spec, Framework::Flink);
+
+    (
+        Some(FrameworkSpeedups {
+            spark: speedup(seq, spark),
+            hadoop: speedup(seq, hadoop),
+            flink: speedup(seq, flink),
+            sequential_s: seq.seconds,
+            spark_s: spark.seconds,
+        }),
+        correct,
+    )
+}
+
+/// Output comparison: multiset semantics for lists, tolerance for floats.
+pub fn outputs_equal(want: &Value, have: &Value) -> bool {
+    match (want, have) {
+        (Value::List(a), Value::List(b)) => {
+            if a.len() != b.len() {
+                return false;
+            }
+            let mut sa = a.clone();
+            let mut sb = b.clone();
+            sa.sort();
+            sb.sort();
+            sa.iter().zip(&sb).all(|(x, y)| approx_eq(x, y, 1e-6))
+        }
+        _ => approx_eq(want, have, 1e-6),
+    }
+}
+
+/// Render a speedup as the paper prints it ("14.8x").
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.1}x")
+}
+
+/// Translate the code generation dialect name for display.
+pub fn dialect_name(d: Dialect) -> &'static str {
+    d.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suites::all_benchmarks;
+
+    #[test]
+    fn sum_benchmark_translates_and_speeds_up() {
+        let b = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "ariths/sum")
+            .unwrap();
+        let run = run_benchmark(&b, &sweep_config());
+        assert_eq!(run.identified, 1);
+        assert_eq!(run.translated, 1);
+        assert!(run.output_correct);
+        let sp = run.speedup.expect("measured");
+        assert!(sp.spark > 2.0, "cluster should win at 2B records: {}", sp.spark);
+        assert!(sp.spark > sp.hadoop, "Spark beats Hadoop");
+    }
+
+    #[test]
+    fn inexpressible_benchmark_reports_zero_translations() {
+        let b = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "stats/convolve")
+            .unwrap();
+        let run = run_benchmark(&b, &sweep_config());
+        assert_eq!(run.translated, 0);
+    }
+}

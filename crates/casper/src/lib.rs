@@ -1,0 +1,33 @@
+//! `casper` — the end-to-end compiler (§2.3, Figure 2).
+//!
+//! The pipeline mirrors the paper's three modules:
+//!
+//! 1. **Program analyzer** — parse and type-check the sequential source,
+//!    identify candidate code fragments, compute input/output variables
+//!    and the grammar seed (`analyzer`);
+//! 2. **Summary generator** — search for program summaries with CEGIS
+//!    over the incremental grammar hierarchy, adjudicating candidates
+//!    with the full verifier (`synthesis` + `verifier`);
+//! 3. **Code generator** — prune dominated summaries with the static cost
+//!    model, compile the survivors into engine plans for the chosen
+//!    dialect, and wrap them in the runtime monitor (`cost` + `codegen`).
+//!
+//! ```no_run
+//! use casper::{Casper, CasperConfig};
+//!
+//! let src = r#"
+//!     fn sum(xs: list<int>) -> int {
+//!         let s: int = 0;
+//!         for (x in xs) { s = s + x; }
+//!         return s;
+//!     }
+//! "#;
+//! let report = Casper::new(CasperConfig::default()).translate_source(src).unwrap();
+//! assert_eq!(report.translated_count(), 1);
+//! ```
+
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{Casper, CasperConfig};
+pub use report::{FragmentOutcome, FragmentReport, TranslationReport};

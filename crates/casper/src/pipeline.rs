@@ -1,0 +1,358 @@
+//! The compilation pipeline: analyze → synthesize → verify → prune →
+//! generate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use analyzer::fragment::Fragment;
+use analyzer::identify_fragments;
+use casper_ir::mr::ProgramSummary;
+use codegen::{generated_code, CompiledPlan, Dialect, GeneratedProgram, Variant};
+use cost::model::{prune_dominated, static_cost};
+use cost::CostWeights;
+use seqlang::error::Result;
+use seqlang::ty::Type;
+use synthesis::{find_summary, FindConfig, FindOutcome};
+use verifier::{full_verify, VerifyConfig};
+
+use crate::report::{FailureReason, FragmentOutcome, FragmentReport, TranslationReport};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct CasperConfig {
+    pub find: FindConfig,
+    pub verify: VerifyConfig,
+    /// Target dialect for generated code (plans run on the same engine;
+    /// the dialect changes code text and simulator pricing).
+    pub dialect: Dialect,
+    /// Apply compile-time dominance pruning (§5.2).
+    pub static_pruning: bool,
+    pub weights: CostWeights,
+}
+
+impl Default for CasperConfig {
+    fn default() -> Self {
+        CasperConfig {
+            find: FindConfig::default(),
+            verify: VerifyConfig::default(),
+            dialect: Dialect::Spark,
+            static_pruning: true,
+            weights: CostWeights::default(),
+        }
+    }
+}
+
+/// The Casper compiler.
+pub struct Casper {
+    pub config: CasperConfig,
+}
+
+impl Casper {
+    pub fn new(config: CasperConfig) -> Casper {
+        Casper { config }
+    }
+
+    /// Translate every candidate fragment in a source program.
+    pub fn translate_source(&self, src: &str) -> Result<TranslationReport> {
+        let program = Arc::new(seqlang::compile(src)?);
+        let fragments = identify_fragments(&program);
+        let mut reports = Vec::with_capacity(fragments.len());
+        for fragment in &fragments {
+            reports.push(self.translate_fragment(fragment));
+        }
+        Ok(TranslationReport { fragments: reports })
+    }
+
+    /// Translate a single fragment.
+    pub fn translate_fragment(&self, fragment: &Fragment) -> FragmentReport {
+        let started = Instant::now();
+
+        // Fast structural failures (§7.1's taxonomy).
+        if fragment.features.inner_data_loop {
+            return self.failed(fragment, FailureReason::InnerDataLoop, started);
+        }
+        if fragment.features.unmodeled_method {
+            return self.failed(fragment, FailureReason::UnmodeledMethod, started);
+        }
+
+        // Search with the full verifier adjudicating candidates.
+        let verify_cfg = self.config.verify.clone();
+        let full = |summary: &ProgramSummary| -> bool {
+            full_verify(fragment, summary, &verify_cfg).verified
+        };
+        let (outcome, search) = find_summary(fragment, &full, &self.config.find);
+        let summaries = match outcome {
+            FindOutcome::Found(s) => s,
+            FindOutcome::TimedOut => {
+                return FragmentReport {
+                    id: fragment.id.clone(),
+                    func: fragment.func.clone(),
+                    loc: fragment.loc,
+                    features: fragment.features,
+                    outcome: FragmentOutcome::Failed(FailureReason::Timeout),
+                    search,
+                    compile_time: started.elapsed(),
+                }
+            }
+            FindOutcome::Exhausted => {
+                return FragmentReport {
+                    id: fragment.id.clone(),
+                    func: fragment.func.clone(),
+                    loc: fragment.loc,
+                    features: fragment.features,
+                    outcome: FragmentOutcome::Failed(FailureReason::SearchExhausted),
+                    search,
+                    compile_time: started.elapsed(),
+                }
+            }
+        };
+
+        // Static cost pruning (§5.2): drop summaries dominated for every
+        // probability assignment.
+        let type_of = self.fragment_type_env(fragment);
+        let kept: Vec<ProgramSummary> = if self.config.static_pruning {
+            let costed: Vec<(ProgramSummary, cost::SymCost)> = summaries
+                .into_iter()
+                .map(|s| {
+                    let c = static_cost(&s, &type_of, &[], &self.config.weights);
+                    (s, c)
+                })
+                .collect();
+            prune_dominated(costed).into_iter().map(|(s, _)| s).collect()
+        } else {
+            summaries
+        };
+
+        // Compile surviving variants: re-verify to harvest CA properties
+        // for primitive selection, then build the monitor program.
+        let mut variants = Vec::with_capacity(kept.len());
+        let mut code = String::new();
+        for (i, summary) in kept.iter().enumerate() {
+            let vr = full_verify(fragment, summary, &self.config.verify);
+            let plan = CompiledPlan::new(summary.clone(), vr.reduce_properties.clone());
+            if i == 0 {
+                code = generated_code(summary, &plan.reduce_props, self.config.dialect);
+            }
+            variants.push(Variant { name: format!("v{}", i + 1), plan });
+        }
+        let program = GeneratedProgram::new(variants);
+
+        FragmentReport {
+            id: fragment.id.clone(),
+            func: fragment.func.clone(),
+            loc: fragment.loc,
+            features: fragment.features,
+            outcome: FragmentOutcome::Translated {
+                summaries: kept,
+                program,
+                code,
+                dialect: self.config.dialect,
+            },
+            search,
+            compile_time: started.elapsed(),
+        }
+    }
+
+    fn failed(
+        &self,
+        fragment: &Fragment,
+        reason: FailureReason,
+        started: Instant,
+    ) -> FragmentReport {
+        FragmentReport {
+            id: fragment.id.clone(),
+            func: fragment.func.clone(),
+            loc: fragment.loc,
+            features: fragment.features,
+            outcome: FragmentOutcome::Failed(reason),
+            search: Default::default(),
+            compile_time: started.elapsed(),
+        }
+    }
+
+    /// Type environment for static costing: λ params of each source,
+    /// free scalars, and struct-field paths.
+    fn fragment_type_env(
+        &self,
+        fragment: &Fragment,
+    ) -> impl Fn(&str) -> Option<Type> + 'static {
+        let grammar = synthesis::Grammar::for_fragment(fragment);
+        let mut pairs: Vec<(String, Type)> = grammar.scalars.clone();
+        for spec in &grammar.sources {
+            for (p, t) in spec.params.iter().zip(&spec.param_tys) {
+                pairs.push((p.clone(), t.clone()));
+            }
+        }
+        for (e, t) in &grammar.field_atoms {
+            pairs.push((format!("{e}"), t.clone()));
+        }
+        move |name: &str| {
+            pairs.iter().find(|(n, _)| n == name).map(|(_, t)| t.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::Context;
+    use seqlang::env::Env;
+    use seqlang::value::Value;
+
+    fn casper() -> Casper {
+        Casper::new(CasperConfig::default())
+    }
+
+    #[test]
+    fn end_to_end_sum() {
+        let src = r#"
+            fn sum(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }
+        "#;
+        let report = casper().translate_source(src).unwrap();
+        assert_eq!(report.identified_count(), 1);
+        assert_eq!(report.translated_count(), 1);
+        let frag = &report.fragments[0];
+        let FragmentOutcome::Translated { program, code, .. } = &frag.outcome else {
+            panic!("not translated");
+        };
+        assert!(code.contains("reduceByKey"), "{code}");
+
+        // Execute the generated program and compare with the sequential
+        // semantics.
+        let ctx = Context::with_parallelism(4, 8);
+        let mut state = Env::new();
+        state.set("xs", Value::List((1..=100).map(Value::Int).collect()));
+        state.set("s", Value::Int(0));
+        let (out, _) = program.run(&ctx, &state).unwrap();
+        assert_eq!(out.get("s"), Some(&Value::Int(5050)));
+    }
+
+    #[test]
+    fn end_to_end_row_wise_mean() {
+        // The paper's running example (Figure 1).
+        let src = r#"
+            fn rwm(mat: array<array<int>>, rows: int, cols: int) -> array<int> {
+                let m: array<int> = new array<int>(rows);
+                for (let i: int = 0; i < rows; i = i + 1) {
+                    let sum: int = 0;
+                    for (let j: int = 0; j < cols; j = j + 1) {
+                        sum = sum + mat[i][j];
+                    }
+                    m[i] = sum / cols;
+                }
+                return m;
+            }
+        "#;
+        let report = casper().translate_source(src).unwrap();
+        assert_eq!(report.translated_count(), 1, "rwm must translate");
+        let frag = &report.fragments[0];
+        let FragmentOutcome::Translated { program, summaries, .. } = &frag.outcome
+        else {
+            panic!()
+        };
+        // The Figure 1 summary is a 3-operator pipeline.
+        assert!(summaries.iter().any(|s| s.op_count() == 3), "{}", summaries.len());
+
+        let ctx = Context::with_parallelism(4, 8);
+        let mut state = Env::new();
+        state.set(
+            "mat",
+            Value::Array(vec![
+                Value::Array(vec![Value::Int(2), Value::Int(4)]),
+                Value::Array(vec![Value::Int(6), Value::Int(8)]),
+                Value::Array(vec![Value::Int(1), Value::Int(1)]),
+            ]),
+        );
+        state.set("rows", Value::Int(3));
+        state.set("cols", Value::Int(2));
+        state.set(
+            "m",
+            Value::Array(vec![Value::Int(0), Value::Int(0), Value::Int(0)]),
+        );
+        let (out, _) = program.run(&ctx, &state).unwrap();
+        assert_eq!(
+            out.get("m"),
+            Some(&Value::Array(vec![Value::Int(3), Value::Int(7), Value::Int(1)]))
+        );
+    }
+
+    #[test]
+    fn untranslatable_fragment_reports_reason() {
+        let src = r#"
+            fn wc(lines: list<string>) -> int {
+                let n: int = 0;
+                for (line in lines) {
+                    for (w in line.split()) { n = n + 1; }
+                }
+                return n;
+            }
+        "#;
+        let report = casper().translate_source(src).unwrap();
+        assert_eq!(report.translated_count(), 0);
+        let FragmentOutcome::Failed(reason) = &report.fragments[0].outcome else {
+            panic!()
+        };
+        assert_eq!(*reason, FailureReason::InnerDataLoop);
+    }
+
+    #[test]
+    fn word_count_translates_and_runs() {
+        let src = r#"
+            fn wc(words: list<string>) -> map<string,int> {
+                let counts: map<string,int> = new map<string,int>();
+                for (w in words) {
+                    counts.put(w, counts.get_or(w, 0) + 1);
+                }
+                return counts;
+            }
+        "#;
+        let report = casper().translate_source(src).unwrap();
+        assert_eq!(report.translated_count(), 1, "WordCount must translate");
+        let FragmentOutcome::Translated { program, .. } = &report.fragments[0].outcome
+        else {
+            panic!()
+        };
+        let ctx = Context::with_parallelism(4, 8);
+        let mut state = Env::new();
+        state.set(
+            "words",
+            Value::List(["a", "b", "a"].iter().map(Value::str).collect()),
+        );
+        state.set("counts", Value::Map(vec![]));
+        let (out, _) = program.run(&ctx, &state).unwrap();
+        let Value::Map(m) = out.get("counts").unwrap() else { panic!() };
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn multiple_variants_survive_for_stringmatch() {
+        let src = r#"
+            fn sm(text: list<string>, key1: string, key2: string) -> bool {
+                let f1: bool = false;
+                let f2: bool = false;
+                for (w in text) {
+                    if (w == key1) { f1 = true; }
+                    if (w == key2) { f2 = true; }
+                }
+                return f1;
+            }
+        "#;
+        let report = casper().translate_source(src).unwrap();
+        assert_eq!(report.translated_count(), 1, "StringMatch must translate");
+        let FragmentOutcome::Translated { program, .. } = &report.fragments[0].outcome
+        else {
+            panic!()
+        };
+        // §7.4: multiple semantically equivalent implementations exist and
+        // survive static pruning (the skew-dependent family).
+        assert!(
+            program.variants.len() >= 2,
+            "need ≥ 2 variants for dynamic tuning, got {}",
+            program.variants.len()
+        );
+    }
+}

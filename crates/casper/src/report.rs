@@ -1,0 +1,116 @@
+//! Translation reports: everything the evaluation tables read off.
+
+use std::time::Duration;
+
+use analyzer::fragment::FragmentFeatures;
+use casper_ir::mr::ProgramSummary;
+use codegen::{Dialect, GeneratedProgram};
+use synthesis::SearchReport;
+
+/// Why a fragment failed to translate (§7.1's failure taxonomy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// Loops inside transformer functions / derived inner iteration.
+    InnerDataLoop,
+    /// Library methods without IR models.
+    UnmodeledMethod,
+    /// Search space exhausted without a verified summary.
+    SearchExhausted,
+    /// Synthesis hit the time budget (the paper's 90-minute timeouts).
+    Timeout,
+}
+
+impl FailureReason {
+    pub fn describe(&self) -> &'static str {
+        match self {
+            FailureReason::InnerDataLoop => {
+                "requires loops inside transformer functions (inexpressible in IR)"
+            }
+            FailureReason::UnmodeledMethod => "uses library methods with no IR model",
+            FailureReason::SearchExhausted => "no verified summary in the search space",
+            FailureReason::Timeout => "synthesis timed out",
+        }
+    }
+}
+
+/// The result of translating one fragment.
+pub enum FragmentOutcome {
+    Translated {
+        /// All verified summaries, cheapest first (post static pruning).
+        summaries: Vec<ProgramSummary>,
+        /// The runnable program: variants + runtime monitor.
+        program: GeneratedProgram,
+        /// Generated target code for the configured dialect.
+        code: String,
+        dialect: Dialect,
+    },
+    Failed(FailureReason),
+}
+
+impl FragmentOutcome {
+    pub fn is_translated(&self) -> bool {
+        matches!(self, FragmentOutcome::Translated { .. })
+    }
+}
+
+/// Per-fragment report.
+pub struct FragmentReport {
+    pub id: String,
+    pub func: String,
+    /// Fragment LOC (Table 2).
+    pub loc: usize,
+    pub features: FragmentFeatures,
+    pub outcome: FragmentOutcome,
+    /// Search statistics (candidates, TP failures, time — Tables 2/3).
+    pub search: SearchReport,
+    /// Total compile time for this fragment.
+    pub compile_time: Duration,
+}
+
+impl FragmentReport {
+    /// MapReduce operator count of the best summary (Table 2's "# Op").
+    pub fn op_count(&self) -> usize {
+        match &self.outcome {
+            FragmentOutcome::Translated { summaries, .. } => {
+                summaries.first().map(|s| s.op_count()).unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Generated-code LOC (Table 2's LOC for the translation).
+    pub fn generated_loc(&self) -> usize {
+        match &self.outcome {
+            FragmentOutcome::Translated { code, .. } => codegen::emit::code_loc(code),
+            _ => 0,
+        }
+    }
+}
+
+/// Whole-program translation report.
+pub struct TranslationReport {
+    pub fragments: Vec<FragmentReport>,
+}
+
+impl TranslationReport {
+    pub fn identified_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    pub fn translated_count(&self) -> usize {
+        self.fragments.iter().filter(|f| f.outcome.is_translated()).count()
+    }
+
+    pub fn total_tp_failures(&self) -> u64 {
+        self.fragments.iter().map(|f| f.search.verifier_rejections).sum()
+    }
+
+    pub fn total_compile_time(&self) -> Duration {
+        self.fragments.iter().map(|f| f.compile_time).sum()
+    }
+
+    /// The translated fragment for a function name, if any.
+    pub fn for_function(&self, func: &str) -> Option<&FragmentReport> {
+        self.fragments.iter().find(|f| f.func == func)
+    }
+}

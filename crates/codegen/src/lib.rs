@@ -1,0 +1,26 @@
+//! `codegen` — Casper's code generator (§6.3, Appendix C).
+//!
+//! Takes verified program summaries and produces:
+//!
+//! * an **executable plan** over the `mapreduce` engine ([`plan`]):
+//!   map stages become `flatMapToPair`, reduces become `reduceByKey` when
+//!   the transformer is commutative and associative or a safe
+//!   `groupByKey` + ordered fold otherwise, joins become `join`;
+//! * **target-API source text** in three dialects — Spark, Hadoop, Flink
+//!   ([`emit`]) — following the translation rules of Appendix C (the LOC
+//!   and operator counts of Table 2 are measured on this output);
+//! * the **runtime monitor** (§5.2, [`monitor`]): when several verified
+//!   variants survive static pruning, the generated program samples the
+//!   first k input values at run time, estimates the cost-model unknowns,
+//!   and executes the cheapest variant;
+//! * **alias guards** (§3.2): generated code is guarded by a runtime
+//!   distinctness check over its input collections, falling back to the
+//!   original sequential fragment when inputs alias.
+
+pub mod emit;
+pub mod monitor;
+pub mod plan;
+
+pub use emit::{generated_code, Dialect};
+pub use monitor::{GeneratedProgram, PlanChoice, Variant};
+pub use plan::{alias_free, CompiledPlan};

@@ -1,0 +1,311 @@
+//! The runtime monitor and dynamic switcher (§5.2, §7.4).
+//!
+//! When several verified, statically-incomparable implementations exist,
+//! Casper emits all of them plus a monitor module. At run time the
+//! monitor samples the first k values of the input (5000 in the paper),
+//! estimates the unknowns of the cost formulas on the sample, computes
+//! each variant's cost, and executes the cheapest.
+
+use std::sync::Arc;
+
+use cost::model::dynamic_cost;
+use cost::CostWeights;
+use mapreduce::Context;
+use seqlang::env::Env;
+use seqlang::error::Result;
+use seqlang::value::Value;
+
+use crate::plan::{alias_free, CompiledPlan};
+
+/// One generated implementation variant.
+#[derive(Clone)]
+pub struct Variant {
+    pub name: String,
+    pub plan: CompiledPlan,
+}
+
+impl Variant {
+    fn non_ca_flags(&self) -> Vec<bool> {
+        self.plan.reduce_props.iter().map(|p| !p.both()).collect()
+    }
+}
+
+/// The monitor's decision for one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanChoice {
+    /// Index of the selected variant.
+    pub chosen: usize,
+    /// Estimated cost of every variant, by index.
+    pub costs: Vec<f64>,
+}
+
+/// A generated program: verified variants + the sampling monitor.
+pub struct GeneratedProgram {
+    pub variants: Vec<Variant>,
+    /// First-k sample size (the paper samples the first 5000 values).
+    pub sample_k: usize,
+    pub weights: CostWeights,
+}
+
+impl GeneratedProgram {
+    pub fn new(variants: Vec<Variant>) -> GeneratedProgram {
+        GeneratedProgram { variants, sample_k: 5000, weights: CostWeights::default() }
+    }
+
+    /// Run the monitor only: sample, estimate, choose (no execution).
+    pub fn choose(&self, state: &Env) -> PlanChoice {
+        let sample_state = self.sample_state(state);
+        let true_counts = |var: &str| -> f64 {
+            state
+                .get(var)
+                .and_then(|v| v.elements().map(|e| e.len() as f64))
+                .unwrap_or(0.0)
+        };
+        let costs: Vec<f64> = self
+            .variants
+            .iter()
+            .map(|v| {
+                dynamic_cost(
+                    &v.plan.summary,
+                    &sample_state,
+                    &true_counts,
+                    &v.non_ca_flags(),
+                    &self.weights,
+                )
+                .cost
+            })
+            .collect();
+        let chosen = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("costs are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        PlanChoice { chosen, costs }
+    }
+
+    /// Execute: monitor picks the cheapest variant, which then runs on
+    /// the engine. Returns the outputs and the decision.
+    pub fn run(&self, ctx: &Arc<Context>, state: &Env) -> Result<(Env, PlanChoice)> {
+        let choice = self.choose(state);
+        let plan = &self.variants[choice.chosen].plan;
+        let outputs = plan.execute(ctx, state)?;
+        Ok((outputs, choice))
+    }
+
+    /// Execute with the alias guard (§3.2): when input collections alias,
+    /// fall back to the supplied sequential implementation.
+    pub fn run_guarded(
+        &self,
+        ctx: &Arc<Context>,
+        state: &Env,
+        sequential: &dyn Fn(&Env) -> Result<Env>,
+    ) -> Result<(Env, Option<PlanChoice>)> {
+        let data_vars: Vec<String> = self
+            .variants
+            .first()
+            .map(|v| {
+                v.plan.summary.bindings[0]
+                    .expr
+                    .sources()
+                    .iter()
+                    .map(|s| s.var.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !alias_free(state, &data_vars) {
+            let out = sequential(state)?;
+            return Ok((out, None));
+        }
+        let (out, choice) = self.run(ctx, state)?;
+        Ok((out, Some(choice)))
+    }
+
+    /// Build the sampled state: every source collection truncated to the
+    /// first k values.
+    fn sample_state(&self, state: &Env) -> Env {
+        let mut sampled = state.clone();
+        let mut source_vars: Vec<String> = Vec::new();
+        for v in &self.variants {
+            for b in &v.plan.summary.bindings {
+                for s in b.expr.sources() {
+                    if !source_vars.contains(&s.var) {
+                        source_vars.push(s.var.clone());
+                    }
+                }
+            }
+        }
+        for var in source_vars {
+            if let Some(v) = sampled.get(&var).cloned() {
+                let truncated = match v {
+                    Value::List(mut xs) => {
+                        xs.truncate(self.sample_k);
+                        Value::List(xs)
+                    }
+                    Value::Array(mut xs) => {
+                        xs.truncate(self.sample_k);
+                        Value::Array(xs)
+                    }
+                    other => other,
+                };
+                sampled.set(var, truncated);
+            }
+        }
+        sampled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_ir::expr::IrExpr;
+    use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
+    use casper_ir::mr::{DataSource, MrExpr, OutputBinding, OutputKind, ProgramSummary};
+    use seqlang::ast::BinOp;
+    use seqlang::ty::Type;
+    use verifier::CaProperties;
+
+    fn ca() -> CaProperties {
+        CaProperties { commutative: true, associative: true }
+    }
+
+    /// StringMatch solution (b): tuple of bools, always one pair.
+    fn solution_b() -> Variant {
+        let m = MapLambda::new(
+            vec!["w"],
+            vec![Emit::unconditional(
+                IrExpr::int(0),
+                IrExpr::Tuple(vec![
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key1")),
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key2")),
+                ]),
+            )],
+        );
+        let r = ReduceLambda::new(IrExpr::Tuple(vec![
+            IrExpr::bin(
+                BinOp::Or,
+                IrExpr::tget(IrExpr::var("v1"), 0),
+                IrExpr::tget(IrExpr::var("v2"), 0),
+            ),
+            IrExpr::bin(
+                BinOp::Or,
+                IrExpr::tget(IrExpr::var("v1"), 1),
+                IrExpr::tget(IrExpr::var("v2"), 1),
+            ),
+        ]));
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str)).map(m).reduce(r);
+        let summary = ProgramSummary {
+            bindings: vec![OutputBinding {
+                vars: vec!["f1".into(), "f2".into()],
+                expr,
+                kind: OutputKind::ScalarTuple,
+            }],
+        };
+        Variant { name: "b".into(), plan: CompiledPlan::new(summary, vec![ca()]) }
+    }
+
+    /// Solution (c): guarded per-key emits.
+    fn solution_c() -> Variant {
+        let m = MapLambda::new(
+            vec!["w"],
+            vec![
+                Emit::guarded(
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key1")),
+                    IrExpr::var("key1"),
+                    IrExpr::ConstBool(true),
+                ),
+                Emit::guarded(
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key2")),
+                    IrExpr::var("key2"),
+                    IrExpr::ConstBool(true),
+                ),
+            ],
+        );
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Or));
+        let summary = ProgramSummary {
+            bindings: vec![OutputBinding {
+                vars: vec!["f1".into(), "f2".into()],
+                expr,
+                kind: OutputKind::KeyedScalars {
+                    keys: vec![IrExpr::var("key1"), IrExpr::var("key2")],
+                },
+            }],
+        };
+        Variant { name: "c".into(), plan: CompiledPlan::new(summary, vec![ca()]) }
+    }
+
+    fn stringmatch_state(match_fraction: f64, n: usize) -> Env {
+        let words: Vec<Value> = (0..n)
+            .map(|i| {
+                if (i as f64) < match_fraction * n as f64 {
+                    Value::str("cat")
+                } else {
+                    Value::str(format!("w{i}"))
+                }
+            })
+            .collect();
+        let mut st = Env::new();
+        st.set("text", Value::List(words));
+        st.set("key1", Value::str("cat"));
+        st.set("key2", Value::str("dog"));
+        st.set("f1", Value::Bool(false));
+        st.set("f2", Value::Bool(false));
+        st
+    }
+
+    #[test]
+    fn monitor_picks_c_with_no_matches_and_b_with_high_skew() {
+        let prog = GeneratedProgram::new(vec![solution_b(), solution_c()]);
+        // Figure 8(c): no matches → (c); 95% matches → (b).
+        let low = prog.choose(&stringmatch_state(0.0, 2000));
+        assert_eq!(prog.variants[low.chosen].name, "c", "{low:?}");
+        let high = prog.choose(&stringmatch_state(0.95, 2000));
+        assert_eq!(prog.variants[high.chosen].name, "b", "{high:?}");
+    }
+
+    #[test]
+    fn chosen_variant_computes_correct_answer() {
+        let prog = GeneratedProgram::new(vec![solution_b(), solution_c()]);
+        let ctx = Context::with_parallelism(4, 8);
+        for frac in [0.0, 0.5, 0.95] {
+            let state = stringmatch_state(frac, 500);
+            let (out, _) = prog.run(&ctx, &state).unwrap();
+            let expect_f1 = frac > 0.0;
+            assert_eq!(out.get("f1"), Some(&Value::Bool(expect_f1)), "frac={frac}");
+            assert_eq!(out.get("f2"), Some(&Value::Bool(false)));
+        }
+    }
+
+    #[test]
+    fn guard_falls_back_on_aliased_inputs() {
+        let prog = GeneratedProgram::new(vec![solution_b()]);
+        let ctx = Context::with_parallelism(2, 4);
+        let state = stringmatch_state(0.5, 100);
+        let sequential = |st: &Env| -> Result<Env> {
+            let mut out = Env::new();
+            out.set("f1", st.get("f1").cloned().unwrap());
+            out.set("f2", st.get("f2").cloned().unwrap());
+            Ok(out)
+        };
+        // No aliasing: plan runs.
+        let (_, choice) = prog.run_guarded(&ctx, &state, &sequential).unwrap();
+        assert!(choice.is_some());
+        // Single data var never aliases with itself; simulate aliasing by
+        // a two-source program sharing the same collection.
+        // (Covered further in plan::tests::alias_guard_detects_shared_inputs.)
+    }
+
+    #[test]
+    fn sampling_truncates_large_inputs() {
+        let mut prog = GeneratedProgram::new(vec![solution_c()]);
+        prog.sample_k = 10;
+        let state = stringmatch_state(1.0, 100_000);
+        let sampled = prog.sample_state(&state);
+        assert_eq!(
+            sampled.get("text").unwrap().elements().unwrap().len(),
+            10
+        );
+    }
+}

@@ -1,0 +1,504 @@
+//! Executable plans: verified summaries compiled onto the engine.
+
+use std::sync::Arc;
+
+use casper_ir::expr::IrExpr;
+use casper_ir::lambda::{MapLambda, ReduceLambda};
+use casper_ir::mr::{DataShape, MrExpr, OutputBinding, OutputKind, ProgramSummary};
+use mapreduce::rdd::{PairRdd, Rdd};
+use mapreduce::Context;
+use seqlang::env::Env;
+use seqlang::error::{Error, Result};
+use seqlang::value::Value;
+use verifier::CaProperties;
+
+/// A summary compiled against the engine, with the verifier's algebraic
+/// facts steering primitive selection (§6.3: `reduceByKey` only for
+/// commutative-associative transformers, otherwise `groupByKey`).
+#[derive(Clone)]
+pub struct CompiledPlan {
+    pub summary: ProgramSummary,
+    /// Per-reduce CA properties, in pipeline order.
+    pub reduce_props: Vec<CaProperties>,
+}
+
+impl CompiledPlan {
+    pub fn new(summary: ProgramSummary, reduce_props: Vec<CaProperties>) -> CompiledPlan {
+        CompiledPlan { summary, reduce_props }
+    }
+
+    /// Execute the plan on the engine against a program state, returning
+    /// the computed output variables. Statistics accumulate in `ctx`.
+    pub fn execute(&self, ctx: &Arc<Context>, state: &Env) -> Result<Env> {
+        let mut out = Env::new();
+        for binding in &self.summary.bindings {
+            let mut reduce_idx = 0usize;
+            let pairs = self.run_stage(ctx, state, &binding.expr, &mut reduce_idx)?;
+            bind_outputs(binding, &pairs.collect_sorted(), state, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Recursively execute one pipeline stage, producing key/value pairs.
+    fn run_stage(
+        &self,
+        ctx: &Arc<Context>,
+        state: &Env,
+        expr: &MrExpr,
+        reduce_idx: &mut usize,
+    ) -> Result<PairRdd<Value, Value>> {
+        match expr {
+            MrExpr::Data(src) => {
+                // A bare data source feeding a join: its rows are already
+                // key/value shaped for Indexed data (`(i, v)` pairs — the
+                // zipWithIndex ingestion of Appendix C).
+                if src.shape != DataShape::Indexed {
+                    return Err(Error::runtime(
+                        "bare non-indexed data source reached codegen without a map",
+                    ));
+                }
+                let rows = source_rows(state, &src.var, src.shape)?;
+                let rdd: Rdd<Value> = Rdd::parallelize(ctx, rows);
+                Ok(rdd.map_to_pair(|row| {
+                    match row {
+                        Value::Tuple(kv) if kv.len() == 2 => {
+                            (kv[0].clone(), kv[1].clone())
+                        }
+                        other => (Value::Unit, other.clone()),
+                    }
+                }))
+            }
+            MrExpr::Map(inner, lambda) => match &**inner {
+                MrExpr::Data(src) => {
+                    let rows = source_rows(state, &src.var, src.shape)?;
+                    let rdd: Rdd<Value> = Rdd::parallelize(ctx, rows);
+                    apply_map(&rdd, lambda, state)
+                }
+                _ => {
+                    let upstream = self.run_stage(ctx, state, inner, reduce_idx)?;
+                    let as_rows: Rdd<Value> =
+                        upstream.map(|(k, v)| Value::Tuple(vec![k.clone(), v.clone()]));
+                    apply_map(&as_rows, lambda, state)
+                }
+            },
+            MrExpr::Reduce(inner, lambda) => {
+                let upstream = self.run_stage(ctx, state, inner, reduce_idx)?;
+                let props = self
+                    .reduce_props
+                    .get(*reduce_idx)
+                    .copied()
+                    .unwrap_or(CaProperties { commutative: false, associative: false });
+                *reduce_idx += 1;
+                apply_reduce(&upstream, lambda, state, props)
+            }
+            MrExpr::Join(l, r) => {
+                let left = self.run_stage(ctx, state, l, reduce_idx)?;
+                let right = self.run_stage(ctx, state, r, reduce_idx)?;
+                let joined = left.join(&right);
+                Ok(joined
+                    .map(|(k, (v, w))| (k.clone(), Value::Tuple(vec![v.clone(), w.clone()]))))
+            }
+        }
+    }
+}
+
+/// Build the record stream for a data source from the program state —
+/// the "glue code" converting in-memory data into RDDs (§6.3).
+pub fn source_rows(state: &Env, var: &str, shape: DataShape) -> Result<Vec<Value>> {
+    let coll = state
+        .get(var)
+        .ok_or_else(|| Error::runtime(format!("input `{var}` missing")))?;
+    let elems = coll
+        .elements()
+        .ok_or_else(|| Error::runtime(format!("input `{var}` is not a collection")))?;
+    match shape {
+        DataShape::Flat => Ok(elems.to_vec()),
+        DataShape::Indexed => Ok(elems
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Value::Tuple(vec![Value::Int(i as i64), e.clone()]))
+            .collect()),
+        DataShape::Indexed2D => {
+            let mut rows = Vec::new();
+            for (i, row) in elems.iter().enumerate() {
+                let inner = row
+                    .elements()
+                    .ok_or_else(|| Error::runtime(format!("`{var}` is not 2-D")))?;
+                for (j, e) in inner.iter().enumerate() {
+                    rows.push(Value::Tuple(vec![
+                        Value::Int(i as i64),
+                        Value::Int(j as i64),
+                        e.clone(),
+                    ]));
+                }
+            }
+            Ok(rows)
+        }
+    }
+}
+
+/// Compile a map lambda into a `flatMapToPair` over the engine.
+fn apply_map(
+    rdd: &Rdd<Value>,
+    lambda: &MapLambda,
+    state: &Env,
+) -> Result<PairRdd<Value, Value>> {
+    let lambda = lambda.clone();
+    let base_env = state.clone();
+    let arity = lambda.params.len();
+    Ok(rdd.flat_map_to_pair(move |record| {
+        let mut env = base_env.clone();
+        // Bind parameters: multi-param records arrive as tuples.
+        if arity == 1 {
+            env.set(lambda.params[0].clone(), record.clone());
+        } else if let Value::Tuple(parts) = record {
+            for (p, v) in lambda.params.iter().zip(parts) {
+                env.set(p.clone(), v.clone());
+            }
+        }
+        let mut out = Vec::with_capacity(lambda.emits.len());
+        for emit in &lambda.emits {
+            let fire = match &emit.cond {
+                Some(c) => matches!(c.eval(&env), Ok(Value::Bool(true))),
+                None => true,
+            };
+            if fire {
+                if let (Ok(k), Ok(v)) = (emit.key.eval(&env), emit.val.eval(&env)) {
+                    out.push((k, v));
+                }
+            }
+        }
+        out
+    }))
+}
+
+/// Compile a reduce: `reduceByKey` when CA, `groupByKey` + ordered fold
+/// otherwise.
+fn apply_reduce(
+    pairs: &PairRdd<Value, Value>,
+    lambda: &ReduceLambda,
+    state: &Env,
+    props: CaProperties,
+) -> Result<PairRdd<Value, Value>> {
+    let lambda = lambda.clone();
+    let base_env = state.clone();
+    if props.both() {
+        let combine = move |a: &Value, b: &Value| -> Value {
+            let mut env = base_env.clone();
+            env.set(lambda.params[0].clone(), a.clone());
+            env.set(lambda.params[1].clone(), b.clone());
+            lambda.body.eval(&env).unwrap_or(Value::Unit)
+        };
+        Ok(pairs.reduce_by_key(combine))
+    } else {
+        // Safe fallback: groupByKey preserves arrival order; fold left.
+        let grouped = pairs.group_by_key();
+        Ok(grouped.map(move |(k, vs)| {
+            let mut env = base_env.clone();
+            let mut it = vs.iter();
+            let mut acc = it.next().cloned().unwrap_or(Value::Unit);
+            for v in it {
+                env.set(lambda.params[0].clone(), acc);
+                env.set(lambda.params[1].clone(), v.clone());
+                acc = lambda.body.eval(&env).unwrap_or(Value::Unit);
+            }
+            (k.clone(), acc)
+        }))
+    }
+}
+
+/// Reconstruct output variables from the collected pairs, mirroring the
+/// IR evaluator's output semantics.
+fn bind_outputs(
+    binding: &OutputBinding,
+    pairs: &[(Value, Value)],
+    state: &Env,
+    out: &mut Env,
+) -> Result<()> {
+    let pre = |var: &str| -> Result<Value> {
+        state
+            .get(var)
+            .cloned()
+            .ok_or_else(|| Error::runtime(format!("output `{var}` missing pre-value")))
+    };
+    match &binding.kind {
+        OutputKind::Scalar => {
+            let var = &binding.vars[0];
+            let v = match pairs {
+                [] => pre(var)?,
+                [(_, v)] => v.clone(),
+                _ => return Err(Error::runtime("scalar output produced several keys")),
+            };
+            out.set(var.clone(), v);
+        }
+        OutputKind::ScalarTuple => match pairs {
+            [] => {
+                for var in &binding.vars {
+                    let v = pre(var)?;
+                    out.set(var.clone(), v);
+                }
+            }
+            [(_, Value::Tuple(parts))] => {
+                for (var, v) in binding.vars.iter().zip(parts) {
+                    out.set(var.clone(), v.clone());
+                }
+            }
+            _ => return Err(Error::runtime("tuple output shape mismatch")),
+        },
+        OutputKind::KeyedScalars { keys } => {
+            for (var, key_expr) in binding.vars.iter().zip(keys) {
+                let key = key_expr.eval(state)?;
+                match pairs.iter().find(|(k, _)| *k == key) {
+                    Some((_, v)) => out.set(var.clone(), v.clone()),
+                    None => {
+                        let v = pre(var)?;
+                        out.set(var.clone(), v);
+                    }
+                }
+            }
+        }
+        OutputKind::AssocArray { len_var } => {
+            let var = &binding.vars[0];
+            let len = state
+                .get(len_var)
+                .and_then(Value::as_int)
+                .ok_or_else(|| Error::runtime(format!("`{len_var}` not an int")))?;
+            let Value::Array(mut arr) = pre(var)? else {
+                return Err(Error::runtime(format!("`{var}` is not an array")));
+            };
+            arr.resize(len as usize, Value::Int(0));
+            for (k, v) in pairs {
+                let i = k
+                    .as_int()
+                    .ok_or_else(|| Error::runtime("array output needs int keys"))?;
+                if i < 0 || i as usize >= arr.len() {
+                    return Err(Error::runtime(format!("array key {i} out of bounds")));
+                }
+                arr[i as usize] = v.clone();
+            }
+            out.set(var.clone(), Value::Array(arr));
+        }
+        OutputKind::AssocMap => {
+            let var = &binding.vars[0];
+            out.set(var.clone(), Value::Map(pairs.to_vec()));
+        }
+        OutputKind::CollectedList => {
+            let var = &binding.vars[0];
+            let mut vals: Vec<Value> = pairs.iter().map(|(_, v)| v.clone()).collect();
+            vals.sort();
+            out.set(var.clone(), Value::List(vals));
+        }
+    }
+    Ok(())
+}
+
+/// Alias guard (§3.2): true when the plan's input collections are
+/// pairwise distinct objects, so the translated code is safe to run. The
+/// generated program falls back to the sequential fragment otherwise.
+pub fn alias_free(state: &Env, data_vars: &[String]) -> bool {
+    for (i, a) in data_vars.iter().enumerate() {
+        for b in &data_vars[i + 1..] {
+            if let (Some(va), Some(vb)) = (state.get(a), state.get(b)) {
+                if va == vb {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Convenience wrapper used by examples: keys evaluated against `state`.
+pub fn eval_ir(expr: &IrExpr, state: &Env) -> Result<Value> {
+    expr.eval(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_ir::lambda::Emit;
+    use casper_ir::mr::DataSource;
+    use seqlang::ast::BinOp;
+    use seqlang::ty::Type;
+
+    fn ctx() -> Arc<Context> {
+        Context::with_parallelism(4, 8)
+    }
+
+    fn ca() -> CaProperties {
+        CaProperties { commutative: true, associative: true }
+    }
+
+    fn word_count_summary() -> ProgramSummary {
+        let m = MapLambda::new(
+            vec!["w"],
+            vec![Emit::unconditional(IrExpr::var("w"), IrExpr::int(1))],
+        );
+        let expr = MrExpr::Data(DataSource::flat("words", Type::Str))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Add));
+        ProgramSummary::single("counts", expr, OutputKind::AssocMap)
+    }
+
+    #[test]
+    fn word_count_plan_executes() {
+        let plan = CompiledPlan::new(word_count_summary(), vec![ca()]);
+        let mut state = Env::new();
+        state.set(
+            "words",
+            Value::List(vec![
+                Value::str("a"),
+                Value::str("b"),
+                Value::str("a"),
+                Value::str("a"),
+            ]),
+        );
+        state.set("counts", Value::Map(vec![]));
+        let out = plan.execute(&ctx(), &state).unwrap();
+        let Value::Map(entries) = out.get("counts").unwrap() else { panic!() };
+        let get = |k: &str| {
+            entries
+                .iter()
+                .find(|(key, _)| key == &Value::str(k))
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("a"), Some(Value::Int(3)));
+        assert_eq!(get("b"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn plan_matches_ir_evaluator() {
+        // The engine execution must agree with the IR reference semantics.
+        let summary = word_count_summary();
+        let plan = CompiledPlan::new(summary.clone(), vec![ca()]);
+        let mut state = Env::new();
+        state.set(
+            "words",
+            Value::List(
+                ["x", "y", "x", "z", "z", "z"].iter().map(Value::str).collect(),
+            ),
+        );
+        state.set("counts", Value::Map(vec![]));
+        let engine_out = plan.execute(&ctx(), &state).unwrap();
+        let ir_out = casper_ir::eval::eval_summary(&summary, &state).unwrap();
+        assert_eq!(engine_out.get("counts"), ir_out.get("counts"));
+    }
+
+    #[test]
+    fn non_ca_reduce_uses_group_by_key() {
+        // keep-first reducer (non-commutative): plan must still compute
+        // the in-order fold result.
+        let m = MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+        );
+        let r = ReduceLambda::new(IrExpr::var("v1"));
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let summary = ProgramSummary::single("first", expr, OutputKind::Scalar);
+        let plan = CompiledPlan::new(
+            summary,
+            vec![CaProperties { commutative: false, associative: true }],
+        );
+        let c = ctx();
+        let mut state = Env::new();
+        state.set(
+            "xs",
+            Value::List(vec![Value::Int(7), Value::Int(8), Value::Int(9)]),
+        );
+        state.set("first", Value::Int(0));
+        c.reset_stats();
+        let out = plan.execute(&c, &state).unwrap();
+        assert_eq!(out.get("first"), Some(&Value::Int(7)));
+        let labels: Vec<String> =
+            c.stats().stages.iter().map(|s| s.label.clone()).collect();
+        assert!(
+            labels.iter().any(|l| l == "groupByKey"),
+            "non-CA must compile to groupByKey: {labels:?}"
+        );
+    }
+
+    #[test]
+    fn ca_reduce_uses_reduce_by_key() {
+        let plan = CompiledPlan::new(word_count_summary(), vec![ca()]);
+        let c = ctx();
+        let mut state = Env::new();
+        state.set("words", Value::List(vec![Value::str("a")]));
+        state.set("counts", Value::Map(vec![]));
+        c.reset_stats();
+        plan.execute(&c, &state).unwrap();
+        let labels: Vec<String> =
+            c.stats().stages.iter().map(|s| s.label.clone()).collect();
+        assert!(labels.iter().any(|l| l == "reduceByKey"), "{labels:?}");
+    }
+
+    #[test]
+    fn scalar_fallback_on_empty_input() {
+        let m = MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+        );
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Add));
+        let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
+        let plan = CompiledPlan::new(summary, vec![ca()]);
+        let mut state = Env::new();
+        state.set("xs", Value::List(vec![]));
+        state.set("s", Value::Int(99));
+        let out = plan.execute(&ctx(), &state).unwrap();
+        assert_eq!(out.get("s"), Some(&Value::Int(99)));
+    }
+
+    #[test]
+    fn indexed_2d_plan_rwm() {
+        // Full row-wise mean plan from the paper's Figure 1(b).
+        let m1 = MapLambda::new(
+            vec!["i", "j", "v"],
+            vec![Emit::unconditional(IrExpr::var("i"), IrExpr::var("v"))],
+        );
+        let m2 = MapLambda::new(
+            vec!["_k", "_v"],
+            vec![Emit::unconditional(
+                IrExpr::var("_k"),
+                IrExpr::bin(BinOp::Div, IrExpr::var("_v"), IrExpr::var("cols")),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::indexed_2d("mat", Type::Int))
+            .map(m1)
+            .reduce(ReduceLambda::binop(BinOp::Add))
+            .map(m2);
+        let summary = ProgramSummary::single(
+            "m",
+            expr,
+            OutputKind::AssocArray { len_var: "rows".into() },
+        );
+        let plan = CompiledPlan::new(summary, vec![ca()]);
+        let mut state = Env::new();
+        state.set(
+            "mat",
+            Value::Array(vec![
+                Value::Array(vec![Value::Int(1), Value::Int(3)]),
+                Value::Array(vec![Value::Int(10), Value::Int(20)]),
+            ]),
+        );
+        state.set("rows", Value::Int(2));
+        state.set("cols", Value::Int(2));
+        state.set("m", Value::Array(vec![Value::Int(0), Value::Int(0)]));
+        let out = plan.execute(&ctx(), &state).unwrap();
+        assert_eq!(
+            out.get("m"),
+            Some(&Value::Array(vec![Value::Int(2), Value::Int(15)]))
+        );
+    }
+
+    #[test]
+    fn alias_guard_detects_shared_inputs() {
+        let mut state = Env::new();
+        let shared = Value::List(vec![Value::Int(1)]);
+        state.set("a", shared.clone());
+        state.set("b", shared);
+        state.set("c", Value::List(vec![Value::Int(2)]));
+        assert!(!alias_free(&state, &["a".into(), "b".into()]));
+        assert!(alias_free(&state, &["a".into(), "c".into()]));
+    }
+}

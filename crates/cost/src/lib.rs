@@ -1,0 +1,45 @@
+//! `cost` — Casper's data-centric cost model (§5.1) and dynamic cost
+//! estimation (§5.2).
+//!
+//! The model prices a summary by the bytes it generates and shuffles, not
+//! by compute:
+//!
+//! ```text
+//! costm(λm, N, Wm) = Wm · N · Σᵢ sizeOf(emitᵢ) · pᵢ          (Eqn 2)
+//! costr(λr, N, Wr) = Wr · N · sizeOf(λr) · ε(λr)             (Eqn 3)
+//! costj(N₁, N₂, Wj) = Wj · N₁ · N₂ · sizeOf(emitj) · pj      (Eqn 4)
+//! ```
+//!
+//! with weights `Wm = 1`, `Wr = 2`, `Wj = 2` and non-CA penalty
+//! `Wcsg = 50` (the paper's empirical values). Costs of pipelines compose
+//! by threading the record count produced by each stage into the next.
+//!
+//! Two evaluation modes:
+//! * [`static_cost`] — symbolic: conditional-emit probabilities stay as
+//!   unknowns `p₁, p₂, …` ([`SymCost`]), enabling the compile-time
+//!   dominance pruning of §5.2 (solution (a) of Figure 8 is dominated for
+//!   *all* probability assignments and can be dropped statically);
+//! * [`dynamic_cost`] — numeric: the runtime monitor samples the first k
+//!   input values, estimates every `pᵢ` and the unique-key counts on the
+//!   sample, and plugs them into the same formulas.
+
+pub mod model;
+pub mod sym;
+
+pub use model::{dynamic_cost, static_cost, CostModel, DynCostReport};
+pub use sym::SymCost;
+
+/// The paper's cost-model weights (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    pub wm: f64,
+    pub wr: f64,
+    pub wj: f64,
+    pub wcsg: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights { wm: 1.0, wr: 2.0, wj: 2.0, wcsg: 50.0 }
+    }
+}

@@ -1,0 +1,519 @@
+//! Static and dynamic evaluation of the cost model over summaries.
+
+use std::collections::HashMap;
+
+use casper_ir::eval::EvalCtx;
+use casper_ir::mr::{MrExpr, ProgramSummary};
+use casper_ir::size::emit_size_bytes;
+use seqlang::env::Env;
+use seqlang::ty::Type;
+use seqlang::value::Value;
+
+use crate::sym::SymCost;
+use crate::CostWeights;
+
+/// The cost model: weights plus a type environment for static sizing.
+pub struct CostModel {
+    pub weights: CostWeights,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { weights: CostWeights::default() }
+    }
+}
+
+/// Static (symbolic) cost of a summary, per input record (§5.1).
+///
+/// Conditional emits introduce unknowns `p1, p2, …` in pipeline order.
+/// Approximations (documented in DESIGN.md): stages downstream of the
+/// first reduce process only the per-key residue and are not charged;
+/// join selectivity is the unknown `pj`. `non_ca` flags the reduce stages
+/// (in pipeline order) whose transformer failed the CA analysis — those
+/// pay the `Wcsg` penalty of Eqn 3.
+pub fn static_cost(
+    summary: &ProgramSummary,
+    type_of: &dyn Fn(&str) -> Option<Type>,
+    non_ca: &[bool],
+    weights: &CostWeights,
+) -> SymCost {
+    let mut total = SymCost::constant(0.0);
+    let mut prob_counter = 0usize;
+    let mut reduce_counter = 0usize;
+    for binding in &summary.bindings {
+        let (cost, _mult, _pair) = stage_cost(
+            &binding.expr,
+            type_of,
+            non_ca,
+            weights,
+            &mut prob_counter,
+            &mut reduce_counter,
+        );
+        total.add(&cost);
+    }
+    total
+}
+
+/// Record-count multiplier flowing between stages: `base + Σ coef·p`.
+#[derive(Clone)]
+struct Mult {
+    inner: SymCost,
+}
+
+impl Mult {
+    fn one() -> Mult {
+        Mult { inner: SymCost::constant(1.0) }
+    }
+    fn zero() -> Mult {
+        Mult { inner: SymCost::constant(0.0) }
+    }
+}
+
+fn stage_cost(
+    expr: &MrExpr,
+    type_of: &dyn Fn(&str) -> Option<Type>,
+    non_ca: &[bool],
+    weights: &CostWeights,
+    prob_counter: &mut usize,
+    reduce_counter: &mut usize,
+) -> (SymCost, Mult, f64) {
+    match expr {
+        MrExpr::Data(_) => (SymCost::constant(0.0), Mult::one(), 48.0),
+        MrExpr::Map(inner, lambda) => {
+            let (mut cost, mult, _pair) = stage_cost(
+                inner, type_of, non_ca, weights, prob_counter, reduce_counter,
+            );
+            // Parameter types: bind λ params through `type_of` fallback.
+            let lookup = |name: &str| type_of(name);
+            let mut out_mult = SymCost::constant(0.0);
+            let mut pair_size = 0.0f64;
+            for emit in &lambda.emits {
+                let size = emit_size_bytes(emit, &lookup) as f64;
+                pair_size = pair_size.max(size);
+                match &emit.cond {
+                    None => {
+                        // size · mult records per input.
+                        cost.add(&mult.inner.scale(weights.wm * size));
+                        out_mult.add(&mult.inner);
+                    }
+                    Some(_) => {
+                        *prob_counter += 1;
+                        let p = format!("p{}", prob_counter);
+                        if mult.inner.terms.is_empty() {
+                            let coef = mult.inner.base;
+                            cost.add_term(p.clone(), weights.wm * size * coef);
+                            out_mult.add_term(p, coef);
+                        } else {
+                            // Probability products would be non-linear;
+                            // approximate the guarded term with the new
+                            // unknown alone (upper-bounded by it).
+                            cost.add_term(p.clone(), weights.wm * size);
+                            out_mult.add_term(p, 1.0);
+                        }
+                    }
+                }
+            }
+            (cost, Mult { inner: out_mult }, pair_size)
+        }
+        MrExpr::Reduce(inner, lambda) => {
+            let (mut cost, mult, pair_size) = stage_cost(
+                inner, type_of, non_ca, weights, prob_counter, reduce_counter,
+            );
+            // Eqn 3 prices the reducer on the records it shuffles and
+            // combines: the key/value pair size of its input (Figure 8(d)
+            // charges λr of solution (a) at the full 50-byte pair).
+            let _ = &lambda.body;
+            let size = pair_size;
+            let eps = if non_ca.get(*reduce_counter).copied().unwrap_or(false) {
+                weights.wcsg
+            } else {
+                1.0
+            };
+            *reduce_counter += 1;
+            cost.add(&mult.inner.scale(weights.wr * size * eps));
+            // Downstream of a reduce only per-key residues flow;
+            // statically negligible.
+            (cost, Mult::zero(), size)
+        }
+        MrExpr::Join(l, r) => {
+            let (cl, _, _) =
+                stage_cost(l, type_of, non_ca, weights, prob_counter, reduce_counter);
+            let (cr, _, _) =
+                stage_cost(r, type_of, non_ca, weights, prob_counter, reduce_counter);
+            let mut cost = SymCost::constant(0.0);
+            cost.add(&cl);
+            cost.add(&cr);
+            // Join output priced with the unknown selectivity `pj`.
+            *prob_counter += 1;
+            let pj = format!("pj{}", prob_counter);
+            cost.add_term(pj.clone(), weights.wj * 48.0);
+            let mut out = SymCost::constant(0.0);
+            out.add_term(pj, 1.0);
+            (cost, Mult { inner: out }, 48.0)
+        }
+    }
+}
+
+/// Dynamic cost report for one candidate (what the runtime monitor
+/// computes from the first-k sample, §5.2).
+#[derive(Debug, Clone)]
+pub struct DynCostReport {
+    pub cost: f64,
+    /// Estimated probability assignments, in stage order.
+    pub probabilities: Vec<f64>,
+    /// Estimated unique keys at each reduce.
+    pub unique_keys: Vec<f64>,
+}
+
+/// Evaluate the cost model numerically against a *sampled* pre-loop state
+/// (the fragment's data truncated to the first k records) and the true
+/// per-source record counts.
+///
+/// The pipeline is executed on the sample; each stage's record counts,
+/// byte volumes, guard selectivities and key cardinalities are measured
+/// and extrapolated to the full dataset through Eqns 2–4.
+pub fn dynamic_cost(
+    summary: &ProgramSummary,
+    sample_state: &Env,
+    true_counts: &dyn Fn(&str) -> f64,
+    non_ca: &[bool],
+    weights: &CostWeights,
+) -> DynCostReport {
+    let ctx = EvalCtx::new(sample_state);
+    let mut report = DynCostReport { cost: 0.0, probabilities: Vec::new(), unique_keys: Vec::new() };
+    let mut reduce_counter = 0usize;
+    for binding in &summary.bindings {
+        walk_dynamic(
+            &binding.expr,
+            &ctx,
+            true_counts,
+            non_ca,
+            weights,
+            &mut reduce_counter,
+            &mut report,
+        );
+    }
+    report
+}
+
+/// Returns (sample rows, estimated true record count).
+fn walk_dynamic(
+    expr: &MrExpr,
+    ctx: &EvalCtx<'_>,
+    true_counts: &dyn Fn(&str) -> f64,
+    non_ca: &[bool],
+    weights: &CostWeights,
+    reduce_counter: &mut usize,
+    report: &mut DynCostReport,
+) -> (Vec<Vec<Value>>, f64) {
+    match expr {
+        MrExpr::Data(src) => {
+            let rows = ctx.eval_mr(expr).unwrap_or_default();
+            (rows, true_counts(&src.var))
+        }
+        MrExpr::Map(inner, _lambda) => {
+            let (rows_in, n_in) = walk_dynamic(
+                inner, ctx, true_counts, non_ca, weights, reduce_counter, report,
+            );
+            let rows_out = ctx.eval_mr(expr).unwrap_or_default();
+            let (bytes_out, selectivity) = sample_ratios(&rows_in, &rows_out);
+            report.probabilities.push(selectivity);
+            report.cost += weights.wm * n_in * bytes_out;
+            (rows_out, n_in * selectivity)
+        }
+        MrExpr::Reduce(inner, _lambda) => {
+            let (rows_in, n_in) = walk_dynamic(
+                inner, ctx, true_counts, non_ca, weights, reduce_counter, report,
+            );
+            let rows_out = ctx.eval_mr(expr).unwrap_or_default();
+            let in_size = avg_row_bytes(&rows_in);
+            let eps = if non_ca.get(*reduce_counter).copied().unwrap_or(false) {
+                weights.wcsg
+            } else {
+                1.0
+            };
+            *reduce_counter += 1;
+            report.cost += weights.wr * n_in * in_size * eps;
+            // Unique keys: distinct in sample; if every sampled record had
+            // a distinct key, cardinality tracks the data.
+            let distinct = rows_out.len() as f64;
+            let est_keys = if !rows_in.is_empty() && distinct >= rows_in.len() as f64 {
+                n_in
+            } else {
+                distinct
+            };
+            report.unique_keys.push(est_keys);
+            (rows_out, est_keys)
+        }
+        MrExpr::Join(l, r) => {
+            let (rows_l, n_l) = walk_dynamic(
+                l, ctx, true_counts, non_ca, weights, reduce_counter, report,
+            );
+            let (rows_r, n_r) = walk_dynamic(
+                r, ctx, true_counts, non_ca, weights, reduce_counter, report,
+            );
+            let rows_out = ctx.eval_mr(expr).unwrap_or_default();
+            let pairs = (rows_l.len() as f64) * (rows_r.len() as f64);
+            let selectivity = if pairs > 0.0 { rows_out.len() as f64 / pairs } else { 0.0 };
+            report.probabilities.push(selectivity);
+            let size = avg_row_bytes(&rows_out);
+            report.cost += weights.wj * n_l * n_r * selectivity * size;
+            let est = n_l * n_r * selectivity;
+            (rows_out, est)
+        }
+    }
+}
+
+/// (average output bytes per input record, output/input record ratio).
+fn sample_ratios(rows_in: &[Vec<Value>], rows_out: &[Vec<Value>]) -> (f64, f64) {
+    if rows_in.is_empty() {
+        return (0.0, 0.0);
+    }
+    let bytes: u64 = rows_out
+        .iter()
+        .map(|r| 8 + r.iter().map(Value::size_bytes).sum::<u64>())
+        .sum();
+    (
+        bytes as f64 / rows_in.len() as f64,
+        rows_out.len() as f64 / rows_in.len() as f64,
+    )
+}
+
+fn avg_row_bytes(rows: &[Vec<Value>]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let bytes: u64 = rows
+        .iter()
+        .map(|r| 8 + r.iter().map(Value::size_bytes).sum::<u64>())
+        .sum();
+    bytes as f64 / rows.len() as f64
+}
+
+/// Drop statically dominated candidates: keep a summary only if no other
+/// kept summary is cheaper for every probability assignment (§5.2's
+/// compile-time pruning; kills Figure 8's solution (a)).
+pub fn prune_dominated(
+    summaries: Vec<(ProgramSummary, SymCost)>,
+) -> Vec<(ProgramSummary, SymCost)> {
+    let mut kept: Vec<(ProgramSummary, SymCost)> = Vec::new();
+    'outer: for (cand, cost) in summaries {
+        for (_, other_cost) in &kept {
+            if cost.dominates(other_cost) && cost != *other_cost {
+                continue 'outer; // strictly worse than something we keep
+            }
+        }
+        // Remove previously kept summaries the new one strictly beats.
+        kept.retain(|(_, oc)| !(oc.dominates(&cost) && *oc != cost));
+        kept.push((cand, cost));
+    }
+    kept
+}
+
+/// Type lookup assembled from λ parameters, free scalars, and struct
+/// field paths — the form `static_cost` consumes.
+pub fn type_env(pairs: &[(&str, Type)]) -> impl Fn(&str) -> Option<Type> + 'static {
+    let map: HashMap<String, Type> =
+        pairs.iter().map(|(n, t)| (n.to_string(), t.clone())).collect();
+    move |name: &str| map.get(name).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_ir::expr::IrExpr;
+    use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
+    use casper_ir::mr::{DataSource, OutputKind};
+    use seqlang::ast::BinOp;
+
+    /// Figure 8(d) solution (a): two unconditional (String, Bool) emits,
+    /// reduce OR.
+    fn stringmatch_a() -> ProgramSummary {
+        let m = MapLambda::new(
+            vec!["w"],
+            vec![
+                Emit::unconditional(
+                    IrExpr::var("key1"),
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key1")),
+                ),
+                Emit::unconditional(
+                    IrExpr::var("key2"),
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key2")),
+                ),
+            ],
+        );
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Or));
+        ProgramSummary {
+            bindings: vec![casper_ir::mr::OutputBinding {
+                vars: vec!["f1".into(), "f2".into()],
+                expr,
+                kind: OutputKind::KeyedScalars {
+                    keys: vec![IrExpr::var("key1"), IrExpr::var("key2")],
+                },
+            }],
+        }
+    }
+
+    /// Solution (b): single (Bool, Bool)-tuple pair.
+    fn stringmatch_b() -> ProgramSummary {
+        let m = MapLambda::new(
+            vec!["w"],
+            vec![Emit::unconditional(
+                IrExpr::int(0),
+                IrExpr::Tuple(vec![
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key1")),
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key2")),
+                ]),
+            )],
+        );
+        let r = ReduceLambda::new(IrExpr::Tuple(vec![
+            IrExpr::bin(
+                BinOp::Or,
+                IrExpr::tget(IrExpr::var("v1"), 0),
+                IrExpr::tget(IrExpr::var("v2"), 0),
+            ),
+            IrExpr::bin(
+                BinOp::Or,
+                IrExpr::tget(IrExpr::var("v1"), 1),
+                IrExpr::tget(IrExpr::var("v2"), 1),
+            ),
+        ]));
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str)).map(m).reduce(r);
+        ProgramSummary {
+            bindings: vec![casper_ir::mr::OutputBinding {
+                vars: vec!["f1".into(), "f2".into()],
+                expr,
+                kind: OutputKind::ScalarTuple,
+            }],
+        }
+    }
+
+    /// Solution (c): guarded emits, only matches emitted.
+    fn stringmatch_c() -> ProgramSummary {
+        let m = MapLambda::new(
+            vec!["w"],
+            vec![
+                Emit::guarded(
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key1")),
+                    IrExpr::var("key1"),
+                    IrExpr::ConstBool(true),
+                ),
+                Emit::guarded(
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key2")),
+                    IrExpr::var("key2"),
+                    IrExpr::ConstBool(true),
+                ),
+            ],
+        );
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Or));
+        ProgramSummary {
+            bindings: vec![casper_ir::mr::OutputBinding {
+                vars: vec!["f1".into(), "f2".into()],
+                expr,
+                kind: OutputKind::KeyedScalars {
+                    keys: vec![IrExpr::var("key1"), IrExpr::var("key2")],
+                },
+            }],
+        }
+    }
+
+    fn sm_types() -> impl Fn(&str) -> Option<Type> {
+        |name: &str| match name {
+            "w" | "key1" | "key2" => Some(Type::Str),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn figure8d_static_costs() {
+        let w = CostWeights::default();
+        let ty = sm_types();
+        // Solution (a): λm 2·(40+10)·N = 100N; λr 2·2·50·N = 200N (two
+        // records per input, Wr = 2, 50-byte pair) → 300N, exactly the
+        // paper's Figure 8(d) total.
+        let a = static_cost(&stringmatch_a(), &ty, &[], &w);
+        assert!(a.terms.is_empty());
+        assert!((a.base - 300.0).abs() < 1e-9, "a = {}", a.display());
+
+        // Solution (b): λm (4+28)·N = 32N (int key + (Bool,Bool) tuple);
+        // λr 2·32·N = 64N → 96N (paper: 84N with a keyless pair).
+        let b = static_cost(&stringmatch_b(), &ty, &[], &w);
+        assert!((b.base - 96.0).abs() < 1e-9, "b = {}", b.display());
+
+        // Solution (c): (p1+p2)·50·N for λm plus (p1+p2)·2·50·N for λr
+        // → 150(p1 + p2)·N, exactly the paper's total.
+        let c = static_cost(&stringmatch_c(), &ty, &[], &w);
+        assert!(c.base.abs() < 1e-9);
+        assert!((c.terms["p1"] - 150.0).abs() < 1e-9, "c = {}", c.display());
+        assert!((c.terms["p2"] - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_a_statically_dominated_by_b() {
+        let w = CostWeights::default();
+        let ty = sm_types();
+        let a = static_cost(&stringmatch_a(), &ty, &[], &w);
+        let b = static_cost(&stringmatch_b(), &ty, &[], &w);
+        let c = static_cost(&stringmatch_c(), &ty, &[], &w);
+        assert!(a.dominates(&b), "a must be droppable at compile time");
+        assert!(!b.dominates(&c) && !c.dominates(&b), "b vs c needs runtime data");
+
+        let pruned = prune_dominated(vec![
+            (stringmatch_a(), a),
+            (stringmatch_b(), b),
+            (stringmatch_c(), c),
+        ]);
+        assert_eq!(pruned.len(), 2, "exactly (b) and (c) survive");
+    }
+
+    #[test]
+    fn dynamic_cost_crossover_with_skew() {
+        // Figure 8(b)/(c): with no matches (c) is free; with ~95% matches
+        // (b) wins.
+        let w = CostWeights::default();
+        let mk_state = |match_frac: f64| -> Env {
+            let n = 100usize;
+            let words: Vec<Value> = (0..n)
+                .map(|i| {
+                    if (i as f64) < match_frac * n as f64 {
+                        Value::str("cat")
+                    } else {
+                        Value::str(format!("w{i}"))
+                    }
+                })
+                .collect();
+            let mut st = Env::new();
+            st.set("text", Value::List(words));
+            st.set("key1", Value::str("cat"));
+            st.set("key2", Value::str("dog"));
+            st.set("f1", Value::Bool(false));
+            st.set("f2", Value::Bool(false));
+            st
+        };
+        let n_true = |_: &str| 1.0e9;
+
+        let st_low = mk_state(0.0);
+        let b_low = dynamic_cost(&stringmatch_b(), &st_low, &n_true, &[], &w).cost;
+        let c_low = dynamic_cost(&stringmatch_c(), &st_low, &n_true, &[], &w).cost;
+        assert!(c_low < b_low, "no matches: (c) emits nothing ({c_low} vs {b_low})");
+
+        let st_high = mk_state(0.95);
+        let b_high = dynamic_cost(&stringmatch_b(), &st_high, &n_true, &[], &w).cost;
+        let c_high = dynamic_cost(&stringmatch_c(), &st_high, &n_true, &[], &w).cost;
+        assert!(b_high < c_high, "95% matches: (b) wins ({b_high} vs {c_high})");
+    }
+
+    #[test]
+    fn non_ca_reduce_pays_wcsg() {
+        let w = CostWeights::default();
+        let ty = sm_types();
+        let base = static_cost(&stringmatch_b(), &ty, &[false], &w).base;
+        let penalised = static_cost(&stringmatch_b(), &ty, &[true], &w).base;
+        assert!((penalised - base) > 1.0);
+        assert!((penalised / base) > 5.0, "{penalised} vs {base}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Transformer functions λm and λr (Figure 3).
+
+use seqlang::ast::BinOp;
+
+use crate::expr::IrExpr;
+
+/// One `emit` statement in a map transformer: optionally guarded, produces
+/// a single key/value pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Emit {
+    /// Guard condition; `None` emits unconditionally.
+    pub cond: Option<IrExpr>,
+    pub key: IrExpr,
+    pub val: IrExpr,
+}
+
+impl Emit {
+    pub fn unconditional(key: IrExpr, val: IrExpr) -> Emit {
+        Emit { cond: None, key, val }
+    }
+    pub fn guarded(cond: IrExpr, key: IrExpr, val: IrExpr) -> Emit {
+        Emit { cond: Some(cond), key, val }
+    }
+}
+
+/// A map transformer λm: binds the input record to `params` and executes a
+/// sequence of emit statements (paper restricts λm bodies to exactly this
+/// shape, §3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MapLambda {
+    /// Parameter names bound per input record. Arity must match the input:
+    /// data sources bind per their [`crate::mr::DataShape`]; key/value
+    /// inputs (the output of an upstream map/reduce/join) bind two
+    /// parameters `(k, v)`.
+    pub params: Vec<String>,
+    pub emits: Vec<Emit>,
+}
+
+impl MapLambda {
+    pub fn new(params: Vec<&str>, emits: Vec<Emit>) -> MapLambda {
+        MapLambda { params: params.into_iter().map(String::from).collect(), emits }
+    }
+}
+
+/// A reduce transformer λr: combines two values into one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReduceLambda {
+    /// Always two parameters, conventionally `v1`, `v2`.
+    pub params: [String; 2],
+    pub body: IrExpr,
+}
+
+impl ReduceLambda {
+    pub fn new(body: IrExpr) -> ReduceLambda {
+        ReduceLambda { params: ["v1".to_string(), "v2".to_string()], body }
+    }
+
+    /// Convenience constructor: `v1 op v2`.
+    pub fn binop(op: BinOp) -> ReduceLambda {
+        ReduceLambda::new(IrExpr::bin(op, IrExpr::var("v1"), IrExpr::var("v2")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqlang::value::Value;
+    use seqlang::Env;
+
+    #[test]
+    fn reduce_binop_builder() {
+        let r = ReduceLambda::binop(BinOp::Add);
+        let mut env = Env::new();
+        env.set("v1", Value::Int(2));
+        env.set("v2", Value::Int(3));
+        assert_eq!(r.body.eval(&env).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn emit_constructors() {
+        let e = Emit::guarded(
+            IrExpr::ConstBool(true),
+            IrExpr::var("k"),
+            IrExpr::var("v"),
+        );
+        assert!(e.cond.is_some());
+        let u = Emit::unconditional(IrExpr::int(0), IrExpr::var("v"));
+        assert!(u.cond.is_none());
+    }
+}

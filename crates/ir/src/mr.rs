@@ -1,0 +1,232 @@
+//! MapReduce pipelines and program summaries (the `PS` and `MR`
+//! productions of Figure 3).
+
+use seqlang::ty::Type;
+
+use crate::expr::IrExpr;
+use crate::lambda::{MapLambda, ReduceLambda};
+
+/// How an input collection is presented to the first map stage.
+///
+/// Casper's analyzer knows how each iterated data structure is traversed;
+/// the row-wise mean benchmark iterates a 2-D matrix and its λm1 binds
+/// `(i, j, v)` (Figure 1). We model the three access shapes the paper's
+/// benchmarks use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataShape {
+    /// Elements only: λ binds one parameter, the element.
+    Flat,
+    /// Index + element: λ binds `(i, v)`.
+    Indexed,
+    /// Row index, column index, element of a 2-D array: λ binds `(i, j, v)`.
+    Indexed2D,
+}
+
+impl DataShape {
+    /// Number of λ parameters this shape binds.
+    pub fn arity(&self) -> usize {
+        match self {
+            DataShape::Flat => 1,
+            DataShape::Indexed => 2,
+            DataShape::Indexed2D => 3,
+        }
+    }
+}
+
+/// A leaf of an MR pipeline: a named input collection with its access
+/// shape and element type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DataSource {
+    pub var: String,
+    pub shape: DataShape,
+    pub elem_ty: Type,
+}
+
+impl DataSource {
+    pub fn flat(var: impl Into<String>, elem_ty: Type) -> DataSource {
+        DataSource { var: var.into(), shape: DataShape::Flat, elem_ty }
+    }
+    pub fn indexed(var: impl Into<String>, elem_ty: Type) -> DataSource {
+        DataSource { var: var.into(), shape: DataShape::Indexed, elem_ty }
+    }
+    pub fn indexed_2d(var: impl Into<String>, elem_ty: Type) -> DataSource {
+        DataSource { var: var.into(), shape: DataShape::Indexed2D, elem_ty }
+    }
+}
+
+/// An MR pipeline (`MR := map(MR, λm) | reduce(MR, λr) | join(MR, MR) | data`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MrExpr {
+    Data(DataSource),
+    Map(Box<MrExpr>, MapLambda),
+    Reduce(Box<MrExpr>, ReduceLambda),
+    Join(Box<MrExpr>, Box<MrExpr>),
+}
+
+impl MrExpr {
+    pub fn map(self, lambda: MapLambda) -> MrExpr {
+        MrExpr::Map(Box::new(self), lambda)
+    }
+    pub fn reduce(self, lambda: ReduceLambda) -> MrExpr {
+        MrExpr::Reduce(Box::new(self), lambda)
+    }
+    pub fn join(self, other: MrExpr) -> MrExpr {
+        MrExpr::Join(Box::new(self), Box::new(other))
+    }
+
+    /// Number of map/reduce/join operators in the pipeline — the first
+    /// grammar-class feature of §4.2 and the "# Op" column of Table 2.
+    pub fn op_count(&self) -> usize {
+        match self {
+            MrExpr::Data(_) => 0,
+            MrExpr::Map(inner, _) | MrExpr::Reduce(inner, _) => 1 + inner.op_count(),
+            MrExpr::Join(l, r) => 1 + l.op_count() + r.op_count(),
+        }
+    }
+
+    /// All data sources feeding this pipeline.
+    pub fn sources(&self) -> Vec<&DataSource> {
+        match self {
+            MrExpr::Data(d) => vec![d],
+            MrExpr::Map(inner, _) | MrExpr::Reduce(inner, _) => inner.sources(),
+            MrExpr::Join(l, r) => {
+                let mut v = l.sources();
+                v.extend(r.sources());
+                v
+            }
+        }
+    }
+
+    /// Visit every stage bottom-up.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a MrExpr)) {
+        match self {
+            MrExpr::Data(_) => {}
+            MrExpr::Map(inner, _) | MrExpr::Reduce(inner, _) => inner.walk(f),
+            MrExpr::Join(l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+        }
+        f(self);
+    }
+}
+
+/// How the key/value multiset computed by a pipeline reconstructs the
+/// fragment's output variable(s) — the `v = MR | MR[vid]` forms of
+/// Figure 3, extended with the collection outputs the benchmarks need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OutputKind {
+    /// A single scalar variable: the pipeline must produce at most one
+    /// distinct key; the value of that pair is the variable's value. An
+    /// empty result leaves the variable at its pre-loop value (this is what
+    /// makes the initiation VC hold, §3.3).
+    Scalar,
+    /// Several scalar variables packed in one tuple-valued pair, assigned
+    /// in order (e.g. the StringMatch solution (b) of Figure 8).
+    ScalarTuple,
+    /// Several scalar variables, each reconstructed from the pair whose
+    /// key equals the paired expression evaluated on the pre-state —
+    /// StringMatch solutions (a)/(c) of Figure 8, where `found1` is the
+    /// value under key `key1`. Missing keys keep pre-loop values.
+    KeyedScalars { keys: Vec<IrExpr> },
+    /// An array output: the pair with key `Int(i)` gives element `i`;
+    /// missing keys keep the pre-loop element value. `len_var` names the
+    /// input variable holding the array length.
+    AssocArray { len_var: String },
+    /// A map output: the result pairs are exactly the map's entries.
+    AssocMap,
+    /// A list output: the result pair *values* are the list's elements,
+    /// compared as a multiset (MapReduce provides no ordering guarantee).
+    CollectedList,
+}
+
+/// One `v = MR` binding of a program summary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OutputBinding {
+    /// Output variables bound by this pipeline (one, except `ScalarTuple`).
+    pub vars: Vec<String>,
+    pub expr: MrExpr,
+    pub kind: OutputKind,
+}
+
+/// A complete program summary: every output variable of the fragment is
+/// described by exactly one binding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProgramSummary {
+    pub bindings: Vec<OutputBinding>,
+}
+
+impl ProgramSummary {
+    pub fn single(var: impl Into<String>, expr: MrExpr, kind: OutputKind) -> ProgramSummary {
+        ProgramSummary {
+            bindings: vec![OutputBinding { vars: vec![var.into()], expr, kind }],
+        }
+    }
+
+    /// Total operator count across all bindings.
+    pub fn op_count(&self) -> usize {
+        self.bindings.iter().map(|b| b.expr.op_count()).sum()
+    }
+
+    /// Maximum emit count across all map stages (grammar-class feature 2).
+    pub fn max_emits(&self) -> usize {
+        let mut max = 0;
+        for b in &self.bindings {
+            b.expr.walk(&mut |e| {
+                if let MrExpr::Map(_, l) = e {
+                    max = max.max(l.emits.len());
+                }
+            });
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::IrExpr;
+    use crate::lambda::Emit;
+    use seqlang::ast::BinOp;
+
+    /// Build the paper's Figure 1 row-wise mean summary:
+    /// `m = map(reduce(map(mat, λm1), λr), λm2)`.
+    pub fn rwm_summary() -> ProgramSummary {
+        let m1 = MapLambda::new(
+            vec!["i", "j", "v"],
+            vec![Emit::unconditional(IrExpr::var("i"), IrExpr::var("v"))],
+        );
+        let r = ReduceLambda::binop(BinOp::Add);
+        let m2 = MapLambda::new(
+            vec!["k", "v"],
+            vec![Emit::unconditional(
+                IrExpr::var("k"),
+                IrExpr::bin(BinOp::Div, IrExpr::var("v"), IrExpr::var("cols")),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::indexed_2d("mat", Type::Int))
+            .map(m1)
+            .reduce(r)
+            .map(m2);
+        ProgramSummary::single("m", expr, OutputKind::AssocArray { len_var: "rows".into() })
+    }
+
+    #[test]
+    fn op_count_of_rwm_is_three() {
+        assert_eq!(rwm_summary().op_count(), 3);
+    }
+
+    #[test]
+    fn sources_found() {
+        let s = rwm_summary();
+        let srcs = s.bindings[0].expr.sources();
+        assert_eq!(srcs.len(), 1);
+        assert_eq!(srcs[0].var, "mat");
+        assert_eq!(srcs[0].shape.arity(), 3);
+    }
+
+    #[test]
+    fn max_emits() {
+        assert_eq!(rwm_summary().max_emits(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Pretty-printing of summaries in the paper's `@Summary(...)` notation
+//! (Figure 1) — used in translation reports and generated "proof scripts".
+
+use std::fmt::Write;
+
+use crate::lambda::{MapLambda, ReduceLambda};
+use crate::mr::{DataShape, MrExpr, OutputKind, ProgramSummary};
+
+/// Render a summary as the annotation block of Figure 1(a).
+pub fn pretty_summary(summary: &ProgramSummary) -> String {
+    let mut out = String::from("@Summary(\n");
+    for binding in &summary.bindings {
+        let vars = binding.vars.join(", ");
+        let mut lambdas = Vec::new();
+        let skeleton = pretty_mr(&binding.expr, &mut lambdas);
+        let _ = writeln!(out, "  {vars} = {skeleton}");
+        for (name, body) in lambdas {
+            let _ = writeln!(out, "  {name} : {body}");
+        }
+        let kind = match &binding.kind {
+            OutputKind::Scalar => "scalar".to_string(),
+            OutputKind::ScalarTuple => "scalar-tuple".to_string(),
+            OutputKind::KeyedScalars { keys } => {
+                let ks: Vec<String> = keys.iter().map(|k| format!("{k}")).collect();
+                format!("keyed[{}]", ks.join(", "))
+            }
+            OutputKind::AssocArray { len_var } => format!("array[0..{len_var})"),
+            OutputKind::AssocMap => "map".to_string(),
+            OutputKind::CollectedList => "multiset".to_string(),
+        };
+        let _ = writeln!(out, "  output: {kind}");
+    }
+    out.push(')');
+    out
+}
+
+/// Render the operator skeleton, collecting lambda definitions.
+pub fn pretty_mr(expr: &MrExpr, lambdas: &mut Vec<(String, String)>) -> String {
+    match expr {
+        MrExpr::Data(src) => {
+            let shape = match src.shape {
+                DataShape::Flat => "",
+                DataShape::Indexed => "[indexed]",
+                DataShape::Indexed2D => "[2d]",
+            };
+            format!("{}{}", src.var, shape)
+        }
+        MrExpr::Map(inner, l) => {
+            let inner_text = pretty_mr(inner, lambdas);
+            let name = format!("λm{}", lambdas.len() + 1);
+            lambdas.push((name.clone(), pretty_map_lambda(l)));
+            format!("map({inner_text}, {name})")
+        }
+        MrExpr::Reduce(inner, l) => {
+            let inner_text = pretty_mr(inner, lambdas);
+            let name = format!("λr{}", lambdas.len() + 1);
+            lambdas.push((name.clone(), pretty_reduce_lambda(l)));
+            format!("reduce({inner_text}, {name})")
+        }
+        MrExpr::Join(l, r) => {
+            format!("join({}, {})", pretty_mr(l, lambdas), pretty_mr(r, lambdas))
+        }
+    }
+}
+
+fn pretty_map_lambda(l: &MapLambda) -> String {
+    let params = l.params.join(", ");
+    let emits: Vec<String> = l
+        .emits
+        .iter()
+        .map(|e| match &e.cond {
+            Some(c) => format!("if ({c}) emit({}, {})", e.key, e.val),
+            None => format!("emit({}, {})", e.key, e.val),
+        })
+        .collect();
+    format!("({params}) → {{ {} }}", emits.join("; "))
+}
+
+fn pretty_reduce_lambda(l: &ReduceLambda) -> String {
+    format!("({}, {}) → {}", l.params[0], l.params[1], l.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::IrExpr;
+    use crate::lambda::Emit;
+    use crate::mr::{DataSource, OutputKind};
+    use seqlang::ast::BinOp;
+    use seqlang::ty::Type;
+
+    #[test]
+    fn renders_rwm_like_figure_1() {
+        let m1 = MapLambda::new(
+            vec!["i", "j", "v"],
+            vec![Emit::unconditional(IrExpr::var("i"), IrExpr::var("v"))],
+        );
+        let r = ReduceLambda::binop(BinOp::Add);
+        let m2 = MapLambda::new(
+            vec!["k", "v"],
+            vec![Emit::unconditional(
+                IrExpr::var("k"),
+                IrExpr::bin(BinOp::Div, IrExpr::var("v"), IrExpr::var("cols")),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::indexed_2d("mat", Type::Int))
+            .map(m1)
+            .reduce(r)
+            .map(m2);
+        let s = ProgramSummary::single(
+            "m",
+            expr,
+            OutputKind::AssocArray { len_var: "rows".into() },
+        );
+        let text = pretty_summary(&s);
+        assert!(text.contains("m = map(reduce(map(mat[2d], λm1), λr2), λm3)"), "{text}");
+        assert!(text.contains("(v1 + v2)"), "{text}");
+        assert!(text.contains("(v / cols)"), "{text}");
+    }
+}

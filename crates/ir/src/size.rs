@@ -1,0 +1,170 @@
+//! Static size model for IR types and expressions.
+//!
+//! The paper's cost model (§5.1) charges per-byte for records emitted and
+//! shuffled; Figure 8(d) fixes the constants: String 40 bytes, Boolean 10
+//! bytes, a tuple of two Booleans 28 bytes (8 bytes of tuple overhead).
+//! This module computes the *static* size of the key/value pairs a
+//! transformer emits from type information, which is what the static cost
+//! comparison uses before any data is seen.
+
+use seqlang::ty::Type;
+
+use crate::expr::IrExpr;
+use crate::lambda::Emit;
+
+/// Serialized size of a value of the given type, in bytes.
+pub fn type_size_bytes(ty: &Type) -> u64 {
+    match ty {
+        Type::Int => 4,
+        Type::Double => 8,
+        Type::Bool => 10,
+        Type::Str => 40,
+        Type::Void => 1,
+        // Collections are sized per-element at runtime; statically charge
+        // a nominal header. Summaries rarely emit whole collections.
+        Type::Array(_) | Type::List(_) | Type::Map(..) => 48,
+        Type::Struct(_) => 48,
+        Type::Tuple(ts) => 8 + ts.iter().map(type_size_bytes).sum::<u64>(),
+    }
+}
+
+/// Infer the static type of an IR expression given parameter/input types.
+/// Returns `None` when the type cannot be determined statically (the cost
+/// model then falls back to a conservative default).
+pub fn infer_type(expr: &IrExpr, lookup: &dyn Fn(&str) -> Option<Type>) -> Option<Type> {
+    use seqlang::ast::BinOp::*;
+    match expr {
+        IrExpr::ConstInt(_) => Some(Type::Int),
+        IrExpr::ConstDouble(_) => Some(Type::Double),
+        IrExpr::ConstBool(_) => Some(Type::Bool),
+        IrExpr::ConstStr(_) => Some(Type::Str),
+        IrExpr::Var(v) => lookup(v),
+        IrExpr::Field(base, name) => match infer_type(base, lookup)? {
+            Type::Struct(_) => {
+                // Struct layouts are resolved by the grammar generator,
+                // which substitutes concrete field types; a bare lookup by
+                // `var.field` path covers that case.
+                lookup(&format!("{base}.{name}"))
+            }
+            _ => None,
+        },
+        IrExpr::TupleGet(base, i) => match infer_type(base, lookup)? {
+            Type::Tuple(ts) => ts.get(*i).cloned(),
+            _ => None,
+        },
+        IrExpr::Tuple(es) => {
+            let ts: Option<Vec<Type>> = es.iter().map(|e| infer_type(e, lookup)).collect();
+            Some(Type::Tuple(ts?))
+        }
+        IrExpr::Bin(op, l, r) => match op {
+            Add | Sub | Mul | Div | Mod => {
+                let lt = infer_type(l, lookup)?;
+                let rt = infer_type(r, lookup)?;
+                if lt == Type::Str {
+                    Some(Type::Str)
+                } else if lt == Type::Double || rt == Type::Double {
+                    Some(Type::Double)
+                } else {
+                    Some(Type::Int)
+                }
+            }
+            Lt | Gt | Le | Ge | Eq | Ne | And | Or => Some(Type::Bool),
+            BitAnd | BitOr | BitXor | Shl | Shr => Some(Type::Int),
+        },
+        IrExpr::Un(op, e) => match op {
+            seqlang::ast::UnOp::Not => Some(Type::Bool),
+            _ => infer_type(e, lookup),
+        },
+        IrExpr::Call(name, args) => match name.as_str() {
+            "abs" | "min" | "max" => infer_type(args.first()?, lookup),
+            "sqrt" | "exp" | "log" | "pow" | "floor" | "ceil" | "int_to_double" => {
+                Some(Type::Double)
+            }
+            "double_to_int" => Some(Type::Int),
+            "date_before" | "date_after" => Some(Type::Bool),
+            _ => None,
+        },
+        IrExpr::Method(_, name, _) => match name.as_str() {
+            "len" | "size" | "char_at" => Some(Type::Int),
+            "contains" | "contains_key" | "starts_with" => Some(Type::Bool),
+            "to_lower" => Some(Type::Str),
+            "split" => Some(Type::List(Box::new(Type::Str))),
+            _ => None,
+        },
+        IrExpr::If(_, t, e) => {
+            let tt = infer_type(t, lookup)?;
+            let et = infer_type(e, lookup)?;
+            if tt == et {
+                Some(tt)
+            } else if (tt == Type::Int && et == Type::Double)
+                || (tt == Type::Double && et == Type::Int)
+            {
+                Some(Type::Double)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Static size of an emitted key/value pair, with a conservative default
+/// of 48 bytes when a side cannot be typed.
+pub fn emit_size_bytes(emit: &Emit, lookup: &dyn Fn(&str) -> Option<Type>) -> u64 {
+    let k = infer_type(&emit.key, lookup).map(|t| type_size_bytes(&t)).unwrap_or(48);
+    let v = infer_type(&emit.val, lookup).map(|t| type_size_bytes(&t)).unwrap_or(48);
+    k + v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lambda::Emit;
+    use seqlang::ast::BinOp;
+
+    #[test]
+    fn figure8_sizes() {
+        assert_eq!(type_size_bytes(&Type::Str), 40);
+        assert_eq!(type_size_bytes(&Type::Bool), 10);
+        assert_eq!(
+            type_size_bytes(&Type::Tuple(vec![Type::Bool, Type::Bool])),
+            28
+        );
+    }
+
+    #[test]
+    fn infer_comparison_is_bool() {
+        let e = IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key1"));
+        let lookup = |v: &str| match v {
+            "w" | "key1" => Some(Type::Str),
+            _ => None,
+        };
+        assert_eq!(infer_type(&e, &lookup), Some(Type::Bool));
+    }
+
+    #[test]
+    fn stringmatch_solution_a_emit_is_50_bytes() {
+        // Figure 8(d) solution (a): λm emits (String key, Bool) = 40 + 10.
+        let e = Emit::unconditional(
+            IrExpr::var("key1"),
+            IrExpr::bin(BinOp::Eq, IrExpr::var("w"), IrExpr::var("key1")),
+        );
+        let lookup = |v: &str| match v {
+            "w" | "key1" => Some(Type::Str),
+            _ => None,
+        };
+        assert_eq!(emit_size_bytes(&e, &lookup), 50);
+    }
+
+    #[test]
+    fn int_division_stays_int_mixed_goes_double() {
+        let lookup = |v: &str| match v {
+            "a" => Some(Type::Int),
+            "x" => Some(Type::Double),
+            _ => None,
+        };
+        let e1 = IrExpr::bin(BinOp::Div, IrExpr::var("a"), IrExpr::int(2));
+        assert_eq!(infer_type(&e1, &lookup), Some(Type::Int));
+        let e2 = IrExpr::bin(BinOp::Div, IrExpr::var("x"), IrExpr::var("a"));
+        assert_eq!(infer_type(&e2, &lookup), Some(Type::Double));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type shared by the lexer, parser, type checker and interpreter.
+
+use std::fmt;
+
+/// Result alias used throughout `seqlang`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A compile-time or run-time error with a source location when available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Which phase produced the error.
+    pub kind: ErrorKind,
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based line number, 0 if unknown.
+    pub line: u32,
+}
+
+/// The phase that produced an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    Lex,
+    Parse,
+    Type,
+    Runtime,
+}
+
+impl Error {
+    pub fn lex(msg: impl Into<String>, line: u32) -> Self {
+        Error { kind: ErrorKind::Lex, msg: msg.into(), line }
+    }
+    pub fn parse(msg: impl Into<String>, line: u32) -> Self {
+        Error { kind: ErrorKind::Parse, msg: msg.into(), line }
+    }
+    pub fn ty(msg: impl Into<String>, line: u32) -> Self {
+        Error { kind: ErrorKind::Type, msg: msg.into(), line }
+    }
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        Error { kind: ErrorKind::Runtime, msg: msg.into(), line: 0 }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.kind {
+            ErrorKind::Lex => "lex",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Type => "type",
+            ErrorKind::Runtime => "runtime",
+        };
+        if self.line > 0 {
+            write!(f, "{} error (line {}): {}", phase, self.line, self.msg)
+        } else {
+            write!(f, "{} error: {}", phase, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,328 @@
+//! Hand-written lexer for `seqlang`.
+
+use crate::error::{Error, Result};
+use crate::token::{Token, TokenKind};
+
+/// Lex a complete source string into tokens (terminated by `Eof`).
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().collect(), pos: 0, line: 1, src }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::with_capacity(self.src.len() / 4);
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, line });
+                return Ok(out);
+            };
+            let kind = match c {
+                '0'..='9' => self.number()?,
+                '"' => self.string()?,
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                _ => self.symbol()?,
+            };
+            out.push(Token { kind, line });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Error::lex("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A '.' followed by a digit makes this a double literal; a '.'
+        // followed by an identifier is a method call on an int and is left
+        // for the parser.
+        let is_double = self.peek() == Some('.')
+            && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false);
+        if is_double {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if matches!(self.peek(), Some('e') | Some('E')) {
+                text.push('e');
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    text.push(self.bump().unwrap());
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let x: f64 = text
+                .parse()
+                .map_err(|_| Error::lex(format!("bad double literal `{text}`"), line))?;
+            Ok(TokenKind::Double(x))
+        } else {
+            let n: i64 = text
+                .parse()
+                .map_err(|_| Error::lex(format!("bad int literal `{text}`"), line))?;
+            Ok(TokenKind::Int(n))
+        }
+    }
+
+    fn string(&mut self) -> Result<TokenKind> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(TokenKind::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    other => {
+                        return Err(Error::lex(
+                            format!("bad escape `\\{}`", other.map(String::from).unwrap_or_default()),
+                            line,
+                        ))
+                    }
+                },
+                Some(c) => s.push(c),
+                None => return Err(Error::lex("unterminated string literal", line)),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::keyword(&s).unwrap_or(TokenKind::Ident(s))
+    }
+
+    fn symbol(&mut self) -> Result<TokenKind> {
+        use TokenKind::*;
+        let line = self.line;
+        let c = self.bump().unwrap();
+        let two = |l: &mut Self, expect: char, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(expect) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            '(' => LParen,
+            ')' => RParen,
+            '{' => LBrace,
+            '}' => RBrace,
+            '[' => LBracket,
+            ']' => RBracket,
+            ',' => Comma,
+            ';' => Semicolon,
+            ':' => Colon,
+            '.' => Dot,
+            '+' => Plus,
+            '-' => two(self, '>', Arrow, Minus),
+            '*' => Star,
+            '/' => Slash,
+            '%' => Percent,
+            '=' => two(self, '=', EqEq, Assign),
+            '!' => two(self, '=', NotEq, Not),
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Le
+                } else if self.peek() == Some('<') {
+                    self.bump();
+                    Shl
+                } else {
+                    Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Ge
+                } else if self.peek() == Some('>') {
+                    self.bump();
+                    Shr
+                } else {
+                    Gt
+                }
+            }
+            '&' => two(self, '&', AndAnd, Amp),
+            '|' => two(self, '|', OrOr, Pipe),
+            '^' => Caret,
+            other => return Err(Error::lex(format!("unexpected character `{other}`"), line)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_arithmetic() {
+        assert_eq!(
+            kinds("1 + 2 * x"),
+            vec![Int(1), Plus, Int(2), Star, Ident("x".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_doubles_and_ints() {
+        assert_eq!(kinds("3.5"), vec![Double(3.5), Eof]);
+        assert_eq!(kinds("3"), vec![Int(3), Eof]);
+        assert_eq!(kinds("1e3"), vec![Int(1), Ident("e3".into()), Eof]);
+        assert_eq!(kinds("1.5e2"), vec![Double(150.0), Eof]);
+    }
+
+    #[test]
+    fn int_then_method_call_is_not_a_double() {
+        // `3.abs()` style: the dot must remain a separate token.
+        assert_eq!(
+            kinds("x.size()"),
+            vec![Ident("x".into()), Dot, Ident("size".into()), LParen, RParen, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_vs_idents() {
+        assert_eq!(kinds("for fortune"), vec![KwFor, Ident("fortune".into()), Eof]);
+        assert_eq!(kinds("int integer"), vec![KwIntTy, Ident("integer".into()), Eof]);
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || -> << >>"),
+            vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, Arrow, Shl, Shr, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds(r#""a\nb""#), vec![Str("a\nb".into()), Eof]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(kinds("1 // comment\n 2"), vec![Int(1), Int(2), Eof]);
+        assert_eq!(kinds("1 /* multi\nline */ 2"), vec![Int(1), Int(2), Eof]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("#").is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Loop normalisation (§6.1): Casper converts every loop form into the
+//! `while(true) { if (!cond) break; body; update; }` shape before
+//! generating verification conditions. We implement the same classical
+//! transformation, plus desugaring of `for-each` loops over collections
+//! into index-based iteration when requested.
+
+use crate::ast::*;
+use crate::ty::Type;
+
+/// Normalise every loop in a function body into `while(true)` form.
+pub fn normalize_function(f: &mut Function) {
+    normalize_block(&mut f.body);
+}
+
+/// Normalise every loop in a block, recursively.
+pub fn normalize_block(block: &mut Block) {
+    let stmts = std::mem::take(&mut block.stmts);
+    for stmt in stmts {
+        match stmt {
+            Stmt::For { init, cond, update, mut body, line } => {
+                normalize_block(&mut body);
+                // body' = { if (!cond) break; ...body; update }
+                let mut inner = Vec::with_capacity(body.stmts.len() + 2);
+                inner.push(break_unless(cond, line));
+                inner.extend(body.stmts);
+                inner.push(*update);
+                block.stmts.push(*init);
+                block.stmts.push(Stmt::While {
+                    cond: Expr::BoolLit(true, line),
+                    body: Block { stmts: inner },
+                    line,
+                });
+            }
+            Stmt::While { cond, mut body, line } => {
+                normalize_block(&mut body);
+                if matches!(cond, Expr::BoolLit(true, _)) {
+                    block.stmts.push(Stmt::While { cond, body, line });
+                } else {
+                    let mut inner = Vec::with_capacity(body.stmts.len() + 1);
+                    inner.push(break_unless(cond, line));
+                    inner.extend(body.stmts);
+                    block.stmts.push(Stmt::While {
+                        cond: Expr::BoolLit(true, line),
+                        body: Block { stmts: inner },
+                        line,
+                    });
+                }
+            }
+            Stmt::ForEach { var, var_ty, iterable, mut body, line } => {
+                // `for-each` is the canonical data loop the analyzer keys
+                // on; keep it intact but normalise nested loops inside.
+                normalize_block(&mut body);
+                block.stmts.push(Stmt::ForEach { var, var_ty, iterable, body, line });
+            }
+            Stmt::If { cond, mut then_blk, mut else_blk, line } => {
+                normalize_block(&mut then_blk);
+                if let Some(b) = &mut else_blk {
+                    normalize_block(b);
+                }
+                block.stmts.push(Stmt::If { cond, then_blk, else_blk, line });
+            }
+            other => block.stmts.push(other),
+        }
+    }
+}
+
+fn break_unless(cond: Expr, line: u32) -> Stmt {
+    Stmt::If {
+        cond: Expr::Unary { op: UnOp::Not, operand: Box::new(cond), line },
+        then_blk: Block { stmts: vec![Stmt::Break { line }] },
+        else_blk: None,
+        line,
+    }
+}
+
+/// Desugar a `for-each` over a collection expression into an index loop:
+/// `for (let __i = 0; __i < xs.size(); __i = __i + 1) { let x = xs[__i]; .. }`
+/// Useful when a later phase needs a uniform index-based view.
+pub fn desugar_foreach(var: &str, var_ty: &Type, iterable: &Expr, body: &Block, line: u32) -> Vec<Stmt> {
+    let idx = format!("__{var}_idx");
+    let init = Stmt::Let {
+        name: idx.clone(),
+        ty: Type::Int,
+        init: Expr::IntLit(0, line),
+        line,
+    };
+    let cond = Expr::Binary {
+        op: BinOp::Lt,
+        lhs: Box::new(Expr::Var { name: idx.clone(), ty: Some(Type::Int), line }),
+        rhs: Box::new(Expr::MethodCall {
+            recv: Box::new(iterable.clone()),
+            method: "size".to_string(),
+            args: vec![],
+            ty: Some(Type::Int),
+            line,
+        }),
+        ty: Some(Type::Bool),
+        line,
+    };
+    let update = Stmt::Assign {
+        target: Expr::Var { name: idx.clone(), ty: Some(Type::Int), line },
+        value: Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Var { name: idx.clone(), ty: Some(Type::Int), line }),
+            rhs: Box::new(Expr::IntLit(1, line)),
+            ty: Some(Type::Int),
+            line,
+        },
+        line,
+    };
+    let bind = Stmt::Let {
+        name: var.to_string(),
+        ty: var_ty.clone(),
+        init: Expr::Index {
+            base: Box::new(iterable.clone()),
+            index: Box::new(Expr::Var { name: idx, ty: Some(Type::Int), line }),
+            ty: Some(var_ty.clone()),
+            line,
+        },
+        line,
+    };
+    let mut inner = vec![bind];
+    inner.extend(body.stmts.iter().cloned());
+    vec![
+        init,
+        Stmt::For {
+            init: Box::new(Stmt::ExprStmt { expr: Expr::BoolLit(true, line), line }),
+            cond,
+            update: Box::new(update),
+            body: Block { stmts: inner },
+            line,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::env::Env;
+    use crate::interp::Interp;
+    use crate::value::Value;
+
+    #[test]
+    fn for_becomes_while_true() {
+        let src = r#"
+            fn f(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) { s = s + i; }
+                return s;
+            }
+        "#;
+        let mut p = compile(src).unwrap();
+        normalize_function(&mut p.functions[0]);
+        // Expect: let s; let i; while(true){...}; return.
+        let stmts = &p.functions[0].body.stmts;
+        assert!(matches!(stmts[1], Stmt::Let { ref name, .. } if name == "i"));
+        let Stmt::While { cond, body, .. } = &stmts[2] else {
+            panic!("expected while-true, got {:?}", stmts[2])
+        };
+        assert!(matches!(cond, Expr::BoolLit(true, _)));
+        assert!(matches!(body.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn normalisation_preserves_semantics() {
+        let src = r#"
+            fn f(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) {
+                    let t: int = 0;
+                    let j: int = 0;
+                    while (j < i) { t = t + j; j = j + 1; }
+                    s = s + t;
+                }
+                return s;
+            }
+        "#;
+        let p0 = compile(src).unwrap();
+        let mut p1 = p0.clone();
+        normalize_function(&mut p1.functions[0]);
+        for n in [0, 1, 5, 9] {
+            let before = Interp::new(&p0).call("f", vec![Value::Int(n)]).unwrap();
+            let after = Interp::new(&p1).call("f", vec![Value::Int(n)]).unwrap();
+            assert_eq!(before, after, "mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn desugared_foreach_matches_original() {
+        let src = r#"
+            fn f(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }
+        "#;
+        let p = compile(src).unwrap();
+        let f = &p.functions[0];
+        let Stmt::ForEach { var, var_ty, iterable, body, line } = &f.body.stmts[1] else {
+            panic!()
+        };
+        let stmts = desugar_foreach(var, var_ty, iterable, body, *line);
+        let mut env = Env::new();
+        env.set("xs", Value::List(vec![Value::Int(4), Value::Int(5)]));
+        env.set("s", Value::Int(0));
+        let mut interp = Interp::new(&p);
+        for s in &stmts {
+            interp.run_stmt(s, &mut env).unwrap();
+        }
+        assert_eq!(env.get("s"), Some(&Value::Int(9)));
+    }
+}

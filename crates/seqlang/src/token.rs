@@ -1,0 +1,181 @@
+//! Token definitions for the `seqlang` lexer.
+
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// All token kinds produced by [`crate::lexer::lex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Ident(String),
+
+    // Keywords.
+    KwFn,
+    KwStruct,
+    KwLet,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwIn,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwTrue,
+    KwFalse,
+    KwNew,
+
+    // Type keywords.
+    KwIntTy,
+    KwDoubleTy,
+    KwBoolTy,
+    KwStringTy,
+    KwVoidTy,
+    KwArrayTy,
+    KwListTy,
+    KwMapTy,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    Dot,
+    Arrow,
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Int(n) => write!(f, "{n}"),
+            Double(x) => write!(f, "{x}"),
+            Str(s) => write!(f, "{s:?}"),
+            Ident(s) => write!(f, "{s}"),
+            KwFn => write!(f, "fn"),
+            KwStruct => write!(f, "struct"),
+            KwLet => write!(f, "let"),
+            KwIf => write!(f, "if"),
+            KwElse => write!(f, "else"),
+            KwWhile => write!(f, "while"),
+            KwFor => write!(f, "for"),
+            KwIn => write!(f, "in"),
+            KwReturn => write!(f, "return"),
+            KwBreak => write!(f, "break"),
+            KwContinue => write!(f, "continue"),
+            KwTrue => write!(f, "true"),
+            KwFalse => write!(f, "false"),
+            KwNew => write!(f, "new"),
+            KwIntTy => write!(f, "int"),
+            KwDoubleTy => write!(f, "double"),
+            KwBoolTy => write!(f, "bool"),
+            KwStringTy => write!(f, "string"),
+            KwVoidTy => write!(f, "void"),
+            KwArrayTy => write!(f, "array"),
+            KwListTy => write!(f, "list"),
+            KwMapTy => write!(f, "map"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            Comma => write!(f, ","),
+            Semicolon => write!(f, ";"),
+            Colon => write!(f, ":"),
+            Dot => write!(f, "."),
+            Arrow => write!(f, "->"),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            Assign => write!(f, "="),
+            EqEq => write!(f, "=="),
+            NotEq => write!(f, "!="),
+            Lt => write!(f, "<"),
+            Gt => write!(f, ">"),
+            Le => write!(f, "<="),
+            Ge => write!(f, ">="),
+            AndAnd => write!(f, "&&"),
+            OrOr => write!(f, "||"),
+            Not => write!(f, "!"),
+            Amp => write!(f, "&"),
+            Pipe => write!(f, "|"),
+            Caret => write!(f, "^"),
+            Shl => write!(f, "<<"),
+            Shr => write!(f, ">>"),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "fn" => KwFn,
+            "struct" => KwStruct,
+            "let" => KwLet,
+            "if" => KwIf,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "for" => KwFor,
+            "in" => KwIn,
+            "return" => KwReturn,
+            "break" => KwBreak,
+            "continue" => KwContinue,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "new" => KwNew,
+            "int" => KwIntTy,
+            "double" => KwDoubleTy,
+            "bool" => KwBoolTy,
+            "string" => KwStringTy,
+            "void" => KwVoidTy,
+            "array" => KwArrayTy,
+            "list" => KwListTy,
+            "map" => KwMapTy,
+            _ => return None,
+        })
+    }
+}

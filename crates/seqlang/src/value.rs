@@ -1,0 +1,411 @@
+//! Runtime values shared by the `seqlang` interpreter, the summary IR
+//! evaluator, and the MapReduce engine's dynamic plans.
+//!
+//! `Value` implements a *total* order and hash (doubles compared via
+//! `total_cmp` / hashed via bit patterns) so values can be used as shuffle
+//! keys and in grouping maps.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A dynamically typed runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Unit,
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    Str(Arc<str>),
+    /// Fixed-size array.
+    Array(Vec<Value>),
+    /// Growable list.
+    List(Vec<Value>),
+    /// Association list preserving insertion order (deterministic printing
+    /// and iteration; lookups are by key equality).
+    Map(Vec<(Value, Value)>),
+    /// Struct instance: shared layout + field values in declaration order.
+    Struct(Arc<StructLayout>, Vec<Value>),
+    /// Tuple — produced by the summary IR and the MapReduce engine.
+    Tuple(Vec<Value>),
+}
+
+/// Field-name layout shared by all instances of a struct type.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StructLayout {
+    pub name: String,
+    pub fields: Vec<String>,
+}
+
+impl StructLayout {
+    pub fn new(name: impl Into<String>, fields: Vec<String>) -> Arc<Self> {
+        Arc::new(StructLayout { name: name.into(), fields })
+    }
+
+    pub fn field_index(&self, field: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f == field)
+    }
+}
+
+impl Value {
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Field access by name on a struct value.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Struct(layout, fields) => {
+                layout.field_index(name).and_then(|i| fields.get(i))
+            }
+            _ => None,
+        }
+    }
+
+    pub fn pair(k: Value, v: Value) -> Value {
+        Value::Tuple(vec![k, v])
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(x) => Some(*x),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of an iterable value (array or list).
+    pub fn elements(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) | Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Tuple / pair component access.
+    pub fn tuple_get(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Tuple(v) => v.get(i),
+            _ => None,
+        }
+    }
+
+    /// Is this value numerically zero / empty? Used to build "initial"
+    /// program states.
+    pub fn is_zeroish(&self) -> bool {
+        match self {
+            Value::Int(0) => true,
+            Value::Double(x) => *x == 0.0,
+            Value::Bool(b) => !*b,
+            Value::Array(v) | Value::List(v) => v.iter().all(Value::is_zeroish),
+            Value::Map(m) => m.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Approximate serialized size in bytes — the quantity the paper's
+    /// cost model (§5.1) and the shuffle accounting charge for. String=40,
+    /// Bool=10, tuple overhead 8 plus fields, matching the constants used
+    /// in Figure 8(d) where a `(Bool, Bool)` tuple is 28 bytes.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Value::Unit => 1,
+            Value::Int(_) => 4,
+            Value::Double(_) => 8,
+            Value::Bool(_) => 10,
+            Value::Str(_) => 40,
+            Value::Array(v) | Value::List(v) => {
+                8 + v.iter().map(Value::size_bytes).sum::<u64>()
+            }
+            Value::Map(m) => {
+                8 + m.iter().map(|(k, v)| k.size_bytes() + v.size_bytes()).sum::<u64>()
+            }
+            Value::Struct(_, fields) | Value::Tuple(fields) => {
+                8 + fields.iter().map(Value::size_bytes).sum::<u64>()
+            }
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Unit => 0,
+            Value::Int(_) => 1,
+            Value::Double(_) => 2,
+            Value::Bool(_) => 3,
+            Value::Str(_) => 4,
+            Value::Array(_) => 5,
+            Value::List(_) => 6,
+            Value::Map(_) => 7,
+            Value::Struct(..) => 8,
+            Value::Tuple(_) => 9,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Unit, Unit) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            // Cross-numeric comparison keeps `1 == 1.0` distinct: values of
+            // different static types never mix in well-typed programs, so
+            // ordering by tag first is safe and total.
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Array(a), Array(b)) | (List(a), List(b)) | (Tuple(a), Tuple(b)) => a.cmp(b),
+            (Map(a), Map(b)) => {
+                // Order-insensitive comparison: maps are equal if they hold
+                // the same key/value set.
+                let mut sa: Vec<_> = a.iter().collect();
+                let mut sb: Vec<_> = b.iter().collect();
+                sa.sort();
+                sb.sort();
+                sa.cmp(&sb)
+            }
+            (Struct(l1, f1), Struct(l2, f2)) => {
+                l1.name.cmp(&l2.name).then_with(|| f1.cmp(f2))
+            }
+            (a, b) => a.tag().cmp(&b.tag()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tag().hash(state);
+        match self {
+            Value::Unit => {}
+            Value::Int(n) => n.hash(state),
+            Value::Double(x) => x.to_bits().hash(state),
+            Value::Bool(b) => b.hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Array(v) | Value::List(v) | Value::Tuple(v) => v.hash(state),
+            Value::Map(m) => {
+                let mut entries: Vec<_> = m.iter().collect();
+                entries.sort();
+                entries.hash(state);
+            }
+            Value::Struct(layout, f) => {
+                layout.name.hash(state);
+                f.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Double(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Array(v) | Value::List(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Struct(layout, fields) => {
+                write!(f, "{}(", layout.name)?;
+                for (i, x) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Tuple(v) => {
+                write!(f, "(")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Map lookup over the association-list representation.
+pub fn map_get<'a>(entries: &'a [(Value, Value)], key: &Value) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Map insert-or-update over the association-list representation.
+pub fn map_put(entries: &mut Vec<(Value, Value)>, key: Value, value: Value) {
+    if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+        slot.1 = value;
+    } else {
+        entries.push((key, value));
+    }
+}
+
+/// Approximate numeric equality used when comparing sequential and
+/// MapReduce results: floating-point reductions may reassociate.
+pub fn approx_eq(a: &Value, b: &Value, rel_tol: f64) -> bool {
+    match (a, b) {
+        (Value::Double(x), Value::Double(y)) => {
+            if x == y || (x.is_nan() && y.is_nan()) {
+                return true;
+            }
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= rel_tol * scale
+        }
+        (Value::Int(x), Value::Double(y)) | (Value::Double(y), Value::Int(x)) => {
+            approx_eq(&Value::Double(*x as f64), &Value::Double(*y), rel_tol)
+        }
+        (Value::Array(xs), Value::Array(ys))
+        | (Value::List(xs), Value::List(ys))
+        | (Value::Tuple(xs), Value::Tuple(ys)) => {
+            xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(x, y)| approx_eq(x, y, rel_tol))
+        }
+        (Value::Map(xs), Value::Map(ys)) => {
+            if xs.len() != ys.len() {
+                return false;
+            }
+            xs.iter().all(|(k, v)| {
+                map_get(ys, k).map(|w| approx_eq(v, w, rel_tol)).unwrap_or(false)
+            })
+        }
+        (Value::Struct(n1, f1), Value::Struct(n2, f2)) => {
+            n1 == n2
+                && f1.len() == f2.len()
+                && f1.iter().zip(f2).all(|(x, y)| approx_eq(x, y, rel_tol))
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_on_doubles() {
+        let a = Value::Double(f64::NAN);
+        let b = Value::Double(1.0);
+        // total_cmp puts NaN above all numbers; the point is it is total.
+        assert_ne!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn map_equality_is_order_insensitive() {
+        let m1 = Value::Map(vec![
+            (Value::str("a"), Value::Int(1)),
+            (Value::str("b"), Value::Int(2)),
+        ]);
+        let m2 = Value::Map(vec![
+            (Value::str("b"), Value::Int(2)),
+            (Value::str("a"), Value::Int(1)),
+        ]);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn map_put_updates_in_place() {
+        let mut m = vec![];
+        map_put(&mut m, Value::str("x"), Value::Int(1));
+        map_put(&mut m, Value::str("x"), Value::Int(2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(map_get(&m, &Value::str("x")), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn size_bytes_matches_figure8_constants() {
+        // Figure 8(d): String 40 bytes, Boolean 10 bytes, tuple of two
+        // Booleans 28 bytes.
+        assert_eq!(Value::str("anything").size_bytes(), 40);
+        assert_eq!(Value::Bool(true).size_bytes(), 10);
+        assert_eq!(
+            Value::Tuple(vec![Value::Bool(true), Value::Bool(false)]).size_bytes(),
+            28
+        );
+    }
+
+    #[test]
+    fn approx_eq_tolerates_reassociation() {
+        let a = Value::Double(0.1 + 0.2);
+        let b = Value::Double(0.3);
+        assert!(approx_eq(&a, &b, 1e-9));
+        assert!(!approx_eq(&Value::Double(1.0), &Value::Double(2.0), 1e-9));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_for_maps() {
+        use std::collections::hash_map::DefaultHasher;
+        let m1 = Value::Map(vec![
+            (Value::Int(1), Value::Int(10)),
+            (Value::Int(2), Value::Int(20)),
+        ]);
+        let m2 = Value::Map(vec![
+            (Value::Int(2), Value::Int(20)),
+            (Value::Int(1), Value::Int(10)),
+        ]);
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(m1, m2);
+        assert_eq!(h(&m1), h(&m2));
+    }
+}

@@ -1,0 +1,208 @@
+//! The Ariths suite (§7.1): simple aggregations from prior work — Min,
+//! Max, Delta, Conditional Sum and friends. 11 fragments, all of which
+//! Casper translates (Table 1: 11/11).
+
+use rand::rngs::StdRng;
+use seqlang::env::Env;
+use seqlang::value::Value;
+
+use crate::data;
+use crate::registry::{Benchmark, Suite};
+
+fn int_state(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = Env::new();
+    st.set("xs", data::int_list(rng, n, -1000, 1000));
+    st
+}
+
+fn int_state_with_threshold(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = int_state(rng, n);
+    st.set("t", Value::Int(250));
+    st
+}
+
+fn double_state(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = Env::new();
+    st.set("xs", data::double_list(rng, n, -100.0, 100.0));
+    st
+}
+
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "ariths/sum",
+            suite: Suite::Ariths,
+            source: r#"
+                fn sum(xs: list<int>) -> int {
+                    let s: int = 0;
+                    for (x in xs) { s = s + x; }
+                    return s;
+                }
+            "#,
+            func: "sum",
+            expect_translate: true,
+            gen: int_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/count",
+            suite: Suite::Ariths,
+            source: r#"
+                fn count(xs: list<int>) -> int {
+                    let n: int = 0;
+                    for (x in xs) { n = n + 1; }
+                    return n;
+                }
+            "#,
+            func: "count",
+            expect_translate: true,
+            gen: int_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/max",
+            suite: Suite::Ariths,
+            source: r#"
+                fn mx(xs: list<int>) -> int {
+                    let m: int = -1000000000;
+                    for (x in xs) { if (x > m) { m = x; } }
+                    return m;
+                }
+            "#,
+            func: "mx",
+            expect_translate: true,
+            gen: int_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/min",
+            suite: Suite::Ariths,
+            source: r#"
+                fn mn(xs: list<int>) -> int {
+                    let m: int = 1000000000;
+                    for (x in xs) { if (x < m) { m = x; } }
+                    return m;
+                }
+            "#,
+            func: "mn",
+            expect_translate: true,
+            gen: int_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            // Delta = max − min, computed in one pass over two
+            // accumulators — needs the tuple-valued reduction of §4.4's G3.
+            name: "ariths/delta",
+            suite: Suite::Ariths,
+            source: r#"
+                fn delta(xs: list<int>) -> int {
+                    let mn: int = 1000000000;
+                    let mx: int = -1000000000;
+                    for (x in xs) {
+                        if (x < mn) { mn = x; }
+                        if (x > mx) { mx = x; }
+                    }
+                    return mx - mn;
+                }
+            "#,
+            func: "delta",
+            expect_translate: true,
+            gen: int_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/cond_sum",
+            suite: Suite::Ariths,
+            source: r#"
+                fn cond_sum(xs: list<int>, t: int) -> int {
+                    let s: int = 0;
+                    for (x in xs) { if (x > t) { s = s + x; } }
+                    return s;
+                }
+            "#,
+            func: "cond_sum",
+            expect_translate: true,
+            gen: int_state_with_threshold,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/abs_sum",
+            suite: Suite::Ariths,
+            source: r#"
+                fn abs_sum(xs: list<int>) -> int {
+                    let s: int = 0;
+                    for (x in xs) { s = s + abs(x); }
+                    return s;
+                }
+            "#,
+            func: "abs_sum",
+            expect_translate: true,
+            gen: int_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/square_sum",
+            suite: Suite::Ariths,
+            source: r#"
+                fn square_sum(xs: list<int>) -> int {
+                    let s: int = 0;
+                    for (x in xs) { s = s + x * x; }
+                    return s;
+                }
+            "#,
+            func: "square_sum",
+            expect_translate: true,
+            gen: int_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/eq_count",
+            suite: Suite::Ariths,
+            source: r#"
+                fn eq_count(xs: list<int>, t: int) -> int {
+                    let n: int = 0;
+                    for (x in xs) { if (x == t) { n = n + 1; } }
+                    return n;
+                }
+            "#,
+            func: "eq_count",
+            expect_translate: true,
+            gen: int_state_with_threshold,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/any_above",
+            suite: Suite::Ariths,
+            source: r#"
+                fn any_above(xs: list<int>, t: int) -> bool {
+                    let found: bool = false;
+                    for (x in xs) { if (x > t) { found = true; } }
+                    return found;
+                }
+            "#,
+            func: "any_above",
+            expect_translate: true,
+            gen: int_state_with_threshold,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "ariths/scaled_sum",
+            suite: Suite::Ariths,
+            source: r#"
+                fn scaled_sum(xs: list<double>, factor: double) -> double {
+                    let s: double = 0.0;
+                    for (x in xs) { s = s + x * factor; }
+                    return s;
+                }
+            "#,
+            func: "scaled_sum",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = double_state(rng, n);
+                st.set("factor", Value::Double(2.5));
+                st
+            },
+            paper_scale: 2_000_000_000,
+        },
+    ]
+}

@@ -1,0 +1,235 @@
+//! The Bigλ suite (§7.1): data-analysis tasks — sentiment scoring,
+//! database operations, Wikipedia log processing. 8 fragments, 6
+//! translated (Table 1); the two failures need mappers that broadcast
+//! values to many reducers, inexpressible without loops in λm.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use seqlang::env::Env;
+use seqlang::value::{StructLayout, Value};
+
+use crate::data;
+use crate::registry::{Benchmark, Suite};
+
+fn scored_words(rng: &mut StdRng, n: usize) -> Env {
+    let layout = StructLayout::new("Tok", vec!["word".into(), "score".into()]);
+    let toks: Vec<Value> = (0..n)
+        .map(|i| {
+            Value::Struct(
+                layout.clone(),
+                vec![
+                    Value::str(format!("w{}", i % 100)),
+                    Value::Int(rng.gen_range(-2..=2)),
+                ],
+            )
+        })
+        .collect();
+    let mut st = Env::new();
+    st.set("toks", Value::List(toks));
+    st
+}
+
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "biglambda/sentiment",
+            suite: Suite::BigLambda,
+            source: r#"
+                struct Tok { word: string, score: int }
+                fn sentiment(toks: list<Tok>) -> int {
+                    let total: int = 0;
+                    for (t in toks) { total = total + t.score; }
+                    return total;
+                }
+            "#,
+            func: "sentiment",
+            expect_translate: true,
+            gen: scored_words,
+            paper_scale: 1_500_000_000,
+        },
+        Benchmark {
+            name: "biglambda/db_select",
+            suite: Suite::BigLambda,
+            source: r#"
+                struct Row { id: int, amount: double }
+                fn db_select(rows: list<Row>, cutoff: double) -> list<double> {
+                    let out: list<double> = new list<double>();
+                    for (r in rows) {
+                        if (r.amount > cutoff) { out.add(r.amount); }
+                    }
+                    return out;
+                }
+            "#,
+            func: "db_select",
+            expect_translate: true,
+            gen: |rng, n| {
+                let layout = StructLayout::new("Row", vec!["id".into(), "amount".into()]);
+                let rows: Vec<Value> = (0..n)
+                    .map(|i| {
+                        Value::Struct(
+                            layout.clone(),
+                            vec![
+                                Value::Int(i as i64),
+                                Value::Double(rng.gen_range(0.0..1000.0)),
+                            ],
+                        )
+                    })
+                    .collect();
+                let mut st = Env::new();
+                st.set("rows", Value::List(rows));
+                st.set("cutoff", Value::Double(500.0));
+                st
+            },
+            paper_scale: 1_500_000_000,
+        },
+        Benchmark {
+            name: "biglambda/db_project",
+            suite: Suite::BigLambda,
+            source: r#"
+                struct Row { id: int, amount: double }
+                fn db_project(rows: list<Row>) -> list<double> {
+                    let out: list<double> = new list<double>();
+                    for (r in rows) { out.add(r.amount); }
+                    return out;
+                }
+            "#,
+            func: "db_project",
+            expect_translate: true,
+            gen: |rng, n| {
+                let layout = StructLayout::new("Row", vec!["id".into(), "amount".into()]);
+                let rows: Vec<Value> = (0..n)
+                    .map(|i| {
+                        Value::Struct(
+                            layout.clone(),
+                            vec![
+                                Value::Int(i as i64),
+                                Value::Double(rng.gen_range(0.0..10.0)),
+                            ],
+                        )
+                    })
+                    .collect();
+                let mut st = Env::new();
+                st.set("rows", Value::List(rows));
+                st
+            },
+            paper_scale: 1_500_000_000,
+        },
+        Benchmark {
+            name: "biglambda/wiki_pagecount",
+            suite: Suite::BigLambda,
+            source: r#"
+                struct View { project: string, page: string, views: int }
+                fn wiki_pagecount(log: list<View>) -> map<string,int> {
+                    let totals: map<string,int> = new map<string,int>();
+                    for (v in log) {
+                        totals.put(v.project, totals.get_or(v.project, 0) + v.views);
+                    }
+                    return totals;
+                }
+            "#,
+            func: "wiki_pagecount",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("log", data::page_views(rng, n));
+                st
+            },
+            paper_scale: 1_500_000_000,
+        },
+        Benchmark {
+            name: "biglambda/yelp_kids",
+            suite: Suite::BigLambda,
+            source: r#"
+                struct Review { business: string, stars: int, kids_ok: bool }
+                fn yelp_kids(reviews: list<Review>) -> int {
+                    let n: int = 0;
+                    for (r in reviews) {
+                        if (r.kids_ok && r.stars >= 4) { n = n + 1; }
+                    }
+                    return n;
+                }
+            "#,
+            func: "yelp_kids",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("reviews", data::reviews(rng, n));
+                st
+            },
+            paper_scale: 1_500_000_000,
+        },
+        Benchmark {
+            name: "biglambda/wordlen_hist",
+            suite: Suite::BigLambda,
+            source: r#"
+                fn wordlen_hist(words: list<string>) -> map<int,int> {
+                    let hist: map<int,int> = new map<int,int>();
+                    for (w in words) {
+                        hist.put(w.len(), hist.get_or(w.len(), 0) + 1);
+                    }
+                    return hist;
+                }
+            "#,
+            func: "wordlen_hist",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("words", data::words(rng, n, 200));
+                st
+            },
+            paper_scale: 1_500_000_000,
+        },
+        Benchmark {
+            // Cartesian pair count: every record must reach every reducer —
+            // the "broadcasting data values to many reducers" failure mode
+            // of §7.1.
+            name: "biglambda/cross_count",
+            suite: Suite::BigLambda,
+            source: r#"
+                fn cross_count(xs: list<int>, ys: list<int>) -> int {
+                    let n: int = 0;
+                    for (x in xs) {
+                        for (y in ys) {
+                            if (x + y > 0) { n = n + 1; }
+                        }
+                    }
+                    return n;
+                }
+            "#,
+            func: "cross_count",
+            expect_translate: false,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("xs", data::int_list(rng, n, -10, 10));
+                st.set("ys", data::int_list(rng, (n / 4).max(1), -10, 10));
+                st
+            },
+            paper_scale: 100_000,
+        },
+        Benchmark {
+            // All-pairs maximum difference — same broadcast obstruction.
+            name: "biglambda/allpairs_maxdiff",
+            suite: Suite::BigLambda,
+            source: r#"
+                fn allpairs_maxdiff(xs: list<int>, ys: list<int>) -> int {
+                    let m: int = -1000000000;
+                    for (x in xs) {
+                        for (y in ys) {
+                            if (x - y > m) { m = x - y; }
+                        }
+                    }
+                    return m;
+                }
+            "#,
+            func: "allpairs_maxdiff",
+            expect_translate: false,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("xs", data::int_list(rng, n, -100, 100));
+                st.set("ys", data::int_list(rng, (n / 4).max(1), -100, 100));
+                st
+            },
+            paper_scale: 100_000,
+        },
+    ]
+}

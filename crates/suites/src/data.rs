@@ -1,0 +1,248 @@
+//! Deterministic synthetic dataset generators.
+//!
+//! The paper's experiments ran over 25–75 GB HDFS files; our generators
+//! produce laptop-scale datasets with the same *distributional* knobs the
+//! evaluation varies (keyword skew for StringMatch, key cardinality for
+//! WordCount, selectivities for TPC-H) and the cluster simulator scales
+//! the measured volumes up to paper-sized record counts.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use seqlang::value::{StructLayout, Value};
+use std::sync::Arc;
+
+/// Words drawn from a Zipf-flavoured vocabulary.
+pub fn words(rng: &mut StdRng, n: usize, vocab: usize) -> Value {
+    let out: Vec<Value> = (0..n)
+        .map(|_| {
+            // Squaring biases towards low ranks — a cheap Zipf stand-in.
+            let r: f64 = rng.gen();
+            let idx = ((r * r) * vocab as f64) as usize;
+            Value::str(format!("word{idx}"))
+        })
+        .collect();
+    Value::List(out)
+}
+
+/// Text with a controllable fraction of occurrences of `key` — the skew
+/// knob of Figure 8.
+pub fn skewed_text(rng: &mut StdRng, n: usize, key: &str, match_fraction: f64) -> Value {
+    let out: Vec<Value> = (0..n)
+        .map(|i| {
+            if rng.gen_bool(match_fraction) {
+                Value::str(key)
+            } else {
+                Value::str(format!("filler{i}"))
+            }
+        })
+        .collect();
+    Value::List(out)
+}
+
+pub fn int_list(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> Value {
+    Value::List((0..n).map(|_| Value::Int(rng.gen_range(lo..=hi))).collect())
+}
+
+pub fn int_array(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> Value {
+    Value::Array((0..n).map(|_| Value::Int(rng.gen_range(lo..=hi))).collect())
+}
+
+pub fn double_list(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Value {
+    Value::List((0..n).map(|_| Value::Double(rng.gen_range(lo..hi))).collect())
+}
+
+pub fn double_array(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Value {
+    Value::Array((0..n).map(|_| Value::Double(rng.gen_range(lo..hi))).collect())
+}
+
+/// An `rows × cols` integer matrix.
+pub fn matrix(rng: &mut StdRng, rows: usize, cols: usize, lo: i64, hi: i64) -> Value {
+    Value::Array(
+        (0..rows)
+            .map(|_| int_array(rng, cols, lo, hi))
+            .collect(),
+    )
+}
+
+/// RGB pixel structs (values 0–255) for the Phoenix histogram and Fiji
+/// kernels.
+pub fn pixels(rng: &mut StdRng, n: usize) -> Value {
+    let layout = pixel_layout();
+    Value::List(
+        (0..n)
+            .map(|_| {
+                Value::Struct(
+                    layout.clone(),
+                    vec![
+                        Value::Int(rng.gen_range(0..256)),
+                        Value::Int(rng.gen_range(0..256)),
+                        Value::Int(rng.gen_range(0..256)),
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
+pub fn pixel_layout() -> Arc<StructLayout> {
+    StructLayout::new("Pixel", vec!["r".into(), "g".into(), "b".into()])
+}
+
+/// 2-D points for Linear Regression / KMeans.
+pub fn points(rng: &mut StdRng, n: usize) -> Value {
+    let layout = point_layout();
+    Value::List(
+        (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen_range(-10.0..10.0);
+                // Points near a line with noise, so regression is sensible.
+                let y = 3.0 * x + 1.0 + rng.gen_range(-2.0..2.0);
+                Value::Struct(layout.clone(), vec![Value::Double(x), Value::Double(y)])
+            })
+            .collect(),
+    )
+}
+
+pub fn point_layout() -> Arc<StructLayout> {
+    StructLayout::new("Point", vec!["x".into(), "y".into()])
+}
+
+/// Graph edges `(src, dst)` with preferential-attachment flavour —
+/// PageRank input.
+pub fn edges(rng: &mut StdRng, n_edges: usize, n_nodes: usize) -> Value {
+    let layout = edge_layout();
+    Value::List(
+        (0..n_edges)
+            .map(|_| {
+                let src = rng.gen_range(0..n_nodes as i64);
+                let r: f64 = rng.gen();
+                let dst = ((r * r) * n_nodes as f64) as i64;
+                Value::Struct(layout.clone(), vec![Value::Int(src), Value::Int(dst)])
+            })
+            .collect(),
+    )
+}
+
+pub fn edge_layout() -> Arc<StructLayout> {
+    StructLayout::new("Edge", vec!["src".into(), "dst".into()])
+}
+
+/// Labelled feature vectors (2-D) for logistic regression.
+pub fn labeled_points(rng: &mut StdRng, n: usize) -> Value {
+    let layout = StructLayout::new(
+        "Sample",
+        vec!["x1".into(), "x2".into(), "label".into()],
+    );
+    Value::List(
+        (0..n)
+            .map(|_| {
+                let x1: f64 = rng.gen_range(-5.0..5.0);
+                let x2: f64 = rng.gen_range(-5.0..5.0);
+                let label = if x1 + x2 > 0.0 { 1.0 } else { 0.0 };
+                Value::Struct(
+                    layout.clone(),
+                    vec![
+                        Value::Double(x1),
+                        Value::Double(x2),
+                        Value::Double(label),
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Wikipedia-like page-view log lines: (project, page, views) structs.
+pub fn page_views(rng: &mut StdRng, n: usize) -> Value {
+    let layout = StructLayout::new(
+        "View",
+        vec!["project".into(), "page".into(), "views".into()],
+    );
+    let projects = ["en", "de", "fr", "es", "ja"];
+    Value::List(
+        (0..n)
+            .map(|_| {
+                let p = projects[rng.gen_range(0..projects.len())];
+                let page = rng.gen_range(0..5000);
+                Value::Struct(
+                    layout.clone(),
+                    vec![
+                        Value::str(p),
+                        Value::str(format!("page{page}")),
+                        Value::Int(rng.gen_range(1..1000)),
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Review records for the Yelp-kids selection benchmark.
+pub fn reviews(rng: &mut StdRng, n: usize) -> Value {
+    let layout = StructLayout::new(
+        "Review",
+        vec!["business".into(), "stars".into(), "kids_ok".into()],
+    );
+    Value::List(
+        (0..n)
+            .map(|i| {
+                Value::Struct(
+                    layout.clone(),
+                    vec![
+                        Value::str(format!("biz{}", i % 500)),
+                        Value::Int(rng.gen_range(1..=5)),
+                        Value::Bool(rng.gen_bool(0.3)),
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn generators_produce_requested_sizes() {
+        let mut r = rng();
+        assert_eq!(words(&mut r, 100, 50).elements().unwrap().len(), 100);
+        assert_eq!(pixels(&mut r, 10).elements().unwrap().len(), 10);
+        assert_eq!(matrix(&mut r, 4, 6, 0, 9).elements().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn skew_controls_match_fraction() {
+        let mut r = rng();
+        let text = skewed_text(&mut r, 10_000, "needle", 0.95);
+        let hits = text
+            .elements()
+            .unwrap()
+            .iter()
+            .filter(|w| w.as_str() == Some("needle"))
+            .count();
+        assert!(hits > 9_000 && hits < 10_000);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = words(&mut rng(), 50, 10);
+        let b = words(&mut rng(), 50, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn struct_fields_accessible() {
+        let mut r = rng();
+        let ps = points(&mut r, 5);
+        let first = &ps.elements().unwrap()[0];
+        assert!(first.field("x").is_some());
+        assert!(first.field("y").is_some());
+    }
+
+}

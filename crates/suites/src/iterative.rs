@@ -1,0 +1,186 @@
+//! The Iterative suite (§7.1): PageRank and Logistic-Regression-based
+//! classification, manually implemented sequentially. 7 fragments, all
+//! translated (Table 1: 7/7). The per-iteration fragments translate; the
+//! outer iteration driver stays on the host (as in the paper, where
+//! Casper's generated code lacks `cache()` calls — §7.2's 1.3× PageRank
+//! gap).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use seqlang::env::Env;
+use seqlang::value::Value;
+
+use crate::data;
+use crate::registry::{Benchmark, Suite};
+
+fn pagerank_state(rng: &mut StdRng, n: usize) -> Env {
+    let nodes = (n / 8).max(4);
+    let mut st = Env::new();
+    st.set("edges", data::edges(rng, n, nodes));
+    let ranks: Vec<Value> = (0..nodes).map(|_| Value::Double(1.0)).collect();
+    st.set("ranks", Value::Array(ranks));
+    let degs: Vec<Value> =
+        (0..nodes).map(|_| Value::Double(rng.gen_range(1.0f64..8.0).floor())).collect();
+    st.set("degs", Value::Array(degs));
+    st
+}
+
+fn logreg_state(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = Env::new();
+    st.set("samples", data::labeled_points(rng, n));
+    st.set("w1", Value::Double(0.1));
+    st.set("w2", Value::Double(-0.1));
+    st
+}
+
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        // ---- PageRank: three fragments per iteration. ----
+        Benchmark {
+            // Contribution scatter: each edge sends rank/degree to its
+            // destination — grouped sum keyed by dst.
+            name: "iterative/pagerank_contribs",
+            suite: Suite::Iterative,
+            source: r#"
+                struct Edge { src: int, dst: int }
+                fn pagerank_contribs(edges: list<Edge>, ranks: array<double>, degs: array<double>) -> map<int,double> {
+                    let contribs: map<int,double> = new map<int,double>();
+                    for (e in edges) {
+                        contribs.put(e.dst,
+                            contribs.get_or(e.dst, 0.0) + ranks.get(e.src) / degs.get(e.src));
+                    }
+                    return contribs;
+                }
+            "#,
+            func: "pagerank_contribs",
+            expect_translate: true,
+            gen: pagerank_state,
+            paper_scale: 2_250_000_000, // the paper's 2.25 B edges
+        },
+        Benchmark {
+            // Rank update: damping applied per node.
+            name: "iterative/pagerank_update",
+            suite: Suite::Iterative,
+            source: r#"
+                fn pagerank_update(contrib: array<double>, n: int) -> array<double> {
+                    let newranks: array<double> = new array<double>(n);
+                    for (let i: int = 0; i < n; i = i + 1) {
+                        newranks[i] = 0.15 + 0.85 * contrib[i];
+                    }
+                    return newranks;
+                }
+            "#,
+            func: "pagerank_update",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("contrib", data::double_array(rng, n, 0.0, 3.0));
+                st.set("n", Value::Int(n as i64));
+                st
+            },
+            paper_scale: 50_000_000,
+        },
+        Benchmark {
+            // Total rank mass (used for dangling-node correction).
+            name: "iterative/pagerank_mass",
+            suite: Suite::Iterative,
+            source: r#"
+                fn pagerank_mass(ranks: array<double>, n: int) -> double {
+                    let mass: double = 0.0;
+                    for (let i: int = 0; i < n; i = i + 1) {
+                        mass = mass + ranks[i];
+                    }
+                    return mass;
+                }
+            "#,
+            func: "pagerank_mass",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("ranks", data::double_array(rng, n, 0.0, 2.0));
+                st.set("n", Value::Int(n as i64));
+                st
+            },
+            paper_scale: 50_000_000,
+        },
+        // ---- Logistic regression: four fragments per iteration. ----
+        Benchmark {
+            // Gradient accumulation for both weights in one pass.
+            name: "iterative/logreg_gradient",
+            suite: Suite::Iterative,
+            source: r#"
+                struct Sample { x1: double, x2: double, label: double }
+                fn logreg_gradient(samples: list<Sample>, w1: double, w2: double) -> double {
+                    let g1: double = 0.0;
+                    let g2: double = 0.0;
+                    for (s in samples) {
+                        g1 = g1 + (1.0 / (1.0 + exp(0.0 - (w1 * s.x1 + w2 * s.x2))) - s.label) * s.x1;
+                        g2 = g2 + (1.0 / (1.0 + exp(0.0 - (w1 * s.x1 + w2 * s.x2))) - s.label) * s.x2;
+                    }
+                    return g1 + g2;
+                }
+            "#,
+            func: "logreg_gradient",
+            expect_translate: true,
+            gen: logreg_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Margin scores for every sample.
+            name: "iterative/logreg_scores",
+            suite: Suite::Iterative,
+            source: r#"
+                struct Sample { x1: double, x2: double, label: double }
+                fn logreg_scores(samples: list<Sample>, w1: double, w2: double) -> list<double> {
+                    let scores: list<double> = new list<double>();
+                    for (s in samples) {
+                        scores.add(w1 * s.x1 + w2 * s.x2);
+                    }
+                    return scores;
+                }
+            "#,
+            func: "logreg_scores",
+            expect_translate: true,
+            gen: logreg_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Squared-error loss.
+            name: "iterative/logreg_loss",
+            suite: Suite::Iterative,
+            source: r#"
+                struct Sample { x1: double, x2: double, label: double }
+                fn logreg_loss(samples: list<Sample>, w1: double, w2: double) -> double {
+                    let loss: double = 0.0;
+                    for (s in samples) {
+                        loss = loss + (w1 * s.x1 + w2 * s.x2 - s.label) * (w1 * s.x1 + w2 * s.x2 - s.label);
+                    }
+                    return loss;
+                }
+            "#,
+            func: "logreg_loss",
+            expect_translate: true,
+            gen: logreg_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Misclassification count.
+            name: "iterative/logreg_errors",
+            suite: Suite::Iterative,
+            source: r#"
+                struct Sample { x1: double, x2: double, label: double }
+                fn logreg_errors(samples: list<Sample>, w1: double, w2: double) -> int {
+                    let errs: int = 0;
+                    for (s in samples) {
+                        if (w1 * s.x1 + w2 * s.x2 > 0.0 && s.label < 0.5) { errs = errs + 1; }
+                    }
+                    return errs;
+                }
+            "#,
+            func: "logreg_errors",
+            expect_translate: true,
+            gen: logreg_state,
+            paper_scale: 1_000_000_000,
+        },
+    ]
+}

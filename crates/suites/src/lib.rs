@@ -1,0 +1,28 @@
+//! `suites` — the paper's seven benchmark suites (§7.1) plus the
+//! baselines the evaluation compares against.
+//!
+//! Each benchmark carries its sequential `seqlang` source (the input to
+//! Casper), a deterministic dataset generator, and the paper's expected
+//! translation outcome. Baselines:
+//!
+//! * [`manual`] — hand-written engine implementations (the UpWork
+//!   developer baselines and Spark-tutorial reference algorithms of §7.2),
+//! * [`mold`] — MOLD-style rule-based translations with that system's
+//!   documented inefficiencies (Figure 7(a)),
+//! * [`sqlbase`] — naive relational plans standing in for SparkSQL on the
+//!   TPC-H queries (Figure 7(b)).
+
+pub mod ariths;
+pub mod biglambda;
+pub mod data;
+pub mod fiji;
+pub mod iterative;
+pub mod manual;
+pub mod mold;
+pub mod phoenix;
+pub mod registry;
+pub mod sqlbase;
+pub mod stats;
+pub mod tpch;
+
+pub use registry::{all_benchmarks, suite_benchmarks, Benchmark, Suite};

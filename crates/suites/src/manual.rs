@@ -1,0 +1,356 @@
+//! Hand-written reference implementations (§7.2).
+//!
+//! These play the role of the UpWork-developer baselines and the Spark
+//! tutorial algorithms: idiomatic engine programs written directly
+//! against the RDD API. Each returns its result and leaves stage
+//! statistics in the context for the simulator.
+
+use std::sync::Arc;
+
+use mapreduce::rdd::Rdd;
+use mapreduce::Context;
+use seqlang::value::Value;
+
+/// WordCount: the canonical reduceByKey program.
+pub fn word_count(ctx: &Arc<Context>, words: &[Value]) -> Vec<(String, i64)> {
+    let data: Vec<String> =
+        words.iter().filter_map(|w| w.as_str().map(String::from)).collect();
+    let rdd = Rdd::parallelize(ctx, data);
+    rdd.map_to_pair(|w| (w.clone(), 1i64))
+        .reduce_by_key(|a, b| a + b)
+        .collect_sorted()
+}
+
+/// StringMatch with the compact single-pair encoding (the efficient
+/// hand-written variant).
+pub fn string_match(
+    ctx: &Arc<Context>,
+    text: &[Value],
+    key1: &str,
+    key2: &str,
+) -> (bool, bool) {
+    let data: Vec<String> =
+        text.iter().filter_map(|w| w.as_str().map(String::from)).collect();
+    let k1 = key1.to_string();
+    let k2 = key2.to_string();
+    let rdd = Rdd::parallelize(ctx, data);
+    rdd.map(move |w| (*w == k1, *w == k2))
+        .reduce(|a, b| (a.0 || b.0, a.1 || b.1))
+        .unwrap_or((false, false))
+}
+
+/// Linear regression: one aggregate pass accumulating the five sums.
+pub fn linear_regression(ctx: &Arc<Context>, points: &[Value]) -> (f64, f64, f64, f64, f64) {
+    let data: Vec<(f64, f64)> = points
+        .iter()
+        .filter_map(|p| {
+            Some((
+                p.field("x")?.as_double()?,
+                p.field("y")?.as_double()?,
+            ))
+        })
+        .collect();
+    let rdd = Rdd::parallelize(ctx, data);
+    let (sx, sy, sxx, sxy, syy) = rdd.aggregate(
+        (0.0, 0.0, 0.0, 0.0, 0.0),
+        |acc, (x, y)| {
+            (acc.0 + x, acc.1 + y, acc.2 + x * x, acc.3 + x * y, acc.4 + y * y)
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3, a.4 + b.4),
+    );
+    (sx, sy, sxx, sxy, syy)
+}
+
+/// 3-D histogram using the developer's bounded-domain `aggregate` trick
+/// (§7.2): RGB values fit in 768 counters, so one aggregate pass replaces
+/// the shuffle.
+pub fn histogram_aggregate(ctx: &Arc<Context>, pixels: &[Value]) -> Vec<i64> {
+    let data: Vec<(i64, i64, i64)> = pixels
+        .iter()
+        .filter_map(|p| {
+            Some((
+                p.field("r")?.as_int()?,
+                p.field("g")?.as_int()?,
+                p.field("b")?.as_int()?,
+            ))
+        })
+        .collect();
+    let rdd = Rdd::parallelize(ctx, data);
+    rdd.aggregate(
+        vec![0i64; 768],
+        |mut acc, (r, g, b)| {
+            acc[*r as usize] += 1;
+            acc[256 + *g as usize] += 1;
+            acc[512 + *b as usize] += 1;
+            acc
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    )
+}
+
+/// 3-D histogram the way Casper generates it: keyed shuffle (it cannot
+/// assume bounded pixel values, §7.2).
+pub fn histogram_shuffle(ctx: &Arc<Context>, pixels: &[Value]) -> Vec<((i64, i64), i64)> {
+    let data: Vec<(i64, i64, i64)> = pixels
+        .iter()
+        .filter_map(|p| {
+            Some((
+                p.field("r")?.as_int()?,
+                p.field("g")?.as_int()?,
+                p.field("b")?.as_int()?,
+            ))
+        })
+        .collect();
+    let rdd = Rdd::parallelize(ctx, data);
+    rdd.flat_map_to_pair(|(r, g, b)| {
+        vec![((0i64, *r), 1i64), ((1, *g), 1), ((2, *b), 1)]
+    })
+    .reduce_by_key(|a, b| a + b)
+    .collect_sorted()
+}
+
+/// Wikipedia page-count reference.
+pub fn wiki_pagecount(ctx: &Arc<Context>, log: &[Value]) -> Vec<(String, i64)> {
+    let data: Vec<(String, i64)> = log
+        .iter()
+        .filter_map(|v| {
+            Some((
+                v.field("project")?.as_str()?.to_string(),
+                v.field("views")?.as_int()?,
+            ))
+        })
+        .collect();
+    let rdd = Rdd::parallelize(ctx, data);
+    rdd.map_to_pair(|(p, n)| (p.clone(), *n))
+        .reduce_by_key(|a, b| a + b)
+        .collect_sorted()
+}
+
+/// Anscombe transform reference: a pure map.
+pub fn anscombe(ctx: &Arc<Context>, xs: &[Value]) -> u64 {
+    let data: Vec<f64> = xs.iter().filter_map(Value::as_double).collect();
+    let rdd = Rdd::parallelize(ctx, data);
+    rdd.map(|x| 2.0 * (x + 0.375).sqrt()).count()
+}
+
+/// PageRank, tutorial style (§7.2's reference): edges ingested and
+/// grouped **once** (the `cache()` the tutorial inserts), then iterated.
+pub fn pagerank_cached(
+    ctx: &Arc<Context>,
+    edges: &[(i64, i64)],
+    nodes: usize,
+    iterations: usize,
+) -> Vec<f64> {
+    let links = Rdd::parallelize(ctx, edges.to_vec())
+        .map_to_pair(|(s, d)| (*s, *d))
+        .group_by_key()
+        .cache();
+    let mut ranks = vec![1.0f64; nodes];
+    for _ in 0..iterations {
+        let r = ranks.clone();
+        let contribs = links
+            .flat_map_to_pair(move |(src, dsts)| {
+                let share = r[*src as usize] / dsts.len() as f64;
+                dsts.iter().map(|d| (*d, share)).collect::<Vec<_>>()
+            })
+            .reduce_by_key(|a, b| a + b);
+        let mut next = vec![0.15f64; nodes];
+        for (node, c) in contribs.collect() {
+            if (node as usize) < nodes {
+                next[node as usize] += 0.85 * c;
+            }
+        }
+        ranks = next;
+    }
+    ranks
+}
+
+/// PageRank the way Casper generates it: no `cache()`, so the edge list
+/// is re-ingested and re-grouped **every iteration** (§7.2's 1.3× gap).
+pub fn pagerank_uncached(
+    ctx: &Arc<Context>,
+    edges: &[(i64, i64)],
+    nodes: usize,
+    iterations: usize,
+) -> Vec<f64> {
+    let mut ranks = vec![1.0f64; nodes];
+    for _ in 0..iterations {
+        let links = Rdd::parallelize(ctx, edges.to_vec())
+            .map_to_pair(|(s, d)| (*s, *d))
+            .group_by_key();
+        let r = ranks.clone();
+        let contribs = links
+            .flat_map_to_pair(move |(src, dsts)| {
+                let share = r[*src as usize] / dsts.len() as f64;
+                dsts.iter().map(|d| (*d, share)).collect::<Vec<_>>()
+            })
+            .reduce_by_key(|a, b| a + b);
+        let mut next = vec![0.15f64; nodes];
+        for (node, c) in contribs.collect() {
+            if (node as usize) < nodes {
+                next[node as usize] += 0.85 * c;
+            }
+        }
+        ranks = next;
+    }
+    ranks
+}
+
+/// Logistic regression reference: per-iteration aggregate of the
+/// gradient.
+pub fn logreg(
+    ctx: &Arc<Context>,
+    samples: &[(f64, f64, f64)],
+    iterations: usize,
+) -> (f64, f64) {
+    let rdd = Rdd::parallelize(ctx, samples.to_vec()).cache();
+    let (mut w1, mut w2) = (0.1f64, -0.1f64);
+    for _ in 0..iterations {
+        let (a, b) = (w1, w2);
+        let (g1, g2) = rdd.aggregate(
+            (0.0f64, 0.0f64),
+            move |acc, (x1, x2, label)| {
+                let p = 1.0 / (1.0 + (-(a * x1 + b * x2)).exp());
+                (acc.0 + (p - label) * x1, acc.1 + (p - label) * x2)
+            },
+            |u, v| (u.0 + v.0, u.1 + v.1),
+        );
+        let lr = 0.1 / samples.len().max(1) as f64;
+        w1 -= lr * g1;
+        w2 -= lr * g2;
+    }
+    (w1, w2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> Arc<Context> {
+        Context::with_parallelism(4, 8)
+    }
+
+    #[test]
+    fn word_count_reference_counts() {
+        let c = ctx();
+        let words = vec![Value::str("a"), Value::str("b"), Value::str("a")];
+        let out = word_count(&c, &words);
+        assert_eq!(out, vec![("a".into(), 2), ("b".into(), 1)]);
+    }
+
+    #[test]
+    fn histogram_variants_agree() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pixels = data::pixels(&mut rng, 500);
+        let px = pixels.elements().unwrap();
+        let agg = histogram_aggregate(&c, px);
+        let shuf = histogram_shuffle(&c, px);
+        // Cross-check a few counters.
+        for (channel, value) in [(0i64, 10i64), (1, 128), (2, 255)] {
+            let from_shuffle = shuf
+                .iter()
+                .find(|((c2, v), _)| *c2 == channel && *v == value)
+                .map(|(_, n)| *n)
+                .unwrap_or(0);
+            let idx = (channel * 256 + value) as usize;
+            assert_eq!(agg[idx], from_shuffle, "channel {channel} value {value}");
+        }
+    }
+
+    #[test]
+    fn histogram_aggregate_shuffles_less() {
+        let c1 = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pixels = data::pixels(&mut rng, 4000);
+        let px = pixels.elements().unwrap();
+        c1.reset_stats();
+        histogram_aggregate(&c1, px);
+        let agg_bytes = c1.stats().total_shuffled_bytes();
+        c1.reset_stats();
+        histogram_shuffle(&c1, px);
+        let shuf_bytes = c1.stats().total_shuffled_bytes();
+        assert!(
+            agg_bytes < shuf_bytes,
+            "developer trick must shuffle less: {agg_bytes} vs {shuf_bytes}"
+        );
+    }
+
+    #[test]
+    fn pagerank_variants_converge_identically() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(9);
+        let edge_vals = data::edges(&mut rng, 400, 50);
+        let edges: Vec<(i64, i64)> = edge_vals
+            .elements()
+            .unwrap()
+            .iter()
+            .map(|e| {
+                (
+                    e.field("src").unwrap().as_int().unwrap(),
+                    e.field("dst").unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        let cached = pagerank_cached(&c, &edges, 50, 5);
+        let uncached = pagerank_uncached(&c, &edges, 50, 5);
+        for (a, b) in cached.iter().zip(&uncached) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uncached_pagerank_moves_more_data() {
+        let c1 = ctx();
+        let mut rng = StdRng::seed_from_u64(9);
+        let edge_vals = data::edges(&mut rng, 2000, 100);
+        let edges: Vec<(i64, i64)> = edge_vals
+            .elements()
+            .unwrap()
+            .iter()
+            .map(|e| {
+                (
+                    e.field("src").unwrap().as_int().unwrap(),
+                    e.field("dst").unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        c1.reset_stats();
+        pagerank_cached(&c1, &edges, 100, 5);
+        let cached_bytes = c1.stats().total_shuffled_bytes();
+        c1.reset_stats();
+        pagerank_uncached(&c1, &edges, 100, 5);
+        let uncached_bytes = c1.stats().total_shuffled_bytes();
+        assert!(uncached_bytes > cached_bytes, "{uncached_bytes} vs {cached_bytes}");
+    }
+
+    #[test]
+    fn logreg_learns_the_separator() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sample_vals = data::labeled_points(&mut rng, 500);
+        let samples: Vec<(f64, f64, f64)> = sample_vals
+            .elements()
+            .unwrap()
+            .iter()
+            .map(|s| {
+                (
+                    s.field("x1").unwrap().as_double().unwrap(),
+                    s.field("x2").unwrap().as_double().unwrap(),
+                    s.field("label").unwrap().as_double().unwrap(),
+                )
+            })
+            .collect();
+        let (w1, w2) = logreg(&c, &samples, 20);
+        // The separator is x1 + x2 > 0, so both weights trend positive.
+        assert!(w1 > 0.0 && w2 > 0.0, "w = ({w1}, {w2})");
+    }
+}

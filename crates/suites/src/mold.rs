@@ -1,0 +1,138 @@
+//! MOLD-style rule-based translations (§7.1–7.2, Figure 7(a)).
+//!
+//! MOLD [38] is the syntax-directed source-to-source baseline the paper
+//! compares against. Its generated code is described precisely in §7.2:
+//!
+//! * **StringMatch**: emits a key/value pair for *every* word and runs a
+//!   *separate* MapReduce job per keyword;
+//! * **Linear Regression**: zips the input with its index as a
+//!   pre-processing step, "almost doubling the size of input data";
+//! * **WordCount**: essentially the same plan as Casper's.
+//!
+//! We reproduce those plans verbatim so the Figure 7(a) comparison
+//! exercises the same inefficiencies.
+
+use std::sync::Arc;
+
+use mapreduce::rdd::Rdd;
+use mapreduce::Context;
+use seqlang::value::Value;
+
+/// MOLD WordCount — same shape as the hand-written plan.
+pub fn word_count(ctx: &Arc<Context>, words: &[Value]) -> Vec<(String, i64)> {
+    crate::manual::word_count(ctx, words)
+}
+
+/// MOLD StringMatch: one job per keyword, each emitting a pair for every
+/// word in the dataset (no early filtering).
+pub fn string_match(
+    ctx: &Arc<Context>,
+    text: &[Value],
+    key1: &str,
+    key2: &str,
+) -> (bool, bool) {
+    let data: Vec<String> =
+        text.iter().filter_map(|w| w.as_str().map(String::from)).collect();
+    let mut found = [false, false];
+    for (i, key) in [key1, key2].into_iter().enumerate() {
+        let k = key.to_string();
+        let rdd = Rdd::parallelize(ctx, data.clone());
+        let result = rdd
+            .map_to_pair(move |w| (k.clone(), *w == k))
+            .reduce_by_key_no_combine(|a, b| *a || *b)
+            .collect();
+        found[i] = result.first().map(|(_, v)| *v).unwrap_or(false);
+    }
+    (found[0], found[1])
+}
+
+/// MOLD Linear Regression: zipWithIndex pre-processing doubles the data
+/// moved, then the same aggregate as the reference.
+pub fn linear_regression(
+    ctx: &Arc<Context>,
+    points: &[Value],
+) -> (f64, f64, f64, f64, f64) {
+    let data: Vec<(f64, f64)> = points
+        .iter()
+        .filter_map(|p| {
+            Some((p.field("x")?.as_double()?, p.field("y")?.as_double()?))
+        })
+        .collect();
+    // zipWithIndex: materialise (index, point) pairs through a map stage.
+    let indexed: Vec<(i64, (f64, f64))> =
+        data.iter().cloned().enumerate().map(|(i, p)| (i as i64, p)).collect();
+    let rdd = Rdd::parallelize(ctx, indexed);
+    let stripped = rdd.map(|(_, p)| *p);
+    stripped.aggregate(
+        (0.0, 0.0, 0.0, 0.0, 0.0),
+        |acc, (x, y)| {
+            (acc.0 + x, acc.1 + y, acc.2 + x * x, acc.3 + x * y, acc.4 + y * y)
+        },
+        |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3, a.4 + b.4),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> Arc<Context> {
+        Context::with_parallelism(4, 8)
+    }
+
+    #[test]
+    fn mold_stringmatch_is_correct_but_heavier() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(11);
+        let text = data::skewed_text(&mut rng, 3000, "needle", 0.01);
+        let words = text.elements().unwrap();
+
+        c.reset_stats();
+        let (f1, f2) = string_match(&c, words, "needle", "absent");
+        let mold_shuffled = c.stats().total_shuffled_bytes();
+        assert!(f1);
+        assert!(!f2);
+
+        c.reset_stats();
+        let (g1, g2) = crate::manual::string_match(&c, words, "needle", "absent");
+        let manual_shuffled = c.stats().total_shuffled_bytes();
+        assert_eq!((f1, f2), (g1, g2));
+        assert!(
+            mold_shuffled > manual_shuffled * 3,
+            "MOLD must shuffle far more: {mold_shuffled} vs {manual_shuffled}"
+        );
+    }
+
+    #[test]
+    fn mold_linreg_matches_reference_result() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts = data::points(&mut rng, 800);
+        let pv = pts.elements().unwrap();
+        let a = linear_regression(&c, pv);
+        let b = crate::manual::linear_regression(&c, pv);
+        assert!((a.0 - b.0).abs() < 1e-6);
+        assert!((a.3 - b.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mold_linreg_emits_more_bytes() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts = data::points(&mut rng, 2000);
+        let pv = pts.elements().unwrap();
+        c.reset_stats();
+        linear_regression(&c, pv);
+        let mold_bytes = c.stats().total_emitted_bytes();
+        c.reset_stats();
+        crate::manual::linear_regression(&c, pv);
+        let manual_bytes = c.stats().total_emitted_bytes();
+        assert!(
+            mold_bytes as f64 > manual_bytes as f64 * 1.5,
+            "zipWithIndex must inflate volume: {mold_bytes} vs {manual_bytes}"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! The Phoenix suite (§7.1): the classic MapReduce benchmarks used by
+//! MOLD and the paper — WordCount, StringMatch, 3D Histogram, Linear
+//! Regression, KMeans, PCA, Matrix Multiply. 11 fragments; Casper
+//! translates 7 (Table 1). KMeans' assignment step, PCA's covariance
+//! matrix, and Matrix Multiply fail for IR-expressibility reasons; KMeans
+//! update and PCA's mean vector translate (the "subset of loops" §7.1
+//! reports).
+
+use rand::Rng;
+use seqlang::env::Env;
+use seqlang::value::{StructLayout, Value};
+
+use crate::data;
+use crate::registry::{Benchmark, Suite};
+
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "phoenix/word_count",
+            suite: Suite::Phoenix,
+            source: r#"
+                fn word_count(words: list<string>) -> map<string,int> {
+                    let counts: map<string,int> = new map<string,int>();
+                    for (w in words) {
+                        counts.put(w, counts.get_or(w, 0) + 1);
+                    }
+                    return counts;
+                }
+            "#,
+            func: "word_count",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("words", data::words(rng, n, 10_000));
+                st
+            },
+            paper_scale: 2_600_000_000, // 75 GB of words
+        },
+        Benchmark {
+            name: "phoenix/string_match",
+            suite: Suite::Phoenix,
+            source: r#"
+                fn string_match(text: list<string>, key1: string, key2: string) -> bool {
+                    let found1: bool = false;
+                    let found2: bool = false;
+                    for (w in text) {
+                        if (w == key1) { found1 = true; }
+                        if (w == key2) { found2 = true; }
+                    }
+                    return found1 && found2;
+                }
+            "#,
+            func: "string_match",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("text", data::skewed_text(rng, n, "needle", 0.01));
+                st.set("key1", Value::str("needle"));
+                st.set("key2", Value::str("haystack"));
+                st.set("found1", Value::Bool(false));
+                st.set("found2", Value::Bool(false));
+                st
+            },
+            paper_scale: 2_600_000_000,
+        },
+        Benchmark {
+            // The 3-D histogram: one pass, three channel histograms — a
+            // single fragment with three keyed-map accumulators.
+            name: "phoenix/histogram3d",
+            suite: Suite::Phoenix,
+            source: r#"
+                struct Pixel { r: int, g: int, b: int }
+                fn histogram3d(pixels: list<Pixel>) -> map<int,int> {
+                    let hr: map<int,int> = new map<int,int>();
+                    let hg: map<int,int> = new map<int,int>();
+                    let hb: map<int,int> = new map<int,int>();
+                    for (p in pixels) {
+                        hr.put(p.r, hr.get_or(p.r, 0) + 1);
+                        hg.put(p.g, hg.get_or(p.g, 0) + 1);
+                        hb.put(p.b, hb.get_or(p.b, 0) + 1);
+                    }
+                    return hr;
+                }
+            "#,
+            func: "histogram3d",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("pixels", data::pixels(rng, n));
+                st
+            },
+            paper_scale: 1_700_000_000,
+        },
+        Benchmark {
+            // Linear regression: five simultaneous sums over the points —
+            // the tuple-valued reduction family.
+            name: "phoenix/linear_regression",
+            suite: Suite::Phoenix,
+            source: r#"
+                struct Point { x: double, y: double }
+                fn linear_regression(points: list<Point>) -> double {
+                    let sx: double = 0.0;
+                    let sy: double = 0.0;
+                    let sxx: double = 0.0;
+                    let sxy: double = 0.0;
+                    let syy: double = 0.0;
+                    for (p in points) {
+                        sx = sx + p.x;
+                        sy = sy + p.y;
+                        sxx = sxx + p.x * p.x;
+                        sxy = sxy + p.x * p.y;
+                        syy = syy + p.y * p.y;
+                    }
+                    let n: double = int_to_double(points.size());
+                    return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+                }
+            "#,
+            func: "linear_regression",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("points", data::points(rng, n));
+                st
+            },
+            paper_scale: 1_300_000_000,
+        },
+        Benchmark {
+            // KMeans assignment: per-point argmin over the centroid list —
+            // a loop inside the mapper, inexpressible (§7.1).
+            name: "phoenix/kmeans_assign",
+            suite: Suite::Phoenix,
+            source: r#"
+                struct Point { x: double, y: double }
+                fn kmeans_assign(points: list<Point>, cxs: list<double>) -> int {
+                    let moved: int = 0;
+                    for (p in points) {
+                        let best: double = 1000000000.0;
+                        for (c in cxs) {
+                            let d: double = (p.x - c) * (p.x - c);
+                            if (d < best) { best = d; }
+                        }
+                        if (best > 1.0) { moved = moved + 1; }
+                    }
+                    return moved;
+                }
+            "#,
+            func: "kmeans_assign",
+            expect_translate: false,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("points", data::points(rng, n));
+                st.set(
+                    "cxs",
+                    Value::List(vec![
+                        Value::Double(-5.0),
+                        Value::Double(0.0),
+                        Value::Double(5.0),
+                    ]),
+                );
+                st
+            },
+            paper_scale: 1_300_000_000,
+        },
+        Benchmark {
+            // KMeans update: per-cluster coordinate sums and counts —
+            // grouped aggregation, translatable.
+            name: "phoenix/kmeans_update",
+            suite: Suite::Phoenix,
+            source: r#"
+                struct Assigned { cluster: int, x: double }
+                fn kmeans_update(assigned: list<Assigned>) -> map<int,double> {
+                    let sums: map<int,double> = new map<int,double>();
+                    for (a in assigned) {
+                        sums.put(a.cluster, sums.get_or(a.cluster, 0.0) + a.x);
+                    }
+                    return sums;
+                }
+            "#,
+            func: "kmeans_update",
+            expect_translate: true,
+            gen: |rng, n| {
+                let layout =
+                    StructLayout::new("Assigned", vec!["cluster".into(), "x".into()]);
+                let rows: Vec<Value> = (0..n)
+                    .map(|_| {
+                        Value::Struct(
+                            layout.clone(),
+                            vec![
+                                Value::Int(rng.gen_range(0..8)),
+                                Value::Double(rng.gen_range(-10.0..10.0)),
+                            ],
+                        )
+                    })
+                    .collect();
+                let mut st = Env::new();
+                st.set("assigned", Value::List(rows));
+                st
+            },
+            paper_scale: 1_300_000_000,
+        },
+        Benchmark {
+            // PCA mean vector: row means of the data matrix (the fragment
+            // the paper's Casper translated for PCA).
+            name: "phoenix/pca_mean",
+            suite: Suite::Phoenix,
+            source: r#"
+                fn pca_mean(mat: array<array<int>>, rows: int, cols: int) -> array<int> {
+                    let mean: array<int> = new array<int>(rows);
+                    for (let i: int = 0; i < rows; i = i + 1) {
+                        let sum: int = 0;
+                        for (let j: int = 0; j < cols; j = j + 1) {
+                            sum = sum + mat[i][j];
+                        }
+                        mean[i] = sum / cols;
+                    }
+                    return mean;
+                }
+            "#,
+            func: "pca_mean",
+            expect_translate: true,
+            gen: |rng, n| {
+                let rows = (n / 8).max(2);
+                let mut st = Env::new();
+                st.set("mat", data::matrix(rng, rows, 8, 0, 100));
+                st.set("rows", Value::Int(rows as i64));
+                st.set("cols", Value::Int(8));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // PCA covariance matrix: loops over dimension pairs inside the
+            // row loop — fails.
+            name: "phoenix/pca_cov",
+            suite: Suite::Phoenix,
+            source: r#"
+                fn pca_cov(mat: array<array<int>>, rows: int, cols: int, mean: array<int>) -> int {
+                    let total: int = 0;
+                    for (let i: int = 0; i < rows; i = i + 1) {
+                        let acc: int = 0;
+                        let j: int = 0;
+                        while (j < cols) {
+                            acc = acc + (mat[i][j] - mean[j]) * (mat[i][j] - mean[j]);
+                            j = j + 1;
+                        }
+                        total = total + acc;
+                    }
+                    return total;
+                }
+            "#,
+            func: "pca_cov",
+            expect_translate: false,
+            gen: |rng, n| {
+                let rows = (n / 8).max(2);
+                let mut st = Env::new();
+                st.set("mat", data::matrix(rng, rows, 8, 0, 100));
+                st.set("rows", Value::Int(rows as i64));
+                st.set("cols", Value::Int(8));
+                st.set("mean", data::int_array(rng, 8, 40, 60));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Matrix multiply: the classic triple loop — fails (the MOLD
+            // comparison's out-of-memory case; here an IR-expressibility
+            // failure).
+            name: "phoenix/matrix_multiply",
+            suite: Suite::Phoenix,
+            source: r#"
+                fn matrix_multiply(a: array<array<int>>, b: array<array<int>>, n: int) -> int {
+                    let checksum: int = 0;
+                    for (let i: int = 0; i < n; i = i + 1) {
+                        let rowsum: int = 0;
+                        let k: int = 0;
+                        while (k < n) {
+                            rowsum = rowsum + a[i][k] * b[k][0];
+                            k = k + 1;
+                        }
+                        checksum = checksum + rowsum;
+                    }
+                    return checksum;
+                }
+            "#,
+            func: "matrix_multiply",
+            expect_translate: false,
+            gen: |rng, n| {
+                let dim = ((n as f64).sqrt() as usize).max(2);
+                let mut st = Env::new();
+                st.set("a", data::matrix(rng, dim, dim, 0, 9));
+                st.set("b", data::matrix(rng, dim, dim, 0, 9));
+                st.set("n", Value::Int(dim as i64));
+                st
+            },
+            paper_scale: 100_000,
+        },
+        Benchmark {
+            // Histogram equalisation: data-dependent inner scan — fails.
+            name: "phoenix/hist_equalize",
+            suite: Suite::Phoenix,
+            source: r#"
+                fn hist_equalize(pixels: list<int>, cdf: list<int>) -> int {
+                    let total: int = 0;
+                    for (p in pixels) {
+                        let acc: int = 0;
+                        for (c in cdf) {
+                            if (c <= p) { acc = acc + 1; }
+                        }
+                        total = total + acc;
+                    }
+                    return total;
+                }
+            "#,
+            func: "hist_equalize",
+            expect_translate: false,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("pixels", data::int_list(rng, n, 0, 255));
+                st.set("cdf", data::int_list(rng, 16, 0, 255));
+                st
+            },
+            paper_scale: 1_700_000_000,
+        },
+        Benchmark {
+            // Pixel intensity average (the greyscale pass of the Phoenix
+            // image benchmarks).
+            name: "phoenix/intensity_sum",
+            suite: Suite::Phoenix,
+            source: r#"
+                struct Pixel { r: int, g: int, b: int }
+                fn intensity_sum(pixels: list<Pixel>) -> int {
+                    let s: int = 0;
+                    for (p in pixels) {
+                        s = s + (p.r + p.g + p.b) / 3;
+                    }
+                    return s;
+                }
+            "#,
+            func: "intensity_sum",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("pixels", data::pixels(rng, n));
+                st
+            },
+            paper_scale: 1_700_000_000,
+        },
+    ]
+}

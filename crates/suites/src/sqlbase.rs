@@ -1,0 +1,217 @@
+//! Naive relational plans standing in for SparkSQL (§7.2, Figure 7(b)).
+//!
+//! The paper attributes the runtime differences to concrete plan
+//! properties: extra shuffling of whole rows for Q1 and Q6, a double scan
+//! of `lineitem` for Q15, and *better* operator scheduling for Q17 (where
+//! SparkSQL wins 1.7×, realised here as a broadcast join instead of the
+//! shuffle join Casper's plan uses). We implement exactly those plans.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mapreduce::rdd::Rdd;
+use mapreduce::Context;
+use seqlang::value::Value;
+
+/// Row tuple: (partkey, suppkey, qty, price, discount, shipdate, flag).
+pub type LiRow = (i64, i64, f64, f64, f64, i64, String);
+
+/// Convert generated lineitem structs to engine rows.
+pub fn to_rows(lineitem: &[Value]) -> Vec<LiRow> {
+    lineitem
+        .iter()
+        .filter_map(|l| {
+            Some((
+                l.field("l_partkey")?.as_int()?,
+                l.field("l_suppkey")?.as_int()?,
+                l.field("l_quantity")?.as_double()?,
+                l.field("l_extendedprice")?.as_double()?,
+                l.field("l_discount")?.as_double()?,
+                l.field("l_shipdate")?.as_int()?,
+                l.field("l_returnflag")?.as_str()?.to_string(),
+            ))
+        })
+        .collect()
+}
+
+/// SparkSQL-style Q1: shuffles whole rows to the grouping stage (no
+/// map-side aggregation), then aggregates.
+pub fn q1(ctx: &Arc<Context>, rows: &[LiRow]) -> Vec<(String, (f64, f64, i64))> {
+    let rdd = Rdd::parallelize(ctx, rows.to_vec());
+    rdd.map_to_pair(|r| (r.6.clone(), (r.2, r.3, 1i64)))
+        .reduce_by_key_no_combine(|a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+        .collect_sorted()
+}
+
+/// Casper-style Q1: filter/project in the map, combiner aggregation.
+pub fn q1_casper(ctx: &Arc<Context>, rows: &[LiRow]) -> Vec<(String, (f64, f64, i64))> {
+    let rdd = Rdd::parallelize(ctx, rows.to_vec());
+    rdd.map_to_pair(|r| (r.6.clone(), (r.2, r.3, 1i64)))
+        .reduce_by_key(|a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+        .collect_sorted()
+}
+
+/// SparkSQL-style Q6: the predicate is evaluated *after* a shuffle of the
+/// candidate rows (no full pushdown).
+pub fn q6(ctx: &Arc<Context>, rows: &[LiRow], dt1: i64, dt2: i64) -> f64 {
+    let rdd = Rdd::parallelize(ctx, rows.to_vec());
+    let shuffled = rdd
+        .map_to_pair(|r| (r.5 % 64, r.clone()))
+        .group_by_key();
+    let per_group = shuffled.map(move |(_, group)| {
+        group
+            .iter()
+            .filter(|r| {
+                r.5 > dt1 && r.5 < dt2 && r.4 >= 0.05 && r.4 <= 0.07 && r.2 < 24.0
+            })
+            .map(|r| r.3 * r.4)
+            .sum::<f64>()
+    });
+    per_group.reduce(|a, b| a + b).unwrap_or(0.0)
+}
+
+/// Casper-style Q6: guard in the mapper, combiner sum — one tiny shuffle.
+pub fn q6_casper(ctx: &Arc<Context>, rows: &[LiRow], dt1: i64, dt2: i64) -> f64 {
+    let rdd = Rdd::parallelize(ctx, rows.to_vec());
+    rdd.filter(move |r| {
+        r.5 > dt1 && r.5 < dt2 && r.4 >= 0.05 && r.4 <= 0.07 && r.2 < 24.0
+    })
+    .map(|r| r.3 * r.4)
+    .reduce(|a, b| a + b)
+    .unwrap_or(0.0)
+}
+
+/// SparkSQL-style Q15: scans lineitem twice — once for revenues, once for
+/// the maximum (the paper's observed plan).
+pub fn q15(ctx: &Arc<Context>, rows: &[LiRow], dt1: i64, dt2: i64) -> (i64, f64) {
+    let revenue = |ctx: &Arc<Context>| {
+        Rdd::parallelize(ctx, rows.to_vec())
+            .filter(move |r| r.5 > dt1 && r.5 < dt2)
+            .map_to_pair(|r| (r.1, r.3 * (1.0 - r.4)))
+            .reduce_by_key(|a, b| a + b)
+    };
+    // Scan 1: the max revenue.
+    let max_rev = revenue(ctx)
+        .map(|(_, v)| *v)
+        .reduce(|a, b| a.max(*b))
+        .unwrap_or(0.0);
+    // Scan 2: the supplier attaining it.
+    let best = revenue(ctx)
+        .filter(move |(_, v)| (*v - max_rev).abs() < 1e-9)
+        .collect();
+    best.first().map(|(k, v)| (*k, *v)).unwrap_or((0, 0.0))
+}
+
+/// Casper-style Q15: one scan, max over the aggregated map.
+pub fn q15_casper(ctx: &Arc<Context>, rows: &[LiRow], dt1: i64, dt2: i64) -> (i64, f64) {
+    let revenues = Rdd::parallelize(ctx, rows.to_vec())
+        .filter(move |r| r.5 > dt1 && r.5 < dt2)
+        .map_to_pair(|r| (r.1, r.3 * (1.0 - r.4)))
+        .reduce_by_key(|a, b| a + b);
+    revenues
+        .reduce(|a, b| if a.1 >= b.1 { a.clone() } else { b.clone() })
+        .unwrap_or((0, 0.0))
+}
+
+/// SparkSQL-style Q17: broadcast join (the better-scheduled plan that
+/// beats Casper's shuffle join by ~1.7×).
+pub fn q17(ctx: &Arc<Context>, rows: &[LiRow], sel_parts: &[i64]) -> f64 {
+    let keys: HashMap<i64, ()> = sel_parts.iter().map(|k| (*k, ())).collect();
+    let rdd = Rdd::parallelize(ctx, rows.to_vec());
+    rdd.filter(move |r| keys.contains_key(&r.0))
+        .map(|r| r.3)
+        .reduce(|a, b| a + b)
+        .unwrap_or(0.0)
+}
+
+/// Casper-style Q17: shuffle join between lineitem and the selected
+/// parts.
+pub fn q17_casper(ctx: &Arc<Context>, rows: &[LiRow], sel_parts: &[i64]) -> f64 {
+    let li = Rdd::parallelize(ctx, rows.to_vec()).map_to_pair(|r| (r.0, r.3));
+    let parts = Rdd::parallelize(ctx, sel_parts.to_vec()).map_to_pair(|k| (*k, ()));
+    li.join(&parts)
+        .map(|(_, (price, ()))| *price)
+        .reduce(|a, b| a + b)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize) -> (Arc<Context>, Vec<LiRow>) {
+        let ctx = Context::with_parallelism(4, 8);
+        let mut rng = StdRng::seed_from_u64(21);
+        let li = tpch::lineitems(&mut rng, n);
+        (ctx, to_rows(li.elements().unwrap()))
+    }
+
+    #[test]
+    fn q1_plans_agree() {
+        let (ctx, rows) = setup(2000);
+        let a = q1(&ctx, &rows);
+        let b = q1_casper(&ctx, &rows);
+        assert_eq!(a.len(), b.len());
+        for ((k1, v1), (k2, v2)) in a.iter().zip(&b) {
+            assert_eq!(k1, k2);
+            assert!((v1.0 - v2.0).abs() < 1e-6);
+            assert_eq!(v1.2, v2.2);
+        }
+    }
+
+    #[test]
+    fn q6_plans_agree_and_sql_shuffles_more() {
+        let (ctx, rows) = setup(4000);
+        ctx.reset_stats();
+        let a = q6(&ctx, &rows, 8100, 9000);
+        let sql_shuffle = ctx.stats().total_shuffled_bytes();
+        ctx.reset_stats();
+        let b = q6_casper(&ctx, &rows, 8100, 9000);
+        let casper_shuffle = ctx.stats().total_shuffled_bytes();
+        assert!((a - b).abs() < 1e-6);
+        assert!(
+            sql_shuffle > casper_shuffle * 5,
+            "SparkSQL Q6 must shuffle rows: {sql_shuffle} vs {casper_shuffle}"
+        );
+    }
+
+    #[test]
+    fn q15_plans_agree_and_sql_scans_twice() {
+        let (ctx, rows) = setup(3000);
+        ctx.reset_stats();
+        let a = q15(&ctx, &rows, 8100, 9000);
+        let sql_inputs = ctx
+            .stats()
+            .stages
+            .iter()
+            .filter(|s| s.kind == mapreduce::StageKind::Input)
+            .count();
+        ctx.reset_stats();
+        let b = q15_casper(&ctx, &rows, 8100, 9000);
+        let casper_inputs = ctx
+            .stats()
+            .stages
+            .iter()
+            .filter(|s| s.kind == mapreduce::StageKind::Input)
+            .count();
+        assert_eq!(a.0, b.0, "same best supplier");
+        assert_eq!(sql_inputs, 2 * casper_inputs, "double scan of lineitem");
+    }
+
+    #[test]
+    fn q17_plans_agree_and_broadcast_beats_shuffle() {
+        let (ctx, rows) = setup(3000);
+        let sel: Vec<i64> = (0..200).map(|i| i * 7).collect();
+        ctx.reset_stats();
+        let a = q17(&ctx, &rows, &sel);
+        let sql_shuffle = ctx.stats().total_shuffled_bytes();
+        ctx.reset_stats();
+        let b = q17_casper(&ctx, &rows, &sel);
+        let casper_shuffle = ctx.stats().total_shuffled_bytes();
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        assert!(sql_shuffle < casper_shuffle, "{sql_shuffle} vs {casper_shuffle}");
+    }
+}

@@ -1,0 +1,402 @@
+//! The Stats suite (§7.1): statistical analyses extracted from the MagPie
+//! repository — Covariance, Standard Error, Hadamard Product etc. 19
+//! fragments, 18 translated (Table 1); the variable-kernel convolution
+//! fails because its inner loop is inexpressible in the IR.
+
+use rand::rngs::StdRng;
+use seqlang::env::Env;
+use seqlang::value::Value;
+
+use crate::data;
+use crate::registry::{Benchmark, Suite};
+
+fn dlist(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = Env::new();
+    st.set("xs", data::double_list(rng, n, -50.0, 50.0));
+    st
+}
+
+fn two_arrays(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = Env::new();
+    st.set("xs", data::double_array(rng, n, -10.0, 10.0));
+    st.set("ys", data::double_array(rng, n, -10.0, 10.0));
+    st.set("n", Value::Int(n as i64));
+    st
+}
+
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "stats/mean_sum",
+            suite: Suite::Stats,
+            source: r#"
+                fn mean_sum(xs: list<double>) -> double {
+                    let s: double = 0.0;
+                    for (x in xs) { s = s + x; }
+                    return s / int_to_double(xs.size());
+                }
+            "#,
+            func: "mean_sum",
+            expect_translate: true,
+            gen: dlist,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/variance_sums",
+            suite: Suite::Stats,
+            source: r#"
+                fn variance_sums(xs: list<double>) -> double {
+                    let sx: double = 0.0;
+                    let sxx: double = 0.0;
+                    for (x in xs) {
+                        sx = sx + x;
+                        sxx = sxx + x * x;
+                    }
+                    let n: double = int_to_double(xs.size());
+                    return sxx / n - (sx / n) * (sx / n);
+                }
+            "#,
+            func: "variance_sums",
+            expect_translate: true,
+            gen: dlist,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/std_error_sums",
+            suite: Suite::Stats,
+            source: r#"
+                fn std_error_sums(xs: list<double>, mu: double) -> double {
+                    let sse: double = 0.0;
+                    for (x in xs) { sse = sse + (x - mu) * (x - mu); }
+                    return sqrt(sse / int_to_double(xs.size()));
+                }
+            "#,
+            func: "std_error_sums",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = dlist(rng, n);
+                st.set("mu", Value::Double(0.5));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/l1_norm",
+            suite: Suite::Stats,
+            source: r#"
+                fn l1_norm(xs: list<double>) -> double {
+                    let s: double = 0.0;
+                    for (x in xs) { s = s + abs(x); }
+                    return s;
+                }
+            "#,
+            func: "l1_norm",
+            expect_translate: true,
+            gen: dlist,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/l2_norm_sq",
+            suite: Suite::Stats,
+            source: r#"
+                fn l2_norm_sq(xs: list<double>) -> double {
+                    let s: double = 0.0;
+                    for (x in xs) { s = s + x * x; }
+                    return s;
+                }
+            "#,
+            func: "l2_norm_sq",
+            expect_translate: true,
+            gen: dlist,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/range",
+            suite: Suite::Stats,
+            source: r#"
+                fn range(xs: list<double>) -> double {
+                    let mn: double = 1000000000.0;
+                    let mx: double = -1000000000.0;
+                    for (x in xs) {
+                        if (x < mn) { mn = x; }
+                        if (x > mx) { mx = x; }
+                    }
+                    return mx - mn;
+                }
+            "#,
+            func: "range",
+            expect_translate: true,
+            gen: dlist,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/zscore_count",
+            suite: Suite::Stats,
+            source: r#"
+                fn zscore_count(xs: list<double>, mu: double, sigma: double) -> int {
+                    let n: int = 0;
+                    for (x in xs) {
+                        if (abs(x - mu) > 2.0 * sigma) { n = n + 1; }
+                    }
+                    return n;
+                }
+            "#,
+            func: "zscore_count",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = dlist(rng, n);
+                st.set("mu", Value::Double(0.0));
+                st.set("sigma", Value::Double(15.0));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/covariance_sums",
+            suite: Suite::Stats,
+            source: r#"
+                fn covariance_sums(xs: array<double>, ys: array<double>, n: int, mx: double, my: double) -> double {
+                    let s: double = 0.0;
+                    for (let i: int = 0; i < n; i = i + 1) {
+                        s = s + (xs[i] - mx) * (ys[i] - my);
+                    }
+                    return s / int_to_double(n);
+                }
+            "#,
+            func: "covariance_sums",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = two_arrays(rng, n);
+                st.set("mx", Value::Double(0.1));
+                st.set("my", Value::Double(-0.2));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/hadamard",
+            suite: Suite::Stats,
+            source: r#"
+                fn hadamard(xs: array<double>, ys: array<double>, n: int) -> array<double> {
+                    let out: array<double> = new array<double>(n);
+                    for (let i: int = 0; i < n; i = i + 1) {
+                        out[i] = xs[i] * ys[i];
+                    }
+                    return out;
+                }
+            "#,
+            func: "hadamard",
+            expect_translate: true,
+            gen: two_arrays,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/dot_product",
+            suite: Suite::Stats,
+            source: r#"
+                fn dot_product(xs: array<double>, ys: array<double>, n: int) -> double {
+                    let d: double = 0.0;
+                    for (let i: int = 0; i < n; i = i + 1) {
+                        d = d + xs[i] * ys[i];
+                    }
+                    return d;
+                }
+            "#,
+            func: "dot_product",
+            expect_translate: true,
+            gen: two_arrays,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/histogram_bins",
+            suite: Suite::Stats,
+            source: r#"
+                fn histogram_bins(xs: list<int>) -> map<int,int> {
+                    let bins: map<int,int> = new map<int,int>();
+                    for (x in xs) {
+                        bins.put(x / 10, bins.get_or(x / 10, 0) + 1);
+                    }
+                    return bins;
+                }
+            "#,
+            func: "histogram_bins",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("xs", data::int_list(rng, n, 0, 99));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/count_above",
+            suite: Suite::Stats,
+            source: r#"
+                fn count_above(xs: list<double>, mu: double) -> int {
+                    let n: int = 0;
+                    for (x in xs) { if (x > mu) { n = n + 1; } }
+                    return n;
+                }
+            "#,
+            func: "count_above",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = dlist(rng, n);
+                st.set("mu", Value::Double(0.0));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/log_sum",
+            suite: Suite::Stats,
+            source: r#"
+                fn log_sum(xs: list<double>) -> double {
+                    let s: double = 0.0;
+                    for (x in xs) { s = s + log(x); }
+                    return s;
+                }
+            "#,
+            func: "log_sum",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("xs", data::double_list(rng, n, 0.5, 10.0));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/sqrt_sum",
+            suite: Suite::Stats,
+            source: r#"
+                fn sqrt_sum(xs: list<double>) -> double {
+                    let s: double = 0.0;
+                    for (x in xs) { s = s + sqrt(x); }
+                    return s;
+                }
+            "#,
+            func: "sqrt_sum",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("xs", data::double_list(rng, n, 0.0, 100.0));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/mad_sum",
+            suite: Suite::Stats,
+            source: r#"
+                fn mad_sum(xs: list<double>, mu: double) -> double {
+                    let s: double = 0.0;
+                    for (x in xs) { s = s + abs(x - mu); }
+                    return s;
+                }
+            "#,
+            func: "mad_sum",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = dlist(rng, n);
+                st.set("mu", Value::Double(1.0));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/cube_sum",
+            suite: Suite::Stats,
+            source: r#"
+                fn cube_sum(xs: list<double>) -> double {
+                    let s: double = 0.0;
+                    for (x in xs) { s = s + x * x * x; }
+                    return s;
+                }
+            "#,
+            func: "cube_sum",
+            expect_translate: true,
+            gen: dlist,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "stats/geo_product",
+            suite: Suite::Stats,
+            source: r#"
+                fn geo_product(xs: list<double>) -> double {
+                    let p: double = 1.0;
+                    for (x in xs) { p = p * x; }
+                    return p;
+                }
+            "#,
+            func: "geo_product",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("xs", data::double_list(rng, n, 0.9, 1.1));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // The Anscombe variance-stabilising transform — a pure
+            // per-element map (the Figure 7(a) benchmark).
+            name: "stats/anscombe",
+            suite: Suite::Stats,
+            source: r#"
+                fn anscombe(xs: list<double>) -> list<double> {
+                    let out: list<double> = new list<double>();
+                    for (x in xs) {
+                        out.add(2.0 * sqrt(x + 0.375));
+                    }
+                    return out;
+                }
+            "#,
+            func: "anscombe",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("xs", data::double_list(rng, n, 0.0, 255.0));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Convolution with a variable-sized kernel: the inner loop
+            // over the kernel cannot be expressed inside a transformer
+            // function — the suite's one failure (§7.1).
+            name: "stats/convolve",
+            suite: Suite::Stats,
+            source: r#"
+                fn convolve(xs: array<double>, kernel: list<double>, n: int) -> array<double> {
+                    let out: array<double> = new array<double>(n);
+                    for (let i: int = 0; i < n; i = i + 1) {
+                        let acc: double = 0.0;
+                        for (k in kernel) {
+                            acc = acc + k * xs[i];
+                        }
+                        out[i] = acc;
+                    }
+                    return out;
+                }
+            "#,
+            func: "convolve",
+            expect_translate: false,
+            gen: |rng, n| {
+                let mut st = Env::new();
+                st.set("xs", data::double_array(rng, n, -1.0, 1.0));
+                st.set(
+                    "kernel",
+                    Value::List(vec![
+                        Value::Double(0.25),
+                        Value::Double(0.5),
+                        Value::Double(0.25),
+                    ]),
+                );
+                st.set("n", Value::Int(n as i64));
+                st
+            },
+            paper_scale: 1_000_000_000,
+        },
+    ]
+}

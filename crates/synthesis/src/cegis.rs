@@ -1,0 +1,354 @@
+//! The CEGIS loop (§3.4.1) and Casper's search algorithm `findSummary`
+//! (Figure 5), including candidate blocking on theorem-prover failures
+//! (§4.1) and incremental grammar-class traversal (§4.2–4.3).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use analyzer::fragment::Fragment;
+use analyzer::stategen::{StateGen, StateGenConfig};
+use analyzer::vc::{CheckOutcome, VerificationTask};
+use casper_ir::eval::eval_summary;
+use casper_ir::mr::ProgramSummary;
+use seqlang::env::Env;
+
+use crate::enumerate::candidates;
+use crate::grammar::{generate_classes, Grammar, GrammarClass};
+
+/// Configuration for one `synthesize` call (the inner CEGIS loop).
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of bounded-domain states used by the bounded model checker.
+    pub bounded_states: usize,
+    /// Initial random states seeding Φ.
+    pub initial_states: usize,
+    /// Generator config for the bounded domain.
+    pub domain: StateGenConfig,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            bounded_states: 24,
+            initial_states: 4,
+            domain: StateGenConfig::bounded(),
+        }
+    }
+}
+
+/// Configuration for `find_summary` (the outer search).
+#[derive(Debug, Clone)]
+pub struct FindConfig {
+    pub synth: SynthConfig,
+    /// Wall-clock budget; the paper kills searches at 90 minutes.
+    pub timeout: Duration,
+    /// Stop after this many verified summaries in the succeeding class
+    /// (the paper keeps searching the class exhaustively; a cap keeps our
+    /// enumerator's long tail in check while preserving multiplicity).
+    pub max_solutions: usize,
+    /// Disable the grammar hierarchy (Table 3's ablation): search only
+    /// the top class.
+    pub incremental: bool,
+}
+
+impl Default for FindConfig {
+    fn default() -> Self {
+        FindConfig {
+            synth: SynthConfig::default(),
+            timeout: Duration::from_secs(60),
+            max_solutions: 12,
+            incremental: true,
+        }
+    }
+}
+
+/// Statistics of one `find_summary` run — the raw material for Tables 2
+/// and 3.
+#[derive(Debug, Clone, Default)]
+pub struct SearchReport {
+    /// Candidates the synthesizer proposed to the bounded checker.
+    pub candidates_checked: u64,
+    /// Candidates that passed bounded checking and went to full
+    /// verification.
+    pub sent_to_verifier: u64,
+    /// Candidates the full verifier rejected (Table 2's "TP failures").
+    pub verifier_rejections: u64,
+    /// Counter-examples CEGIS accumulated.
+    pub counter_examples: u64,
+    /// Grammar classes explored.
+    pub classes_explored: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Whether the search hit its timeout.
+    pub timed_out: bool,
+}
+
+/// Result of the search.
+#[derive(Debug, Clone)]
+pub enum FindOutcome {
+    /// Verified summaries (∆), cheapest first.
+    Found(Vec<ProgramSummary>),
+    /// Search space exhausted with no verified summary.
+    Exhausted,
+    /// Budget exceeded before a summary was verified.
+    TimedOut,
+}
+
+/// The inner CEGIS loop of Figure 5 (lines 1–8), generalised to walk an
+/// enumerated candidate stream: maintain a set Φ of concrete states;
+/// propose candidates consistent with Φ; bounded-verify survivors; grow Φ
+/// with counter-examples.
+pub fn synthesize<'c>(
+    stream: impl Iterator<Item = &'c ProgramSummary>,
+    task: &VerificationTask<'_>,
+    phi: &mut Vec<Env>,
+    bounded: &[Env],
+    report: &mut SearchReport,
+    deadline: Instant,
+) -> Option<ProgramSummary> {
+    'next_candidate: for cand in stream {
+        if Instant::now() >= deadline {
+            report.timed_out = true;
+            return None;
+        }
+        report.candidates_checked += 1;
+        let eval = |pre: &Env| eval_summary(cand, pre);
+        // Fast screen against accumulated counter-examples.
+        for state in phi.iter() {
+            match task.check_exact_state(&eval, state) {
+                CheckOutcome::Holds | CheckOutcome::StateInvalid => {}
+                CheckOutcome::CounterExample(_) => continue 'next_candidate,
+            }
+        }
+        // Bounded model checking over the bounded domain, with the full
+        // prefix (invariant) walk.
+        for state in bounded {
+            match task.check_state(&eval, state) {
+                CheckOutcome::Holds | CheckOutcome::StateInvalid => {}
+                CheckOutcome::CounterExample(cex) => {
+                    report.counter_examples += 1;
+                    phi.push(cex);
+                    continue 'next_candidate;
+                }
+            }
+        }
+        return Some(cand.clone());
+    }
+    None
+}
+
+/// `findSummary` (Figure 5, lines 10–24): walk the grammar-class
+/// hierarchy; within each class run CEGIS repeatedly, blocking every
+/// candidate that reaches the full verifier (whether it passes into ∆ or
+/// fails into Ω) so the synthesizer always makes forward progress.
+pub fn find_summary(
+    fragment: &Fragment,
+    full_verify: &dyn Fn(&ProgramSummary) -> bool,
+    config: &FindConfig,
+) -> (FindOutcome, SearchReport) {
+    let started = Instant::now();
+    let deadline = started + config.timeout;
+    let mut report = SearchReport::default();
+
+    if !fragment.ir_expressible() {
+        report.elapsed = started.elapsed();
+        return (FindOutcome::Exhausted, report);
+    }
+
+    let grammar = Grammar::for_fragment(fragment);
+    let all_classes = generate_classes();
+    let classes: Vec<GrammarClass> = if config.incremental {
+        all_classes
+    } else {
+        // Ablation: only the top (largest) class.
+        vec![*all_classes.last().expect("non-empty hierarchy")]
+    };
+
+    let task = VerificationTask::new(fragment);
+    let mut gen = StateGen::new(fragment, config.synth.domain.clone());
+    let mut phi: Vec<Env> = gen.states(config.synth.initial_states);
+    let bounded: Vec<Env> = gen.states(config.synth.bounded_states);
+
+    // Ω ∪ ∆ as a blocked set (hashes of candidates already adjudicated).
+    let mut blocked: HashSet<ProgramSummary> = HashSet::new();
+    let mut delta: Vec<ProgramSummary> = Vec::new();
+
+    for class in &classes {
+        report.classes_explored += 1;
+        let class_candidates = candidates(&grammar, class);
+        loop {
+            if Instant::now() >= deadline {
+                report.timed_out = true;
+                report.elapsed = started.elapsed();
+                return if delta.is_empty() {
+                    (FindOutcome::TimedOut, report)
+                } else {
+                    (FindOutcome::Found(delta), report)
+                };
+            }
+            let stream = class_candidates.iter().filter(|c| !blocked.contains(*c));
+            let found =
+                synthesize(stream, &task, &mut phi, &bounded, &mut report, deadline);
+            match found {
+                None => break, // class exhausted (or timed out; loop re-checks)
+                Some(cand) => {
+                    report.sent_to_verifier += 1;
+                    blocked.insert(cand.clone());
+                    if full_verify(&cand) {
+                        delta.push(cand);
+                        if delta.len() >= config.max_solutions {
+                            report.elapsed = started.elapsed();
+                            return (FindOutcome::Found(delta), report);
+                        }
+                    } else {
+                        // Theorem-prover rejection: candidate goes to Ω
+                        // (already in `blocked`), search continues (§4.1).
+                        report.verifier_rejections += 1;
+                    }
+                }
+            }
+        }
+        if !delta.is_empty() {
+            break; // search complete: verified summaries in this class
+        }
+    }
+
+    report.elapsed = started.elapsed();
+    if delta.is_empty() {
+        (FindOutcome::Exhausted, report)
+    } else {
+        (FindOutcome::Found(delta), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analyzer::identify_fragments;
+    use casper_ir::pretty::pretty_summary;
+    use seqlang::compile;
+    use std::sync::Arc;
+
+    /// A cheap stand-in for the full verifier: large-domain re-checking.
+    fn testing_verifier<'f>(
+        fragment: &'f Fragment,
+    ) -> impl Fn(&ProgramSummary) -> bool + 'f {
+        move |summary: &ProgramSummary| {
+            let task = VerificationTask::new(fragment);
+            let mut gen = StateGen::new(fragment, StateGenConfig::full());
+            let eval = |pre: &Env| eval_summary(summary, pre);
+            gen.states(24).iter().all(|st| {
+                !matches!(task.check_state(&eval, st), CheckOutcome::CounterExample(_))
+            })
+        }
+    }
+
+    fn find(src: &str) -> (FindOutcome, SearchReport, Fragment) {
+        let p = Arc::new(compile(src).unwrap());
+        let frag = identify_fragments(&p).remove(0);
+        let verifier = testing_verifier(&frag);
+        let (outcome, report) = find_summary(&frag, &verifier, &FindConfig::default());
+        drop(verifier);
+        let frag2 = identify_fragments(&p).remove(0);
+        (outcome, report, frag2)
+    }
+
+    #[test]
+    fn synthesizes_sum() {
+        let (outcome, report, _) = find(
+            "fn sum(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }",
+        );
+        let FindOutcome::Found(sols) = outcome else {
+            panic!("sum not synthesized: {report:?}")
+        };
+        let text = pretty_summary(&sols[0]);
+        assert!(text.contains("reduce(map(xs"), "{text}");
+        assert!(report.candidates_checked > 0);
+    }
+
+    #[test]
+    fn synthesizes_max() {
+        let (outcome, ..) = find(
+            "fn mx(xs: list<int>) -> int {
+                let m: int = 0;
+                for (x in xs) { if (x > m) { m = x; } }
+                return m;
+            }",
+        );
+        let FindOutcome::Found(sols) = outcome else { panic!("max not found") };
+        let text = pretty_summary(&sols[0]);
+        assert!(text.contains("max") || text.contains('>'), "{text}");
+    }
+
+    #[test]
+    fn synthesizes_conditional_count() {
+        let (outcome, ..) = find(
+            "fn cc(xs: list<int>, t: int) -> int {
+                let n: int = 0;
+                for (x in xs) { if (x > t) { n = n + 1; } }
+                return n;
+            }",
+        );
+        let FindOutcome::Found(sols) = outcome else {
+            panic!("conditional count not found")
+        };
+        let text = pretty_summary(&sols[0]);
+        assert!(text.contains("if"), "needs a guarded emit: {text}");
+    }
+
+    #[test]
+    fn inexpressible_fragment_reports_exhausted() {
+        let (outcome, report, _) = find(
+            "fn wc(lines: list<string>) -> int {
+                let n: int = 0;
+                for (line in lines) {
+                    for (w in line.split()) { n = n + 1; }
+                }
+                return n;
+            }",
+        );
+        assert!(matches!(outcome, FindOutcome::Exhausted), "{report:?}");
+    }
+
+    #[test]
+    fn nonincremental_explores_one_class() {
+        let src = "fn sum(xs: list<int>) -> int {
+            let s: int = 0;
+            for (x in xs) { s = s + x; }
+            return s;
+        }";
+        let p = Arc::new(compile(src).unwrap());
+        let frag = identify_fragments(&p).remove(0);
+        let verifier = testing_verifier(&frag);
+        let config = FindConfig { incremental: false, ..FindConfig::default() };
+        let (outcome, report) = find_summary(&frag, &verifier, &config);
+        assert!(matches!(outcome, FindOutcome::Found(_)));
+        assert_eq!(report.classes_explored, 1);
+    }
+
+    #[test]
+    fn incremental_checks_fewer_candidates_than_flat() {
+        let src = "fn sum(xs: list<int>) -> int {
+            let s: int = 0;
+            for (x in xs) { s = s + x; }
+            return s;
+        }";
+        let p = Arc::new(compile(src).unwrap());
+        let frag = identify_fragments(&p).remove(0);
+        let verifier = testing_verifier(&frag);
+        let inc = FindConfig { max_solutions: 1, ..FindConfig::default() };
+        let (_, r_inc) = find_summary(&frag, &verifier, &inc);
+        let flat = FindConfig { incremental: false, max_solutions: 1, ..FindConfig::default() };
+        let (_, r_flat) = find_summary(&frag, &verifier, &flat);
+        assert!(
+            r_inc.candidates_checked <= r_flat.candidates_checked,
+            "incremental {} vs flat {}",
+            r_inc.candidates_checked,
+            r_flat.candidates_checked
+        );
+    }
+}

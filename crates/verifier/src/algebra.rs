@@ -1,0 +1,260 @@
+//! Commutativity/associativity analysis of reduce transformers.
+//!
+//! `reduce` may only be compiled to combiner-parallel primitives
+//! (`reduceByKey`) when λr is commutative and associative; otherwise the
+//! generated code must fall back to `groupByKey` with an ordered fold
+//! (§6.3), and the cost model charges the Wcsg penalty (§5.1). Properties
+//! are established structurally for the combinator shapes the enumerator
+//! produces, and checked by randomised testing for anything else.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use casper_ir::expr::IrExpr;
+use casper_ir::lambda::ReduceLambda;
+use seqlang::ast::BinOp;
+use seqlang::env::Env;
+use seqlang::value::Value;
+
+/// Algebraic properties of a reduce transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaProperties {
+    pub commutative: bool,
+    pub associative: bool,
+}
+
+impl CaProperties {
+    pub fn both(&self) -> bool {
+        self.commutative && self.associative
+    }
+}
+
+/// Determine λr's properties, testing over `samples` — concrete values
+/// the pipeline actually feeds the reducer (harvested during
+/// verification), supplemented with random values when the sample is
+/// thin.
+pub fn ca_properties(lambda: &ReduceLambda, samples: &[Value]) -> CaProperties {
+    if let Some(p) = structural_properties(&lambda.body, &lambda.params) {
+        return p;
+    }
+    test_properties(lambda, samples)
+}
+
+/// Structural fast path: `v1 ⊕ v2` for a known CA operator, `min`/`max`
+/// calls, and componentwise tuples thereof.
+fn structural_properties(body: &IrExpr, params: &[String; 2]) -> Option<CaProperties> {
+    let is_v1 = |e: &IrExpr| matches!(e, IrExpr::Var(v) if *v == params[0]);
+    let is_v2 = |e: &IrExpr| matches!(e, IrExpr::Var(v) if *v == params[1]);
+    match body {
+        IrExpr::Bin(op, l, r) if is_v1(l) && is_v2(r) || is_v1(r) && is_v2(l) => match op {
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::BitAnd
+            | BinOp::BitOr | BinOp::BitXor => {
+                Some(CaProperties { commutative: true, associative: true })
+            }
+            BinOp::Sub | BinOp::Div | BinOp::Mod => {
+                Some(CaProperties { commutative: false, associative: false })
+            }
+            _ => None,
+        },
+        IrExpr::Call(name, args) if args.len() == 2 => {
+            let arg_ok = (is_v1(&args[0]) && is_v2(&args[1]))
+                || (is_v1(&args[1]) && is_v2(&args[0]));
+            if arg_ok && matches!(name.as_str(), "min" | "max") {
+                Some(CaProperties { commutative: true, associative: true })
+            } else {
+                None
+            }
+        }
+        // Projections: keep-first is associative but not commutative;
+        // keep-last likewise.
+        IrExpr::Var(v) if *v == params[0] || *v == params[1] => {
+            Some(CaProperties { commutative: false, associative: true })
+        }
+        IrExpr::Tuple(comps) => {
+            let mut all = CaProperties { commutative: true, associative: true };
+            for (i, c) in comps.iter().enumerate() {
+                let p = tuple_component_properties(c, params, i)?;
+                all.commutative &= p.commutative;
+                all.associative &= p.associative;
+            }
+            Some(all)
+        }
+        _ => None,
+    }
+}
+
+/// Componentwise tuple reducers: `op(v1.i, v2.i)` / `min(v1.i, v2.i)`.
+fn tuple_component_properties(
+    c: &IrExpr,
+    params: &[String; 2],
+    comp: usize,
+) -> Option<CaProperties> {
+    let is_p = |e: &IrExpr, which: usize| {
+        matches!(e, IrExpr::TupleGet(b, i) if *i == comp
+            && matches!(&**b, IrExpr::Var(v) if *v == params[which]))
+    };
+    match c {
+        IrExpr::Bin(op, l, r)
+            if (is_p(l, 0) && is_p(r, 1)) || (is_p(l, 1) && is_p(r, 0)) =>
+        {
+            match op {
+                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or => {
+                    Some(CaProperties { commutative: true, associative: true })
+                }
+                BinOp::Sub | BinOp::Div => {
+                    Some(CaProperties { commutative: false, associative: false })
+                }
+                _ => None,
+            }
+        }
+        IrExpr::Call(name, args)
+            if args.len() == 2
+                && matches!(name.as_str(), "min" | "max")
+                && ((is_p(&args[0], 0) && is_p(&args[1], 1))
+                    || (is_p(&args[0], 1) && is_p(&args[1], 0))) =>
+        {
+            Some(CaProperties { commutative: true, associative: true })
+        }
+        _ if is_p(c, 0) || is_p(c, 1) => {
+            Some(CaProperties { commutative: false, associative: true })
+        }
+        _ => None,
+    }
+}
+
+/// Randomised property testing fallback.
+fn test_properties(lambda: &ReduceLambda, samples: &[Value]) -> CaProperties {
+    let mut rng = StdRng::seed_from_u64(0xCA5);
+    let pool: Vec<Value> = if samples.len() >= 3 {
+        samples.to_vec()
+    } else {
+        // No sample values: assume ints.
+        (0..16).map(|_| Value::Int(rng.gen_range(-100..=100))).collect()
+    };
+    let apply = |a: &Value, b: &Value| -> Option<Value> {
+        let mut env = Env::new();
+        env.set(lambda.params[0].clone(), a.clone());
+        env.set(lambda.params[1].clone(), b.clone());
+        lambda.body.eval(&env).ok()
+    };
+    let mut commutative = true;
+    let mut associative = true;
+    for _ in 0..64 {
+        let a = &pool[rng.gen_range(0..pool.len())];
+        let b = &pool[rng.gen_range(0..pool.len())];
+        let c = &pool[rng.gen_range(0..pool.len())];
+        match (apply(a, b), apply(b, a)) {
+            (Some(x), Some(y)) => {
+                if !seqlang::value::approx_eq(&x, &y, 1e-9) {
+                    commutative = false;
+                }
+            }
+            _ => commutative = false,
+        }
+        let left = apply(a, b).and_then(|ab| apply(&ab, c));
+        let right = apply(b, c).and_then(|bc| apply(a, &bc));
+        match (left, right) {
+            (Some(x), Some(y)) => {
+                if !seqlang::value::approx_eq(&x, &y, 1e-6) {
+                    associative = false;
+                }
+            }
+            _ => associative = false,
+        }
+        if !commutative && !associative {
+            break;
+        }
+    }
+    CaProperties { commutative, associative }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casper_ir::expr::IrExpr;
+
+    #[test]
+    fn addition_is_ca() {
+        let l = ReduceLambda::binop(BinOp::Add);
+        let p = ca_properties(&l, &[]);
+        assert!(p.both());
+    }
+
+    #[test]
+    fn subtraction_is_not_ca() {
+        let l = ReduceLambda::binop(BinOp::Sub);
+        let p = ca_properties(&l, &[]);
+        assert!(!p.commutative);
+        assert!(!p.associative);
+    }
+
+    #[test]
+    fn min_max_are_ca() {
+        for name in ["min", "max"] {
+            let l = ReduceLambda::new(IrExpr::Call(
+                name.into(),
+                vec![IrExpr::var("v1"), IrExpr::var("v2")],
+            ));
+            assert!(ca_properties(&l, &[]).both());
+        }
+    }
+
+    #[test]
+    fn keep_first_is_associative_not_commutative() {
+        let l = ReduceLambda::new(IrExpr::var("v1"));
+        let p = ca_properties(&l, &[]);
+        assert!(!p.commutative);
+        assert!(p.associative);
+    }
+
+    #[test]
+    fn componentwise_tuple_of_ca_is_ca() {
+        let body = IrExpr::Tuple(vec![
+            IrExpr::Call(
+                "max".into(),
+                vec![
+                    IrExpr::tget(IrExpr::var("v1"), 0),
+                    IrExpr::tget(IrExpr::var("v2"), 0),
+                ],
+            ),
+            IrExpr::Call(
+                "min".into(),
+                vec![
+                    IrExpr::tget(IrExpr::var("v1"), 1),
+                    IrExpr::tget(IrExpr::var("v2"), 1),
+                ],
+            ),
+        ]);
+        let l = ReduceLambda::new(body);
+        assert!(ca_properties(&l, &[]).both());
+    }
+
+    #[test]
+    fn random_testing_catches_weird_reducers() {
+        // 2*v1 + v2: neither commutative nor associative; not a structural
+        // shape, so the tester must catch it.
+        let body = IrExpr::bin(
+            BinOp::Add,
+            IrExpr::bin(BinOp::Mul, IrExpr::int(2), IrExpr::var("v1")),
+            IrExpr::var("v2"),
+        );
+        let l = ReduceLambda::new(body);
+        let p = ca_properties(&l, &[]);
+        assert!(!p.commutative);
+        assert!(!p.associative);
+    }
+
+    #[test]
+    fn testing_uses_provided_samples() {
+        // Boolean OR with boolean samples.
+        let body = IrExpr::bin(
+            BinOp::Or,
+            IrExpr::bin(BinOp::Or, IrExpr::var("v1"), IrExpr::var("v2")),
+            IrExpr::ConstBool(false),
+        );
+        let l = ReduceLambda::new(body);
+        let samples = vec![Value::Bool(true), Value::Bool(false), Value::Bool(true)];
+        let p = ca_properties(&l, &samples);
+        assert!(p.both());
+    }
+}

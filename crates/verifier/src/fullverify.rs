@@ -1,0 +1,287 @@
+//! Full (large-domain) verification — the Dafny-stage substitute.
+
+use analyzer::fragment::Fragment;
+use analyzer::stategen::{StateGen, StateGenConfig};
+use analyzer::vc::{CheckOutcome, VerificationTask};
+use casper_ir::eval::EvalCtx;
+use casper_ir::mr::{MrExpr, ProgramSummary};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use seqlang::env::Env;
+use seqlang::value::Value;
+
+use crate::algebra::{ca_properties, CaProperties};
+use crate::proof::ProofScript;
+
+/// Verification configuration.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// States drawn from the full domain.
+    pub states: usize,
+    /// Additional permutation trials per state.
+    pub permutations: usize,
+    pub domain: StateGenConfig,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig { states: 32, permutations: 2, domain: StateGenConfig::full() }
+    }
+}
+
+/// Verification result: verdict, algebraic facts for codegen, and the
+/// proof transcript.
+#[derive(Debug, Clone)]
+pub struct VerifyResult {
+    pub verified: bool,
+    /// Properties of each reduce stage, in pipeline order.
+    pub reduce_properties: Vec<CaProperties>,
+    pub proof: ProofScript,
+    /// States checked before a verdict.
+    pub states_checked: usize,
+}
+
+/// Fully verify a candidate summary against its fragment.
+pub fn full_verify(
+    fragment: &Fragment,
+    summary: &ProgramSummary,
+    config: &VerifyConfig,
+) -> VerifyResult {
+    let task = VerificationTask::new(fragment);
+    let mut gen = StateGen::new(fragment, config.domain.clone());
+    let mut proof = ProofScript::new(fragment, summary);
+    let eval = |pre: &Env| casper_ir::eval::eval_summary(summary, pre);
+    let mut rng = StdRng::seed_from_u64(config.domain.seed ^ 0xF00D);
+
+    let mut states_checked = 0usize;
+    for state in gen.states(config.states) {
+        states_checked += 1;
+        match task.check_state(&eval, &state) {
+            CheckOutcome::Holds => {}
+            CheckOutcome::StateInvalid => continue,
+            CheckOutcome::CounterExample(cex) => {
+                proof.record_refutation(&cex);
+                return VerifyResult {
+                    verified: false,
+                    reduce_properties: Vec::new(),
+                    proof,
+                    states_checked,
+                };
+            }
+        }
+        // Permutation trials: the fragment and summary must stay in
+        // agreement on shuffled data (checking the multiset semantics the
+        // MR operators assume). States where the *fragment itself* is
+        // order-sensitive show up as fragment-vs-fragment differences and
+        // are treated as counter-examples for CA-parallel compilation
+        // only if the summary also disagrees.
+        for _ in 0..config.permutations {
+            let shuffled = shuffle_data(fragment, &state, &mut rng);
+            match task.check_exact_state(&eval, &shuffled) {
+                CheckOutcome::Holds | CheckOutcome::StateInvalid => {}
+                CheckOutcome::CounterExample(cex) => {
+                    proof.record_refutation(&cex);
+                    return VerifyResult {
+                        verified: false,
+                        reduce_properties: Vec::new(),
+                        proof,
+                        states_checked,
+                    };
+                }
+            }
+        }
+    }
+
+    // Harvest concrete reducer inputs and analyse algebraic properties.
+    let reduce_properties = analyse_reducers(fragment, summary, &mut gen);
+    proof.record_success(states_checked, &reduce_properties);
+    VerifyResult { verified: true, reduce_properties, proof, states_checked }
+}
+
+fn shuffle_data(fragment: &Fragment, state: &Env, rng: &mut StdRng) -> Env {
+    let mut out = state.clone();
+    for dv in &fragment.data_vars {
+        if let Some(v) = out.get(&dv.name).cloned() {
+            let shuffled = match v {
+                Value::List(mut elems) => {
+                    elems.shuffle(rng);
+                    Value::List(elems)
+                }
+                // Arrays iterated by index have order-significant slots
+                // (output arrays key on the index); only shuffle flat
+                // lists, which is where multiset semantics bites.
+                other => other,
+            };
+            out.set(dv.name.clone(), shuffled);
+        }
+    }
+    out
+}
+
+/// Evaluate the pipeline on a few states and collect the values entering
+/// each reduce stage, then test λr properties on those concrete values.
+fn analyse_reducers(
+    fragment: &Fragment,
+    summary: &ProgramSummary,
+    gen: &mut StateGen<'_>,
+) -> Vec<CaProperties> {
+    let mut reducers = Vec::new();
+    for binding in &summary.bindings {
+        binding.expr.walk(&mut |e| {
+            if let MrExpr::Reduce(inner, lambda) = e {
+                reducers.push((inner.clone(), lambda.clone()));
+            }
+        });
+    }
+    let states = gen.states(4);
+    reducers
+        .into_iter()
+        .map(|(inner, lambda)| {
+            let mut samples: Vec<Value> = Vec::new();
+            for st in &states {
+                if let Ok(pre) = fragment.pre_loop_state(st) {
+                    if let Ok(rows) = EvalCtx::new(&pre).eval_mr(&inner) {
+                        samples.extend(rows.into_iter().filter_map(|mut r| r.pop()));
+                    }
+                }
+                if samples.len() > 64 {
+                    break;
+                }
+            }
+            ca_properties(&lambda, &samples)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analyzer::identify_fragments;
+    use casper_ir::expr::IrExpr;
+    use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
+    use casper_ir::mr::{DataSource, OutputKind};
+    use seqlang::ast::BinOp;
+    use seqlang::compile;
+    use seqlang::ty::Type;
+    use std::sync::Arc;
+
+    fn sum_fragment() -> Fragment {
+        let p = Arc::new(
+            compile(
+                "fn sum(xs: list<int>) -> int {
+                    let s: int = 0;
+                    for (x in xs) { s = s + x; }
+                    return s;
+                }",
+            )
+            .unwrap(),
+        );
+        identify_fragments(&p).remove(0)
+    }
+
+    fn sum_summary() -> ProgramSummary {
+        let m = MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+        );
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Add));
+        ProgramSummary::single("s", expr, OutputKind::Scalar)
+    }
+
+    #[test]
+    fn verifies_correct_sum() {
+        let frag = sum_fragment();
+        let result = full_verify(&frag, &sum_summary(), &VerifyConfig::default());
+        assert!(result.verified);
+        assert_eq!(result.reduce_properties.len(), 1);
+        assert!(result.reduce_properties[0].both());
+        assert!(result.proof.text().contains("VERIFIED"));
+    }
+
+    #[test]
+    fn rejects_min4_bounded_artefact() {
+        // `s = last(xs)` vs candidate emitting min(4, v): passes the
+        // bounded domain, must fail full verification (§4.1).
+        let p = Arc::new(
+            compile(
+                "fn last(xs: list<int>) -> int {
+                    let s: int = 0;
+                    for (x in xs) { s = x; }
+                    return s;
+                }",
+            )
+            .unwrap(),
+        );
+        let frag = identify_fragments(&p).remove(0);
+        let m = MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(
+                IrExpr::int(0),
+                IrExpr::Call("min".into(), vec![IrExpr::int(4), IrExpr::var("x")]),
+            )],
+        );
+        let r = ReduceLambda::new(IrExpr::var("v2"));
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
+        let result = full_verify(&frag, &summary, &VerifyConfig::default());
+        assert!(!result.verified);
+        assert!(result.proof.text().contains("REFUTED"));
+    }
+
+    #[test]
+    fn permutation_trials_reject_order_dependent_summaries_for_commutative_fragments()
+    {
+        // Fragment: sum (order-insensitive). Candidate: keep-last reduce —
+        // wrong everywhere except trivial data; already rejected by plain
+        // states, but permutation trials also kill candidates that match
+        // in-order yet break on shuffles. Construct one: fragment computes
+        // max, candidate reduces with v2 (keep last) — in sorted data these
+        // agree; random data plus shuffles must refute it.
+        let p = Arc::new(
+            compile(
+                "fn mx(xs: list<int>) -> int {
+                    let m: int = -1000000;
+                    for (x in xs) { if (x > m) { m = x; } }
+                    return m;
+                }",
+            )
+            .unwrap(),
+        );
+        let frag = identify_fragments(&p).remove(0);
+        let m = MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+        );
+        let r = ReduceLambda::new(IrExpr::var("v2"));
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let summary = ProgramSummary::single("m", expr, OutputKind::Scalar);
+        let result = full_verify(&frag, &summary, &VerifyConfig::default());
+        assert!(!result.verified);
+    }
+
+    #[test]
+    fn reports_non_ca_reducers() {
+        // Fragment counts elements; candidate uses `v1 + v2` — CA. Then a
+        // keep-first reducer on a single-key pipeline: associative only.
+        let frag = sum_fragment();
+        let m = MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+        );
+        let r = ReduceLambda::new(IrExpr::var("v1"));
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
+        let result = full_verify(&frag, &summary, &VerifyConfig::default());
+        // keep-first != sum, so it is refuted; but if it were verified the
+        // properties would mark it non-commutative. Check the analysis
+        // path directly instead.
+        assert!(!result.verified);
+        let mut gen = StateGen::new(&frag, StateGenConfig::full());
+        let props = analyse_reducers(&frag, &summary, &mut gen);
+        assert_eq!(props.len(), 1);
+        assert!(!props[0].commutative);
+    }
+}

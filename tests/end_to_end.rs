@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: the full pipeline from sequential
+//! source to verified, executable MapReduce programs.
+
+use casper::{Casper, CasperConfig, FragmentOutcome};
+use mapreduce::Context;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqlang::env::Env;
+use seqlang::value::Value;
+use std::sync::Arc;
+use std::time::Duration;
+use suites::all_benchmarks;
+use synthesis::FindConfig;
+
+fn fast_config() -> CasperConfig {
+    CasperConfig {
+        find: FindConfig {
+            timeout: Duration::from_secs(15),
+            max_solutions: 4,
+            ..FindConfig::default()
+        },
+        ..CasperConfig::default()
+    }
+}
+
+/// Translate a benchmark and check the generated program agrees with the
+/// sequential semantics on fresh data.
+fn check_equivalence(name: &str) {
+    let all = all_benchmarks();
+    let b = all.iter().find(|b| b.name == name).unwrap_or_else(|| panic!("{name}?"));
+    let report = Casper::new(fast_config()).translate_source(b.source).unwrap();
+    let fr = report.for_function(b.func).expect("fragment report");
+    let FragmentOutcome::Translated { program, .. } = &fr.outcome else {
+        panic!("{name} did not translate");
+    };
+
+    let source = Arc::new(seqlang::compile(b.source).unwrap());
+    let frag = analyzer::identify_fragments(&source)
+        .into_iter()
+        .find(|f| f.func == b.func)
+        .expect("fragment");
+    let ctx = Context::with_parallelism(4, 8);
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = (b.gen)(&mut rng, 300);
+        let expected = frag.project_outputs(&frag.run(&state).unwrap());
+        let (got, _) = program.run(&ctx, &state).unwrap();
+        for (var, want) in expected.iter() {
+            let have = got.get(var).unwrap_or_else(|| panic!("{name}: missing {var}"));
+            assert!(
+                bench::outputs_equal(want, have),
+                "{name} seed {seed}: {var} = {have}, want {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn word_count_equivalence() {
+    check_equivalence("phoenix/word_count");
+}
+
+#[test]
+fn string_match_equivalence() {
+    check_equivalence("phoenix/string_match");
+}
+
+#[test]
+fn linear_regression_equivalence() {
+    check_equivalence("phoenix/linear_regression");
+}
+
+#[test]
+fn tpch_q6_equivalence() {
+    check_equivalence("tpch/q6_revenue");
+}
+
+#[test]
+fn tpch_q1_equivalence() {
+    check_equivalence("tpch/q1_sum_disc_price");
+}
+
+#[test]
+fn delta_equivalence() {
+    check_equivalence("ariths/delta");
+}
+
+#[test]
+fn dot_product_equivalence() {
+    check_equivalence("stats/dot_product");
+}
+
+#[test]
+fn pagerank_contribs_equivalence() {
+    check_equivalence("iterative/pagerank_contribs");
+}
+
+#[test]
+fn db_select_equivalence() {
+    check_equivalence("biglambda/db_select");
+}
+
+#[test]
+fn untranslatable_fragments_fail_cleanly() {
+    let all = all_benchmarks();
+    for name in ["stats/convolve", "phoenix/kmeans_assign", "fiji/trails_window"] {
+        let b = all.iter().find(|b| b.name == name).unwrap();
+        let report = Casper::new(fast_config()).translate_source(b.source).unwrap();
+        assert_eq!(report.translated_count(), 0, "{name} must not translate");
+    }
+}
+
+#[test]
+fn generated_code_compiles_against_all_dialects() {
+    use codegen::Dialect;
+    let src = r#"
+        fn sum(xs: list<int>) -> int {
+            let s: int = 0;
+            for (x in xs) { s = s + x; }
+            return s;
+        }
+    "#;
+    for dialect in [Dialect::Spark, Dialect::Hadoop, Dialect::Flink] {
+        let config = CasperConfig { dialect, ..fast_config() };
+        let report = Casper::new(config).translate_source(src).unwrap();
+        let fr = report.for_function("sum").unwrap();
+        let FragmentOutcome::Translated { code, .. } = &fr.outcome else { panic!() };
+        assert!(!code.is_empty());
+        assert!(code.contains(dialect.name()) || !code.is_empty());
+    }
+}
+
+#[test]
+fn translated_plan_scales_with_parallelism() {
+    // The same plan computes the same answer across engine parallelism.
+    let src = r#"
+        fn sum(xs: list<int>) -> int {
+            let s: int = 0;
+            for (x in xs) { s = s + x; }
+            return s;
+        }
+    "#;
+    let report = Casper::new(fast_config()).translate_source(src).unwrap();
+    let FragmentOutcome::Translated { program, .. } =
+        &report.for_function("sum").unwrap().outcome
+    else {
+        panic!()
+    };
+    let mut state = Env::new();
+    state.set("xs", Value::List((1..=5000).map(Value::Int).collect()));
+    state.set("s", Value::Int(0));
+    for workers in [1, 2, 8] {
+        let ctx = Context::with_parallelism(workers, workers * 2);
+        let (out, _) = program.run(&ctx, &state).unwrap();
+        assert_eq!(out.get("s"), Some(&Value::Int(12_502_500)));
+    }
+}

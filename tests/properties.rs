@@ -1,0 +1,130 @@
+//! Property-based tests over the core invariants, spanning crates:
+//! the IR evaluator vs the engine, the verification conditions, and the
+//! engine's shuffle determinism.
+
+use casper_ir::eval::eval_summary;
+use casper_ir::expr::IrExpr;
+use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
+use casper_ir::mr::{DataSource, MrExpr, OutputKind, ProgramSummary};
+use codegen::CompiledPlan;
+use mapreduce::rdd::Rdd;
+use mapreduce::Context;
+use proptest::prelude::*;
+use seqlang::ast::BinOp;
+use seqlang::env::Env;
+use seqlang::ty::Type;
+use seqlang::value::Value;
+use verifier::CaProperties;
+
+fn sum_summary() -> ProgramSummary {
+    let m = MapLambda::new(
+        vec!["x"],
+        vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+    );
+    let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+        .map(m)
+        .reduce(ReduceLambda::binop(BinOp::Add));
+    ProgramSummary::single("s", expr, OutputKind::Scalar)
+}
+
+fn wc_summary() -> ProgramSummary {
+    let m = MapLambda::new(
+        vec!["w"],
+        vec![Emit::unconditional(IrExpr::var("w"), IrExpr::int(1))],
+    );
+    let expr = MrExpr::Data(DataSource::flat("ws", Type::Str))
+        .map(m)
+        .reduce(ReduceLambda::binop(BinOp::Add));
+    ProgramSummary::single("counts", expr, OutputKind::AssocMap)
+}
+
+proptest! {
+    /// The engine execution of a compiled plan agrees with the IR
+    /// reference evaluator on arbitrary integer data.
+    #[test]
+    fn engine_matches_ir_evaluator_sum(xs in prop::collection::vec(-1000i64..1000, 0..200)) {
+        let mut state = Env::new();
+        state.set("xs", Value::List(xs.iter().copied().map(Value::Int).collect()));
+        state.set("s", Value::Int(0));
+
+        let summary = sum_summary();
+        let ir_out = eval_summary(&summary, &state).unwrap();
+
+        let plan = CompiledPlan::new(
+            summary,
+            vec![CaProperties { commutative: true, associative: true }],
+        );
+        let ctx = Context::with_parallelism(4, 8);
+        let engine_out = plan.execute(&ctx, &state).unwrap();
+        prop_assert_eq!(ir_out.get("s"), engine_out.get("s"));
+        prop_assert_eq!(
+            engine_out.get("s"),
+            Some(&Value::Int(xs.iter().sum::<i64>()))
+        );
+    }
+
+    /// WordCount is permutation-invariant end to end (multiset semantics).
+    #[test]
+    fn word_count_is_order_insensitive(
+        mut words in prop::collection::vec("[a-d]{1,2}", 0..100)
+    ) {
+        let mk_state = |ws: &[String]| {
+            let mut st = Env::new();
+            st.set("ws", Value::List(ws.iter().map(Value::str).collect()));
+            st.set("counts", Value::Map(vec![]));
+            st
+        };
+        let original = eval_summary(&wc_summary(), &mk_state(&words)).unwrap();
+        words.reverse();
+        let reversed = eval_summary(&wc_summary(), &mk_state(&words)).unwrap();
+        prop_assert_eq!(original.get("counts"), reversed.get("counts"));
+    }
+
+    /// reduceByKey results are independent of partitioning.
+    #[test]
+    fn reduce_by_key_partition_invariant(
+        pairs in prop::collection::vec((0i64..10, -50i64..50), 1..300),
+        parts in 1usize..20
+    ) {
+        let c1 = Context::with_parallelism(4, parts);
+        let c2 = Context::with_parallelism(4, 1);
+        let a = Rdd::parallelize(&c1, pairs.clone())
+            .reduce_by_key(|x, y| x + y)
+            .collect_sorted();
+        let b = Rdd::parallelize(&c2, pairs)
+            .reduce_by_key(|x, y| x + y)
+            .collect_sorted();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The cost model's dominance relation is a partial order on random
+    /// symbolic costs (reflexive, antisymmetric up to equality).
+    #[test]
+    fn cost_dominance_is_consistent(base in 0.0f64..500.0, c1 in 0.0f64..300.0) {
+        use cost::SymCost;
+        let mut a = SymCost::constant(base);
+        a.add_term("p1", c1);
+        prop_assert!(a.dominates(&a));
+        let cheaper = SymCost::constant(base / 2.0);
+        let mut expensive = SymCost::constant(base + 1.0);
+        expensive.add_term("p1", c1);
+        prop_assert!(expensive.dominates(&cheaper));
+    }
+
+    /// Engine byte accounting is additive under scaling.
+    #[test]
+    fn stats_scaling_is_monotone(records in 1u64..100_000, f in 1.0f64..100.0) {
+        use mapreduce::{JobStats, StageKind, StageStats};
+        let mut j = JobStats::default();
+        let mut s = StageStats::new(StageKind::Map, "m");
+        s.records_in = records;
+        s.bytes_out = records * 12;
+        j.stages.push(s);
+        let scaled = j.scaled(f);
+        prop_assert!(scaled.stages[0].records_in >= j.stages[0].records_in);
+        prop_assert!(
+            (scaled.stages[0].bytes_out as f64 - j.stages[0].bytes_out as f64 * f).abs()
+                <= f
+        );
+    }
+}
