@@ -49,7 +49,10 @@ fn stmt_def_use(stmt: &Stmt, du: &mut DefUse) {
         Stmt::ExprStmt { expr, .. } => {
             // Mutating method calls (`list.add`, `map.put`) write their
             // receiver.
-            if let Expr::MethodCall { recv, method, args, .. } = expr {
+            if let Expr::MethodCall {
+                recv, method, args, ..
+            } = expr
+            {
                 if matches!(method.as_str(), "add" | "append" | "put") {
                     mark_write(recv, du);
                     for a in args {
@@ -60,7 +63,12 @@ fn stmt_def_use(stmt: &Stmt, du: &mut DefUse) {
             }
             expr_reads(expr, du);
         }
-        Stmt::If { cond, then_blk, else_blk, .. } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
             expr_reads(cond, du);
             block_def_use_into(then_blk, du);
             if let Some(b) = else_blk {
@@ -71,14 +79,25 @@ fn stmt_def_use(stmt: &Stmt, du: &mut DefUse) {
             expr_reads(cond, du);
             block_def_use_into(body, du);
         }
-        Stmt::For { init, cond, update, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
             // The induction variable is local to the loop.
             stmt_def_use(init, du);
             expr_reads(cond, du);
             stmt_def_use(update, du);
             block_def_use_into(body, du);
         }
-        Stmt::ForEach { var, iterable, body, .. } => {
+        Stmt::ForEach {
+            var,
+            iterable,
+            body,
+            ..
+        } => {
             expr_reads(iterable, du);
             du.locals.insert(var.clone());
             block_def_use_into(body, du);

@@ -90,9 +90,7 @@ impl Fragment {
     pub fn free_scalars(&self) -> Vec<(String, Type)> {
         self.inputs
             .iter()
-            .filter(|(name, _)| {
-                !self.data_vars.iter().any(|d| &d.name == name)
-            })
+            .filter(|(name, _)| !self.data_vars.iter().any(|d| &d.name == name))
             .cloned()
             .collect()
     }

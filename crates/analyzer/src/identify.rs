@@ -40,8 +40,7 @@ fn identify_in_function(
         match stmt {
             Stmt::Let { name, ty, .. } => decls.push((name.clone(), ty.clone())),
             Stmt::ForEach { .. } | Stmt::For { .. } => {
-                if let Some(frag) =
-                    build_fragment(program, func, &decls, &body.stmts[..idx], stmt)
+                if let Some(frag) = build_fragment(program, func, &decls, &body.stmts[..idx], stmt)
                 {
                     out.push(frag);
                 }
@@ -79,13 +78,18 @@ fn build_fragment(
     let init_du = stmts_def_use(&init_stmts);
 
     let lookup_ty = |name: &str| -> Option<Type> {
-        decls.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t.clone()).or_else(|| {
-            // Variables declared by the init statements.
-            init_stmts.iter().find_map(|s| match s {
-                Stmt::Let { name: n, ty, .. } if n == name => Some(ty.clone()),
-                _ => None,
+        decls
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+            .or_else(|| {
+                // Variables declared by the init statements.
+                init_stmts.iter().find_map(|s| match s {
+                    Stmt::Let { name: n, ty, .. } if n == name => Some(ty.clone()),
+                    _ => None,
+                })
             })
-        })
     };
 
     // Outputs: written by the loop, declared in init or earlier.
@@ -108,7 +112,12 @@ fn build_fragment(
         }
         // Outputs that are also read (accumulators) stay inputs only if
         // declared before the init run; init-declared ones are internal.
-        if let Some(t) = decls.iter().rev().find(|(n, _)| n == r).map(|(_, t)| t.clone()) {
+        if let Some(t) = decls
+            .iter()
+            .rev()
+            .find(|(n, _)| n == r)
+            .map(|(_, t)| t.clone())
+        {
             inputs.push((r.clone(), t));
             seen.insert(r.clone());
         }
@@ -134,16 +143,26 @@ fn build_fragment(
 }
 
 fn loop_loc(stmt: &Stmt) -> usize {
-    let block = Block { stmts: vec![stmt.clone()] };
+    let block = Block {
+        stmts: vec![stmt.clone()],
+    };
     seqlang::ast::block_loc(&block)
 }
 
 /// Identify the collections the loop nest iterates and how.
 fn find_data_vars(loop_stmt: &Stmt, decls: &[(String, Type)]) -> Option<Vec<DataVarInfo>> {
-    let ty_of = |name: &str| decls.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t.clone());
+    let ty_of = |name: &str| {
+        decls
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+    };
     match loop_stmt {
         Stmt::ForEach { iterable, body, .. } => {
-            let Expr::Var { name, .. } = iterable else { return None };
+            let Expr::Var { name, .. } = iterable else {
+                return None;
+            };
             let ty = ty_of(name)?;
             let elem = ty.element()?.clone();
             let mut vars = vec![DataVarInfo {
@@ -159,7 +178,11 @@ fn find_data_vars(loop_stmt: &Stmt, decls: &[(String, Type)]) -> Option<Vec<Data
             // collection becomes a second data source rather than an
             // inexpressible inner loop.
             walk_stmts(body, &mut |s| {
-                if let Stmt::ForEach { iterable: Expr::Var { name: inner, .. }, .. } = s {
+                if let Stmt::ForEach {
+                    iterable: Expr::Var { name: inner, .. },
+                    ..
+                } = s
+                {
                     if inner != name && !vars.iter().any(|d| &d.name == inner) {
                         if let Some(ity) = ty_of(inner) {
                             if let Some(ielem) = ity.element().cloned() {
@@ -178,48 +201,62 @@ fn find_data_vars(loop_stmt: &Stmt, decls: &[(String, Type)]) -> Option<Vec<Data
             });
             Some(vars)
         }
-        Stmt::For { init, cond, body, .. } => {
+        Stmt::For {
+            init, cond, body, ..
+        } => {
             let i = induction_var(init)?;
             let outer_len = bound_var(cond, &i);
             // Look for an inner counted loop to detect 2-D access.
             let inner = body.stmts.iter().find_map(|s| match s {
-                Stmt::For { init, cond, body: ib, .. } => {
+                Stmt::For {
+                    init,
+                    cond,
+                    body: ib,
+                    ..
+                } => {
                     let j = induction_var(init)?;
                     Some((j.clone(), bound_var(cond, &j), ib))
                 }
                 _ => None,
             });
             let mut found: Vec<DataVarInfo> = Vec::new();
-            let mut record = |name: &str, shape: DataShape, lens: Vec<String>, idxs: Vec<String>| {
-                if found.iter().any(|d| d.name == name) {
-                    return;
-                }
-                let Some(ty) = ty_of(name) else { return };
-                let elem_ty = match (&shape, &ty) {
-                    (DataShape::Indexed2D, Type::Array(inner)) => match &**inner {
-                        Type::Array(e) | Type::List(e) => (**e).clone(),
-                        other => other.clone(),
-                    },
-                    (_, t) => match t.element() {
-                        Some(e) => e.clone(),
-                        None => return,
-                    },
+            let mut record =
+                |name: &str, shape: DataShape, lens: Vec<String>, idxs: Vec<String>| {
+                    if found.iter().any(|d| d.name == name) {
+                        return;
+                    }
+                    let Some(ty) = ty_of(name) else { return };
+                    let elem_ty = match (&shape, &ty) {
+                        (DataShape::Indexed2D, Type::Array(inner)) => match &**inner {
+                            Type::Array(e) | Type::List(e) => (**e).clone(),
+                            other => other.clone(),
+                        },
+                        (_, t) => match t.element() {
+                            Some(e) => e.clone(),
+                            None => return,
+                        },
+                    };
+                    found.push(DataVarInfo {
+                        name: name.to_string(),
+                        ty,
+                        shape,
+                        elem_ty,
+                        len_vars: lens,
+                        index_vars: idxs,
+                    });
                 };
-                found.push(DataVarInfo {
-                    name: name.to_string(),
-                    ty,
-                    shape,
-                    elem_ty,
-                    len_vars: lens,
-                    index_vars: idxs,
-                });
-            };
             // 2-D accesses a[i][j] inside the inner loop.
             if let Some((j, inner_len, _)) = &inner {
                 visit_exprs(loop_stmt, &mut |e| {
                     if let Expr::Index { base, index, .. } = e {
-                        if let (Expr::Index { base: b2, index: i2, .. }, Expr::Var { name: jn, .. }) =
-                            (&**base, &**index)
+                        if let (
+                            Expr::Index {
+                                base: b2,
+                                index: i2,
+                                ..
+                            },
+                            Expr::Var { name: jn, .. },
+                        ) = (&**base, &**index)
                         {
                             if jn == j {
                                 if let (Expr::Var { name: a, .. }, Expr::Var { name: iv, .. }) =
@@ -272,17 +309,29 @@ fn find_data_vars(loop_stmt: &Stmt, decls: &[(String, Type)]) -> Option<Vec<Data
 /// `for (let i: int = 0; ...)` → `i`.
 fn induction_var(init: &Stmt) -> Option<String> {
     match init {
-        Stmt::Let { name, init: Expr::IntLit(0, _), .. } => Some(name.clone()),
-        Stmt::Assign { target: Expr::Var { name, .. }, value: Expr::IntLit(0, _), .. } => {
-            Some(name.clone())
-        }
+        Stmt::Let {
+            name,
+            init: Expr::IntLit(0, _),
+            ..
+        } => Some(name.clone()),
+        Stmt::Assign {
+            target: Expr::Var { name, .. },
+            value: Expr::IntLit(0, _),
+            ..
+        } => Some(name.clone()),
         _ => None,
     }
 }
 
 /// `i < N` → `Some("N")`; `i < xs.size()` → `None` (length is implicit).
 fn bound_var(cond: &Expr, i: &str) -> Option<String> {
-    if let Expr::Binary { op: BinOp::Lt, lhs, rhs, .. } = cond {
+    if let Expr::Binary {
+        op: BinOp::Lt,
+        lhs,
+        rhs,
+        ..
+    } = cond
+    {
         if matches!(&**lhs, Expr::Var { name, .. } if name == i) {
             if let Expr::Var { name, .. } = &**rhs {
                 return Some(name.clone());
@@ -307,7 +356,12 @@ fn visit_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
             value.walk(f);
         }
         Stmt::ExprStmt { expr, .. } => expr.walk(f),
-        Stmt::If { cond, then_blk, else_blk, .. } => {
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
             cond.walk(f);
             for s in &then_blk.stmts {
                 visit_stmt_exprs(s, f);
@@ -324,7 +378,13 @@ fn visit_stmt_exprs<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
                 visit_stmt_exprs(s, f);
             }
         }
-        Stmt::For { init, cond, update, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
             visit_stmt_exprs(init, f);
             cond.walk(f);
             visit_stmt_exprs(update, f);
@@ -361,7 +421,9 @@ fn extract_features(
     };
     feats.user_defined_types = inputs.iter().any(|(_, t)| uses_struct(t))
         || outputs.iter().any(|(_, t)| uses_struct(t))
-        || data_vars.iter().any(|d| matches!(d.elem_ty, Type::Struct(_)));
+        || data_vars
+            .iter()
+            .any(|d| matches!(d.elem_ty, Type::Struct(_)));
 
     let body = match loop_stmt {
         Stmt::ForEach { body, .. } | Stmt::For { body, .. } | Stmt::While { body, .. } => body,
@@ -517,7 +579,10 @@ mod tests {
         assert!(f.outputs.iter().any(|(n, _)| n == "m"));
         assert!(f.features.nested_loops);
         assert!(f.features.multidimensional_data);
-        assert!(!f.features.inner_data_loop, "counted 2-D scan is expressible");
+        assert!(
+            !f.features.inner_data_loop,
+            "counted 2-D scan is expressible"
+        );
     }
 
     #[test]

@@ -92,7 +92,14 @@ impl<'f> StateGen<'f> {
                 _ => {}
             }
         }
-        StateGen { fragment, config, rng, word_pool, int_pool, double_pool }
+        StateGen {
+            fragment,
+            config,
+            rng,
+            word_pool,
+            int_pool,
+            double_pool,
+        }
     }
 
     /// Generate the next random program state.
@@ -130,15 +137,18 @@ impl<'f> StateGen<'f> {
                     let rows: Vec<Value> = (0..outer_len)
                         .map(|_| {
                             Value::Array(
-                                (0..inner_len).map(|_| self.gen_value(&dv.elem_ty)).collect(),
+                                (0..inner_len)
+                                    .map(|_| self.gen_value(&dv.elem_ty))
+                                    .collect(),
                             )
                         })
                         .collect();
                     Value::Array(rows)
                 }
                 _ => {
-                    let elems: Vec<Value> =
-                        (0..outer_len).map(|_| self.gen_value(&dv.elem_ty)).collect();
+                    let elems: Vec<Value> = (0..outer_len)
+                        .map(|_| self.gen_value(&dv.elem_ty))
+                        .collect();
                     match dv.ty {
                         Type::List(_) => Value::List(elems),
                         _ => Value::Array(elems),
@@ -165,9 +175,11 @@ impl<'f> StateGen<'f> {
         // type-default pre-values.
         for (name, ty) in self.fragment.outputs.clone() {
             if env.contains(&name)
-                || self.fragment.init_stmts.iter().any(|s| {
-                    matches!(s, seqlang::ast::Stmt::Let { name: n, .. } if n == &name)
-                })
+                || self
+                    .fragment
+                    .init_stmts
+                    .iter()
+                    .any(|s| matches!(s, seqlang::ast::Stmt::Let { name: n, .. } if n == &name))
             {
                 continue;
             }
@@ -188,7 +200,10 @@ impl<'f> StateGen<'f> {
                     let i = self.rng.gen_range(0..self.int_pool.len());
                     return Value::Int(self.int_pool[i]);
                 }
-                Value::Int(self.rng.gen_range(-self.config.int_bound..=self.config.int_bound))
+                Value::Int(
+                    self.rng
+                        .gen_range(-self.config.int_bound..=self.config.int_bound),
+                )
             }
             Type::Double => {
                 if !self.double_pool.is_empty() && self.rng.gen_bool(0.4) {
@@ -222,8 +237,12 @@ impl<'f> StateGen<'f> {
                 let def = self.fragment.program.struct_def(name);
                 match def {
                     Some(sd) => {
-                        let fields: Vec<Value> =
-                            sd.fields.clone().iter().map(|(_, t)| self.gen_value(t)).collect();
+                        let fields: Vec<Value> = sd
+                            .fields
+                            .clone()
+                            .iter()
+                            .map(|(_, t)| self.gen_value(t))
+                            .collect();
                         let layout = StructLayout::new(
                             sd.name.clone(),
                             sd.fields.iter().map(|(n, _)| n.clone()).collect(),
@@ -233,9 +252,7 @@ impl<'f> StateGen<'f> {
                     None => Value::Unit,
                 }
             }
-            Type::Tuple(ts) => {
-                Value::Tuple(ts.clone().iter().map(|t| self.gen_value(t)).collect())
-            }
+            Type::Tuple(ts) => Value::Tuple(ts.clone().iter().map(|t| self.gen_value(t)).collect()),
             Type::Void => Value::Unit,
         }
     }

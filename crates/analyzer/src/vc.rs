@@ -45,7 +45,10 @@ pub struct VerificationTask<'f> {
 
 impl<'f> VerificationTask<'f> {
     pub fn new(fragment: &'f Fragment) -> VerificationTask<'f> {
-        VerificationTask { fragment, rel_tol: 1e-6 }
+        VerificationTask {
+            fragment,
+            rel_tol: 1e-6,
+        }
     }
 
     /// Check every prefix VC of `state` against the candidate.
@@ -86,7 +89,9 @@ impl<'f> VerificationTask<'f> {
 
     fn outputs_match(&self, expected: &Env, got: &Env) -> bool {
         for (name, want) in expected.iter() {
-            let Some(have) = got.get(name) else { return false };
+            let Some(have) = got.get(name) else {
+                return false;
+            };
             if !values_match(want, have, self.rel_tol) {
                 return false;
             }
@@ -117,10 +122,10 @@ mod tests {
     use super::*;
     use crate::identify_fragments;
     use crate::stategen::{StateGen, StateGenConfig};
+    use casper_ir::eval::eval_summary;
     use casper_ir::expr::IrExpr;
     use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
     use casper_ir::mr::{DataSource, MrExpr, OutputKind, ProgramSummary};
-    use casper_ir::eval::eval_summary;
     use seqlang::ast::BinOp;
     use seqlang::compile;
     use seqlang::ty::Type;
@@ -161,7 +166,9 @@ mod tests {
             "max".into(),
             vec![IrExpr::var("v1"), IrExpr::var("v2")],
         ));
-        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(r);
         ProgramSummary::single("s", expr, OutputKind::Scalar)
     }
 
@@ -184,9 +191,10 @@ mod tests {
         let summary = wrong_summary();
         let cand = move |pre: &Env| eval_summary(&summary, pre);
         let mut gen = StateGen::new(&frag, StateGenConfig::bounded());
-        let found_cex = gen.states(50).iter().any(|st| {
-            matches!(task.check_state(&cand, st), CheckOutcome::CounterExample(_))
-        });
+        let found_cex = gen
+            .states(50)
+            .iter()
+            .any(|st| matches!(task.check_state(&cand, st), CheckOutcome::CounterExample(_)));
         assert!(found_cex, "max-reduce must be rejected for sum");
     }
 
@@ -202,13 +210,16 @@ mod tests {
             vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("v"))],
         );
         let r = ReduceLambda::new(IrExpr::var("v2"));
-        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(r);
         let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
         let cand = move |pre: &Env| eval_summary(&summary, pre);
         let mut gen = StateGen::new(&frag, StateGenConfig::bounded());
-        let found_cex = gen.states(50).iter().any(|st| {
-            matches!(task.check_state(&cand, st), CheckOutcome::CounterExample(_))
-        });
+        let found_cex = gen
+            .states(50)
+            .iter()
+            .any(|st| matches!(task.check_state(&cand, st), CheckOutcome::CounterExample(_)));
         assert!(found_cex);
     }
 
@@ -265,7 +276,9 @@ mod tests {
             )],
         );
         let r = ReduceLambda::new(IrExpr::var("v2"));
-        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(r);
         let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
         let cand = move |pre: &Env| eval_summary(&summary, pre);
 
@@ -276,9 +289,10 @@ mod tests {
         }
         // …but the full verifier's domain rejects it.
         let mut gen = StateGen::new(&frag, StateGenConfig::full());
-        let rejected = gen.states(40).iter().any(|st| {
-            matches!(task.check_state(&cand, st), CheckOutcome::CounterExample(_))
-        });
+        let rejected = gen
+            .states(40)
+            .iter()
+            .any(|st| matches!(task.check_state(&cand, st), CheckOutcome::CounterExample(_)));
         assert!(rejected, "full domain must expose min(4, v) ≠ v");
     }
 }

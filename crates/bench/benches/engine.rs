@@ -24,14 +24,15 @@ fn bench_engine(c: &mut Criterion) {
 
     c.bench_function("engine/group_by_key_50k", |b| {
         let rdd = Rdd::parallelize(&ctx, data.clone());
-        b.iter(|| {
-            rdd.map_to_pair(|x| (x % 64, *x)).group_by_key().count()
-        })
+        b.iter(|| rdd.map_to_pair(|x| (x % 64, *x)).group_by_key().count())
     });
 
     c.bench_function("engine/join_5k", |b| {
         let left = Rdd::parallelize(&ctx, (0i64..5000).map(|i| (i % 512, i)).collect::<Vec<_>>());
-        let right = Rdd::parallelize(&ctx, (0i64..5000).map(|i| (i % 512, i * 3)).collect::<Vec<_>>());
+        let right = Rdd::parallelize(
+            &ctx,
+            (0i64..5000).map(|i| (i % 512, i * 3)).collect::<Vec<_>>(),
+        );
         b.iter(|| left.join(&right).count())
     });
 }

@@ -32,7 +32,9 @@ fn main() {
     ];
 
     for (name, label) in targets {
-        let Some(b) = all.iter().find(|b| b.name == name) else { continue };
+        let Some(b) = all.iter().find(|b| b.name == name) else {
+            continue;
+        };
         let run = run_benchmark(b, &config);
         let casper = run.speedup;
         let scale = b.paper_scale as f64 / n as f64;

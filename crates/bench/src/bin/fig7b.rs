@@ -9,7 +9,10 @@ use suites::{sqlbase, tpch};
 
 fn main() {
     println!("Figure 7(b) — TPC-H runtimes (s), Casper vs SparkSQL plans\n");
-    println!("{:<6} {:>10} {:>10} {:>8}", "Query", "Casper", "SparkSQL", "Ratio");
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "Query", "Casper", "SparkSQL", "Ratio"
+    );
 
     let ctx = Context::with_parallelism(4, 8);
     let mut rng = StdRng::seed_from_u64(31);
@@ -31,21 +34,41 @@ fn main() {
         println!("{:<6} {:>10.0} {:>10.0} {:>7.1}x", label, c, s, s / c);
     };
 
-    run("Q1", &|| { sqlbase::q1_casper(&ctx, &rows); }, &|| { sqlbase::q1(&ctx, &rows); });
+    run(
+        "Q1",
+        &|| {
+            sqlbase::q1_casper(&ctx, &rows);
+        },
+        &|| {
+            sqlbase::q1(&ctx, &rows);
+        },
+    );
     run(
         "Q6",
-        &|| { sqlbase::q6_casper(&ctx, &rows, 8100, 9000); },
-        &|| { sqlbase::q6(&ctx, &rows, 8100, 9000); },
+        &|| {
+            sqlbase::q6_casper(&ctx, &rows, 8100, 9000);
+        },
+        &|| {
+            sqlbase::q6(&ctx, &rows, 8100, 9000);
+        },
     );
     run(
         "Q15",
-        &|| { sqlbase::q15_casper(&ctx, &rows, 8100, 9000); },
-        &|| { sqlbase::q15(&ctx, &rows, 8100, 9000); },
+        &|| {
+            sqlbase::q15_casper(&ctx, &rows, 8100, 9000);
+        },
+        &|| {
+            sqlbase::q15(&ctx, &rows, 8100, 9000);
+        },
     );
     run(
         "Q17",
-        &|| { sqlbase::q17_casper(&ctx, &rows, &sel); },
-        &|| { sqlbase::q17(&ctx, &rows, &sel); },
+        &|| {
+            sqlbase::q17_casper(&ctx, &rows, &sel);
+        },
+        &|| {
+            sqlbase::q17(&ctx, &rows, &sel);
+        },
     );
     println!("\n(Paper: Casper 2x / 1.8x / 2.8x faster on Q1/Q6/Q15; SparkSQL 1.7x\nfaster on Q17 — ratios above reproduce the directions.)");
 }

@@ -9,7 +9,10 @@ use suites::{data, manual};
 
 fn main() {
     println!("Figure 7(c) — iterative workloads, simulated runtimes (s)\n");
-    println!("{:<12} {:>10} {:>10} {:>8}", "Workload", "Casper", "SparkTut", "Ratio");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8}",
+        "Workload", "Casper", "SparkTut", "Ratio"
+    );
 
     let ctx = Context::with_parallelism(4, 8);
     let mut rng = StdRng::seed_from_u64(77);
@@ -32,14 +35,16 @@ fn main() {
         .collect();
     ctx.reset_stats();
     manual::pagerank_uncached(&ctx, &edges, 500, 10);
-    let casper_pr =
-        simulate_job(&ctx.stats().scaled(factor), &spec, Framework::Spark).seconds;
+    let casper_pr = simulate_job(&ctx.stats().scaled(factor), &spec, Framework::Spark).seconds;
     ctx.reset_stats();
     manual::pagerank_cached(&ctx, &edges, 500, 10);
     let tut_pr = simulate_job(&ctx.stats().scaled(factor), &spec, Framework::Spark).seconds;
     println!(
         "{:<12} {:>10.0} {:>10.0} {:>7.2}x",
-        "PageRank", casper_pr, tut_pr, casper_pr / tut_pr
+        "PageRank",
+        casper_pr,
+        tut_pr,
+        casper_pr / tut_pr
     );
 
     // Logistic regression: both cache the samples (no noticeable
@@ -61,7 +66,10 @@ fn main() {
     ctx.reset_stats();
     manual::logreg(&ctx, &samples, 10);
     let lr = simulate_job(&ctx.stats().scaled(lr_factor), &spec, Framework::Spark).seconds;
-    println!("{:<12} {:>10.0} {:>10.0} {:>7.2}x", "LogisticR", lr, lr, 1.0);
+    println!(
+        "{:<12} {:>10.0} {:>10.0} {:>7.2}x",
+        "LogisticR", lr, lr, 1.0
+    );
 
     println!("\n(Paper: tutorial PageRank 1.3x faster — Casper emits no cache();\nLogisticR indistinguishable.)");
 }

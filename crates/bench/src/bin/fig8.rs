@@ -2,10 +2,8 @@
 //! monitor's selections over skewed datasets (8c), and simulated runtimes
 //! of solutions (b) and (c) (8b).
 
-use casper::{Casper, FragmentOutcome};
 use casper::CasperConfig;
-use synthesis::FindConfig;
-use std::time::Duration;
+use casper::{Casper, FragmentOutcome};
 use casper_ir::mr::OutputKind;
 use mapreduce::sim::simulate_job;
 use mapreduce::{ClusterSpec, Context, Framework};
@@ -13,11 +11,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqlang::env::Env;
 use seqlang::value::Value;
+use std::time::Duration;
 use suites::all_benchmarks;
+use synthesis::FindConfig;
 
 fn main() {
     let all = all_benchmarks();
-    let b = all.iter().find(|b| b.name == "phoenix/string_match").unwrap();
+    let b = all
+        .iter()
+        .find(|b| b.name == "phoenix/string_match")
+        .unwrap();
     let config = CasperConfig {
         find: FindConfig {
             timeout: Duration::from_secs(45),
@@ -28,7 +31,10 @@ fn main() {
     };
     let report = Casper::new(config).translate_source(b.source).unwrap();
     let frag = report.for_function("string_match").expect("fragment");
-    let FragmentOutcome::Translated { program, summaries, .. } = &frag.outcome else {
+    let FragmentOutcome::Translated {
+        program, summaries, ..
+    } = &frag.outcome
+    else {
         panic!("StringMatch must translate");
     };
 
@@ -76,8 +82,7 @@ fn main() {
         state.set("found2", Value::Bool(false));
 
         let choice = program.choose(&state);
-        let chosen_kind = match &program.variants[choice.chosen].plan.summary.bindings[0].kind
-        {
+        let chosen_kind = match &program.variants[choice.chosen].plan.summary.bindings[0].kind {
             OutputKind::ScalarTuple => "(b)",
             OutputKind::KeyedScalars { .. } => "(c)",
             _ => "?",
@@ -87,8 +92,7 @@ fn main() {
         for v in &program.variants {
             ctx.reset_stats();
             let _ = v.plan.execute(&ctx, &state);
-            let t = simulate_job(&ctx.stats().scaled(factor), &spec, Framework::Spark)
-                .seconds;
+            let t = simulate_job(&ctx.stats().scaled(factor), &spec, Framework::Spark).seconds;
             let kind = match &v.plan.summary.bindings[0].kind {
                 OutputKind::ScalarTuple => "b",
                 OutputKind::KeyedScalars { .. } => "c",

@@ -21,7 +21,9 @@ fn main() {
     let all = all_benchmarks();
     let config = sweep_config();
     for name in targets {
-        let Some(b) = all.iter().find(|b| b.name == name) else { continue };
+        let Some(b) = all.iter().find(|b| b.name == name) else {
+            continue;
+        };
         // Translate once; rescale the simulated dataset per point.
         let base = run_benchmark(b, &config);
         print!("{:<26}", name);

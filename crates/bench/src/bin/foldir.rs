@@ -22,9 +22,15 @@ fn main() {
         total += 1;
         let program = Arc::new(seqlang::compile(b.source).unwrap());
         let frags = identify_fragments(&program);
-        let Some(frag) = frags.iter().find(|f| f.func == b.func) else { continue };
-        let Some(dv) = frag.data_vars.first() else { continue };
-        let Some((out_var, _)) = frag.outputs.first() else { continue };
+        let Some(frag) = frags.iter().find(|f| f.func == b.func) else {
+            continue;
+        };
+        let Some(dv) = frag.data_vars.first() else {
+            continue;
+        };
+        let Some((out_var, _)) = frag.outputs.first() else {
+            continue;
+        };
 
         // Enumerate a small Fold-IR space: init ∈ {0, extreme}, body from
         // the usual combiner atoms over (acc, x).
@@ -35,8 +41,16 @@ fn main() {
             IrExpr::bin(BinOp::Add, acc.clone(), IrExpr::int(1)),
             IrExpr::Call("min".into(), vec![acc.clone(), x.clone()]),
             IrExpr::Call("max".into(), vec![acc.clone(), x.clone()]),
-            IrExpr::bin(BinOp::Add, acc.clone(), IrExpr::Call("abs".into(), vec![x.clone()])),
-            IrExpr::bin(BinOp::Add, acc.clone(), IrExpr::bin(BinOp::Mul, x.clone(), x.clone())),
+            IrExpr::bin(
+                BinOp::Add,
+                acc.clone(),
+                IrExpr::Call("abs".into(), vec![x.clone()]),
+            ),
+            IrExpr::bin(
+                BinOp::Add,
+                acc.clone(),
+                IrExpr::bin(BinOp::Mul, x.clone(), x.clone()),
+            ),
         ];
         let inits = vec![
             IrExpr::int(0),
@@ -52,7 +66,11 @@ fn main() {
             for body in &bodies {
                 let f = FoldSummary::new(
                     out_var.clone(),
-                    DataSource { var: dv.name.clone(), shape: dv.shape, elem_ty: dv.elem_ty.clone() },
+                    DataSource {
+                        var: dv.name.clone(),
+                        shape: dv.shape,
+                        elem_ty: dv.elem_ty.clone(),
+                    },
                     init.clone(),
                     body.clone(),
                 );

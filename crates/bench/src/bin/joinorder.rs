@@ -13,18 +13,17 @@ fn main() {
 
     // sales ⋈ supplier ⋈ customer. Config A: supplier-side join huge;
     // config B: customer-side join huge.
-    for (label, sup_sel, cust_sel) in
-        [("config A (sales⋈supplier large)", 0.9, 0.01), ("config B (sales⋈customer large)", 0.01, 0.9)]
-    {
+    for (label, sup_sel, cust_sel) in [
+        ("config A (sales⋈supplier large)", 0.9, 0.01),
+        ("config B (sales⋈customer large)", 0.01, 0.9),
+    ] {
         let n = 8000usize;
         let sales: Vec<(i64, (i64, f64))> = (0..n as i64)
             .map(|i| (i % 1000, (i % 500, 1.0 + (i % 7) as f64)))
             .collect();
         // Key spaces sized so selectivities differ.
-        let suppliers: Vec<(i64, i64)> =
-            (0..(1000.0 * sup_sel) as i64).map(|k| (k, k)).collect();
-        let customers: Vec<(i64, i64)> =
-            (0..(500.0 * cust_sel) as i64).map(|k| (k, k)).collect();
+        let suppliers: Vec<(i64, i64)> = (0..(1000.0 * sup_sel) as i64).map(|k| (k, k)).collect();
+        let customers: Vec<(i64, i64)> = (0..(500.0 * cust_sel) as i64).map(|k| (k, k)).collect();
         let factor = 600_000_000f64 / n as f64;
 
         // Ordering 1: (sales ⋈ supplier) ⋈ customer.
@@ -52,9 +51,15 @@ fn main() {
         }
         let t2 = simulate_job(&ctx.stats().scaled(factor), &spec, Framework::Spark).seconds;
 
-        let chosen = if t1 <= t2 { "supplier-first" } else { "customer-first" };
+        let chosen = if t1 <= t2 {
+            "supplier-first"
+        } else {
+            "customer-first"
+        };
         println!("{label}:");
-        println!("  supplier-first: {t1:.0} s, customer-first: {t2:.0} s → runtime picks {chosen}\n");
+        println!(
+            "  supplier-first: {t1:.0} s, customer-first: {t2:.0} s → runtime picks {chosen}\n"
+        );
     }
     println!("(The cheaper ordering flips between configurations, as in §7.4.)");
 }

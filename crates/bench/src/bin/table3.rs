@@ -30,13 +30,15 @@ fn main() {
     ];
     let all = all_benchmarks();
     for name in targets {
-        let Some(b) = all.iter().find(|b| b.name == name) else { continue };
+        let Some(b) = all.iter().find(|b| b.name == name) else {
+            continue;
+        };
         let program = Arc::new(seqlang::compile(b.source).unwrap());
         let frags = identify_fragments(&program);
-        let Some(frag) = frags.iter().find(|f| f.func == b.func) else { continue };
-        let verify = |s: &ProgramSummary| {
-            full_verify(frag, s, &VerifyConfig::default()).verified
+        let Some(frag) = frags.iter().find(|f| f.func == b.func) else {
+            continue;
         };
+        let verify = |s: &ProgramSummary| full_verify(frag, s, &VerifyConfig::default()).verified;
         let run = |incremental: bool| {
             let config = FindConfig {
                 timeout: Duration::from_secs(10),

@@ -40,7 +40,10 @@ fn main() {
             }
         }
     }
-    println!("{:<22} {:>11} {:>13}", "Property", "# Extracted", "# Translated");
+    println!(
+        "{:<22} {:>11} {:>13}",
+        "Property", "# Extracted", "# Translated"
+    );
     for (name, extracted, translated) in rows {
         println!("{name:<22} {extracted:>11} {translated:>13}");
     }

@@ -220,7 +220,11 @@ mod tests {
         assert_eq!(run.translated, 1);
         assert!(run.output_correct);
         let sp = run.speedup.expect("measured");
-        assert!(sp.spark > 2.0, "cluster should win at 2B records: {}", sp.spark);
+        assert!(
+            sp.spark > 2.0,
+            "cluster should win at 2B records: {}",
+            sp.spark
+        );
         assert!(sp.spark > sp.hadoop, "Spark beats Hadoop");
     }
 

@@ -1,7 +1,15 @@
 //! The compilation pipeline: analyze → synthesize → verify → prune →
 //! generate.
+//!
+//! Independent fragments translate concurrently on a scoped worker pool
+//! (the [`CasperConfig::parallelism`] knob), and each fragment's CEGIS
+//! search can itself screen candidate chunks across cores
+//! ([`synthesis::FindConfig::parallelism`]). Reports always come back
+//! in source order, and `parallelism = 1` reproduces the sequential
+//! behavior exactly — the configuration the paper's ablations assume.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use analyzer::fragment::Fragment;
@@ -28,6 +36,12 @@ pub struct CasperConfig {
     /// Apply compile-time dominance pruning (§5.2).
     pub static_pruning: bool,
     pub weights: CostWeights,
+    /// Worker threads translating independent fragments concurrently.
+    /// Defaults to the host's core count; `1` reproduces the sequential
+    /// pipeline. The inner search parallelism (`find.parallelism`) is
+    /// divided among concurrent fragments so the two pools compose
+    /// without oversubscribing the machine.
+    pub parallelism: usize,
 }
 
 impl Default for CasperConfig {
@@ -38,7 +52,19 @@ impl Default for CasperConfig {
             dialect: Dialect::Spark,
             static_pruning: true,
             weights: CostWeights::default(),
+            parallelism: synthesis::default_parallelism(),
         }
+    }
+}
+
+impl CasperConfig {
+    /// Set both the fragment-level and the inner-search worker counts.
+    /// `with_parallelism(1)` is the fully sequential configuration the
+    /// paper's ablations (Table 3) assume.
+    pub fn with_parallelism(mut self, workers: usize) -> CasperConfig {
+        self.parallelism = workers.max(1);
+        self.find.parallelism = workers.max(1);
+        self
     }
 }
 
@@ -53,14 +79,74 @@ impl Casper {
     }
 
     /// Translate every candidate fragment in a source program.
+    ///
+    /// Fragments are independent compilation units, so they are dealt to
+    /// a scoped worker pool of [`CasperConfig::parallelism`] threads;
+    /// per-fragment reports land in indexed slots, keeping the report
+    /// order identical to source order at any worker count.
+    ///
+    /// ```
+    /// use casper::{Casper, CasperConfig};
+    ///
+    /// let src = r#"
+    ///     fn total(xs: list<int>) -> int {
+    ///         let t: int = 0;
+    ///         for (x in xs) { t = t + x; }
+    ///         return t;
+    ///     }
+    /// "#;
+    /// let casper = Casper::new(CasperConfig::default().with_parallelism(2));
+    /// let report = casper.translate_source(src).unwrap();
+    /// assert_eq!(report.translated_count(), 1);
+    /// ```
     pub fn translate_source(&self, src: &str) -> Result<TranslationReport> {
+        let started = Instant::now();
         let program = Arc::new(seqlang::compile(src)?);
         let fragments = identify_fragments(&program);
-        let mut reports = Vec::with_capacity(fragments.len());
-        for fragment in &fragments {
-            reports.push(self.translate_fragment(fragment));
+        let reports = self.translate_fragments(&fragments);
+        Ok(TranslationReport {
+            fragments: reports,
+            wall_time: started.elapsed(),
+        })
+    }
+
+    /// Translate a batch of fragments, concurrently when configured.
+    pub fn translate_fragments(&self, fragments: &[Fragment]) -> Vec<FragmentReport> {
+        let workers = self.config.parallelism.max(1).min(fragments.len().max(1));
+        if workers <= 1 {
+            return fragments
+                .iter()
+                .map(|f| self.translate_fragment(f))
+                .collect();
         }
-        Ok(TranslationReport { fragments: reports })
+
+        // Divide the inner screening pool among concurrent fragments so
+        // `parallelism` bounds total thread pressure instead of
+        // multiplying it.
+        let mut inner_config = self.config.clone();
+        inner_config.find.parallelism = (self.config.find.parallelism.max(1) / workers).max(1);
+        let inner = Casper::new(inner_config);
+
+        let n = fragments.len();
+        let mut out: Vec<Option<FragmentReport>> = (0..n).map(|_| None).collect();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<&mut Option<FragmentReport>>> =
+            out.iter_mut().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let report = inner.translate_fragment(&fragments[i]);
+                    **slots[i].lock().expect("report slot") = Some(report);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("fragment translated"))
+            .collect()
     }
 
     /// Translate a single fragment.
@@ -84,26 +170,20 @@ impl Casper {
         let summaries = match outcome {
             FindOutcome::Found(s) => s,
             FindOutcome::TimedOut => {
-                return FragmentReport {
-                    id: fragment.id.clone(),
-                    func: fragment.func.clone(),
-                    loc: fragment.loc,
-                    features: fragment.features,
-                    outcome: FragmentOutcome::Failed(FailureReason::Timeout),
+                return FragmentReport::new(
+                    fragment,
+                    FragmentOutcome::Failed(FailureReason::Timeout),
                     search,
-                    compile_time: started.elapsed(),
-                }
+                    started.elapsed(),
+                )
             }
             FindOutcome::Exhausted => {
-                return FragmentReport {
-                    id: fragment.id.clone(),
-                    func: fragment.func.clone(),
-                    loc: fragment.loc,
-                    features: fragment.features,
-                    outcome: FragmentOutcome::Failed(FailureReason::SearchExhausted),
+                return FragmentReport::new(
+                    fragment,
+                    FragmentOutcome::Failed(FailureReason::SearchExhausted),
                     search,
-                    compile_time: started.elapsed(),
-                }
+                    started.elapsed(),
+                )
             }
         };
 
@@ -118,7 +198,10 @@ impl Casper {
                     (s, c)
                 })
                 .collect();
-            prune_dominated(costed).into_iter().map(|(s, _)| s).collect()
+            prune_dominated(costed)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect()
         } else {
             summaries
         };
@@ -133,24 +216,24 @@ impl Casper {
             if i == 0 {
                 code = generated_code(summary, &plan.reduce_props, self.config.dialect);
             }
-            variants.push(Variant { name: format!("v{}", i + 1), plan });
+            variants.push(Variant {
+                name: format!("v{}", i + 1),
+                plan,
+            });
         }
         let program = GeneratedProgram::new(variants);
 
-        FragmentReport {
-            id: fragment.id.clone(),
-            func: fragment.func.clone(),
-            loc: fragment.loc,
-            features: fragment.features,
-            outcome: FragmentOutcome::Translated {
+        FragmentReport::new(
+            fragment,
+            FragmentOutcome::Translated {
                 summaries: kept,
                 program,
                 code,
                 dialect: self.config.dialect,
             },
             search,
-            compile_time: started.elapsed(),
-        }
+            started.elapsed(),
+        )
     }
 
     fn failed(
@@ -159,23 +242,17 @@ impl Casper {
         reason: FailureReason,
         started: Instant,
     ) -> FragmentReport {
-        FragmentReport {
-            id: fragment.id.clone(),
-            func: fragment.func.clone(),
-            loc: fragment.loc,
-            features: fragment.features,
-            outcome: FragmentOutcome::Failed(reason),
-            search: Default::default(),
-            compile_time: started.elapsed(),
-        }
+        FragmentReport::new(
+            fragment,
+            FragmentOutcome::Failed(reason),
+            Default::default(),
+            started.elapsed(),
+        )
     }
 
     /// Type environment for static costing: λ params of each source,
     /// free scalars, and struct-field paths.
-    fn fragment_type_env(
-        &self,
-        fragment: &Fragment,
-    ) -> impl Fn(&str) -> Option<Type> + 'static {
+    fn fragment_type_env(&self, fragment: &Fragment) -> impl Fn(&str) -> Option<Type> + 'static {
         let grammar = synthesis::Grammar::for_fragment(fragment);
         let mut pairs: Vec<(String, Type)> = grammar.scalars.clone();
         for spec in &grammar.sources {
@@ -187,7 +264,10 @@ impl Casper {
             pairs.push((format!("{e}"), t.clone()));
         }
         move |name: &str| {
-            pairs.iter().find(|(n, _)| n == name).map(|(_, t)| t.clone())
+            pairs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, t)| t.clone())
         }
     }
 }
@@ -250,12 +330,18 @@ mod tests {
         let report = casper().translate_source(src).unwrap();
         assert_eq!(report.translated_count(), 1, "rwm must translate");
         let frag = &report.fragments[0];
-        let FragmentOutcome::Translated { program, summaries, .. } = &frag.outcome
+        let FragmentOutcome::Translated {
+            program, summaries, ..
+        } = &frag.outcome
         else {
             panic!()
         };
         // The Figure 1 summary is a 3-operator pipeline.
-        assert!(summaries.iter().any(|s| s.op_count() == 3), "{}", summaries.len());
+        assert!(
+            summaries.iter().any(|s| s.op_count() == 3),
+            "{}",
+            summaries.len()
+        );
 
         let ctx = Context::with_parallelism(4, 8);
         let mut state = Env::new();
@@ -276,7 +362,11 @@ mod tests {
         let (out, _) = program.run(&ctx, &state).unwrap();
         assert_eq!(
             out.get("m"),
-            Some(&Value::Array(vec![Value::Int(3), Value::Int(7), Value::Int(1)]))
+            Some(&Value::Array(vec![
+                Value::Int(3),
+                Value::Int(7),
+                Value::Int(1)
+            ]))
         );
     }
 
@@ -312,8 +402,7 @@ mod tests {
         "#;
         let report = casper().translate_source(src).unwrap();
         assert_eq!(report.translated_count(), 1, "WordCount must translate");
-        let FragmentOutcome::Translated { program, .. } = &report.fragments[0].outcome
-        else {
+        let FragmentOutcome::Translated { program, .. } = &report.fragments[0].outcome else {
             panic!()
         };
         let ctx = Context::with_parallelism(4, 8);
@@ -324,7 +413,9 @@ mod tests {
         );
         state.set("counts", Value::Map(vec![]));
         let (out, _) = program.run(&ctx, &state).unwrap();
-        let Value::Map(m) = out.get("counts").unwrap() else { panic!() };
+        let Value::Map(m) = out.get("counts").unwrap() else {
+            panic!()
+        };
         assert_eq!(m.len(), 2);
     }
 
@@ -343,8 +434,7 @@ mod tests {
         "#;
         let report = casper().translate_source(src).unwrap();
         assert_eq!(report.translated_count(), 1, "StringMatch must translate");
-        let FragmentOutcome::Translated { program, .. } = &report.fragments[0].outcome
-        else {
+        let FragmentOutcome::Translated { program, .. } = &report.fragments[0].outcome else {
             panic!()
         };
         // §7.4: multiple semantically equivalent implementations exist and

@@ -63,11 +63,40 @@ pub struct FragmentReport {
     pub outcome: FragmentOutcome,
     /// Search statistics (candidates, TP failures, time — Tables 2/3).
     pub search: SearchReport,
-    /// Total compile time for this fragment.
+    /// Wall-clock compile time for this fragment.
     pub compile_time: Duration,
+    /// Aggregate CPU time for this fragment: the wall-clock of its
+    /// sequential phases plus the summed busy time of the search's
+    /// screening workers. At `parallelism = 1` this equals
+    /// `compile_time`; the gap between the two is what the parallel
+    /// driver bought.
+    pub cpu_time: Duration,
 }
 
 impl FragmentReport {
+    /// Assemble a report, deriving [`cpu_time`] from the search's CPU
+    /// accounting plus the sequential (non-search) share of the wall
+    /// clock.
+    ///
+    /// [`cpu_time`]: FragmentReport::cpu_time
+    pub fn new(
+        fragment: &analyzer::fragment::Fragment,
+        outcome: FragmentOutcome,
+        search: SearchReport,
+        compile_time: Duration,
+    ) -> FragmentReport {
+        let cpu_time = search.cpu_time + compile_time.saturating_sub(search.elapsed);
+        FragmentReport {
+            id: fragment.id.clone(),
+            func: fragment.func.clone(),
+            loc: fragment.loc,
+            features: fragment.features,
+            outcome,
+            search,
+            compile_time,
+            cpu_time,
+        }
+    }
     /// MapReduce operator count of the best summary (Table 2's "# Op").
     pub fn op_count(&self) -> usize {
         match &self.outcome {
@@ -90,6 +119,13 @@ impl FragmentReport {
 /// Whole-program translation report.
 pub struct TranslationReport {
     pub fragments: Vec<FragmentReport>,
+    /// End-to-end wall clock for the whole translation, including
+    /// parsing and fragment identification. With fragment-level
+    /// parallelism this is less than [`total_compile_time`], which sums
+    /// per-fragment wall clocks.
+    ///
+    /// [`total_compile_time`]: TranslationReport::total_compile_time
+    pub wall_time: Duration,
 }
 
 impl TranslationReport {
@@ -98,15 +134,29 @@ impl TranslationReport {
     }
 
     pub fn translated_count(&self) -> usize {
-        self.fragments.iter().filter(|f| f.outcome.is_translated()).count()
+        self.fragments
+            .iter()
+            .filter(|f| f.outcome.is_translated())
+            .count()
     }
 
     pub fn total_tp_failures(&self) -> u64 {
-        self.fragments.iter().map(|f| f.search.verifier_rejections).sum()
+        self.fragments
+            .iter()
+            .map(|f| f.search.verifier_rejections)
+            .sum()
     }
 
     pub fn total_compile_time(&self) -> Duration {
         self.fragments.iter().map(|f| f.compile_time).sum()
+    }
+
+    /// Summed CPU time across fragments — compare with [`wall_time`] to
+    /// read off the whole-translation core utilisation.
+    ///
+    /// [`wall_time`]: TranslationReport::wall_time
+    pub fn total_cpu_time(&self) -> Duration {
+        self.fragments.iter().map(|f| f.cpu_time).sum()
     }
 
     /// The translated fragment for a function name, if any.

@@ -49,7 +49,11 @@ pub struct GeneratedProgram {
 
 impl GeneratedProgram {
     pub fn new(variants: Vec<Variant>) -> GeneratedProgram {
-        GeneratedProgram { variants, sample_k: 5000, weights: CostWeights::default() }
+        GeneratedProgram {
+            variants,
+            sample_k: 5000,
+            weights: CostWeights::default(),
+        }
     }
 
     /// Run the monitor only: sample, estimate, choose (no execution).
@@ -166,7 +170,10 @@ mod tests {
     use verifier::CaProperties;
 
     fn ca() -> CaProperties {
-        CaProperties { commutative: true, associative: true }
+        CaProperties {
+            commutative: true,
+            associative: true,
+        }
     }
 
     /// StringMatch solution (b): tuple of bools, always one pair.
@@ -193,7 +200,9 @@ mod tests {
                 IrExpr::tget(IrExpr::var("v2"), 1),
             ),
         ]));
-        let expr = MrExpr::Data(DataSource::flat("text", Type::Str)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str))
+            .map(m)
+            .reduce(r);
         let summary = ProgramSummary {
             bindings: vec![OutputBinding {
                 vars: vec!["f1".into(), "f2".into()],
@@ -201,7 +210,10 @@ mod tests {
                 kind: OutputKind::ScalarTuple,
             }],
         };
-        Variant { name: "b".into(), plan: CompiledPlan::new(summary, vec![ca()]) }
+        Variant {
+            name: "b".into(),
+            plan: CompiledPlan::new(summary, vec![ca()]),
+        }
     }
 
     /// Solution (c): guarded per-key emits.
@@ -233,7 +245,10 @@ mod tests {
                 },
             }],
         };
-        Variant { name: "c".into(), plan: CompiledPlan::new(summary, vec![ca()]) }
+        Variant {
+            name: "c".into(),
+            plan: CompiledPlan::new(summary, vec![ca()]),
+        }
     }
 
     fn stringmatch_state(match_fraction: f64, n: usize) -> Env {
@@ -303,9 +318,6 @@ mod tests {
         prog.sample_k = 10;
         let state = stringmatch_state(1.0, 100_000);
         let sampled = prog.sample_state(&state);
-        assert_eq!(
-            sampled.get("text").unwrap().elements().unwrap().len(),
-            10
-        );
+        assert_eq!(sampled.get("text").unwrap().elements().unwrap().len(), 10);
     }
 }

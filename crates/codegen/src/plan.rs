@@ -24,7 +24,10 @@ pub struct CompiledPlan {
 
 impl CompiledPlan {
     pub fn new(summary: ProgramSummary, reduce_props: Vec<CaProperties>) -> CompiledPlan {
-        CompiledPlan { summary, reduce_props }
+        CompiledPlan {
+            summary,
+            reduce_props,
+        }
     }
 
     /// Execute the plan on the engine against a program state, returning
@@ -59,13 +62,9 @@ impl CompiledPlan {
                 }
                 let rows = source_rows(state, &src.var, src.shape)?;
                 let rdd: Rdd<Value> = Rdd::parallelize(ctx, rows);
-                Ok(rdd.map_to_pair(|row| {
-                    match row {
-                        Value::Tuple(kv) if kv.len() == 2 => {
-                            (kv[0].clone(), kv[1].clone())
-                        }
-                        other => (Value::Unit, other.clone()),
-                    }
+                Ok(rdd.map_to_pair(|row| match row {
+                    Value::Tuple(kv) if kv.len() == 2 => (kv[0].clone(), kv[1].clone()),
+                    other => (Value::Unit, other.clone()),
                 }))
             }
             MrExpr::Map(inner, lambda) => match &**inner {
@@ -87,7 +86,10 @@ impl CompiledPlan {
                     .reduce_props
                     .get(*reduce_idx)
                     .copied()
-                    .unwrap_or(CaProperties { commutative: false, associative: false });
+                    .unwrap_or(CaProperties {
+                        commutative: false,
+                        associative: false,
+                    });
                 *reduce_idx += 1;
                 apply_reduce(&upstream, lambda, state, props)
             }
@@ -95,8 +97,7 @@ impl CompiledPlan {
                 let left = self.run_stage(ctx, state, l, reduce_idx)?;
                 let right = self.run_stage(ctx, state, r, reduce_idx)?;
                 let joined = left.join(&right);
-                Ok(joined
-                    .map(|(k, (v, w))| (k.clone(), Value::Tuple(vec![v.clone(), w.clone()]))))
+                Ok(joined.map(|(k, (v, w))| (k.clone(), Value::Tuple(vec![v.clone(), w.clone()]))))
             }
         }
     }
@@ -138,11 +139,7 @@ pub fn source_rows(state: &Env, var: &str, shape: DataShape) -> Result<Vec<Value
 }
 
 /// Compile a map lambda into a `flatMapToPair` over the engine.
-fn apply_map(
-    rdd: &Rdd<Value>,
-    lambda: &MapLambda,
-    state: &Env,
-) -> Result<PairRdd<Value, Value>> {
+fn apply_map(rdd: &Rdd<Value>, lambda: &MapLambda, state: &Env) -> Result<PairRdd<Value, Value>> {
     let lambda = lambda.clone();
     let base_env = state.clone();
     let arity = lambda.params.len();
@@ -326,7 +323,10 @@ mod tests {
     }
 
     fn ca() -> CaProperties {
-        CaProperties { commutative: true, associative: true }
+        CaProperties {
+            commutative: true,
+            associative: true,
+        }
     }
 
     fn word_count_summary() -> ProgramSummary {
@@ -355,7 +355,9 @@ mod tests {
         );
         state.set("counts", Value::Map(vec![]));
         let out = plan.execute(&ctx(), &state).unwrap();
-        let Value::Map(entries) = out.get("counts").unwrap() else { panic!() };
+        let Value::Map(entries) = out.get("counts").unwrap() else {
+            panic!()
+        };
         let get = |k: &str| {
             entries
                 .iter()
@@ -375,7 +377,10 @@ mod tests {
         state.set(
             "words",
             Value::List(
-                ["x", "y", "x", "z", "z", "z"].iter().map(Value::str).collect(),
+                ["x", "y", "x", "z", "z", "z"]
+                    .iter()
+                    .map(Value::str)
+                    .collect(),
             ),
         );
         state.set("counts", Value::Map(vec![]));
@@ -393,11 +398,16 @@ mod tests {
             vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
         );
         let r = ReduceLambda::new(IrExpr::var("v1"));
-        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(r);
         let summary = ProgramSummary::single("first", expr, OutputKind::Scalar);
         let plan = CompiledPlan::new(
             summary,
-            vec![CaProperties { commutative: false, associative: true }],
+            vec![CaProperties {
+                commutative: false,
+                associative: true,
+            }],
         );
         let c = ctx();
         let mut state = Env::new();
@@ -409,8 +419,7 @@ mod tests {
         c.reset_stats();
         let out = plan.execute(&c, &state).unwrap();
         assert_eq!(out.get("first"), Some(&Value::Int(7)));
-        let labels: Vec<String> =
-            c.stats().stages.iter().map(|s| s.label.clone()).collect();
+        let labels: Vec<String> = c.stats().stages.iter().map(|s| s.label.clone()).collect();
         assert!(
             labels.iter().any(|l| l == "groupByKey"),
             "non-CA must compile to groupByKey: {labels:?}"
@@ -426,8 +435,7 @@ mod tests {
         state.set("counts", Value::Map(vec![]));
         c.reset_stats();
         plan.execute(&c, &state).unwrap();
-        let labels: Vec<String> =
-            c.stats().stages.iter().map(|s| s.label.clone()).collect();
+        let labels: Vec<String> = c.stats().stages.iter().map(|s| s.label.clone()).collect();
         assert!(labels.iter().any(|l| l == "reduceByKey"), "{labels:?}");
     }
 
@@ -470,7 +478,9 @@ mod tests {
         let summary = ProgramSummary::single(
             "m",
             expr,
-            OutputKind::AssocArray { len_var: "rows".into() },
+            OutputKind::AssocArray {
+                len_var: "rows".into(),
+            },
         );
         let plan = CompiledPlan::new(summary, vec![ca()]);
         let mut state = Env::new();

@@ -40,6 +40,11 @@ pub struct CostWeights {
 
 impl Default for CostWeights {
     fn default() -> Self {
-        CostWeights { wm: 1.0, wr: 2.0, wj: 2.0, wcsg: 50.0 }
+        CostWeights {
+            wm: 1.0,
+            wr: 2.0,
+            wj: 2.0,
+            wcsg: 50.0,
+        }
     }
 }

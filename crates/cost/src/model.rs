@@ -19,7 +19,9 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { weights: CostWeights::default() }
+        CostModel {
+            weights: CostWeights::default(),
+        }
     }
 }
 
@@ -62,10 +64,14 @@ struct Mult {
 
 impl Mult {
     fn one() -> Mult {
-        Mult { inner: SymCost::constant(1.0) }
+        Mult {
+            inner: SymCost::constant(1.0),
+        }
     }
     fn zero() -> Mult {
-        Mult { inner: SymCost::constant(0.0) }
+        Mult {
+            inner: SymCost::constant(0.0),
+        }
     }
 }
 
@@ -81,7 +87,12 @@ fn stage_cost(
         MrExpr::Data(_) => (SymCost::constant(0.0), Mult::one(), 48.0),
         MrExpr::Map(inner, lambda) => {
             let (mut cost, mult, _pair) = stage_cost(
-                inner, type_of, non_ca, weights, prob_counter, reduce_counter,
+                inner,
+                type_of,
+                non_ca,
+                weights,
+                prob_counter,
+                reduce_counter,
             );
             // Parameter types: bind λ params through `type_of` fallback.
             let lookup = |name: &str| type_of(name);
@@ -117,7 +128,12 @@ fn stage_cost(
         }
         MrExpr::Reduce(inner, lambda) => {
             let (mut cost, mult, pair_size) = stage_cost(
-                inner, type_of, non_ca, weights, prob_counter, reduce_counter,
+                inner,
+                type_of,
+                non_ca,
+                weights,
+                prob_counter,
+                reduce_counter,
             );
             // Eqn 3 prices the reducer on the records it shuffles and
             // combines: the key/value pair size of its input (Figure 8(d)
@@ -136,10 +152,8 @@ fn stage_cost(
             (cost, Mult::zero(), size)
         }
         MrExpr::Join(l, r) => {
-            let (cl, _, _) =
-                stage_cost(l, type_of, non_ca, weights, prob_counter, reduce_counter);
-            let (cr, _, _) =
-                stage_cost(r, type_of, non_ca, weights, prob_counter, reduce_counter);
+            let (cl, _, _) = stage_cost(l, type_of, non_ca, weights, prob_counter, reduce_counter);
+            let (cr, _, _) = stage_cost(r, type_of, non_ca, weights, prob_counter, reduce_counter);
             let mut cost = SymCost::constant(0.0);
             cost.add(&cl);
             cost.add(&cr);
@@ -180,7 +194,11 @@ pub fn dynamic_cost(
     weights: &CostWeights,
 ) -> DynCostReport {
     let ctx = EvalCtx::new(sample_state);
-    let mut report = DynCostReport { cost: 0.0, probabilities: Vec::new(), unique_keys: Vec::new() };
+    let mut report = DynCostReport {
+        cost: 0.0,
+        probabilities: Vec::new(),
+        unique_keys: Vec::new(),
+    };
     let mut reduce_counter = 0usize;
     for binding in &summary.bindings {
         walk_dynamic(
@@ -213,7 +231,13 @@ fn walk_dynamic(
         }
         MrExpr::Map(inner, _lambda) => {
             let (rows_in, n_in) = walk_dynamic(
-                inner, ctx, true_counts, non_ca, weights, reduce_counter, report,
+                inner,
+                ctx,
+                true_counts,
+                non_ca,
+                weights,
+                reduce_counter,
+                report,
             );
             let rows_out = ctx.eval_mr(expr).unwrap_or_default();
             let (bytes_out, selectivity) = sample_ratios(&rows_in, &rows_out);
@@ -223,7 +247,13 @@ fn walk_dynamic(
         }
         MrExpr::Reduce(inner, _lambda) => {
             let (rows_in, n_in) = walk_dynamic(
-                inner, ctx, true_counts, non_ca, weights, reduce_counter, report,
+                inner,
+                ctx,
+                true_counts,
+                non_ca,
+                weights,
+                reduce_counter,
+                report,
             );
             let rows_out = ctx.eval_mr(expr).unwrap_or_default();
             let in_size = avg_row_bytes(&rows_in);
@@ -246,15 +276,17 @@ fn walk_dynamic(
             (rows_out, est_keys)
         }
         MrExpr::Join(l, r) => {
-            let (rows_l, n_l) = walk_dynamic(
-                l, ctx, true_counts, non_ca, weights, reduce_counter, report,
-            );
-            let (rows_r, n_r) = walk_dynamic(
-                r, ctx, true_counts, non_ca, weights, reduce_counter, report,
-            );
+            let (rows_l, n_l) =
+                walk_dynamic(l, ctx, true_counts, non_ca, weights, reduce_counter, report);
+            let (rows_r, n_r) =
+                walk_dynamic(r, ctx, true_counts, non_ca, weights, reduce_counter, report);
             let rows_out = ctx.eval_mr(expr).unwrap_or_default();
             let pairs = (rows_l.len() as f64) * (rows_r.len() as f64);
-            let selectivity = if pairs > 0.0 { rows_out.len() as f64 / pairs } else { 0.0 };
+            let selectivity = if pairs > 0.0 {
+                rows_out.len() as f64 / pairs
+            } else {
+                0.0
+            };
             report.probabilities.push(selectivity);
             let size = avg_row_bytes(&rows_out);
             report.cost += weights.wj * n_l * n_r * selectivity * size;
@@ -313,8 +345,10 @@ pub fn prune_dominated(
 /// Type lookup assembled from λ parameters, free scalars, and struct
 /// field paths — the form `static_cost` consumes.
 pub fn type_env(pairs: &[(&str, Type)]) -> impl Fn(&str) -> Option<Type> + 'static {
-    let map: HashMap<String, Type> =
-        pairs.iter().map(|(n, t)| (n.to_string(), t.clone())).collect();
+    let map: HashMap<String, Type> = pairs
+        .iter()
+        .map(|(n, t)| (n.to_string(), t.clone()))
+        .collect();
     move |name: &str| map.get(name).cloned()
 }
 
@@ -380,7 +414,9 @@ mod tests {
                 IrExpr::tget(IrExpr::var("v2"), 1),
             ),
         ]));
-        let expr = MrExpr::Data(DataSource::flat("text", Type::Str)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str))
+            .map(m)
+            .reduce(r);
         ProgramSummary {
             bindings: vec![casper_ir::mr::OutputBinding {
                 vars: vec!["f1".into(), "f2".into()],
@@ -460,7 +496,10 @@ mod tests {
         let b = static_cost(&stringmatch_b(), &ty, &[], &w);
         let c = static_cost(&stringmatch_c(), &ty, &[], &w);
         assert!(a.dominates(&b), "a must be droppable at compile time");
-        assert!(!b.dominates(&c) && !c.dominates(&b), "b vs c needs runtime data");
+        assert!(
+            !b.dominates(&c) && !c.dominates(&b),
+            "b vs c needs runtime data"
+        );
 
         let pruned = prune_dominated(vec![
             (stringmatch_a(), a),
@@ -499,12 +538,18 @@ mod tests {
         let st_low = mk_state(0.0);
         let b_low = dynamic_cost(&stringmatch_b(), &st_low, &n_true, &[], &w).cost;
         let c_low = dynamic_cost(&stringmatch_c(), &st_low, &n_true, &[], &w).cost;
-        assert!(c_low < b_low, "no matches: (c) emits nothing ({c_low} vs {b_low})");
+        assert!(
+            c_low < b_low,
+            "no matches: (c) emits nothing ({c_low} vs {b_low})"
+        );
 
         let st_high = mk_state(0.95);
         let b_high = dynamic_cost(&stringmatch_b(), &st_high, &n_true, &[], &w).cost;
         let c_high = dynamic_cost(&stringmatch_c(), &st_high, &n_true, &[], &w).cost;
-        assert!(b_high < c_high, "95% matches: (b) wins ({b_high} vs {c_high})");
+        assert!(
+            b_high < c_high,
+            "95% matches: (b) wins ({b_high} vs {c_high})"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub struct SymCost {
 
 impl SymCost {
     pub fn constant(base: f64) -> SymCost {
-        SymCost { base, terms: BTreeMap::new() }
+        SymCost {
+            base,
+            terms: BTreeMap::new(),
+        }
     }
 
     pub fn add_term(&mut self, name: impl Into<String>, coef: f64) {
@@ -32,7 +35,11 @@ impl SymCost {
     pub fn scale(&self, factor: f64) -> SymCost {
         SymCost {
             base: self.base * factor,
-            terms: self.terms.iter().map(|(k, v)| (k.clone(), v * factor)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(k, v)| (k.clone(), v * factor))
+                .collect(),
         }
     }
 
@@ -66,9 +73,7 @@ impl SymCost {
             let assignment: BTreeMap<String, f64> = names
                 .iter()
                 .enumerate()
-                .map(|(i, n)| {
-                    ((*n).clone(), if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
-                })
+                .map(|(i, n)| ((*n).clone(), if mask & (1 << i) != 0 { 1.0 } else { 0.0 }))
                 .collect();
             if self.eval(&assignment, 0.0) < other.eval(&assignment, 0.0) - 1e-9 {
                 return false;
@@ -82,13 +87,23 @@ impl SymCost {
     pub fn display(&self) -> String {
         let mut parts = Vec::new();
         if self.base != 0.0 || self.terms.is_empty() {
-            parts.push(format!("{:.6}", self.base).trim_end_matches('0').trim_end_matches('.').to_string());
+            parts.push(
+                format!("{:.6}", self.base)
+                    .trim_end_matches('0')
+                    .trim_end_matches('.')
+                    .to_string(),
+            );
         }
         // Group terms with the same coefficient.
         let mut by_coef: BTreeMap<String, Vec<&String>> = BTreeMap::new();
         for (name, coef) in &self.terms {
             by_coef
-                .entry(format!("{:.6}", coef).trim_end_matches('0').trim_end_matches('.').to_string())
+                .entry(
+                    format!("{:.6}", coef)
+                        .trim_end_matches('0')
+                        .trim_end_matches('.')
+                        .to_string(),
+                )
                 .or_default()
                 .push(name);
         }

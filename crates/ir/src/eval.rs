@@ -85,8 +85,7 @@ impl<'a> EvalCtx<'a> {
                 }
                 for (var, key_expr) in binding.vars.iter().zip(keys) {
                     let key = key_expr.eval(self.state)?;
-                    let mut hits =
-                        rows.iter().filter(|r| r.len() == 2 && r[0] == key);
+                    let mut hits = rows.iter().filter(|r| r.len() == 2 && r[0] == key);
                     match (hits.next(), hits.next()) {
                         (None, _) => {
                             let v = self.pre_value(var)?;
@@ -150,8 +149,7 @@ impl<'a> EvalCtx<'a> {
             }
             OutputKind::CollectedList => {
                 let var = &binding.vars[0];
-                let mut vals: Vec<Value> =
-                    rows.iter().map(|r| r[r.len() - 1].clone()).collect();
+                let mut vals: Vec<Value> = rows.iter().map(|r| r[r.len() - 1].clone()).collect();
                 // MapReduce output is a multiset: canonicalise by sorting.
                 vals.sort();
                 out.set(var.clone(), Value::List(vals));
@@ -318,10 +316,7 @@ pub fn eval_join(left: &[Row], right: &[Row]) -> Result<Vec<Row>> {
         };
         if let Some(matches) = index.get(k) {
             for w in matches {
-                out.push(vec![
-                    k.clone(),
-                    Value::Tuple(vec![v.clone(), (*w).clone()]),
-                ]);
+                out.push(vec![k.clone(), Value::Tuple(vec![v.clone(), (*w).clone()])]);
             }
         }
     }
@@ -344,7 +339,10 @@ mod tests {
     use seqlang::ty::Type;
 
     fn state(pairs: &[(&str, Value)]) -> Env {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn rwm_summary() -> ProgramSummary {
@@ -364,7 +362,13 @@ mod tests {
             .map(m1)
             .reduce(r)
             .map(m2);
-        ProgramSummary::single("m", expr, OutputKind::AssocArray { len_var: "rows".into() })
+        ProgramSummary::single(
+            "m",
+            expr,
+            OutputKind::AssocArray {
+                len_var: "rows".into(),
+            },
+        )
     }
 
     #[test]
@@ -413,7 +417,10 @@ mod tests {
     #[test]
     fn scalar_sum() {
         let st = state(&[
-            ("xs", Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])),
+            (
+                "xs",
+                Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+            ),
             ("s", Value::Int(0)),
         ]);
         let out = eval_summary(&sum_summary(), &st).unwrap();
@@ -479,7 +486,11 @@ mod tests {
         let out = eval_summary(&summary, &st).unwrap();
         assert_eq!(
             out.get("evens"),
-            Some(&Value::List(vec![Value::Int(2), Value::Int(4), Value::Int(6)]))
+            Some(&Value::List(vec![
+                Value::Int(2),
+                Value::Int(4),
+                Value::Int(6)
+            ]))
         );
     }
 
@@ -570,7 +581,9 @@ mod tests {
                 IrExpr::tget(IrExpr::var("v2"), 1),
             ),
         ]));
-        let expr = MrExpr::Data(DataSource::flat("text", Type::Str)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str))
+            .map(m)
+            .reduce(r);
         let summary = ProgramSummary {
             bindings: vec![OutputBinding {
                 vars: vec!["found1".into(), "found2".into()],

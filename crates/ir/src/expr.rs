@@ -170,9 +170,7 @@ impl IrExpr {
                 // Short-circuit like the source language.
                 match op {
                     BinOp::And => {
-                        if l.eval(env)?.as_bool()
-                            != Some(true)
-                        {
+                        if l.eval(env)?.as_bool() != Some(true) {
                             return Ok(Value::Bool(false));
                         }
                         return r.eval(env);
@@ -287,7 +285,10 @@ mod tests {
     use seqlang::ast::BinOp;
 
     fn env(pairs: &[(&str, Value)]) -> Env {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -304,8 +305,14 @@ mod tests {
             IrExpr::int(1),
             IrExpr::int(-1),
         );
-        assert_eq!(e.eval(&env(&[("x", Value::Int(5))])).unwrap(), Value::Int(1));
-        assert_eq!(e.eval(&env(&[("x", Value::Int(-5))])).unwrap(), Value::Int(-1));
+        assert_eq!(
+            e.eval(&env(&[("x", Value::Int(5))])).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            e.eval(&env(&[("x", Value::Int(-5))])).unwrap(),
+            Value::Int(-1)
+        );
     }
 
     #[test]
@@ -331,8 +338,14 @@ mod tests {
     #[test]
     fn library_calls_evaluate() {
         let e = IrExpr::Call("min".into(), vec![IrExpr::int(4), IrExpr::var("v")]);
-        assert_eq!(e.eval(&env(&[("v", Value::Int(2))])).unwrap(), Value::Int(2));
-        assert_eq!(e.eval(&env(&[("v", Value::Int(9))])).unwrap(), Value::Int(4));
+        assert_eq!(
+            e.eval(&env(&[("v", Value::Int(2))])).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            e.eval(&env(&[("v", Value::Int(9))])).unwrap(),
+            Value::Int(4)
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Fold-IR extension (§7.5).
 //!
 //! The paper demonstrates Casper's extensibility by hosting the Fold-IR of
-//! Emani et al. [22] inside the system: a `fold` construct with an initial
+//! Emani et al. \[22\] inside the system: a `fold` construct with an initial
 //! accumulator and a binary combine function, enough to express every
 //! Ariths benchmark. We reproduce that extension here: `FoldSummary` is an
 //! alternative summary form with its own evaluator, reusing [`IrExpr`] for
@@ -106,7 +106,10 @@ mod tests {
     use seqlang::ty::Type;
 
     fn state(pairs: &[(&str, Value)]) -> Env {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]

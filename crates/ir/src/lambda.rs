@@ -16,10 +16,18 @@ pub struct Emit {
 
 impl Emit {
     pub fn unconditional(key: IrExpr, val: IrExpr) -> Emit {
-        Emit { cond: None, key, val }
+        Emit {
+            cond: None,
+            key,
+            val,
+        }
     }
     pub fn guarded(cond: IrExpr, key: IrExpr, val: IrExpr) -> Emit {
-        Emit { cond: Some(cond), key, val }
+        Emit {
+            cond: Some(cond),
+            key,
+            val,
+        }
     }
 }
 
@@ -38,7 +46,10 @@ pub struct MapLambda {
 
 impl MapLambda {
     pub fn new(params: Vec<&str>, emits: Vec<Emit>) -> MapLambda {
-        MapLambda { params: params.into_iter().map(String::from).collect(), emits }
+        MapLambda {
+            params: params.into_iter().map(String::from).collect(),
+            emits,
+        }
     }
 }
 
@@ -52,7 +63,10 @@ pub struct ReduceLambda {
 
 impl ReduceLambda {
     pub fn new(body: IrExpr) -> ReduceLambda {
-        ReduceLambda { params: ["v1".to_string(), "v2".to_string()], body }
+        ReduceLambda {
+            params: ["v1".to_string(), "v2".to_string()],
+            body,
+        }
     }
 
     /// Convenience constructor: `v1 op v2`.
@@ -78,11 +92,7 @@ mod tests {
 
     #[test]
     fn emit_constructors() {
-        let e = Emit::guarded(
-            IrExpr::ConstBool(true),
-            IrExpr::var("k"),
-            IrExpr::var("v"),
-        );
+        let e = Emit::guarded(IrExpr::ConstBool(true), IrExpr::var("k"), IrExpr::var("v"));
         assert!(e.cond.is_some());
         let u = Emit::unconditional(IrExpr::int(0), IrExpr::var("v"));
         assert!(u.cond.is_none());

@@ -44,13 +44,25 @@ pub struct DataSource {
 
 impl DataSource {
     pub fn flat(var: impl Into<String>, elem_ty: Type) -> DataSource {
-        DataSource { var: var.into(), shape: DataShape::Flat, elem_ty }
+        DataSource {
+            var: var.into(),
+            shape: DataShape::Flat,
+            elem_ty,
+        }
     }
     pub fn indexed(var: impl Into<String>, elem_ty: Type) -> DataSource {
-        DataSource { var: var.into(), shape: DataShape::Indexed, elem_ty }
+        DataSource {
+            var: var.into(),
+            shape: DataShape::Indexed,
+            elem_ty,
+        }
     }
     pub fn indexed_2d(var: impl Into<String>, elem_ty: Type) -> DataSource {
-        DataSource { var: var.into(), shape: DataShape::Indexed2D, elem_ty }
+        DataSource {
+            var: var.into(),
+            shape: DataShape::Indexed2D,
+            elem_ty,
+        }
     }
 }
 
@@ -159,7 +171,11 @@ pub struct ProgramSummary {
 impl ProgramSummary {
     pub fn single(var: impl Into<String>, expr: MrExpr, kind: OutputKind) -> ProgramSummary {
         ProgramSummary {
-            bindings: vec![OutputBinding { vars: vec![var.into()], expr, kind }],
+            bindings: vec![OutputBinding {
+                vars: vec![var.into()],
+                expr,
+                kind,
+            }],
         }
     }
 
@@ -208,7 +224,13 @@ mod tests {
             .map(m1)
             .reduce(r)
             .map(m2);
-        ProgramSummary::single("m", expr, OutputKind::AssocArray { len_var: "rows".into() })
+        ProgramSummary::single(
+            "m",
+            expr,
+            OutputKind::AssocArray {
+                len_var: "rows".into(),
+            },
+        )
     }
 
     #[test]

@@ -110,10 +110,15 @@ mod tests {
         let s = ProgramSummary::single(
             "m",
             expr,
-            OutputKind::AssocArray { len_var: "rows".into() },
+            OutputKind::AssocArray {
+                len_var: "rows".into(),
+            },
         );
         let text = pretty_summary(&s);
-        assert!(text.contains("m = map(reduce(map(mat[2d], λm1), λr2), λm3)"), "{text}");
+        assert!(
+            text.contains("m = map(reduce(map(mat[2d], λm1), λr2), λm3)"),
+            "{text}"
+        );
         assert!(text.contains("(v1 + v2)"), "{text}");
         assert!(text.contains("(v / cols)"), "{text}");
     }

@@ -110,8 +110,12 @@ pub fn infer_type(expr: &IrExpr, lookup: &dyn Fn(&str) -> Option<Type>) -> Optio
 /// Static size of an emitted key/value pair, with a conservative default
 /// of 48 bytes when a side cannot be typed.
 pub fn emit_size_bytes(emit: &Emit, lookup: &dyn Fn(&str) -> Option<Type>) -> u64 {
-    let k = infer_type(&emit.key, lookup).map(|t| type_size_bytes(&t)).unwrap_or(48);
-    let v = infer_type(&emit.val, lookup).map(|t| type_size_bytes(&t)).unwrap_or(48);
+    let k = infer_type(&emit.key, lookup)
+        .map(|t| type_size_bytes(&t))
+        .unwrap_or(48);
+    let v = infer_type(&emit.val, lookup)
+        .map(|t| type_size_bytes(&t))
+        .unwrap_or(48);
     k + v
 }
 

@@ -22,7 +22,9 @@ pub struct Context {
 
 impl Context {
     pub fn new() -> Arc<Context> {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         Context::with_parallelism(cores.min(8), cores.min(8) * 2)
     }
 

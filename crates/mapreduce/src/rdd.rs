@@ -59,7 +59,9 @@ where
             });
         }
     });
-    out.into_iter().map(|o| o.expect("partition processed")).collect()
+    out.into_iter()
+        .map(|o| o.expect("partition processed"))
+        .collect()
 }
 
 fn hash_key<K: Hash>(k: &K, buckets: usize) -> usize {
@@ -91,7 +93,10 @@ impl<T: Payload> Rdd<T> {
         if partitions.is_empty() {
             partitions.push(Vec::new());
         }
-        Rdd { ctx: ctx.clone(), partitions: Arc::new(partitions) }
+        Rdd {
+            ctx: ctx.clone(),
+            partitions: Arc::new(partitions),
+        }
     }
 
     pub fn context(&self) -> &Arc<Context> {
@@ -107,7 +112,10 @@ impl<T: Payload> Rdd<T> {
     }
 
     fn from_partitions(&self, partitions: Vec<Vec<T>>) -> Rdd<T> {
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(partitions) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(partitions),
+        }
     }
 
     fn record_narrow<U: Payload>(&self, label: &str, out: &[Vec<U>]) {
@@ -124,22 +132,24 @@ impl<T: Payload> Rdd<T> {
 
     /// One-to-one transformation.
     pub fn map<U: Payload>(&self, f: impl Fn(&T) -> U + Send + Sync) -> Rdd<U> {
-        let parts =
-            par_map_partitions(&self.ctx, &self.partitions, |p| p.iter().map(&f).collect());
+        let parts = par_map_partitions(&self.ctx, &self.partitions, |p| p.iter().map(&f).collect());
         self.record_narrow("map", &parts);
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(parts) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        }
     }
 
     /// One-to-many transformation.
-    pub fn flat_map<U: Payload>(
-        &self,
-        f: impl Fn(&T) -> Vec<U> + Send + Sync,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Payload>(&self, f: impl Fn(&T) -> Vec<U> + Send + Sync) -> Rdd<U> {
         let parts = par_map_partitions(&self.ctx, &self.partitions, |p| {
             p.iter().flat_map(&f).collect()
         });
         self.record_narrow("flatMap", &parts);
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(parts) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        }
     }
 
     /// Keep records satisfying the predicate.
@@ -156,10 +166,12 @@ impl<T: Payload> Rdd<T> {
         &self,
         f: impl Fn(&T) -> (K, V) + Send + Sync,
     ) -> PairRdd<K, V> {
-        let parts =
-            par_map_partitions(&self.ctx, &self.partitions, |p| p.iter().map(&f).collect());
+        let parts = par_map_partitions(&self.ctx, &self.partitions, |p| p.iter().map(&f).collect());
         self.record_narrow("mapToPair", &parts);
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(parts) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        }
     }
 
     /// Map each record to any number of key/value pairs (`flatMapToPair`).
@@ -171,7 +183,10 @@ impl<T: Payload> Rdd<T> {
             p.iter().flat_map(&f).collect()
         });
         self.record_narrow("flatMapToPair", &parts);
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(parts) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        }
     }
 
     /// Collect all records to the driver, preserving partition order.
@@ -180,7 +195,10 @@ impl<T: Payload> Rdd<T> {
         stage.records_in = self.count();
         stage.records_out = stage.records_in;
         self.ctx.record_stage(stage);
-        self.partitions.iter().flat_map(|p| p.iter().cloned()).collect()
+        self.partitions
+            .iter()
+            .flat_map(|p| p.iter().cloned())
+            .collect()
     }
 
     /// Reduce all records to one with a commutative/associative function
@@ -266,10 +284,7 @@ where
 
     /// `reduceByKey` with combiners switched off (Table 4's WC 2): every
     /// record crosses the shuffle.
-    pub fn reduce_by_key_no_combine(
-        &self,
-        f: impl Fn(&V, &V) -> V + Send + Sync,
-    ) -> PairRdd<K, V> {
+    pub fn reduce_by_key_no_combine(&self, f: impl Fn(&V, &V) -> V + Send + Sync) -> PairRdd<K, V> {
         self.reduce_by_key_opt(f, false)
     }
 
@@ -325,7 +340,11 @@ where
         });
         let mut stage = StageStats::new(
             StageKind::Shuffle,
-            if combine { "reduceByKey" } else { "reduceByKey(no-combine)" },
+            if combine {
+                "reduceByKey"
+            } else {
+                "reduceByKey(no-combine)"
+            },
         );
         stage.records_in = records_in;
         stage.records_out = parts.iter().map(|p| p.len() as u64).sum();
@@ -336,7 +355,10 @@ where
             .map(|(k, v)| 8 + k.payload_bytes() + v.payload_bytes())
             .sum();
         self.ctx.record_stage(stage);
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(parts) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        }
     }
 
     /// `groupByKey`: shuffle everything, produce per-key value vectors in
@@ -371,19 +393,22 @@ where
         stage.bytes_shuffled = moved;
         stage.bytes_out = moved;
         self.ctx.record_stage(stage);
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(parts) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        }
     }
 
     /// `mapValues`: transform values, keys and partitioning unchanged.
-    pub fn map_values<W: Payload>(
-        &self,
-        f: impl Fn(&V) -> W + Send + Sync,
-    ) -> PairRdd<K, W> {
+    pub fn map_values<W: Payload>(&self, f: impl Fn(&V) -> W + Send + Sync) -> PairRdd<K, W> {
         let parts = par_map_partitions(&self.ctx, &self.partitions, |p| {
             p.iter().map(|(k, v)| (k.clone(), f(v))).collect()
         });
         self.record_narrow("mapValues", &parts);
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(parts) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        }
     }
 
     /// Inner equi-join: `(k,v) ⋈ (k,w) → (k,(v,w))`. Shuffles both sides.
@@ -401,30 +426,26 @@ where
                 rsh[hash_key(&k, buckets)].push((k, w));
             }
         }
-        let zipped: Vec<Vec<(Vec<(K, V)>, Vec<(K, W)>)>> = lsh
-            .into_iter()
-            .zip(rsh)
-            .map(|pair| vec![pair])
-            .collect();
-        let parts: Vec<Vec<(K, (V, W))>> =
-            par_map_partitions(&self.ctx, &zipped, |pair_slice| {
-                let mut out: Vec<(K, (V, W))> = Vec::new();
-                for (lp, rp) in pair_slice {
-                    let mut index: HashMap<&K, Vec<&W>> = HashMap::new();
-                    for (k, w) in rp {
-                        index.entry(k).or_default().push(w);
-                    }
-                    for (k, v) in lp {
-                        if let Some(ws) = index.get(k) {
-                            for w in ws {
-                                out.push((k.clone(), (v.clone(), (*w).clone())));
-                            }
+        let zipped: Vec<Vec<(Vec<(K, V)>, Vec<(K, W)>)>> =
+            lsh.into_iter().zip(rsh).map(|pair| vec![pair]).collect();
+        let parts: Vec<Vec<(K, (V, W))>> = par_map_partitions(&self.ctx, &zipped, |pair_slice| {
+            let mut out: Vec<(K, (V, W))> = Vec::new();
+            for (lp, rp) in pair_slice {
+                let mut index: HashMap<&K, Vec<&W>> = HashMap::new();
+                for (k, w) in rp {
+                    index.entry(k).or_default().push(w);
+                }
+                for (k, v) in lp {
+                    if let Some(ws) = index.get(k) {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), (*w).clone())));
                         }
                     }
                 }
-                out.sort_by(|a, b| a.0.cmp(&b.0));
-                out
-            });
+            }
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        });
         let records_in = self.count() + other.count();
         let mut stage = StageStats::new(StageKind::Join, "join");
         stage.records_in = records_in;
@@ -436,7 +457,10 @@ where
             .map(|(k, vw)| 8 + k.payload_bytes() + vw.payload_bytes())
             .sum();
         self.ctx.record_stage(stage);
-        Rdd { ctx: self.ctx.clone(), partitions: Arc::new(parts) }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        }
     }
 
     /// Collect into a key-sorted vector (deterministic driver-side view).
@@ -475,15 +499,16 @@ mod tests {
     #[test]
     fn word_count_reduce_by_key() {
         let c = ctx();
-        let words: Vec<String> =
-            ["a", "b", "a", "c", "b", "a"].iter().map(|s| s.to_string()).collect();
+        let words: Vec<String> = ["a", "b", "a", "c", "b", "a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let rdd = Rdd::parallelize(&c, words);
-        let counts = rdd.map_to_pair(|w| (w.clone(), 1i64)).reduce_by_key(|a, b| a + b);
+        let counts = rdd
+            .map_to_pair(|w| (w.clone(), 1i64))
+            .reduce_by_key(|a, b| a + b);
         let out = counts.collect_sorted();
-        assert_eq!(
-            out,
-            vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]
-        );
+        assert_eq!(out, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
     }
 
     #[test]
@@ -563,10 +588,15 @@ mod tests {
         let c = ctx();
         let rdd = Rdd::parallelize(&c, (0i64..50).collect());
         c.reset_stats();
-        rdd.map_to_pair(|x| (x % 5, *x)).reduce_by_key(|a, b| a + b).collect();
+        rdd.map_to_pair(|x| (x % 5, *x))
+            .reduce_by_key(|a, b| a + b)
+            .collect();
         let stats = c.stats();
         let kinds: Vec<StageKind> = stats.stages.iter().map(|s| s.kind).collect();
-        assert_eq!(kinds, vec![StageKind::Map, StageKind::Shuffle, StageKind::Collect]);
+        assert_eq!(
+            kinds,
+            vec![StageKind::Map, StageKind::Shuffle, StageKind::Collect]
+        );
         assert!(stats.total_shuffled_bytes() > 0);
     }
 
@@ -575,8 +605,7 @@ mod tests {
         let c = ctx();
         let lines = vec!["a b".to_string(), "c d e".to_string()];
         let rdd = Rdd::parallelize(&c, lines);
-        let words =
-            rdd.flat_map(|l| l.split_whitespace().map(String::from).collect::<Vec<_>>());
+        let words = rdd.flat_map(|l| l.split_whitespace().map(String::from).collect::<Vec<_>>());
         assert_eq!(words.count(), 5);
     }
 

@@ -42,11 +42,7 @@ pub fn estimate_probability<T>(sample: &[T], pred: impl Fn(&T) -> bool) -> f64 {
 /// Estimate the number of unique keys produced by `key` over a sample,
 /// extrapolated to a population of `n` records with a standard
 /// birthday-style saturation curve.
-pub fn estimate_unique_keys<T, K: Ord>(
-    sample: &[T],
-    n: u64,
-    key: impl Fn(&T) -> K,
-) -> u64 {
+pub fn estimate_unique_keys<T, K: Ord>(sample: &[T], n: u64, key: impl Fn(&T) -> K) -> u64 {
     if sample.is_empty() {
         return 0;
     }

@@ -70,12 +70,12 @@ pub fn simulate_job(stats: &JobStats, spec: &ClusterSpec, framework: Framework) 
         match stage.kind {
             StageKind::Input => {
                 // HDFS scan, parallel across nodes.
-                seconds += stage.bytes_out as f64
-                    / (spec.disk_bytes_per_s * spec.nodes as f64);
+                seconds += stage.bytes_out as f64 / (spec.disk_bytes_per_s * spec.nodes as f64);
                 seconds += framework.stage_overhead_s();
             }
             StageKind::Map => {
-                let cpu = stage.records_in as f64 * spec.cpu_s_per_record
+                let cpu = stage.records_in as f64
+                    * spec.cpu_s_per_record
                     * framework.record_cost_factor();
                 seconds += cpu / cores;
                 // Pipelined narrow stages: Flink/Spark fuse these, charge
@@ -83,7 +83,8 @@ pub fn simulate_job(stats: &JobStats, spec: &ClusterSpec, framework: Framework) 
                 seconds += framework.stage_overhead_s() * 0.2;
             }
             StageKind::Shuffle | StageKind::Join => {
-                let cpu = stage.records_in as f64 * spec.cpu_s_per_record
+                let cpu = stage.records_in as f64
+                    * spec.cpu_s_per_record
                     * framework.record_cost_factor();
                 seconds += cpu / cores;
                 let wire = stage.bytes_shuffled as f64 * framework.shuffle_cost_factor();
@@ -110,7 +111,9 @@ pub fn simulate_sequential(record_work: u64, input_bytes: u64, spec: &ClusterSpe
     // single-disk scan.
     let cpu = record_work as f64 * spec.cpu_s_per_record;
     let scan = input_bytes as f64 / spec.disk_bytes_per_s;
-    SimClock { seconds: cpu + scan }
+    SimClock {
+        seconds: cpu + scan,
+    }
 }
 
 /// Convenience: speedup of a simulated distributed run over the
@@ -183,8 +186,7 @@ mod tests {
     fn more_shuffle_is_slower() {
         let spec = ClusterSpec::paper();
         let small = simulate_job(&job(1_000_000_000, 30_000_000), &spec, Framework::Spark);
-        let large =
-            simulate_job(&job(1_000_000_000, 58_000_000_000), &spec, Framework::Spark);
+        let large = simulate_job(&job(1_000_000_000, 58_000_000_000), &spec, Framework::Spark);
         // Table 4: WC1 (30 MB shuffle) = 254 s vs WC2 (58 GB) = 2627 s —
         // an order of magnitude.
         assert!(large.seconds / small.seconds > 5.0);

@@ -47,18 +47,58 @@ pub struct Block {
 /// Statements.
 #[derive(Debug, Clone)]
 pub enum Stmt {
-    Let { name: String, ty: Type, init: Expr, line: u32 },
-    Assign { target: Expr, value: Expr, line: u32 },
-    ExprStmt { expr: Expr, line: u32 },
-    If { cond: Expr, then_blk: Block, else_blk: Option<Block>, line: u32 },
-    While { cond: Expr, body: Block, line: u32 },
-    For { init: Box<Stmt>, cond: Expr, update: Box<Stmt>, body: Block, line: u32 },
+    Let {
+        name: String,
+        ty: Type,
+        init: Expr,
+        line: u32,
+    },
+    Assign {
+        target: Expr,
+        value: Expr,
+        line: u32,
+    },
+    ExprStmt {
+        expr: Expr,
+        line: u32,
+    },
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+        line: u32,
+    },
+    While {
+        cond: Expr,
+        body: Block,
+        line: u32,
+    },
+    For {
+        init: Box<Stmt>,
+        cond: Expr,
+        update: Box<Stmt>,
+        body: Block,
+        line: u32,
+    },
     /// `for (x in xs) { ... }` — the canonical data-iteration loop Casper
     /// targets for translation.
-    ForEach { var: String, var_ty: Type, iterable: Expr, body: Block, line: u32 },
-    Return { value: Option<Expr>, line: u32 },
-    Break { line: u32 },
-    Continue { line: u32 },
+    ForEach {
+        var: String,
+        var_ty: Type,
+        iterable: Expr,
+        body: Block,
+        line: u32,
+    },
+    Return {
+        value: Option<Expr>,
+        line: u32,
+    },
+    Break {
+        line: u32,
+    },
+    Continue {
+        line: u32,
+    },
 }
 
 impl Stmt {
@@ -143,17 +183,67 @@ pub enum Expr {
     DoubleLit(f64, u32),
     BoolLit(bool, u32),
     StrLit(String, u32),
-    Var { name: String, ty: Option<Type>, line: u32 },
-    Unary { op: UnOp, operand: Box<Expr>, line: u32 },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, ty: Option<Type>, line: u32 },
-    Index { base: Box<Expr>, index: Box<Expr>, ty: Option<Type>, line: u32 },
-    Field { base: Box<Expr>, field: String, ty: Option<Type>, line: u32 },
-    Call { func: String, args: Vec<Expr>, ty: Option<Type>, line: u32 },
-    MethodCall { recv: Box<Expr>, method: String, args: Vec<Expr>, ty: Option<Type>, line: u32 },
-    NewArray { elem_ty: Type, len: Box<Expr>, line: u32 },
-    NewList { elem_ty: Type, line: u32 },
-    NewMap { key_ty: Type, val_ty: Type, line: u32 },
-    NewStruct { name: String, args: Vec<Expr>, line: u32 },
+    Var {
+        name: String,
+        ty: Option<Type>,
+        line: u32,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+        line: u32,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        ty: Option<Type>,
+        line: u32,
+    },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+        ty: Option<Type>,
+        line: u32,
+    },
+    Field {
+        base: Box<Expr>,
+        field: String,
+        ty: Option<Type>,
+        line: u32,
+    },
+    Call {
+        func: String,
+        args: Vec<Expr>,
+        ty: Option<Type>,
+        line: u32,
+    },
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+        ty: Option<Type>,
+        line: u32,
+    },
+    NewArray {
+        elem_ty: Type,
+        len: Box<Expr>,
+        line: u32,
+    },
+    NewList {
+        elem_ty: Type,
+        line: u32,
+    },
+    NewMap {
+        key_ty: Type,
+        val_ty: Type,
+        line: u32,
+    },
+    NewStruct {
+        name: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
 }
 
 impl Expr {
@@ -194,9 +284,10 @@ impl Expr {
             Expr::Unary { operand, .. } => operand.ty(),
             Expr::NewArray { elem_ty, .. } => Some(Type::Array(Box::new(elem_ty.clone()))),
             Expr::NewList { elem_ty, .. } => Some(Type::List(Box::new(elem_ty.clone()))),
-            Expr::NewMap { key_ty, val_ty, .. } => {
-                Some(Type::Map(Box::new(key_ty.clone()), Box::new(val_ty.clone())))
-            }
+            Expr::NewMap { key_ty, val_ty, .. } => Some(Type::Map(
+                Box::new(key_ty.clone()),
+                Box::new(val_ty.clone()),
+            )),
             Expr::NewStruct { name, .. } => Some(Type::Struct(name.clone())),
         }
     }
@@ -242,14 +333,18 @@ pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
     for stmt in &block.stmts {
         f(stmt);
         match stmt {
-            Stmt::If { then_blk, else_blk, .. } => {
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
                 walk_stmts(then_blk, f);
                 if let Some(b) = else_blk {
                     walk_stmts(b, f);
                 }
             }
             Stmt::While { body, .. } | Stmt::ForEach { body, .. } => walk_stmts(body, f),
-            Stmt::For { init, update, body, .. } => {
+            Stmt::For {
+                init, update, body, ..
+            } => {
                 f(init);
                 f(update);
                 walk_stmts(body, f);

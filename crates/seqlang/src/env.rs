@@ -66,7 +66,9 @@ impl Env {
 
 impl FromIterator<(String, Value)> for Env {
     fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
-        Env { vars: iter.into_iter().collect() }
+        Env {
+            vars: iter.into_iter().collect(),
+        }
     }
 }
 

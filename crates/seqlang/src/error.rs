@@ -27,16 +27,32 @@ pub enum ErrorKind {
 
 impl Error {
     pub fn lex(msg: impl Into<String>, line: u32) -> Self {
-        Error { kind: ErrorKind::Lex, msg: msg.into(), line }
+        Error {
+            kind: ErrorKind::Lex,
+            msg: msg.into(),
+            line,
+        }
     }
     pub fn parse(msg: impl Into<String>, line: u32) -> Self {
-        Error { kind: ErrorKind::Parse, msg: msg.into(), line }
+        Error {
+            kind: ErrorKind::Parse,
+            msg: msg.into(),
+            line,
+        }
     }
     pub fn ty(msg: impl Into<String>, line: u32) -> Self {
-        Error { kind: ErrorKind::Type, msg: msg.into(), line }
+        Error {
+            kind: ErrorKind::Type,
+            msg: msg.into(),
+            line,
+        }
     }
     pub fn runtime(msg: impl Into<String>) -> Self {
-        Error { kind: ErrorKind::Runtime, msg: msg.into(), line: 0 }
+        Error {
+            kind: ErrorKind::Runtime,
+            msg: msg.into(),
+            line: 0,
+        }
     }
 }
 

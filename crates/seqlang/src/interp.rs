@@ -152,7 +152,12 @@ impl<'p> Interp<'p> {
                 self.eval(expr, env)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_blk, else_blk, .. } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
                 let c = self.eval_bool(cond, env)?;
                 if c {
                     self.exec_block(then_blk, env)
@@ -173,7 +178,13 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { init, cond, update, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
                 match self.exec_stmt(init, env)? {
                     Flow::Normal => {}
                     other => return Ok(other),
@@ -192,7 +203,12 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::ForEach { var, iterable, body, .. } => {
+            Stmt::ForEach {
+                var,
+                iterable,
+                body,
+                ..
+            } => {
                 let coll = self.eval(iterable, env)?;
                 let elems = coll
                     .elements()
@@ -239,11 +255,10 @@ impl<'p> Interp<'p> {
                         let i = idx
                             .as_int()
                             .ok_or_else(|| Error::runtime("non-int index"))?;
-                        let i = usize::try_from(i)
-                            .map_err(|_| Error::runtime("negative index"))?;
-                        let cell = v.get_mut(i).ok_or_else(|| {
-                            Error::runtime(format!("index {i} out of bounds"))
-                        })?;
+                        let i = usize::try_from(i).map_err(|_| Error::runtime("negative index"))?;
+                        let cell = v
+                            .get_mut(i)
+                            .ok_or_else(|| Error::runtime(format!("index {i} out of bounds")))?;
                         *cell = value;
                         Ok(())
                     }
@@ -283,9 +298,10 @@ impl<'p> Interp<'p> {
                 let parent = self.resolve_mut(base, env)?;
                 match parent {
                     Value::Array(v) | Value::List(v) => {
-                        let i = idx.as_int().ok_or_else(|| Error::runtime("non-int index"))?;
-                        let i =
-                            usize::try_from(i).map_err(|_| Error::runtime("negative index"))?;
+                        let i = idx
+                            .as_int()
+                            .ok_or_else(|| Error::runtime("non-int index"))?;
+                        let i = usize::try_from(i).map_err(|_| Error::runtime("negative index"))?;
                         v.get_mut(i)
                             .ok_or_else(|| Error::runtime(format!("index {i} out of bounds")))
                     }
@@ -293,7 +309,10 @@ impl<'p> Interp<'p> {
                         if !m.iter().any(|(k, _)| *k == idx) {
                             return Err(Error::runtime("map key missing in lvalue path"));
                         }
-                        Ok(m.iter_mut().find(|(k, _)| *k == idx).map(|(_, v)| v).unwrap())
+                        Ok(m.iter_mut()
+                            .find(|(k, _)| *k == idx)
+                            .map(|(_, v)| v)
+                            .unwrap())
                     }
                     other => Err(Error::runtime(format!("cannot index into {other}"))),
                 }
@@ -389,7 +408,9 @@ impl<'p> Interp<'p> {
                 }
                 eval_free_function(func, &vals)
             }
-            Expr::MethodCall { recv, method, args, .. } => {
+            Expr::MethodCall {
+                recv, method, args, ..
+            } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
                     vals.push(self.eval(a, env)?);
@@ -459,9 +480,7 @@ pub fn default_value(ty: &Type, structs: &HashMap<&str, &[(String, Type)]>) -> V
                 .unwrap_or_default();
             Value::Struct(StructLayout::new(name.clone(), names), fields)
         }
-        Type::Tuple(ts) => {
-            Value::Tuple(ts.iter().map(|t| default_value(t, structs)).collect())
-        }
+        Type::Tuple(ts) => Value::Tuple(ts.iter().map(|t| default_value(t, structs)).collect()),
     }
 }
 
@@ -497,7 +516,8 @@ pub fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value> {
             Int(a.wrapping_rem(*b))
         }
         (Add, Str(a), Str(b)) => Value::str(format!("{a}{b}")),
-        (Add | Sub | Mul | Div | Mod, _, _) if l.as_double().is_some() && r.as_double().is_some() =>
+        (Add | Sub | Mul | Div | Mod, _, _)
+            if l.as_double().is_some() && r.as_double().is_some() =>
         {
             let (a, b) = (l.as_double().unwrap(), r.as_double().unwrap());
             match op {
@@ -540,9 +560,7 @@ pub fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value> {
 
 fn num_eq(l: &Value, r: &Value) -> bool {
     match (l, r) {
-        (Value::Int(a), Value::Double(b)) | (Value::Double(b), Value::Int(a)) => {
-            *a as f64 == *b
-        }
+        (Value::Int(a), Value::Double(b)) | (Value::Double(b), Value::Int(a)) => *a as f64 == *b,
         _ => l == r,
     }
 }
@@ -550,7 +568,11 @@ fn num_eq(l: &Value, r: &Value) -> bool {
 /// Evaluate a modelled free function (the `java.lang.Math` / date models).
 pub fn eval_free_function(name: &str, args: &[Value]) -> Result<Value> {
     use Value::*;
-    let one_num = || args[0].as_double().ok_or_else(|| Error::runtime("expected number"));
+    let one_num = || {
+        args[0]
+            .as_double()
+            .ok_or_else(|| Error::runtime("expected number"))
+    };
     Ok(match (name, args) {
         ("abs", [Int(n)]) => Int(n.wrapping_abs()),
         ("abs", [Double(x)]) => Double(x.abs()),
@@ -558,22 +580,28 @@ pub fn eval_free_function(name: &str, args: &[Value]) -> Result<Value> {
         ("max", [Int(a), Int(b)]) => Int(*a.max(b)),
         ("min", [a, b]) => {
             let (x, y) = (
-                a.as_double().ok_or_else(|| Error::runtime("min: not numeric"))?,
-                b.as_double().ok_or_else(|| Error::runtime("min: not numeric"))?,
+                a.as_double()
+                    .ok_or_else(|| Error::runtime("min: not numeric"))?,
+                b.as_double()
+                    .ok_or_else(|| Error::runtime("min: not numeric"))?,
             );
             Double(x.min(y))
         }
         ("max", [a, b]) => {
             let (x, y) = (
-                a.as_double().ok_or_else(|| Error::runtime("max: not numeric"))?,
-                b.as_double().ok_or_else(|| Error::runtime("max: not numeric"))?,
+                a.as_double()
+                    .ok_or_else(|| Error::runtime("max: not numeric"))?,
+                b.as_double()
+                    .ok_or_else(|| Error::runtime("max: not numeric"))?,
             );
             Double(x.max(y))
         }
         ("pow", [a, b]) => {
             let (x, y) = (
-                a.as_double().ok_or_else(|| Error::runtime("pow: not numeric"))?,
-                b.as_double().ok_or_else(|| Error::runtime("pow: not numeric"))?,
+                a.as_double()
+                    .ok_or_else(|| Error::runtime("pow: not numeric"))?,
+                b.as_double()
+                    .ok_or_else(|| Error::runtime("pow: not numeric"))?,
             );
             Double(x.powf(y))
         }
@@ -611,7 +639,9 @@ fn eval_mutating_method(recv: &mut Value, method: &str, mut args: Vec<Value>) ->
             map_put(m, key, val);
             Ok(Value::Unit)
         }
-        (recv, m) => Err(Error::runtime(format!("no mutating method `{m}` on {recv}"))),
+        (recv, m) => Err(Error::runtime(format!(
+            "no mutating method `{m}` on {recv}"
+        ))),
     }
 }
 
@@ -624,13 +654,17 @@ pub fn eval_pure_method(recv: &Value, method: &str, args: &[Value]) -> Result<Va
         }
         (Map(m), "size") => Int(m.len() as i64),
         (Array(v), "get") => {
-            let i = args[0].as_int().ok_or_else(|| Error::runtime("non-int index"))?;
+            let i = args[0]
+                .as_int()
+                .ok_or_else(|| Error::runtime("non-int index"))?;
             v.get(i as usize)
                 .cloned()
                 .ok_or_else(|| Error::runtime(format!("array index {i} out of bounds")))?
         }
         (List(v), "get") => {
-            let i = args[0].as_int().ok_or_else(|| Error::runtime("non-int index"))?;
+            let i = args[0]
+                .as_int()
+                .ok_or_else(|| Error::runtime("non-int index"))?;
             v.get(i as usize)
                 .cloned()
                 .ok_or_else(|| Error::runtime(format!("list index {i} out of bounds")))?
@@ -639,18 +673,22 @@ pub fn eval_pure_method(recv: &Value, method: &str, args: &[Value]) -> Result<Va
         (Map(m), "get") => map_get(m, &args[0])
             .cloned()
             .ok_or_else(|| Error::runtime(format!("missing map key {}", args[0])))?,
-        (Map(m), "get_or") => map_get(m, &args[0]).cloned().unwrap_or_else(|| args[1].clone()),
+        (Map(m), "get_or") => map_get(m, &args[0])
+            .cloned()
+            .unwrap_or_else(|| args[1].clone()),
         (Map(m), "contains_key") => Bool(m.iter().any(|(k, _)| *k == args[0])),
         (Str(s), "len") => Int(s.chars().count() as i64),
         (Str(s), "contains") => {
-            let needle = args[0].as_str().ok_or_else(|| Error::runtime("non-string arg"))?;
+            let needle = args[0]
+                .as_str()
+                .ok_or_else(|| Error::runtime("non-string arg"))?;
             Bool(s.contains(needle))
         }
-        (Str(s), "split") => List(
-            s.split_whitespace().map(Value::str).collect(),
-        ),
+        (Str(s), "split") => List(s.split_whitespace().map(Value::str).collect()),
         (Str(s), "char_at") => {
-            let i = args[0].as_int().ok_or_else(|| Error::runtime("non-int index"))?;
+            let i = args[0]
+                .as_int()
+                .ok_or_else(|| Error::runtime("non-int index"))?;
             let c = s
                 .chars()
                 .nth(i as usize)
@@ -659,7 +697,9 @@ pub fn eval_pure_method(recv: &Value, method: &str, args: &[Value]) -> Result<Va
         }
         (Str(s), "to_lower") => Value::str(s.to_lowercase()),
         (Str(s), "starts_with") => {
-            let p = args[0].as_str().ok_or_else(|| Error::runtime("non-string arg"))?;
+            let p = args[0]
+                .as_str()
+                .ok_or_else(|| Error::runtime("non-string arg"))?;
             Bool(s.starts_with(p))
         }
         (recv, m) => return Err(Error::runtime(format!("no method `{m}` on {recv}"))),
@@ -793,7 +833,9 @@ mod tests {
     fn division_by_zero_is_an_error() {
         let src = "fn f(a: int, b: int) -> int { return a / b; }";
         let p = compile(src).unwrap();
-        assert!(Interp::new(&p).call("f", vec![Value::Int(1), Value::Int(0)]).is_err());
+        assert!(Interp::new(&p)
+            .call("f", vec![Value::Int(1), Value::Int(0)])
+            .is_err());
     }
 
     #[test]
@@ -830,7 +872,10 @@ mod tests {
                 return n;
             }
         "#;
-        assert_eq!(run(src, "f", vec![Value::str("cat dog bat")]), Value::Int(2));
+        assert_eq!(
+            run(src, "f", vec![Value::str("cat dog bat")]),
+            Value::Int(2)
+        );
     }
 
     #[test]

@@ -17,7 +17,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { chars: src.chars().collect(), pos: 0, line: 1, src }
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            src,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -45,7 +50,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let line = self.line;
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, line });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                });
                 return Ok(out);
             };
             let kind = match c {
@@ -111,8 +119,8 @@ impl<'a> Lexer<'a> {
         // A '.' followed by a digit makes this a double literal; a '.'
         // followed by an identifier is a method call on an int and is left
         // for the parser.
-        let is_double = self.peek() == Some('.')
-            && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false);
+        let is_double =
+            self.peek() == Some('.') && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false);
         if is_double {
             text.push('.');
             self.bump();
@@ -165,7 +173,10 @@ impl<'a> Lexer<'a> {
                     Some('"') => s.push('"'),
                     other => {
                         return Err(Error::lex(
-                            format!("bad escape `\\{}`", other.map(String::from).unwrap_or_default()),
+                            format!(
+                                "bad escape `\\{}`",
+                                other.map(String::from).unwrap_or_default()
+                            ),
                             line,
                         ))
                     }
@@ -279,14 +290,27 @@ mod tests {
         // `3.abs()` style: the dot must remain a separate token.
         assert_eq!(
             kinds("x.size()"),
-            vec![Ident("x".into()), Dot, Ident("size".into()), LParen, RParen, Eof]
+            vec![
+                Ident("x".into()),
+                Dot,
+                Ident("size".into()),
+                LParen,
+                RParen,
+                Eof
+            ]
         );
     }
 
     #[test]
     fn lexes_keywords_vs_idents() {
-        assert_eq!(kinds("for fortune"), vec![KwFor, Ident("fortune".into()), Eof]);
-        assert_eq!(kinds("int integer"), vec![KwIntTy, Ident("integer".into()), Eof]);
+        assert_eq!(
+            kinds("for fortune"),
+            vec![KwFor, Ident("fortune".into()), Eof]
+        );
+        assert_eq!(
+            kinds("int integer"),
+            vec![KwIntTy, Ident("integer".into()), Eof]
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! * [`lexer`] / [`parser`] — source text to AST,
 //! * [`ast`] — the abstract syntax tree,
 //! * [`ty`] — types and the type checker,
-//! * [`value`] / [`env`] — runtime values and variable environments,
+//! * [`value`] / [`mod@env`] — runtime values and variable environments,
 //! * [`interp`] — a tree-walking interpreter (the "sequential Java"
 //!   execution baseline; it also counts abstract work for the cluster
 //!   simulator),

@@ -17,7 +17,13 @@ pub fn normalize_block(block: &mut Block) {
     let stmts = std::mem::take(&mut block.stmts);
     for stmt in stmts {
         match stmt {
-            Stmt::For { init, cond, update, mut body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                mut body,
+                line,
+            } => {
                 normalize_block(&mut body);
                 // body' = { if (!cond) break; ...body; update }
                 let mut inner = Vec::with_capacity(body.stmts.len() + 2);
@@ -31,7 +37,11 @@ pub fn normalize_block(block: &mut Block) {
                     line,
                 });
             }
-            Stmt::While { cond, mut body, line } => {
+            Stmt::While {
+                cond,
+                mut body,
+                line,
+            } => {
                 normalize_block(&mut body);
                 if matches!(cond, Expr::BoolLit(true, _)) {
                     block.stmts.push(Stmt::While { cond, body, line });
@@ -46,18 +56,40 @@ pub fn normalize_block(block: &mut Block) {
                     });
                 }
             }
-            Stmt::ForEach { var, var_ty, iterable, mut body, line } => {
+            Stmt::ForEach {
+                var,
+                var_ty,
+                iterable,
+                mut body,
+                line,
+            } => {
                 // `for-each` is the canonical data loop the analyzer keys
                 // on; keep it intact but normalise nested loops inside.
                 normalize_block(&mut body);
-                block.stmts.push(Stmt::ForEach { var, var_ty, iterable, body, line });
+                block.stmts.push(Stmt::ForEach {
+                    var,
+                    var_ty,
+                    iterable,
+                    body,
+                    line,
+                });
             }
-            Stmt::If { cond, mut then_blk, mut else_blk, line } => {
+            Stmt::If {
+                cond,
+                mut then_blk,
+                mut else_blk,
+                line,
+            } => {
                 normalize_block(&mut then_blk);
                 if let Some(b) = &mut else_blk {
                     normalize_block(b);
                 }
-                block.stmts.push(Stmt::If { cond, then_blk, else_blk, line });
+                block.stmts.push(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    line,
+                });
             }
             other => block.stmts.push(other),
         }
@@ -66,8 +98,14 @@ pub fn normalize_block(block: &mut Block) {
 
 fn break_unless(cond: Expr, line: u32) -> Stmt {
     Stmt::If {
-        cond: Expr::Unary { op: UnOp::Not, operand: Box::new(cond), line },
-        then_blk: Block { stmts: vec![Stmt::Break { line }] },
+        cond: Expr::Unary {
+            op: UnOp::Not,
+            operand: Box::new(cond),
+            line,
+        },
+        then_blk: Block {
+            stmts: vec![Stmt::Break { line }],
+        },
         else_blk: None,
         line,
     }
@@ -76,7 +114,13 @@ fn break_unless(cond: Expr, line: u32) -> Stmt {
 /// Desugar a `for-each` over a collection expression into an index loop:
 /// `for (let __i = 0; __i < xs.size(); __i = __i + 1) { let x = xs[__i]; .. }`
 /// Useful when a later phase needs a uniform index-based view.
-pub fn desugar_foreach(var: &str, var_ty: &Type, iterable: &Expr, body: &Block, line: u32) -> Vec<Stmt> {
+pub fn desugar_foreach(
+    var: &str,
+    var_ty: &Type,
+    iterable: &Expr,
+    body: &Block,
+    line: u32,
+) -> Vec<Stmt> {
     let idx = format!("__{var}_idx");
     let init = Stmt::Let {
         name: idx.clone(),
@@ -86,7 +130,11 @@ pub fn desugar_foreach(var: &str, var_ty: &Type, iterable: &Expr, body: &Block, 
     };
     let cond = Expr::Binary {
         op: BinOp::Lt,
-        lhs: Box::new(Expr::Var { name: idx.clone(), ty: Some(Type::Int), line }),
+        lhs: Box::new(Expr::Var {
+            name: idx.clone(),
+            ty: Some(Type::Int),
+            line,
+        }),
         rhs: Box::new(Expr::MethodCall {
             recv: Box::new(iterable.clone()),
             method: "size".to_string(),
@@ -98,10 +146,18 @@ pub fn desugar_foreach(var: &str, var_ty: &Type, iterable: &Expr, body: &Block, 
         line,
     };
     let update = Stmt::Assign {
-        target: Expr::Var { name: idx.clone(), ty: Some(Type::Int), line },
+        target: Expr::Var {
+            name: idx.clone(),
+            ty: Some(Type::Int),
+            line,
+        },
         value: Expr::Binary {
             op: BinOp::Add,
-            lhs: Box::new(Expr::Var { name: idx.clone(), ty: Some(Type::Int), line }),
+            lhs: Box::new(Expr::Var {
+                name: idx.clone(),
+                ty: Some(Type::Int),
+                line,
+            }),
             rhs: Box::new(Expr::IntLit(1, line)),
             ty: Some(Type::Int),
             line,
@@ -113,7 +169,11 @@ pub fn desugar_foreach(var: &str, var_ty: &Type, iterable: &Expr, body: &Block, 
         ty: var_ty.clone(),
         init: Expr::Index {
             base: Box::new(iterable.clone()),
-            index: Box::new(Expr::Var { name: idx, ty: Some(Type::Int), line }),
+            index: Box::new(Expr::Var {
+                name: idx,
+                ty: Some(Type::Int),
+                line,
+            }),
             ty: Some(var_ty.clone()),
             line,
         },
@@ -124,7 +184,10 @@ pub fn desugar_foreach(var: &str, var_ty: &Type, iterable: &Expr, body: &Block, 
     vec![
         init,
         Stmt::For {
-            init: Box::new(Stmt::ExprStmt { expr: Expr::BoolLit(true, line), line }),
+            init: Box::new(Stmt::ExprStmt {
+                expr: Expr::BoolLit(true, line),
+                line,
+            }),
             cond,
             update: Box::new(update),
             body: Block { stmts: inner },
@@ -197,7 +260,14 @@ mod tests {
         "#;
         let p = compile(src).unwrap();
         let f = &p.functions[0];
-        let Stmt::ForEach { var, var_ty, iterable, body, line } = &f.body.stmts[1] else {
+        let Stmt::ForEach {
+            var,
+            var_ty,
+            iterable,
+            body,
+            line,
+        } = &f.body.stmts[1]
+        else {
             panic!()
         };
         let stmts = desugar_foreach(var, var_ty, iterable, body, *line);

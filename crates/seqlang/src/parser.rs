@@ -65,9 +65,10 @@ impl Parser {
                 self.tokens[self.pos].kind = TokenKind::Gt;
                 Ok(())
             }
-            other => {
-                Err(Error::parse(format!("expected `>`, found `{other}`"), self.line()))
-            }
+            other => Err(Error::parse(
+                format!("expected `>`, found `{other}`"),
+                self.line(),
+            )),
         }
     }
 
@@ -77,7 +78,10 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(Error::parse(format!("expected identifier, found `{other}`"), self.line())),
+            other => Err(Error::parse(
+                format!("expected identifier, found `{other}`"),
+                self.line(),
+            )),
         }
     }
 
@@ -137,7 +141,13 @@ impl Parser {
         self.expect(TokenKind::Arrow)?;
         let ret = self.parse_type()?;
         let body = self.parse_block()?;
-        Ok(Function { name, params, ret, body, line })
+        Ok(Function {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
     }
 
     fn parse_type(&mut self) -> Result<Type> {
@@ -169,7 +179,10 @@ impl Parser {
                 Ok(Type::Map(Box::new(k), Box::new(v)))
             }
             TokenKind::Ident(name) => Ok(Type::Struct(name)),
-            other => Err(Error::parse(format!("expected type, found `{other}`"), line)),
+            other => Err(Error::parse(
+                format!("expected type, found `{other}`"),
+                line,
+            )),
         }
     }
 
@@ -193,7 +206,12 @@ impl Parser {
                 self.expect(TokenKind::Assign)?;
                 let init = self.parse_expr()?;
                 self.expect(TokenKind::Semicolon)?;
-                Ok(Stmt::Let { name, ty, init, line })
+                Ok(Stmt::Let {
+                    name,
+                    ty,
+                    init,
+                    line,
+                })
             }
             TokenKind::KwIf => {
                 self.bump();
@@ -205,14 +223,21 @@ impl Parser {
                     if self.peek() == &TokenKind::KwIf {
                         // `else if` sugar: wrap the nested if in a block.
                         let nested = self.parse_stmt()?;
-                        Some(Block { stmts: vec![nested] })
+                        Some(Block {
+                            stmts: vec![nested],
+                        })
                     } else {
                         Some(self.parse_block()?)
                     }
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_blk, else_blk, line })
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    line,
+                })
             }
             TokenKind::KwWhile => {
                 self.bump();
@@ -278,7 +303,13 @@ impl Parser {
         let update = Box::new(self.parse_assign_or_expr_stmt(false)?);
         self.expect(TokenKind::RParen)?;
         let body = self.parse_block()?;
-        Ok(Stmt::For { init, cond, update, body, line })
+        Ok(Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+            line,
+        })
     }
 
     /// Parse `target = value;` or a bare expression statement.
@@ -289,7 +320,11 @@ impl Parser {
         let first = self.parse_expr()?;
         let stmt = if self.eat(&TokenKind::Assign) {
             let value = self.parse_expr()?;
-            Stmt::Assign { target: first, value, line }
+            Stmt::Assign {
+                target: first,
+                value,
+                line,
+            }
         } else {
             Stmt::ExprStmt { expr: first, line }
         };
@@ -307,14 +342,22 @@ impl Parser {
     fn parse_bin(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.parse_unary()?;
         loop {
-            let Some((op, prec)) = bin_op(self.peek()) else { break };
+            let Some((op, prec)) = bin_op(self.peek()) else {
+                break;
+            };
             if prec < min_prec {
                 break;
             }
             let line = self.line();
             self.bump();
             let rhs = self.parse_bin(prec + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), ty: None, line };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                ty: None,
+                line,
+            };
         }
         Ok(lhs)
     }
@@ -325,12 +368,20 @@ impl Parser {
             TokenKind::Minus => {
                 self.bump();
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand), line })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                    line,
+                })
             }
             TokenKind::Not => {
                 self.bump();
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand), line })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                    line,
+                })
             }
             _ => self.parse_postfix(),
         }
@@ -343,7 +394,12 @@ impl Parser {
             if self.eat(&TokenKind::LBracket) {
                 let index = self.parse_expr()?;
                 self.expect(TokenKind::RBracket)?;
-                expr = Expr::Index { base: Box::new(expr), index: Box::new(index), ty: None, line };
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    index: Box::new(index),
+                    ty: None,
+                    line,
+                };
             } else if self.eat(&TokenKind::Dot) {
                 let name = self.expect_ident()?;
                 if self.eat(&TokenKind::LParen) {
@@ -356,7 +412,12 @@ impl Parser {
                         line,
                     };
                 } else {
-                    expr = Expr::Field { base: Box::new(expr), field: name, ty: None, line };
+                    expr = Expr::Field {
+                        base: Box::new(expr),
+                        field: name,
+                        ty: None,
+                        line,
+                    };
                 }
             } else {
                 return Ok(expr);
@@ -393,12 +454,24 @@ impl Parser {
             TokenKind::Ident(name) => {
                 if self.eat(&TokenKind::LParen) {
                     let args = self.parse_args()?;
-                    Ok(Expr::Call { func: name, args, ty: None, line })
+                    Ok(Expr::Call {
+                        func: name,
+                        args,
+                        ty: None,
+                        line,
+                    })
                 } else {
-                    Ok(Expr::Var { name, ty: None, line })
+                    Ok(Expr::Var {
+                        name,
+                        ty: None,
+                        line,
+                    })
                 }
             }
-            other => Err(Error::parse(format!("expected expression, found `{other}`"), line)),
+            other => Err(Error::parse(
+                format!("expected expression, found `{other}`"),
+                line,
+            )),
         }
     }
 
@@ -411,7 +484,11 @@ impl Parser {
                 self.expect(TokenKind::LParen)?;
                 let len = self.parse_expr()?;
                 self.expect(TokenKind::RParen)?;
-                Ok(Expr::NewArray { elem_ty, len: Box::new(len), line })
+                Ok(Expr::NewArray {
+                    elem_ty,
+                    len: Box::new(len),
+                    line,
+                })
             }
             TokenKind::KwListTy => {
                 self.expect(TokenKind::Lt)?;
@@ -429,14 +506,21 @@ impl Parser {
                 self.expect_gt()?;
                 self.expect(TokenKind::LParen)?;
                 self.expect(TokenKind::RParen)?;
-                Ok(Expr::NewMap { key_ty, val_ty, line })
+                Ok(Expr::NewMap {
+                    key_ty,
+                    val_ty,
+                    line,
+                })
             }
             TokenKind::Ident(name) => {
                 self.expect(TokenKind::LParen)?;
                 let args = self.parse_args()?;
                 Ok(Expr::NewStruct { name, args, line })
             }
-            other => Err(Error::parse(format!("expected type after `new`, found `{other}`"), line)),
+            other => Err(Error::parse(
+                format!("expected type after `new`, found `{other}`"),
+                line,
+            )),
         }
     }
 }
@@ -499,7 +583,8 @@ mod tests {
 
     #[test]
     fn parses_foreach() {
-        let src = "fn f(xs: list<int>) -> int { let s: int = 0; for (x in xs) { s = s + x; } return s; }";
+        let src =
+            "fn f(xs: list<int>) -> int { let s: int = 0; for (x in xs) { s = s + x; } return s; }";
         let p = parse(src);
         let body = &p.functions[0].body;
         assert!(matches!(body.stmts[1], Stmt::ForEach { .. }));
@@ -520,8 +605,10 @@ mod tests {
     fn precedence_mul_over_add() {
         let src = "fn f(a: int, b: int, c: int) -> int { return a + b * c; }";
         let p = parse(src);
-        let Stmt::Return { value: Some(Expr::Binary { op, rhs, .. }), .. } =
-            &p.functions[0].body.stmts[0]
+        let Stmt::Return {
+            value: Some(Expr::Binary { op, rhs, .. }),
+            ..
+        } = &p.functions[0].body.stmts[0]
         else {
             panic!("expected return of binary expr");
         };
@@ -533,8 +620,10 @@ mod tests {
     fn precedence_comparison_over_and() {
         let src = "fn f(a: int, b: int) -> bool { return a < b && b < a; }";
         let p = parse(src);
-        let Stmt::Return { value: Some(Expr::Binary { op, .. }), .. } =
-            &p.functions[0].body.stmts[0]
+        let Stmt::Return {
+            value: Some(Expr::Binary { op, .. }),
+            ..
+        } = &p.functions[0].body.stmts[0]
         else {
             panic!()
         };
@@ -568,6 +657,8 @@ mod tests {
 
     #[test]
     fn rejects_top_level_garbage() {
-        assert!(Parser::new(lex("let x = 1;").unwrap()).parse_program().is_err());
+        assert!(Parser::new(lex("let x = 1;").unwrap())
+            .parse_program()
+            .is_err());
     }
 }

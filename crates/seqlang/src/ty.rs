@@ -86,8 +86,15 @@ pub fn free_function_sig(name: &str, args: &[Type]) -> Option<LibSig> {
     use Type::*;
     let num2 = |ret: fn(Type) -> Type| -> Option<LibSig> {
         if args.len() == 2 && args[0].is_numeric() && args[1].is_numeric() {
-            let t = if args[0] == Double || args[1] == Double { Double } else { Int };
-            Some(LibSig { params: vec![args[0].clone(), args[1].clone()], ret: ret(t) })
+            let t = if args[0] == Double || args[1] == Double {
+                Double
+            } else {
+                Int
+            };
+            Some(LibSig {
+                params: vec![args[0].clone(), args[1].clone()],
+                ret: ret(t),
+            })
         } else {
             None
         }
@@ -95,20 +102,36 @@ pub fn free_function_sig(name: &str, args: &[Type]) -> Option<LibSig> {
     match name {
         "abs" => {
             if args.len() == 1 && args[0].is_numeric() {
-                Some(LibSig { params: vec![args[0].clone()], ret: args[0].clone() })
+                Some(LibSig {
+                    params: vec![args[0].clone()],
+                    ret: args[0].clone(),
+                })
             } else {
                 None
             }
         }
         "min" | "max" => num2(|t| t),
-        "pow" => Some(LibSig { params: vec![Double, Double], ret: Double }),
-        "sqrt" | "exp" | "log" | "floor" | "ceil" => {
-            Some(LibSig { params: vec![Double], ret: Double })
-        }
-        "int_to_double" => Some(LibSig { params: vec![Int], ret: Double }),
-        "double_to_int" => Some(LibSig { params: vec![Double], ret: Int }),
+        "pow" => Some(LibSig {
+            params: vec![Double, Double],
+            ret: Double,
+        }),
+        "sqrt" | "exp" | "log" | "floor" | "ceil" => Some(LibSig {
+            params: vec![Double],
+            ret: Double,
+        }),
+        "int_to_double" => Some(LibSig {
+            params: vec![Int],
+            ret: Double,
+        }),
+        "double_to_int" => Some(LibSig {
+            params: vec![Double],
+            ret: Int,
+        }),
         // Dates are modelled as epoch-day ints, as in our TPC-H port.
-        "date_before" | "date_after" => Some(LibSig { params: vec![Int, Int], ret: Bool }),
+        "date_before" | "date_after" => Some(LibSig {
+            params: vec![Int, Int],
+            ret: Bool,
+        }),
         _ => None,
     }
 }
@@ -120,42 +143,74 @@ pub fn method_sig(recv: &Type, name: &str, args: &[Type]) -> Option<LibSig> {
     match (recv, name) {
         (Array(t), "len") | (Array(t), "size") if args.is_empty() => {
             let _ = t;
-            Some(LibSig { params: vec![], ret: Int })
+            Some(LibSig {
+                params: vec![],
+                ret: Int,
+            })
         }
         (List(t), "size") | (List(t), "len") if args.is_empty() => {
             let _ = t;
-            Some(LibSig { params: vec![], ret: Int })
+            Some(LibSig {
+                params: vec![],
+                ret: Int,
+            })
         }
-        (List(t), "get") | (Array(t), "get") if args.len() == 1 => {
-            Some(LibSig { params: vec![Int], ret: (**t).clone() })
-        }
-        (List(t), "add") | (List(t), "append") if args.len() == 1 => {
-            Some(LibSig { params: vec![(**t).clone()], ret: Void })
-        }
-        (List(t), "contains") if args.len() == 1 => {
-            Some(LibSig { params: vec![(**t).clone()], ret: Bool })
-        }
-        (Map(k, v), "put") if args.len() == 2 => {
-            Some(LibSig { params: vec![(**k).clone(), (**v).clone()], ret: Void })
-        }
-        (Map(k, v), "get") if args.len() == 1 => {
-            Some(LibSig { params: vec![(**k).clone()], ret: (**v).clone() })
-        }
-        (Map(k, v), "get_or") if args.len() == 2 => {
-            Some(LibSig { params: vec![(**k).clone(), (**v).clone()], ret: (**v).clone() })
-        }
-        (Map(k, _), "contains_key") if args.len() == 1 => {
-            Some(LibSig { params: vec![(**k).clone()], ret: Bool })
-        }
-        (Map(_, _), "size") if args.is_empty() => Some(LibSig { params: vec![], ret: Int }),
-        (Str, "len") if args.is_empty() => Some(LibSig { params: vec![], ret: Int }),
-        (Str, "contains") if args.len() == 1 => Some(LibSig { params: vec![Str], ret: Bool }),
-        (Str, "split") if args.is_empty() => {
-            Some(LibSig { params: vec![], ret: List(Box::new(Str)) })
-        }
-        (Str, "char_at") if args.len() == 1 => Some(LibSig { params: vec![Int], ret: Int }),
-        (Str, "to_lower") if args.is_empty() => Some(LibSig { params: vec![], ret: Str }),
-        (Str, "starts_with") if args.len() == 1 => Some(LibSig { params: vec![Str], ret: Bool }),
+        (List(t), "get") | (Array(t), "get") if args.len() == 1 => Some(LibSig {
+            params: vec![Int],
+            ret: (**t).clone(),
+        }),
+        (List(t), "add") | (List(t), "append") if args.len() == 1 => Some(LibSig {
+            params: vec![(**t).clone()],
+            ret: Void,
+        }),
+        (List(t), "contains") if args.len() == 1 => Some(LibSig {
+            params: vec![(**t).clone()],
+            ret: Bool,
+        }),
+        (Map(k, v), "put") if args.len() == 2 => Some(LibSig {
+            params: vec![(**k).clone(), (**v).clone()],
+            ret: Void,
+        }),
+        (Map(k, v), "get") if args.len() == 1 => Some(LibSig {
+            params: vec![(**k).clone()],
+            ret: (**v).clone(),
+        }),
+        (Map(k, v), "get_or") if args.len() == 2 => Some(LibSig {
+            params: vec![(**k).clone(), (**v).clone()],
+            ret: (**v).clone(),
+        }),
+        (Map(k, _), "contains_key") if args.len() == 1 => Some(LibSig {
+            params: vec![(**k).clone()],
+            ret: Bool,
+        }),
+        (Map(_, _), "size") if args.is_empty() => Some(LibSig {
+            params: vec![],
+            ret: Int,
+        }),
+        (Str, "len") if args.is_empty() => Some(LibSig {
+            params: vec![],
+            ret: Int,
+        }),
+        (Str, "contains") if args.len() == 1 => Some(LibSig {
+            params: vec![Str],
+            ret: Bool,
+        }),
+        (Str, "split") if args.is_empty() => Some(LibSig {
+            params: vec![],
+            ret: List(Box::new(Str)),
+        }),
+        (Str, "char_at") if args.len() == 1 => Some(LibSig {
+            params: vec![Int],
+            ret: Int,
+        }),
+        (Str, "to_lower") if args.is_empty() => Some(LibSig {
+            params: vec![],
+            ret: Str,
+        }),
+        (Str, "starts_with") if args.len() == 1 => Some(LibSig {
+            params: vec![Str],
+            ret: Bool,
+        }),
         _ => None,
     }
 }
@@ -180,7 +235,10 @@ impl TypeChecker {
             .map(|f| {
                 (
                     f.name.clone(),
-                    (f.params.iter().map(|(_, t)| t.clone()).collect(), f.ret.clone()),
+                    (
+                        f.params.iter().map(|(_, t)| t.clone()).collect(),
+                        f.ret.clone(),
+                    ),
                 )
             })
             .collect();
@@ -221,7 +279,12 @@ impl TypeChecker {
 
     fn check_stmt(&self, stmt: &mut Stmt, scope: &mut Scope, ret: &Type) -> Result<()> {
         match stmt {
-            Stmt::Let { name, ty, init, line } => {
+            Stmt::Let {
+                name,
+                ty,
+                init,
+                line,
+            } => {
                 let it = self.check_expr(init, scope)?;
                 if !compatible(ty, &it) {
                     return Err(Error::ty(
@@ -232,7 +295,11 @@ impl TypeChecker {
                 scope.declare(name.clone(), ty.clone());
                 Ok(())
             }
-            Stmt::Assign { target, value, line } => {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
                 let tt = self.check_expr(target, scope)?;
                 if !is_lvalue(target) {
                     return Err(Error::ty("assignment target is not an lvalue", *line));
@@ -250,7 +317,12 @@ impl TypeChecker {
                 self.check_expr(expr, scope)?;
                 Ok(())
             }
-            Stmt::If { cond, then_blk, else_blk, line } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                line,
+            } => {
                 let ct = self.check_expr(cond, scope)?;
                 if ct != Type::Bool {
                     return Err(Error::ty(format!("if condition has type {ct}"), *line));
@@ -268,7 +340,13 @@ impl TypeChecker {
                 }
                 self.check_block(body, scope, ret)
             }
-            Stmt::For { init, cond, update, body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+                line,
+            } => {
                 scope.push();
                 self.check_stmt(init, scope, ret)?;
                 let ct = self.check_expr(cond, scope)?;
@@ -280,7 +358,13 @@ impl TypeChecker {
                 scope.pop();
                 Ok(())
             }
-            Stmt::ForEach { var, var_ty, iterable, body, line } => {
+            Stmt::ForEach {
+                var,
+                var_ty,
+                iterable,
+                body,
+                line,
+            } => {
                 let it = self.check_expr(iterable, scope)?;
                 let elem = it.element().cloned().ok_or_else(|| {
                     Error::ty(format!("cannot iterate a value of type {it}"), *line)
@@ -331,19 +415,25 @@ impl TypeChecker {
                     UnOp::Neg if t.is_numeric() => Ok(t),
                     UnOp::Not if t == Type::Bool => Ok(Type::Bool),
                     UnOp::BitNot if t == Type::Int => Ok(Type::Int),
-                    _ => Err(Error::ty(format!("bad operand type {t} for unary {op:?}"), line)),
+                    _ => Err(Error::ty(
+                        format!("bad operand type {t} for unary {op:?}"),
+                        line,
+                    )),
                 }
             }
-            Expr::Binary { op, lhs, rhs, ty, .. } => {
+            Expr::Binary {
+                op, lhs, rhs, ty, ..
+            } => {
                 let lt = self.check_expr(lhs, scope)?;
                 let rt = self.check_expr(rhs, scope)?;
-                let result = binop_type(*op, &lt, &rt).ok_or_else(|| {
-                    Error::ty(format!("bad operand types {lt} {op} {rt}"), line)
-                })?;
+                let result = binop_type(*op, &lt, &rt)
+                    .ok_or_else(|| Error::ty(format!("bad operand types {lt} {op} {rt}"), line))?;
                 *ty = Some(result.clone());
                 Ok(result)
             }
-            Expr::Index { base, index, ty, .. } => {
+            Expr::Index {
+                base, index, ty, ..
+            } => {
                 let bt = self.check_expr(base, scope)?;
                 let it = self.check_expr(index, scope)?;
                 match &bt {
@@ -358,7 +448,9 @@ impl TypeChecker {
                     _ => Err(Error::ty(format!("cannot index {bt} with {it}"), line)),
                 }
             }
-            Expr::Field { base, field, ty, .. } => {
+            Expr::Field {
+                base, field, ty, ..
+            } => {
                 let bt = self.check_expr(base, scope)?;
                 let Type::Struct(sname) = &bt else {
                     return Err(Error::ty(format!("cannot access field of {bt}"), line));
@@ -388,7 +480,9 @@ impl TypeChecker {
                         || params.iter().zip(&arg_tys).any(|(p, a)| !compatible(p, a))
                     {
                         return Err(Error::ty(
-                            format!("bad arguments to `{func}`: expected {params:?}, found {arg_tys:?}"),
+                            format!(
+                                "bad arguments to `{func}`: expected {params:?}, found {arg_tys:?}"
+                            ),
                             line,
                         ));
                     }
@@ -396,12 +490,21 @@ impl TypeChecker {
                     return Ok(ret.clone());
                 }
                 let sig = free_function_sig(func, &arg_tys).ok_or_else(|| {
-                    Error::ty(format!("unknown function `{func}` for arguments {arg_tys:?}"), line)
+                    Error::ty(
+                        format!("unknown function `{func}` for arguments {arg_tys:?}"),
+                        line,
+                    )
                 })?;
                 *ty = Some(sig.ret.clone());
                 Ok(sig.ret)
             }
-            Expr::MethodCall { recv, method, args, ty, .. } => {
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                ty,
+                ..
+            } => {
                 let rt = self.check_expr(recv, scope)?;
                 let mut arg_tys = Vec::with_capacity(args.len());
                 for a in args.iter_mut() {
@@ -432,9 +535,10 @@ impl TypeChecker {
                 Ok(Type::Array(Box::new(elem_ty.clone())))
             }
             Expr::NewList { elem_ty, .. } => Ok(Type::List(Box::new(elem_ty.clone()))),
-            Expr::NewMap { key_ty, val_ty, .. } => {
-                Ok(Type::Map(Box::new(key_ty.clone()), Box::new(val_ty.clone())))
-            }
+            Expr::NewMap { key_ty, val_ty, .. } => Ok(Type::Map(
+                Box::new(key_ty.clone()),
+                Box::new(val_ty.clone()),
+            )),
             Expr::NewStruct { name, args, .. } => {
                 let fields = self
                     .structs
@@ -475,7 +579,11 @@ pub fn binop_type(op: BinOp, lt: &Type, rt: &Type) -> Option<Type> {
             if op == Add && *lt == Str && *rt == Str {
                 Some(Str)
             } else if lt.is_numeric() && rt.is_numeric() {
-                Some(if *lt == Double || *rt == Double { Double } else { Int })
+                Some(if *lt == Double || *rt == Double {
+                    Double
+                } else {
+                    Int
+                })
             } else {
                 None
             }
@@ -517,7 +625,10 @@ pub fn compatible(expected: &Type, found: &Type) -> bool {
 }
 
 fn is_lvalue(e: &Expr) -> bool {
-    matches!(e, Expr::Var { .. } | Expr::Index { .. } | Expr::Field { .. })
+    matches!(
+        e,
+        Expr::Var { .. } | Expr::Index { .. } | Expr::Field { .. }
+    )
 }
 
 /// A lexical scope stack used by the type checker (and reused by the
@@ -529,7 +640,9 @@ pub struct Scope {
 
 impl Scope {
     pub fn new() -> Self {
-        Scope { frames: vec![HashMap::new()] }
+        Scope {
+            frames: vec![HashMap::new()],
+        }
     }
     pub fn push(&mut self) {
         self.frames.push(HashMap::new());
@@ -538,7 +651,10 @@ impl Scope {
         self.frames.pop();
     }
     pub fn declare(&mut self, name: String, ty: Type) {
-        self.frames.last_mut().expect("scope stack never empty").insert(name, ty);
+        self.frames
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name, ty);
     }
     pub fn lookup(&self, name: &str) -> Option<Type> {
         self.frames.iter().rev().find_map(|f| f.get(name).cloned())

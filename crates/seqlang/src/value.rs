@@ -40,7 +40,10 @@ pub struct StructLayout {
 
 impl StructLayout {
     pub fn new(name: impl Into<String>, fields: Vec<String>) -> Arc<Self> {
-        Arc::new(StructLayout { name: name.into(), fields })
+        Arc::new(StructLayout {
+            name: name.into(),
+            fields,
+        })
     }
 
     pub fn field_index(&self, field: &str) -> Option<usize> {
@@ -56,9 +59,7 @@ impl Value {
     /// Field access by name on a struct value.
     pub fn field(&self, name: &str) -> Option<&Value> {
         match self {
-            Value::Struct(layout, fields) => {
-                layout.field_index(name).and_then(|i| fields.get(i))
-            }
+            Value::Struct(layout, fields) => layout.field_index(name).and_then(|i| fields.get(i)),
             _ => None,
         }
     }
@@ -136,11 +137,12 @@ impl Value {
             Value::Double(_) => 8,
             Value::Bool(_) => 10,
             Value::Str(_) => 40,
-            Value::Array(v) | Value::List(v) => {
-                8 + v.iter().map(Value::size_bytes).sum::<u64>()
-            }
+            Value::Array(v) | Value::List(v) => 8 + v.iter().map(Value::size_bytes).sum::<u64>(),
             Value::Map(m) => {
-                8 + m.iter().map(|(k, v)| k.size_bytes() + v.size_bytes()).sum::<u64>()
+                8 + m
+                    .iter()
+                    .map(|(k, v)| k.size_bytes() + v.size_bytes())
+                    .sum::<u64>()
             }
             Value::Struct(_, fields) | Value::Tuple(fields) => {
                 8 + fields.iter().map(Value::size_bytes).sum::<u64>()
@@ -200,9 +202,7 @@ impl Ord for Value {
                 sb.sort();
                 sa.cmp(&sb)
             }
-            (Struct(l1, f1), Struct(l2, f2)) => {
-                l1.name.cmp(&l2.name).then_with(|| f1.cmp(f2))
-            }
+            (Struct(l1, f1), Struct(l2, f2)) => l1.name.cmp(&l2.name).then_with(|| f1.cmp(f2)),
             (a, b) => a.tag().cmp(&b.tag()),
         }
     }
@@ -314,15 +314,16 @@ pub fn approx_eq(a: &Value, b: &Value, rel_tol: f64) -> bool {
         (Value::Array(xs), Value::Array(ys))
         | (Value::List(xs), Value::List(ys))
         | (Value::Tuple(xs), Value::Tuple(ys)) => {
-            xs.len() == ys.len()
-                && xs.iter().zip(ys).all(|(x, y)| approx_eq(x, y, rel_tol))
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| approx_eq(x, y, rel_tol))
         }
         (Value::Map(xs), Value::Map(ys)) => {
             if xs.len() != ys.len() {
                 return false;
             }
             xs.iter().all(|(k, v)| {
-                map_get(ys, k).map(|w| approx_eq(v, w, rel_tol)).unwrap_or(false)
+                map_get(ys, k)
+                    .map(|w| approx_eq(v, w, rel_tol))
+                    .unwrap_or(false)
             })
         }
         (Value::Struct(n1, f1), Value::Struct(n2, f2)) => {

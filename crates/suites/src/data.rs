@@ -48,20 +48,24 @@ pub fn int_array(rng: &mut StdRng, n: usize, lo: i64, hi: i64) -> Value {
 }
 
 pub fn double_list(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Value {
-    Value::List((0..n).map(|_| Value::Double(rng.gen_range(lo..hi))).collect())
+    Value::List(
+        (0..n)
+            .map(|_| Value::Double(rng.gen_range(lo..hi)))
+            .collect(),
+    )
 }
 
 pub fn double_array(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Value {
-    Value::Array((0..n).map(|_| Value::Double(rng.gen_range(lo..hi))).collect())
+    Value::Array(
+        (0..n)
+            .map(|_| Value::Double(rng.gen_range(lo..hi)))
+            .collect(),
+    )
 }
 
 /// An `rows × cols` integer matrix.
 pub fn matrix(rng: &mut StdRng, rows: usize, cols: usize, lo: i64, hi: i64) -> Value {
-    Value::Array(
-        (0..rows)
-            .map(|_| int_array(rng, cols, lo, hi))
-            .collect(),
-    )
+    Value::Array((0..rows).map(|_| int_array(rng, cols, lo, hi)).collect())
 }
 
 /// RGB pixel structs (values 0–255) for the Phoenix histogram and Fiji
@@ -129,10 +133,7 @@ pub fn edge_layout() -> Arc<StructLayout> {
 
 /// Labelled feature vectors (2-D) for logistic regression.
 pub fn labeled_points(rng: &mut StdRng, n: usize) -> Value {
-    let layout = StructLayout::new(
-        "Sample",
-        vec!["x1".into(), "x2".into(), "label".into()],
-    );
+    let layout = StructLayout::new("Sample", vec!["x1".into(), "x2".into(), "label".into()]);
     Value::List(
         (0..n)
             .map(|_| {
@@ -141,11 +142,7 @@ pub fn labeled_points(rng: &mut StdRng, n: usize) -> Value {
                 let label = if x1 + x2 > 0.0 { 1.0 } else { 0.0 };
                 Value::Struct(
                     layout.clone(),
-                    vec![
-                        Value::Double(x1),
-                        Value::Double(x2),
-                        Value::Double(label),
-                    ],
+                    vec![Value::Double(x1), Value::Double(x2), Value::Double(label)],
                 )
             })
             .collect(),
@@ -244,5 +241,4 @@ mod tests {
         assert!(first.field("x").is_some());
         assert!(first.field("y").is_some());
     }
-
 }

@@ -19,8 +19,9 @@ fn pagerank_state(rng: &mut StdRng, n: usize) -> Env {
     st.set("edges", data::edges(rng, n, nodes));
     let ranks: Vec<Value> = (0..nodes).map(|_| Value::Double(1.0)).collect();
     st.set("ranks", Value::Array(ranks));
-    let degs: Vec<Value> =
-        (0..nodes).map(|_| Value::Double(rng.gen_range(1.0f64..8.0).floor())).collect();
+    let degs: Vec<Value> = (0..nodes)
+        .map(|_| Value::Double(rng.gen_range(1.0f64..8.0).floor()))
+        .collect();
     st.set("degs", Value::Array(degs));
     st
 }

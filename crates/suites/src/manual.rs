@@ -13,8 +13,10 @@ use seqlang::value::Value;
 
 /// WordCount: the canonical reduceByKey program.
 pub fn word_count(ctx: &Arc<Context>, words: &[Value]) -> Vec<(String, i64)> {
-    let data: Vec<String> =
-        words.iter().filter_map(|w| w.as_str().map(String::from)).collect();
+    let data: Vec<String> = words
+        .iter()
+        .filter_map(|w| w.as_str().map(String::from))
+        .collect();
     let rdd = Rdd::parallelize(ctx, data);
     rdd.map_to_pair(|w| (w.clone(), 1i64))
         .reduce_by_key(|a, b| a + b)
@@ -23,14 +25,11 @@ pub fn word_count(ctx: &Arc<Context>, words: &[Value]) -> Vec<(String, i64)> {
 
 /// StringMatch with the compact single-pair encoding (the efficient
 /// hand-written variant).
-pub fn string_match(
-    ctx: &Arc<Context>,
-    text: &[Value],
-    key1: &str,
-    key2: &str,
-) -> (bool, bool) {
-    let data: Vec<String> =
-        text.iter().filter_map(|w| w.as_str().map(String::from)).collect();
+pub fn string_match(ctx: &Arc<Context>, text: &[Value], key1: &str, key2: &str) -> (bool, bool) {
+    let data: Vec<String> = text
+        .iter()
+        .filter_map(|w| w.as_str().map(String::from))
+        .collect();
     let k1 = key1.to_string();
     let k2 = key2.to_string();
     let rdd = Rdd::parallelize(ctx, data);
@@ -43,18 +42,19 @@ pub fn string_match(
 pub fn linear_regression(ctx: &Arc<Context>, points: &[Value]) -> (f64, f64, f64, f64, f64) {
     let data: Vec<(f64, f64)> = points
         .iter()
-        .filter_map(|p| {
-            Some((
-                p.field("x")?.as_double()?,
-                p.field("y")?.as_double()?,
-            ))
-        })
+        .filter_map(|p| Some((p.field("x")?.as_double()?, p.field("y")?.as_double()?)))
         .collect();
     let rdd = Rdd::parallelize(ctx, data);
     let (sx, sy, sxx, sxy, syy) = rdd.aggregate(
         (0.0, 0.0, 0.0, 0.0, 0.0),
         |acc, (x, y)| {
-            (acc.0 + x, acc.1 + y, acc.2 + x * x, acc.3 + x * y, acc.4 + y * y)
+            (
+                acc.0 + x,
+                acc.1 + y,
+                acc.2 + x * x,
+                acc.3 + x * y,
+                acc.4 + y * y,
+            )
         },
         |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3, a.4 + b.4),
     );
@@ -107,11 +107,9 @@ pub fn histogram_shuffle(ctx: &Arc<Context>, pixels: &[Value]) -> Vec<((i64, i64
         })
         .collect();
     let rdd = Rdd::parallelize(ctx, data);
-    rdd.flat_map_to_pair(|(r, g, b)| {
-        vec![((0i64, *r), 1i64), ((1, *g), 1), ((2, *b), 1)]
-    })
-    .reduce_by_key(|a, b| a + b)
-    .collect_sorted()
+    rdd.flat_map_to_pair(|(r, g, b)| vec![((0i64, *r), 1i64), ((1, *g), 1), ((2, *b), 1)])
+        .reduce_by_key(|a, b| a + b)
+        .collect_sorted()
 }
 
 /// Wikipedia page-count reference.
@@ -203,11 +201,7 @@ pub fn pagerank_uncached(
 
 /// Logistic regression reference: per-iteration aggregate of the
 /// gradient.
-pub fn logreg(
-    ctx: &Arc<Context>,
-    samples: &[(f64, f64, f64)],
-    iterations: usize,
-) -> (f64, f64) {
+pub fn logreg(ctx: &Arc<Context>, samples: &[(f64, f64, f64)], iterations: usize) -> (f64, f64) {
     let rdd = Rdd::parallelize(ctx, samples.to_vec()).cache();
     let (mut w1, mut w2) = (0.1f64, -0.1f64);
     for _ in 0..iterations {
@@ -329,7 +323,10 @@ mod tests {
         c1.reset_stats();
         pagerank_uncached(&c1, &edges, 100, 5);
         let uncached_bytes = c1.stats().total_shuffled_bytes();
-        assert!(uncached_bytes > cached_bytes, "{uncached_bytes} vs {cached_bytes}");
+        assert!(
+            uncached_bytes > cached_bytes,
+            "{uncached_bytes} vs {cached_bytes}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! MOLD-style rule-based translations (§7.1–7.2, Figure 7(a)).
 //!
-//! MOLD [38] is the syntax-directed source-to-source baseline the paper
+//! MOLD \[38\] is the syntax-directed source-to-source baseline the paper
 //! compares against. Its generated code is described precisely in §7.2:
 //!
 //! * **StringMatch**: emits a key/value pair for *every* word and runs a
@@ -25,14 +25,11 @@ pub fn word_count(ctx: &Arc<Context>, words: &[Value]) -> Vec<(String, i64)> {
 
 /// MOLD StringMatch: one job per keyword, each emitting a pair for every
 /// word in the dataset (no early filtering).
-pub fn string_match(
-    ctx: &Arc<Context>,
-    text: &[Value],
-    key1: &str,
-    key2: &str,
-) -> (bool, bool) {
-    let data: Vec<String> =
-        text.iter().filter_map(|w| w.as_str().map(String::from)).collect();
+pub fn string_match(ctx: &Arc<Context>, text: &[Value], key1: &str, key2: &str) -> (bool, bool) {
+    let data: Vec<String> = text
+        .iter()
+        .filter_map(|w| w.as_str().map(String::from))
+        .collect();
     let mut found = [false, false];
     for (i, key) in [key1, key2].into_iter().enumerate() {
         let k = key.to_string();
@@ -48,25 +45,30 @@ pub fn string_match(
 
 /// MOLD Linear Regression: zipWithIndex pre-processing doubles the data
 /// moved, then the same aggregate as the reference.
-pub fn linear_regression(
-    ctx: &Arc<Context>,
-    points: &[Value],
-) -> (f64, f64, f64, f64, f64) {
+pub fn linear_regression(ctx: &Arc<Context>, points: &[Value]) -> (f64, f64, f64, f64, f64) {
     let data: Vec<(f64, f64)> = points
         .iter()
-        .filter_map(|p| {
-            Some((p.field("x")?.as_double()?, p.field("y")?.as_double()?))
-        })
+        .filter_map(|p| Some((p.field("x")?.as_double()?, p.field("y")?.as_double()?)))
         .collect();
     // zipWithIndex: materialise (index, point) pairs through a map stage.
-    let indexed: Vec<(i64, (f64, f64))> =
-        data.iter().cloned().enumerate().map(|(i, p)| (i as i64, p)).collect();
+    let indexed: Vec<(i64, (f64, f64))> = data
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, p)| (i as i64, p))
+        .collect();
     let rdd = Rdd::parallelize(ctx, indexed);
     let stripped = rdd.map(|(_, p)| *p);
     stripped.aggregate(
         (0.0, 0.0, 0.0, 0.0, 0.0),
         |acc, (x, y)| {
-            (acc.0 + x, acc.1 + y, acc.2 + x * x, acc.3 + x * y, acc.4 + y * y)
+            (
+                acc.0 + x,
+                acc.1 + y,
+                acc.2 + x * x,
+                acc.3 + x * y,
+                acc.4 + y * y,
+            )
         },
         |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3, a.4 + b.4),
     )

@@ -179,8 +179,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
             func: "kmeans_update",
             expect_translate: true,
             gen: |rng, n| {
-                let layout =
-                    StructLayout::new("Assigned", vec!["cluster".into(), "x".into()]);
+                let layout = StructLayout::new("Assigned", vec!["cluster".into(), "x".into()]);
                 let rows: Vec<Value> = (0..n)
                     .map(|_| {
                         Value::Struct(

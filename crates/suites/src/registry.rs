@@ -74,7 +74,10 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
 
 /// Benchmarks of one suite.
 pub fn suite_benchmarks(suite: Suite) -> Vec<Benchmark> {
-    all_benchmarks().into_iter().filter(|b| b.suite == suite).collect()
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite == suite)
+        .collect()
 }
 
 #[cfg(test)]
@@ -85,7 +88,11 @@ mod tests {
     #[test]
     fn registry_is_populated_and_names_unique() {
         let all = all_benchmarks();
-        assert!(all.len() >= 45, "expected a full registry, got {}", all.len());
+        assert!(
+            all.len() >= 45,
+            "expected a full registry, got {}",
+            all.len()
+        );
         let names: HashSet<&str> = all.iter().map(|b| b.name).collect();
         assert_eq!(names.len(), all.len(), "duplicate benchmark names");
     }
@@ -122,7 +129,10 @@ mod tests {
             // Fragments in the primary function must run on the state.
             for f in frags.iter().filter(|f| f.func == b.func) {
                 f.run(&state).unwrap_or_else(|e| {
-                    panic!("{}: fragment {} fails on generated state: {e}", b.name, f.id)
+                    panic!(
+                        "{}: fragment {} fails on generated state: {e}",
+                        b.name, f.id
+                    )
                 });
             }
         }

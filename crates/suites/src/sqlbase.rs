@@ -55,15 +55,11 @@ pub fn q1_casper(ctx: &Arc<Context>, rows: &[LiRow]) -> Vec<(String, (f64, f64, 
 /// candidate rows (no full pushdown).
 pub fn q6(ctx: &Arc<Context>, rows: &[LiRow], dt1: i64, dt2: i64) -> f64 {
     let rdd = Rdd::parallelize(ctx, rows.to_vec());
-    let shuffled = rdd
-        .map_to_pair(|r| (r.5 % 64, r.clone()))
-        .group_by_key();
+    let shuffled = rdd.map_to_pair(|r| (r.5 % 64, r.clone())).group_by_key();
     let per_group = shuffled.map(move |(_, group)| {
         group
             .iter()
-            .filter(|r| {
-                r.5 > dt1 && r.5 < dt2 && r.4 >= 0.05 && r.4 <= 0.07 && r.2 < 24.0
-            })
+            .filter(|r| r.5 > dt1 && r.5 < dt2 && r.4 >= 0.05 && r.4 <= 0.07 && r.2 < 24.0)
             .map(|r| r.3 * r.4)
             .sum::<f64>()
     });
@@ -73,12 +69,10 @@ pub fn q6(ctx: &Arc<Context>, rows: &[LiRow], dt1: i64, dt2: i64) -> f64 {
 /// Casper-style Q6: guard in the mapper, combiner sum — one tiny shuffle.
 pub fn q6_casper(ctx: &Arc<Context>, rows: &[LiRow], dt1: i64, dt2: i64) -> f64 {
     let rdd = Rdd::parallelize(ctx, rows.to_vec());
-    rdd.filter(move |r| {
-        r.5 > dt1 && r.5 < dt2 && r.4 >= 0.05 && r.4 <= 0.07 && r.2 < 24.0
-    })
-    .map(|r| r.3 * r.4)
-    .reduce(|a, b| a + b)
-    .unwrap_or(0.0)
+    rdd.filter(move |r| r.5 > dt1 && r.5 < dt2 && r.4 >= 0.05 && r.4 <= 0.07 && r.2 < 24.0)
+        .map(|r| r.3 * r.4)
+        .reduce(|a, b| a + b)
+        .unwrap_or(0.0)
 }
 
 /// SparkSQL-style Q15: scans lineitem twice — once for revenues, once for
@@ -212,6 +206,9 @@ mod tests {
         let b = q17_casper(&ctx, &rows, &sel);
         let casper_shuffle = ctx.stats().total_shuffled_bytes();
         assert!((a - b).abs() < 1e-6, "{a} vs {b}");
-        assert!(sql_shuffle < casper_shuffle, "{sql_shuffle} vs {casper_shuffle}");
+        assert!(
+            sql_shuffle < casper_shuffle,
+            "{sql_shuffle} vs {casper_shuffle}"
+        );
     }
 }

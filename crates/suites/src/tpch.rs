@@ -188,8 +188,9 @@ pub fn benchmarks() -> Vec<Benchmark> {
             expect_translate: true,
             gen: |rng, n| {
                 let mut st = Env::new();
-                let rev: Vec<Value> =
-                    (0..n).map(|_| Value::Double(rng.gen_range(0.0..1.0e6))).collect();
+                let rev: Vec<Value> = (0..n)
+                    .map(|_| Value::Double(rng.gen_range(0.0..1.0e6)))
+                    .collect();
                 st.set("revenues", Value::List(rev));
                 st
             },
@@ -240,8 +241,9 @@ pub fn benchmarks() -> Vec<Benchmark> {
             gen: |rng, n| {
                 let mut st = li_state(rng, n);
                 // Unique selected part keys (join-side uniqueness).
-                let sel: Vec<Value> =
-                    (0..(n / 8).max(1)).map(|i| Value::Int(i as i64 * 7)).collect();
+                let sel: Vec<Value> = (0..(n / 8).max(1))
+                    .map(|i| Value::Int(i as i64 * 7))
+                    .collect();
                 let layout = StructLayout::new("Sel", vec!["partkey".into()]);
                 st.set(
                     "selparts",

@@ -3,6 +3,8 @@
 //! (§4.1) and incremental grammar-class traversal (§4.2–4.3).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use analyzer::fragment::Fragment;
@@ -12,8 +14,20 @@ use casper_ir::eval::eval_summary;
 use casper_ir::mr::ProgramSummary;
 use seqlang::env::Env;
 
-use crate::enumerate::candidates;
+use crate::enumerate::CandidateStream;
 use crate::grammar::{generate_classes, Grammar, GrammarClass};
+
+/// Candidates handed to the worker pool per screening round. Bounds the
+/// work discarded when an early candidate is accepted mid-chunk.
+const CHUNK_SIZE: usize = 64;
+
+/// Worker-pool size used when a parallelism knob is left at its default:
+/// every core the host exposes.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
 
 /// Configuration for one `synthesize` call (the inner CEGIS loop).
 #[derive(Debug, Clone)]
@@ -49,6 +63,13 @@ pub struct FindConfig {
     /// Disable the grammar hierarchy (Table 3's ablation): search only
     /// the top class.
     pub incremental: bool,
+    /// Worker threads for the bounded-model-checking phase. `1` runs the
+    /// exact sequential Figure 5 loop (the paper's configuration);
+    /// larger values screen candidate chunks concurrently while
+    /// producing **identical** search outcomes (see the replay argument
+    /// on the internal `synthesize_parallel`). Defaults to the host's
+    /// core count.
+    pub parallelism: usize,
 }
 
 impl Default for FindConfig {
@@ -58,6 +79,7 @@ impl Default for FindConfig {
             timeout: Duration::from_secs(60),
             max_solutions: 12,
             incremental: true,
+            parallelism: default_parallelism(),
         }
     }
 }
@@ -79,6 +101,11 @@ pub struct SearchReport {
     pub classes_explored: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// Aggregate CPU time: wall-clock of the sequential portions plus
+    /// the summed busy time of every screening worker. Equals `elapsed`
+    /// at `parallelism = 1`; the `cpu_time / elapsed` ratio is the
+    /// search's effective core utilisation.
+    pub cpu_time: Duration,
     /// Whether the search hit its timeout.
     pub timed_out: bool,
 }
@@ -137,10 +164,214 @@ pub fn synthesize<'c>(
     None
 }
 
+/// Verdict of screening one candidate against a φ snapshot and the
+/// bounded domain.
+enum Screen {
+    /// Rejected by an accumulated counter-example (fast screen).
+    PhiReject,
+    /// Rejected by the bounded model checker; carries the counter-example.
+    BoundedReject(Env),
+    /// Survived every state — ready for full verification.
+    Pass,
+    /// The wall-clock budget expired before this candidate was screened.
+    DeadlineHit,
+}
+
+/// Screen one candidate exactly as the serial CEGIS body does: the φ
+/// fast-screen first, then the bounded walk, reporting the first
+/// counter-example found.
+fn screen_one(
+    task: &VerificationTask<'_>,
+    cand: &ProgramSummary,
+    phi: &[Env],
+    bounded: &[Env],
+) -> Screen {
+    let eval = |pre: &Env| eval_summary(cand, pre);
+    for state in phi {
+        if let CheckOutcome::CounterExample(_) = task.check_exact_state(&eval, state) {
+            return Screen::PhiReject;
+        }
+    }
+    for state in bounded {
+        if let CheckOutcome::CounterExample(cex) = task.check_state(&eval, state) {
+            return Screen::BoundedReject(cex);
+        }
+    }
+    Screen::Pass
+}
+
+/// Does the candidate survive the counter-examples added after its
+/// screening snapshot was taken? (The sequential loop would have applied
+/// these in its φ fast-screen.)
+fn survives_new(task: &VerificationTask<'_>, cand: &ProgramSummary, new_phi: &[Env]) -> bool {
+    let eval = |pre: &Env| eval_summary(cand, pre);
+    new_phi.iter().all(|state| {
+        !matches!(
+            task.check_exact_state(&eval, state),
+            CheckOutcome::CounterExample(_)
+        )
+    })
+}
+
+/// Screen a candidate chunk across a scoped worker pool. Work is dealt
+/// by an atomic cursor; results land in per-candidate slots so the
+/// caller sees them in enumeration order regardless of completion
+/// order. Workers cooperatively cancel once the deadline passes, and
+/// each adds its busy time to `busy_ns` for the CPU-time accounting in
+/// [`SearchReport::cpu_time`].
+fn screen_chunk_parallel(
+    chunk: &[&ProgramSummary],
+    task: &VerificationTask<'_>,
+    phi: &[Env],
+    bounded: &[Env],
+    workers: usize,
+    deadline: Instant,
+    busy_ns: &AtomicU64,
+) -> Vec<Screen> {
+    let n = chunk.len();
+    let mut out: Vec<Option<Screen>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
+    let slots: Vec<Mutex<&mut Option<Screen>>> = out.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| {
+                let busy = Instant::now();
+                loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if Instant::now() >= deadline {
+                        cancel.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    let verdict = screen_one(task, chunk[i], phi, bounded);
+                    **slots[i].lock().expect("slot lock") = Some(verdict);
+                }
+                busy_ns.fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.unwrap_or(Screen::DeadlineHit))
+        .collect()
+}
+
+/// Parallel drop-in for [`synthesize`]: identical outcomes, chunked
+/// concurrent screening.
+///
+/// Correctness relies on a replay argument. A candidate's serial
+/// verdict is "reject" iff it fails some state in φ-at-its-turn or some
+/// bounded state. Chunks are screened against a φ *snapshot* plus the
+/// full bounded domain; the only states a candidate misses are the
+/// counter-examples contributed by earlier candidates *in the same
+/// chunk*. The sequential replay below re-checks exactly those
+/// ([`survives_new`]) before trusting a verdict, so the candidate
+/// returned — and every counter-example admitted to φ — is precisely
+/// what the `parallelism = 1` loop would have produced. Timing-based
+/// divergence is possible only at the deadline, which truncates both
+/// variants non-deterministically anyway.
+#[allow(clippy::too_many_arguments)]
+fn synthesize_parallel(
+    stream: &CandidateStream<'_>,
+    blocked: &RwLock<HashSet<ProgramSummary>>,
+    task: &VerificationTask<'_>,
+    phi: &mut Vec<Env>,
+    bounded: &[Env],
+    report: &mut SearchReport,
+    deadline: Instant,
+    workers: usize,
+    busy_ns: &AtomicU64,
+    parallel_wall: &mut Duration,
+) -> Option<ProgramSummary> {
+    let mut cursor = 0usize;
+    loop {
+        if Instant::now() >= deadline {
+            report.timed_out = true;
+            return None;
+        }
+        let chunk = {
+            let guard = blocked.read().expect("blocked set");
+            stream.next_chunk(&mut cursor, CHUNK_SIZE, &guard)
+        };
+        if chunk.is_empty() {
+            if cursor >= stream.all().len() {
+                return None; // class exhausted
+            }
+            continue; // chunk was entirely blocked; keep scanning
+        }
+        let round = Instant::now();
+        let verdicts =
+            screen_chunk_parallel(&chunk, task, phi, bounded, workers, deadline, busy_ns);
+        *parallel_wall += round.elapsed();
+
+        // Deterministic replay in enumeration order.
+        let snapshot_len = phi.len();
+        for (cand, verdict) in chunk.into_iter().zip(verdicts) {
+            match verdict {
+                Screen::DeadlineHit => {
+                    report.timed_out = true;
+                    return None;
+                }
+                Screen::PhiReject => report.candidates_checked += 1,
+                Screen::BoundedReject(cex) => {
+                    report.candidates_checked += 1;
+                    // Serial would have fast-screened against the
+                    // counter-examples added earlier in this chunk and
+                    // never reached the bounded walk.
+                    if survives_new(task, cand, &phi[snapshot_len..]) {
+                        report.counter_examples += 1;
+                        phi.push(cex);
+                    }
+                }
+                Screen::Pass => {
+                    report.candidates_checked += 1;
+                    if survives_new(task, cand, &phi[snapshot_len..]) {
+                        return Some(cand.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// `findSummary` (Figure 5, lines 10–24): walk the grammar-class
 /// hierarchy; within each class run CEGIS repeatedly, blocking every
 /// candidate that reaches the full verifier (whether it passes into ∆ or
 /// fails into Ω) so the synthesizer always makes forward progress.
+///
+/// With `config.parallelism > 1` the bounded-model-checking phase runs
+/// on a worker pool over lazily-streamed candidate chunks (the dominant
+/// cost of compilation); outcomes are identical to the sequential
+/// search. The blocked set Ω ∪ ∆ lives behind an `RwLock` shared by the
+/// chunk producer and the adjudication loop. The search early-cancels
+/// as soon as `max_solutions` summaries verify or the deadline passes —
+/// in-flight screening workers observe the cancellation flag and stop.
+///
+/// ```
+/// use analyzer::identify_fragments;
+/// use std::sync::Arc;
+/// use synthesis::{find_summary, FindConfig, FindOutcome};
+///
+/// let program = Arc::new(seqlang::compile(
+///     "fn sum(xs: list<int>) -> int {
+///          let s: int = 0;
+///          for (x in xs) { s = s + x; }
+///          return s;
+///      }",
+/// ).unwrap());
+/// let fragment = identify_fragments(&program).remove(0);
+/// // Accept every bounded-verified candidate (stand-in for the full
+/// // verifier, which `casper::Casper` wires in for real runs).
+/// let accept = |_: &casper_ir::mr::ProgramSummary| true;
+/// let (outcome, report) = find_summary(&fragment, &accept, &FindConfig::default());
+/// assert!(matches!(outcome, FindOutcome::Found(_)));
+/// assert!(report.candidates_checked > 0);
+/// ```
 pub fn find_summary(
     fragment: &Fragment,
     full_verify: &dyn Fn(&ProgramSummary) -> bool,
@@ -149,9 +380,21 @@ pub fn find_summary(
     let started = Instant::now();
     let deadline = started + config.timeout;
     let mut report = SearchReport::default();
+    let busy_ns = AtomicU64::new(0);
+    let mut parallel_wall = Duration::ZERO;
+    let workers = config.parallelism.max(1);
+
+    // Wall/CPU accounting: everything outside the parallel screening
+    // rounds is sequential driver time and counts once; the rounds
+    // contribute their workers' summed busy time instead.
+    let seal = |report: &mut SearchReport, parallel_wall: Duration| {
+        report.elapsed = started.elapsed();
+        report.cpu_time = report.elapsed.saturating_sub(parallel_wall)
+            + Duration::from_nanos(busy_ns.load(Ordering::Relaxed));
+    };
 
     if !fragment.ir_expressible() {
-        report.elapsed = started.elapsed();
+        seal(&mut report, parallel_wall);
         return (FindOutcome::Exhausted, report);
     }
 
@@ -169,35 +412,52 @@ pub fn find_summary(
     let mut phi: Vec<Env> = gen.states(config.synth.initial_states);
     let bounded: Vec<Env> = gen.states(config.synth.bounded_states);
 
-    // Ω ∪ ∆ as a blocked set (hashes of candidates already adjudicated).
-    let mut blocked: HashSet<ProgramSummary> = HashSet::new();
+    // Ω ∪ ∆ as a blocked set (candidates already adjudicated), behind a
+    // lock so the streaming chunk producer and the screening pool can
+    // share it.
+    let blocked: RwLock<HashSet<ProgramSummary>> = RwLock::new(HashSet::new());
     let mut delta: Vec<ProgramSummary> = Vec::new();
 
     for class in &classes {
         report.classes_explored += 1;
-        let class_candidates = candidates(&grammar, class);
+        let stream = CandidateStream::new(&grammar, class);
         loop {
             if Instant::now() >= deadline {
                 report.timed_out = true;
-                report.elapsed = started.elapsed();
+                seal(&mut report, parallel_wall);
                 return if delta.is_empty() {
                     (FindOutcome::TimedOut, report)
                 } else {
                     (FindOutcome::Found(delta), report)
                 };
             }
-            let stream = class_candidates.iter().filter(|c| !blocked.contains(*c));
-            let found =
-                synthesize(stream, &task, &mut phi, &bounded, &mut report, deadline);
+            let found = if workers <= 1 {
+                let guard = blocked.read().expect("blocked set");
+                let serial = stream.all().iter().filter(|c| !guard.contains(*c));
+                synthesize(serial, &task, &mut phi, &bounded, &mut report, deadline)
+            } else {
+                synthesize_parallel(
+                    &stream,
+                    &blocked,
+                    &task,
+                    &mut phi,
+                    &bounded,
+                    &mut report,
+                    deadline,
+                    workers,
+                    &busy_ns,
+                    &mut parallel_wall,
+                )
+            };
             match found {
                 None => break, // class exhausted (or timed out; loop re-checks)
                 Some(cand) => {
                     report.sent_to_verifier += 1;
-                    blocked.insert(cand.clone());
+                    blocked.write().expect("blocked set").insert(cand.clone());
                     if full_verify(&cand) {
                         delta.push(cand);
                         if delta.len() >= config.max_solutions {
-                            report.elapsed = started.elapsed();
+                            seal(&mut report, parallel_wall);
                             return (FindOutcome::Found(delta), report);
                         }
                     } else {
@@ -213,7 +473,7 @@ pub fn find_summary(
         }
     }
 
-    report.elapsed = started.elapsed();
+    seal(&mut report, parallel_wall);
     if delta.is_empty() {
         (FindOutcome::Exhausted, report)
     } else {
@@ -230,16 +490,14 @@ mod tests {
     use std::sync::Arc;
 
     /// A cheap stand-in for the full verifier: large-domain re-checking.
-    fn testing_verifier<'f>(
-        fragment: &'f Fragment,
-    ) -> impl Fn(&ProgramSummary) -> bool + 'f {
+    fn testing_verifier<'f>(fragment: &'f Fragment) -> impl Fn(&ProgramSummary) -> bool + 'f {
         move |summary: &ProgramSummary| {
             let task = VerificationTask::new(fragment);
             let mut gen = StateGen::new(fragment, StateGenConfig::full());
             let eval = |pre: &Env| eval_summary(summary, pre);
-            gen.states(24).iter().all(|st| {
-                !matches!(task.check_state(&eval, st), CheckOutcome::CounterExample(_))
-            })
+            gen.states(24)
+                .iter()
+                .all(|st| !matches!(task.check_state(&eval, st), CheckOutcome::CounterExample(_)))
         }
     }
 
@@ -279,7 +537,9 @@ mod tests {
                 return m;
             }",
         );
-        let FindOutcome::Found(sols) = outcome else { panic!("max not found") };
+        let FindOutcome::Found(sols) = outcome else {
+            panic!("max not found")
+        };
         let text = pretty_summary(&sols[0]);
         assert!(text.contains("max") || text.contains('>'), "{text}");
     }
@@ -324,10 +584,50 @@ mod tests {
         let p = Arc::new(compile(src).unwrap());
         let frag = identify_fragments(&p).remove(0);
         let verifier = testing_verifier(&frag);
-        let config = FindConfig { incremental: false, ..FindConfig::default() };
+        let config = FindConfig {
+            incremental: false,
+            ..FindConfig::default()
+        };
         let (outcome, report) = find_summary(&frag, &verifier, &config);
         assert!(matches!(outcome, FindOutcome::Found(_)));
         assert_eq!(report.classes_explored, 1);
+    }
+
+    #[test]
+    fn parallel_search_matches_serial_outcomes() {
+        for src in [
+            "fn sum(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }",
+            "fn cc(xs: list<int>, t: int) -> int {
+                let n: int = 0;
+                for (x in xs) { if (x > t) { n = n + 1; } }
+                return n;
+            }",
+        ] {
+            let p = Arc::new(compile(src).unwrap());
+            let frag = identify_fragments(&p).remove(0);
+            let verifier = testing_verifier(&frag);
+            let serial_cfg = FindConfig {
+                parallelism: 1,
+                ..FindConfig::default()
+            };
+            let parallel_cfg = FindConfig {
+                parallelism: 4,
+                ..FindConfig::default()
+            };
+            let (serial, r1) = find_summary(&frag, &verifier, &serial_cfg);
+            let (parallel, r4) = find_summary(&frag, &verifier, &parallel_cfg);
+            let (FindOutcome::Found(a), FindOutcome::Found(b)) = (serial, parallel) else {
+                panic!("both searches must succeed");
+            };
+            assert_eq!(a, b, "summary sets diverge");
+            assert_eq!(r1.candidates_checked, r4.candidates_checked);
+            assert_eq!(r1.counter_examples, r4.counter_examples);
+            assert_eq!(r1.sent_to_verifier, r4.sent_to_verifier);
+        }
     }
 
     #[test]
@@ -340,9 +640,16 @@ mod tests {
         let p = Arc::new(compile(src).unwrap());
         let frag = identify_fragments(&p).remove(0);
         let verifier = testing_verifier(&frag);
-        let inc = FindConfig { max_solutions: 1, ..FindConfig::default() };
+        let inc = FindConfig {
+            max_solutions: 1,
+            ..FindConfig::default()
+        };
         let (_, r_inc) = find_summary(&frag, &verifier, &inc);
-        let flat = FindConfig { incremental: false, max_solutions: 1, ..FindConfig::default() };
+        let flat = FindConfig {
+            incremental: false,
+            max_solutions: 1,
+            ..FindConfig::default()
+        };
         let (_, r_flat) = find_summary(&frag, &verifier, &flat);
         assert!(
             r_inc.candidates_checked <= r_flat.candidates_checked,

@@ -17,6 +17,7 @@
 //! the fragment's parameters, free scalars, constants, harvested atoms,
 //! and modelled library methods.
 
+use std::cell::OnceCell;
 use std::collections::HashSet;
 
 use casper_ir::expr::IrExpr;
@@ -63,6 +64,61 @@ pub fn candidates(grammar: &Grammar, class: &GrammarClass) -> Vec<ProgramSummary
     // grammars extends to within-class ordering).
     out.sort_by_key(summary_cost);
     out
+}
+
+/// A chunked, lazily-produced view of one grammar class's candidates.
+///
+/// Enumeration is deferred until the first chunk (or [`all`]) is
+/// requested, so classes the search never reaches — because an earlier
+/// class already produced verified summaries, or the budget ran out —
+/// pay nothing. Chunks preserve the global cheapest-first order of
+/// [`candidates`] and filter against the caller's blocked set (Ω ∪ ∆),
+/// which is how the parallel CEGIS driver in [`crate::cegis`] feeds
+/// candidate batches to its worker pool.
+///
+/// [`all`]: CandidateStream::all
+pub struct CandidateStream<'g> {
+    grammar: &'g Grammar,
+    class: GrammarClass,
+    cell: OnceCell<Vec<ProgramSummary>>,
+}
+
+impl<'g> CandidateStream<'g> {
+    /// Create the stream without enumerating anything yet.
+    pub fn new(grammar: &'g Grammar, class: &GrammarClass) -> CandidateStream<'g> {
+        CandidateStream {
+            grammar,
+            class: *class,
+            cell: OnceCell::new(),
+        }
+    }
+
+    /// The full cost-sorted candidate list, generated on first use.
+    pub fn all(&self) -> &[ProgramSummary] {
+        self.cell
+            .get_or_init(|| candidates(self.grammar, &self.class))
+    }
+
+    /// Gather up to `size` not-yet-blocked candidates starting at
+    /// `*cursor`, advancing the cursor past everything inspected.
+    /// Returns an empty vector once the class is exhausted.
+    pub fn next_chunk(
+        &self,
+        cursor: &mut usize,
+        size: usize,
+        blocked: &HashSet<ProgramSummary>,
+    ) -> Vec<&ProgramSummary> {
+        let all = self.all();
+        let mut chunk = Vec::with_capacity(size.min(16));
+        while *cursor < all.len() && chunk.len() < size {
+            let cand = &all[*cursor];
+            *cursor += 1;
+            if !blocked.contains(cand) {
+                chunk.push(cand);
+            }
+        }
+        chunk
+    }
 }
 
 /// A crude static cost: operator count ×4 plus total expression length —
@@ -169,7 +225,10 @@ fn build_pools(grammar: &Grammar, class: &GrammarClass, params: &[(String, Type)
             .iter()
             .copied()
             .filter(|op| {
-                matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+                matches!(
+                    op,
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+                )
             })
             .collect();
         let mut composites = Vec::new();
@@ -278,15 +337,20 @@ fn build_pools(grammar: &Grammar, class: &GrammarClass, params: &[(String, Type)
         }
     }
 
-    Pools { numeric, boolean: bool_vals, string, conds, keys }
+    Pools {
+        numeric,
+        boolean: bool_vals,
+        string,
+        conds,
+        keys,
+    }
 }
 
 fn in_scope(e: &IrExpr, params: &[(String, Type)], grammar: &Grammar) -> bool {
     let mut vars = Vec::new();
     e.free_vars(&mut vars);
-    vars.iter().all(|v| {
-        params.iter().any(|(n, _)| n == v) || grammar.scalars.iter().any(|(n, _)| n == v)
-    })
+    vars.iter()
+        .all(|v| params.iter().any(|(n, _)| n == v) || grammar.scalars.iter().any(|(n, _)| n == v))
 }
 
 /// Value-typed expression pool for the output type `t`.
@@ -298,11 +362,7 @@ fn value_pool(pools: &Pools, t: &Type) -> Vec<IrExpr> {
             .filter(|(_, pt)| *pt == Type::Int)
             .map(|(e, _)| e.clone())
             .collect(),
-        Type::Double => pools
-            .numeric
-            .iter()
-            .map(|(e, _)| e.clone())
-            .collect(),
+        Type::Double => pools.numeric.iter().map(|(e, _)| e.clone()).collect(),
         Type::Bool => pools.boolean.clone(),
         Type::Str => pools.string.clone(),
         _ => Vec::new(),
@@ -321,7 +381,10 @@ fn reducers_for(grammar: &Grammar, t: &Type) -> Vec<ReduceLambda> {
                 out.push(ReduceLambda::binop(BinOp::Mul));
             }
             if grammar.methods.iter().any(|m| m == "min")
-                || grammar.harvested_conds.iter().any(|c| format!("{c}").contains('<'))
+                || grammar
+                    .harvested_conds
+                    .iter()
+                    .any(|c| format!("{c}").contains('<'))
                 || grammar.operators.contains(&BinOp::Lt)
             {
                 out.push(ReduceLambda::new(IrExpr::Call(
@@ -509,7 +572,10 @@ fn scalar_candidates(
         for r in reducers_for(grammar, &vt) {
             let expr = data
                 .clone()
-                .map(MapLambda { params: fp.to_vec(), emits: vec![emit.clone()] })
+                .map(MapLambda {
+                    params: fp.to_vec(),
+                    emits: vec![emit.clone()],
+                })
                 .reduce(r);
             push(ProgramSummary::single(var, expr, OutputKind::Scalar));
         }
@@ -518,14 +584,20 @@ fn scalar_candidates(
     // scalar intermediate with a final transform (mean-style: sum / n).
     if class.max_ops >= 3 {
         // Scalar intermediate + final map.
-        let final_params = vec![("_k".to_string(), Type::Int), ("_v".to_string(), out_ty.clone())];
+        let final_params = vec![
+            ("_k".to_string(), Type::Int),
+            ("_v".to_string(), out_ty.clone()),
+        ];
         let final_pools = build_pools(grammar, class, &final_params);
         let final_vals: Vec<IrExpr> = value_pool(&final_pools, out_ty)
             .into_iter()
             .filter(|e| mentions_var(e, "_v"))
             .take(24)
             .collect();
-        for (emit, vt) in emits_for(pools, class, const_key, out_ty).into_iter().take(80) {
+        for (emit, vt) in emits_for(pools, class, const_key, out_ty)
+            .into_iter()
+            .take(80)
+        {
             for r in reducers_for(grammar, &vt).into_iter().take(4) {
                 for fv in &final_vals {
                     let expr = data
@@ -619,29 +691,38 @@ fn array_candidates(
 ) {
     // Keys must be the row-index parameter.
     let index_param = spec.params.first().cloned().unwrap_or_default();
-    let index_key = |k: &IrExpr, _t: &Type| {
-        matches!(k, IrExpr::Var(v) if *v == index_param)
+    let index_key = |k: &IrExpr, _t: &Type| matches!(k, IrExpr::Var(v) if *v == index_param);
+    let kind = OutputKind::AssocArray {
+        len_var: len_var.to_string(),
     };
-    let kind = OutputKind::AssocArray { len_var: len_var.to_string() };
     // Map-only family: one pair per index, no aggregation (per-element
     // transforms like `out[i] = f(in[i])`).
-    for (emit, _vt) in emits_for(pools, class, index_key, elem_ty).into_iter().take(120) {
-        let expr = data
-            .clone()
-            .map(MapLambda { params: fp.to_vec(), emits: vec![emit] });
+    for (emit, _vt) in emits_for(pools, class, index_key, elem_ty)
+        .into_iter()
+        .take(120)
+    {
+        let expr = data.clone().map(MapLambda {
+            params: fp.to_vec(),
+            emits: vec![emit],
+        });
         push(ProgramSummary::single(var, expr, kind.clone()));
     }
     for (emit, vt) in emits_for(pools, class, index_key, elem_ty) {
         for r in reducers_for(grammar, &vt).into_iter().take(4) {
             let expr = data
                 .clone()
-                .map(MapLambda { params: fp.to_vec(), emits: vec![emit.clone()] })
+                .map(MapLambda {
+                    params: fp.to_vec(),
+                    emits: vec![emit.clone()],
+                })
                 .reduce(r.clone());
             push(ProgramSummary::single(var, expr, kind.clone()));
             // Three-stage: final per-key transform (row-wise mean).
             if class.max_ops >= 3 {
-                let final_params =
-                    vec![("_k".to_string(), Type::Int), ("_v".to_string(), elem_ty.clone())];
+                let final_params = vec![
+                    ("_k".to_string(), Type::Int),
+                    ("_v".to_string(), elem_ty.clone()),
+                ];
                 let final_pools = build_pools(grammar, class, &final_params);
                 for fv in value_pool(&final_pools, elem_ty)
                     .into_iter()
@@ -682,7 +763,10 @@ fn map_output_candidates(
         for r in reducers_for(grammar, &vt).into_iter().take(4) {
             let expr = data
                 .clone()
-                .map(MapLambda { params: fp.to_vec(), emits: vec![emit.clone()] })
+                .map(MapLambda {
+                    params: fp.to_vec(),
+                    emits: vec![emit.clone()],
+                })
                 .reduce(r);
             push(ProgramSummary::single(var, expr, OutputKind::AssocMap));
         }
@@ -708,16 +792,18 @@ fn collected_list_candidates(
     }
     for v in vals.into_iter().take(40) {
         let base = Emit::unconditional(IrExpr::int(0), v.clone());
-        let expr = data
-            .clone()
-            .map(MapLambda { params: fp.to_vec(), emits: vec![base] });
+        let expr = data.clone().map(MapLambda {
+            params: fp.to_vec(),
+            emits: vec![base],
+        });
         push(ProgramSummary::single(var, expr, OutputKind::CollectedList));
         if class.allow_cond_emits {
             for c in pools.conds.iter().take(16) {
                 let emit = Emit::guarded(c.clone(), IrExpr::int(0), v.clone());
-                let expr = data
-                    .clone()
-                    .map(MapLambda { params: fp.to_vec(), emits: vec![emit] });
+                let expr = data.clone().map(MapLambda {
+                    params: fp.to_vec(),
+                    emits: vec![emit],
+                });
                 push(ProgramSummary::single(var, expr, OutputKind::CollectedList));
             }
         }
@@ -740,7 +826,10 @@ fn multi_scalar_candidates(
     }
     let vars: Vec<String> = outputs.iter().map(|(n, _)| n.clone()).collect();
     let tys: Vec<Type> = outputs.iter().map(|(_, t)| t.clone()).collect();
-    if !tys.iter().all(|t| matches!(t, Type::Int | Type::Double | Type::Bool)) {
+    if !tys
+        .iter()
+        .all(|t| matches!(t, Type::Int | Type::Double | Type::Bool))
+    {
         return;
     }
 
@@ -874,11 +963,9 @@ fn substitute_key(guard: &IrExpr, keys: &[IrExpr], target: &IrExpr) -> IrExpr {
             return target.clone();
         }
         match e {
-            IrExpr::Bin(op, l, r) => IrExpr::bin(
-                *op,
-                subst(l, keys, target),
-                subst(r, keys, target),
-            ),
+            IrExpr::Bin(op, l, r) => {
+                IrExpr::bin(*op, subst(l, keys, target), subst(r, keys, target))
+            }
             IrExpr::Un(op, x) => IrExpr::Un(*op, Box::new(subst(x, keys, target))),
             IrExpr::Call(f, args) => IrExpr::Call(
                 f.clone(),
@@ -896,24 +983,19 @@ fn substitute_key(guard: &IrExpr, keys: &[IrExpr], target: &IrExpr) -> IrExpr {
 }
 
 /// Join skeletons over the first two sources.
-fn join_candidates(
-    grammar: &Grammar,
-    class: &GrammarClass,
-    push: &mut impl FnMut(ProgramSummary),
-) {
+fn join_candidates(grammar: &Grammar, class: &GrammarClass, push: &mut impl FnMut(ProgramSummary)) {
     let s1 = &grammar.sources[0];
     let s2 = &grammar.sources[1];
-    let [(var, out_ty)] = &grammar.outputs[..] else { return };
+    let [(var, out_ty)] = &grammar.outputs[..] else {
+        return;
+    };
 
     // Elementwise array output over two aligned Indexed sources
     // (Hadamard product): map(join(d1, d2), (_k,_v) -> (_k, f(_v.0,_v.1))).
     if let Type::Array(elem) = out_ty {
-        if s1.source.shape == DataShape::Indexed
-            && s2.source.shape == DataShape::Indexed
-        {
+        if s1.source.shape == DataShape::Indexed && s2.source.shape == DataShape::Indexed {
             if let Some(len_var) = &grammar.array_len_var {
-                let joined =
-                    MrExpr::Data(s1.source.clone()).join(MrExpr::Data(s2.source.clone()));
+                let joined = MrExpr::Data(s1.source.clone()).join(MrExpr::Data(s2.source.clone()));
                 let a = IrExpr::tget(IrExpr::var("_v"), 0);
                 let b = IrExpr::tget(IrExpr::var("_v"), 1);
                 let mut vals = Vec::new();
@@ -949,7 +1031,9 @@ fn join_candidates(
                     push(ProgramSummary::single(
                         var,
                         expr,
-                        OutputKind::AssocArray { len_var: len_var.clone() },
+                        OutputKind::AssocArray {
+                            len_var: len_var.clone(),
+                        },
                     ));
                 }
             }
@@ -1125,7 +1209,10 @@ fn accum_candidates(
         .iter()
         .filter(|u| {
             in_scope(&u.delta, params, grammar)
-                && u.cond.as_ref().map(|c| in_scope(c, params, grammar)).unwrap_or(true)
+                && u.cond
+                    .as_ref()
+                    .map(|c| in_scope(c, params, grammar))
+                    .unwrap_or(true)
         })
         .collect();
     if updates.is_empty() {
@@ -1155,9 +1242,16 @@ fn accum_candidates(
             };
             let expr = data
                 .clone()
-                .map(MapLambda { params: fp.to_vec(), emits: vec![emit] })
+                .map(MapLambda {
+                    params: fp.to_vec(),
+                    emits: vec![emit],
+                })
                 .reduce(u.op.reducer());
-            push(ProgramSummary::single(var.clone(), expr, OutputKind::Scalar));
+            push(ProgramSummary::single(
+                var.clone(),
+                expr,
+                OutputKind::Scalar,
+            ));
         }
         return;
     }
@@ -1173,11 +1267,15 @@ fn accum_candidates(
     let mut combiner: Vec<IrExpr> = Vec::new();
     let vars: Vec<String> = scalar_outputs.iter().map(|(n, _)| n.clone()).collect();
     for (i, (var, ty)) in scalar_outputs.iter().enumerate() {
-        let Some(u) = updates.iter().find(|u| &u.var == var) else { return };
+        let Some(u) = updates.iter().find(|u| &u.var == var) else {
+            return;
+        };
         let comp = match &u.cond {
             None => u.delta.clone(),
             Some(c) => {
-                let Some(identity) = accum_identity(&u.op, ty) else { return };
+                let Some(identity) = accum_identity(&u.op, ty) else {
+                    return;
+                };
                 IrExpr::ite(c.clone(), u.delta.clone(), identity)
             }
         };
@@ -1188,11 +1286,18 @@ fn accum_candidates(
         .clone()
         .map(MapLambda {
             params: fp.to_vec(),
-            emits: vec![Emit::unconditional(IrExpr::int(0), IrExpr::Tuple(components))],
+            emits: vec![Emit::unconditional(
+                IrExpr::int(0),
+                IrExpr::Tuple(components),
+            )],
         })
         .reduce(ReduceLambda::new(IrExpr::Tuple(combiner)));
     push(ProgramSummary {
-        bindings: vec![OutputBinding { vars, expr, kind: OutputKind::ScalarTuple }],
+        bindings: vec![OutputBinding {
+            vars,
+            expr,
+            kind: OutputKind::ScalarTuple,
+        }],
     });
 }
 
@@ -1223,12 +1328,17 @@ fn map_accum_candidates(
         .filter(|u| {
             in_scope(&u.delta, params, grammar)
                 && in_scope(&u.key, params, grammar)
-                && u.cond.as_ref().map(|c| in_scope(c, params, grammar)).unwrap_or(true)
+                && u.cond
+                    .as_ref()
+                    .map(|c| in_scope(c, params, grammar))
+                    .unwrap_or(true)
         })
         .collect();
     let mut bindings = Vec::new();
     for var in &map_outputs {
-        let Some(u) = usable.iter().find(|u| &&u.var == var) else { return };
+        let Some(u) = usable.iter().find(|u| &&u.var == var) else {
+            return;
+        };
         let emit = match &u.cond {
             Some(c) if class.allow_cond_emits => {
                 Emit::guarded(c.clone(), u.key.clone(), u.delta.clone())
@@ -1238,7 +1348,10 @@ fn map_accum_candidates(
         };
         let expr = data
             .clone()
-            .map(MapLambda { params: fp.to_vec(), emits: vec![emit] })
+            .map(MapLambda {
+                params: fp.to_vec(),
+                emits: vec![emit],
+            })
             .reduce(u.op.reducer());
         bindings.push(OutputBinding {
             vars: vec![(*var).clone()],
@@ -1271,27 +1384,20 @@ pub fn subst_vars(e: &IrExpr, map: &dyn Fn(&str) -> Option<IrExpr>) -> IrExpr {
         IrExpr::Var(v) => map(v).unwrap_or_else(|| e.clone()),
         IrExpr::Field(b, f) => IrExpr::field(subst_vars(b, map), f.clone()),
         IrExpr::TupleGet(b, i) => IrExpr::tget(subst_vars(b, map), *i),
-        IrExpr::Tuple(es) => {
-            IrExpr::Tuple(es.iter().map(|x| subst_vars(x, map)).collect())
-        }
-        IrExpr::Bin(op, l, r) => {
-            IrExpr::bin(*op, subst_vars(l, map), subst_vars(r, map))
-        }
+        IrExpr::Tuple(es) => IrExpr::Tuple(es.iter().map(|x| subst_vars(x, map)).collect()),
+        IrExpr::Bin(op, l, r) => IrExpr::bin(*op, subst_vars(l, map), subst_vars(r, map)),
         IrExpr::Un(op, x) => IrExpr::Un(*op, Box::new(subst_vars(x, map))),
-        IrExpr::Call(f, args) => IrExpr::Call(
-            f.clone(),
-            args.iter().map(|x| subst_vars(x, map)).collect(),
-        ),
+        IrExpr::Call(f, args) => {
+            IrExpr::Call(f.clone(), args.iter().map(|x| subst_vars(x, map)).collect())
+        }
         IrExpr::Method(b, m, args) => IrExpr::Method(
             Box::new(subst_vars(b, map)),
             m.clone(),
             args.iter().map(|x| subst_vars(x, map)).collect(),
         ),
-        IrExpr::If(c, t, e2) => IrExpr::ite(
-            subst_vars(c, map),
-            subst_vars(t, map),
-            subst_vars(e2, map),
-        ),
+        IrExpr::If(c, t, e2) => {
+            IrExpr::ite(subst_vars(c, map), subst_vars(t, map), subst_vars(e2, map))
+        }
         other => other.clone(),
     }
 }
@@ -1421,10 +1527,7 @@ mod tests {
         let cands = candidates(&g, &classes[1]);
         assert!(!cands.is_empty());
         for c in &cands {
-            assert!(matches!(
-                c.bindings[0].kind,
-                OutputKind::AssocArray { .. }
-            ));
+            assert!(matches!(c.bindings[0].kind, OutputKind::AssocArray { .. }));
         }
     }
 }

@@ -37,16 +37,46 @@ impl GrammarClass {
 pub fn generate_classes() -> Vec<GrammarClass> {
     vec![
         // G1: one operator, single scalar emit (Figure 6's G1).
-        GrammarClass { max_ops: 1, max_emits: 1, kv_complexity: 1, max_expr_len: 2, allow_cond_emits: false },
+        GrammarClass {
+            max_ops: 1,
+            max_emits: 1,
+            kv_complexity: 1,
+            max_expr_len: 2,
+            allow_cond_emits: false,
+        },
         // G2: map→reduce pipelines.
-        GrammarClass { max_ops: 2, max_emits: 1, kv_complexity: 1, max_expr_len: 2, allow_cond_emits: false },
+        GrammarClass {
+            max_ops: 2,
+            max_emits: 1,
+            kv_complexity: 1,
+            max_expr_len: 2,
+            allow_cond_emits: false,
+        },
         // G3: conditional emits, two emits, tuple keys/values, longer
         // expressions (Figure 6's G3 admits Tuple<int,int> kv types).
-        GrammarClass { max_ops: 2, max_emits: 2, kv_complexity: 2, max_expr_len: 3, allow_cond_emits: true },
+        GrammarClass {
+            max_ops: 2,
+            max_emits: 2,
+            kv_complexity: 2,
+            max_expr_len: 3,
+            allow_cond_emits: true,
+        },
         // G4: three-stage pipelines, tuple keys/values (Figure 6's G3).
-        GrammarClass { max_ops: 3, max_emits: 2, kv_complexity: 2, max_expr_len: 3, allow_cond_emits: true },
+        GrammarClass {
+            max_ops: 3,
+            max_emits: 2,
+            kv_complexity: 2,
+            max_expr_len: 3,
+            allow_cond_emits: true,
+        },
         // G5: everything, longest expressions.
-        GrammarClass { max_ops: 3, max_emits: 2, kv_complexity: 2, max_expr_len: 4, allow_cond_emits: true },
+        GrammarClass {
+            max_ops: 3,
+            max_emits: 2,
+            kv_complexity: 2,
+            max_expr_len: 4,
+            allow_cond_emits: true,
+        },
     ]
 }
 
@@ -252,8 +282,15 @@ impl Grammar {
             .filter(|m| {
                 matches!(
                     m.as_str(),
-                    "abs" | "min" | "max" | "sqrt" | "pow" | "exp" | "log"
-                        | "int_to_double" | "double_to_int"
+                    "abs"
+                        | "min"
+                        | "max"
+                        | "sqrt"
+                        | "pow"
+                        | "exp"
+                        | "log"
+                        | "int_to_double"
+                        | "double_to_int"
                 )
             })
             .cloned()
@@ -288,7 +325,10 @@ impl Grammar {
                 }
             }
         }
-        let conv = Converter { renames, index_renames };
+        let conv = Converter {
+            renames,
+            index_renames,
+        };
 
         // Harvest atoms from the loop body.
         let mut harvested_conds = Vec::new();
@@ -334,8 +374,10 @@ impl Grammar {
                 if let Type::Struct(sname) = t {
                     if let Some(sd) = fragment.program.struct_def(sname) {
                         for (fname, fty) in &sd.fields {
-                            field_atoms
-                                .push((IrExpr::field(IrExpr::var(p.clone()), fname.clone()), fty.clone()));
+                            field_atoms.push((
+                                IrExpr::field(IrExpr::var(p.clone()), fname.clone()),
+                                fty.clone(),
+                            ));
                         }
                     }
                 }
@@ -375,11 +417,19 @@ fn harvest_accums(
 ) {
     use seqlang::ast::BinOp as B;
     let output_ty = |name: &str| -> Option<Type> {
-        fragment.outputs.iter().find(|(n, _)| n == name).map(|(_, t)| t.clone())
+        fragment
+            .outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
     };
     for stmt in &block.stmts {
         match stmt {
-            Stmt::Assign { target: Expr::Var { name, .. }, value, .. } => {
+            Stmt::Assign {
+                target: Expr::Var { name, .. },
+                value,
+                ..
+            } => {
                 let Some(ty) = output_ty(name) else { continue };
                 // out = out ⊕ e  |  out = e ⊕ out
                 if let Expr::Binary { op, lhs, rhs, .. } = value {
@@ -391,11 +441,9 @@ fn harvest_accums(
                         _ => None,
                     };
                     if let Some(aop) = accum_op {
-                        let delta = if matches!(&**lhs, Expr::Var { name: n, .. } if n == name)
-                        {
+                        let delta = if matches!(&**lhs, Expr::Var { name: n, .. } if n == name) {
                             conv.convert(rhs)
-                        } else if matches!(&**rhs, Expr::Var { name: n, .. } if n == name)
-                        {
+                        } else if matches!(&**rhs, Expr::Var { name: n, .. } if n == name) {
                             conv.convert(lhs)
                         } else {
                             None
@@ -441,7 +489,12 @@ fn harvest_accums(
                     }
                 }
             }
-            Stmt::If { cond, then_blk, else_blk, .. } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
                 if let Some(g) = conv.convert(cond) {
                     let combined = match guard {
                         Some(outer) => IrExpr::bin(B::And, outer.clone(), g),
@@ -449,22 +502,17 @@ fn harvest_accums(
                     };
                     harvest_accums(then_blk, fragment, conv, Some(&combined), out);
                     if let Some(b) = else_blk {
-                        let negated = IrExpr::Un(
-                            seqlang::ast::UnOp::Not,
-                            Box::new(combined.clone()),
-                        );
+                        let negated =
+                            IrExpr::Un(seqlang::ast::UnOp::Not, Box::new(combined.clone()));
                         let outer_neg = match guard {
-                            Some(outer) => {
-                                IrExpr::bin(B::And, outer.clone(), negated)
-                            }
+                            Some(outer) => IrExpr::bin(B::And, outer.clone(), negated),
                             None => negated,
                         };
                         harvest_accums(b, fragment, conv, Some(&outer_neg), out);
                     }
                 }
             }
-            Stmt::For { body, .. } | Stmt::While { body, .. }
-            | Stmt::ForEach { body, .. } => {
+            Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::ForEach { body, .. } => {
                 harvest_accums(body, fragment, conv, guard, out);
             }
             _ => {}
@@ -491,16 +539,25 @@ fn harvest_map_accums(
     for stmt in &block.stmts {
         match stmt {
             Stmt::ExprStmt {
-                expr: Expr::MethodCall { recv, method, args, .. },
+                expr:
+                    Expr::MethodCall {
+                        recv, method, args, ..
+                    },
                 ..
             } if method == "put" && args.len() == 2 => {
-                let Expr::Var { name: map_var, .. } = &**recv else { continue };
+                let Expr::Var { name: map_var, .. } = &**recv else {
+                    continue;
+                };
                 if !is_map_output(map_var) {
                     continue;
                 }
-                let Some(key) = conv.convert(&args[0]) else { continue };
+                let Some(key) = conv.convert(&args[0]) else {
+                    continue;
+                };
                 // Value must be `m.get_or(key, init) ⊕ delta` (either side).
-                let Expr::Binary { op, lhs, rhs, .. } = &args[1] else { continue };
+                let Expr::Binary { op, lhs, rhs, .. } = &args[1] else {
+                    continue;
+                };
                 let aop = match op {
                     B::Add => AccumOp::Add,
                     B::Mul => AccumOp::Mul,
@@ -530,7 +587,12 @@ fn harvest_map_accums(
                     });
                 }
             }
-            Stmt::If { cond, then_blk, else_blk, .. } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
                 if let Some(g) = conv.convert(cond) {
                     let combined = match guard {
                         Some(outer) => IrExpr::bin(B::And, outer.clone(), g),
@@ -542,8 +604,7 @@ fn harvest_map_accums(
                     }
                 }
             }
-            Stmt::For { body, .. } | Stmt::While { body, .. }
-            | Stmt::ForEach { body, .. } => {
+            Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::ForEach { body, .. } => {
                 harvest_map_accums(body, fragment, conv, guard, out);
             }
             _ => {}
@@ -588,7 +649,12 @@ fn loop_body(stmt: &Stmt) -> Option<&seqlang::ast::Block> {
 fn foreach_elem_name(fragment: &Fragment, data: &str) -> Option<String> {
     let mut found = None;
     let check = |s: &Stmt, found: &mut Option<String>| {
-        if let Stmt::ForEach { var, iterable: Expr::Var { name, .. }, .. } = s {
+        if let Stmt::ForEach {
+            var,
+            iterable: Expr::Var { name, .. },
+            ..
+        } = s
+        {
             if name == data && found.is_none() {
                 *found = Some(var.clone());
             }
@@ -629,11 +695,9 @@ impl Converter {
             Expr::Unary { op, operand, .. } => {
                 Some(IrExpr::Un(*op, Box::new(self.convert(operand)?)))
             }
-            Expr::Binary { op, lhs, rhs, .. } => Some(IrExpr::bin(
-                *op,
-                self.convert(lhs)?,
-                self.convert(rhs)?,
-            )),
+            Expr::Binary { op, lhs, rhs, .. } => {
+                Some(IrExpr::bin(*op, self.convert(lhs)?, self.convert(rhs)?))
+            }
             Expr::Index { base, index, .. } => {
                 // a[i] / a[i][j] patterns → λ parameters.
                 for (arr, i, j, replacement) in &self.index_renames {
@@ -649,15 +713,17 @@ impl Converter {
                         }
                         Some(jv) => {
                             if let (
-                                Expr::Index { base: b2, index: i2, .. },
+                                Expr::Index {
+                                    base: b2,
+                                    index: i2,
+                                    ..
+                                },
                                 Expr::Var { name: jn, .. },
                             ) = (&**base, &**index)
                             {
                                 if jn == jv {
-                                    if let (
-                                        Expr::Var { name: a, .. },
-                                        Expr::Var { name: iv, .. },
-                                    ) = (&**b2, &**i2)
+                                    if let (Expr::Var { name: a, .. }, Expr::Var { name: iv, .. }) =
+                                        (&**b2, &**i2)
                                     {
                                         if a == arr && iv == i {
                                             return Some(replacement.clone());
@@ -685,7 +751,9 @@ impl Converter {
                 }
                 Some(IrExpr::Call(func.clone(), out))
             }
-            Expr::MethodCall { recv, method, args, .. } => {
+            Expr::MethodCall {
+                recv, method, args, ..
+            } => {
                 if matches!(method.as_str(), "add" | "append" | "put") {
                     return None;
                 }
@@ -693,7 +761,11 @@ impl Converter {
                 for a in args {
                     out.push(self.convert(a)?);
                 }
-                Some(IrExpr::Method(Box::new(self.convert(recv)?), method.clone(), out))
+                Some(IrExpr::Method(
+                    Box::new(self.convert(recv)?),
+                    method.clone(),
+                    out,
+                ))
             }
             _ => None,
         }
@@ -791,9 +863,10 @@ mod tests {
                 return s;
             }",
         );
-        assert!(g.field_atoms.iter().any(|(e, t)| {
-            format!("{e}") == "p.x" && *t == Type::Double
-        }));
+        assert!(g
+            .field_atoms
+            .iter()
+            .any(|(e, t)| { format!("{e}") == "p.x" && *t == Type::Double }));
     }
 
     #[test]

@@ -21,10 +21,20 @@
 //! synthesis problem — is filled by deterministic, type-directed
 //! enumeration plus the same CEGIS outer loop; the interface (grammar in,
 //! bounded-verified candidate out) is identical.
+//!
+//! The bounded-model-checking phase — the dominant cost of compilation —
+//! runs on a worker pool when [`FindConfig::parallelism`] exceeds one:
+//! candidate chunks stream lazily out of [`CandidateStream`], workers
+//! screen them concurrently, and a deterministic replay keeps outcomes
+//! identical to the sequential search (see [`cegis`]).
 
 pub mod cegis;
 pub mod enumerate;
 pub mod grammar;
 
-pub use cegis::{find_summary, synthesize, FindConfig, FindOutcome, SearchReport, SynthConfig};
+pub use cegis::{
+    default_parallelism, find_summary, synthesize, FindConfig, FindOutcome, SearchReport,
+    SynthConfig,
+};
+pub use enumerate::CandidateStream;
 pub use grammar::{generate_classes, Grammar, GrammarClass};

@@ -47,31 +47,45 @@ fn structural_properties(body: &IrExpr, params: &[String; 2]) -> Option<CaProper
     let is_v2 = |e: &IrExpr| matches!(e, IrExpr::Var(v) if *v == params[1]);
     match body {
         IrExpr::Bin(op, l, r) if is_v1(l) && is_v2(r) || is_v1(r) && is_v2(l) => match op {
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::BitAnd
-            | BinOp::BitOr | BinOp::BitXor => {
-                Some(CaProperties { commutative: true, associative: true })
-            }
-            BinOp::Sub | BinOp::Div | BinOp::Mod => {
-                Some(CaProperties { commutative: false, associative: false })
-            }
+            BinOp::Add
+            | BinOp::Mul
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::BitAnd
+            | BinOp::BitOr
+            | BinOp::BitXor => Some(CaProperties {
+                commutative: true,
+                associative: true,
+            }),
+            BinOp::Sub | BinOp::Div | BinOp::Mod => Some(CaProperties {
+                commutative: false,
+                associative: false,
+            }),
             _ => None,
         },
         IrExpr::Call(name, args) if args.len() == 2 => {
-            let arg_ok = (is_v1(&args[0]) && is_v2(&args[1]))
-                || (is_v1(&args[1]) && is_v2(&args[0]));
+            let arg_ok =
+                (is_v1(&args[0]) && is_v2(&args[1])) || (is_v1(&args[1]) && is_v2(&args[0]));
             if arg_ok && matches!(name.as_str(), "min" | "max") {
-                Some(CaProperties { commutative: true, associative: true })
+                Some(CaProperties {
+                    commutative: true,
+                    associative: true,
+                })
             } else {
                 None
             }
         }
         // Projections: keep-first is associative but not commutative;
         // keep-last likewise.
-        IrExpr::Var(v) if *v == params[0] || *v == params[1] => {
-            Some(CaProperties { commutative: false, associative: true })
-        }
+        IrExpr::Var(v) if *v == params[0] || *v == params[1] => Some(CaProperties {
+            commutative: false,
+            associative: true,
+        }),
         IrExpr::Tuple(comps) => {
-            let mut all = CaProperties { commutative: true, associative: true };
+            let mut all = CaProperties {
+                commutative: true,
+                associative: true,
+            };
             for (i, c) in comps.iter().enumerate() {
                 let p = tuple_component_properties(c, params, i)?;
                 all.commutative &= p.commutative;
@@ -94,16 +108,16 @@ fn tuple_component_properties(
             && matches!(&**b, IrExpr::Var(v) if *v == params[which]))
     };
     match c {
-        IrExpr::Bin(op, l, r)
-            if (is_p(l, 0) && is_p(r, 1)) || (is_p(l, 1) && is_p(r, 0)) =>
-        {
+        IrExpr::Bin(op, l, r) if (is_p(l, 0) && is_p(r, 1)) || (is_p(l, 1) && is_p(r, 0)) => {
             match op {
-                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or => {
-                    Some(CaProperties { commutative: true, associative: true })
-                }
-                BinOp::Sub | BinOp::Div => {
-                    Some(CaProperties { commutative: false, associative: false })
-                }
+                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or => Some(CaProperties {
+                    commutative: true,
+                    associative: true,
+                }),
+                BinOp::Sub | BinOp::Div => Some(CaProperties {
+                    commutative: false,
+                    associative: false,
+                }),
                 _ => None,
             }
         }
@@ -113,11 +127,15 @@ fn tuple_component_properties(
                 && ((is_p(&args[0], 0) && is_p(&args[1], 1))
                     || (is_p(&args[0], 1) && is_p(&args[1], 0))) =>
         {
-            Some(CaProperties { commutative: true, associative: true })
+            Some(CaProperties {
+                commutative: true,
+                associative: true,
+            })
         }
-        _ if is_p(c, 0) || is_p(c, 1) => {
-            Some(CaProperties { commutative: false, associative: true })
-        }
+        _ if is_p(c, 0) || is_p(c, 1) => Some(CaProperties {
+            commutative: false,
+            associative: true,
+        }),
         _ => None,
     }
 }
@@ -129,7 +147,9 @@ fn test_properties(lambda: &ReduceLambda, samples: &[Value]) -> CaProperties {
         samples.to_vec()
     } else {
         // No sample values: assume ints.
-        (0..16).map(|_| Value::Int(rng.gen_range(-100..=100))).collect()
+        (0..16)
+            .map(|_| Value::Int(rng.gen_range(-100..=100)))
+            .collect()
     };
     let apply = |a: &Value, b: &Value| -> Option<Value> {
         let mut env = Env::new();
@@ -165,7 +185,10 @@ fn test_properties(lambda: &ReduceLambda, samples: &[Value]) -> CaProperties {
             break;
         }
     }
-    CaProperties { commutative, associative }
+    CaProperties {
+        commutative,
+        associative,
+    }
 }
 
 #[cfg(test)]

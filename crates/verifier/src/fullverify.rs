@@ -26,7 +26,11 @@ pub struct VerifyConfig {
 
 impl Default for VerifyConfig {
     fn default() -> Self {
-        VerifyConfig { states: 32, permutations: 2, domain: StateGenConfig::full() }
+        VerifyConfig {
+            states: 32,
+            permutations: 2,
+            domain: StateGenConfig::full(),
+        }
     }
 }
 
@@ -96,7 +100,12 @@ pub fn full_verify(
     // Harvest concrete reducer inputs and analyse algebraic properties.
     let reduce_properties = analyse_reducers(fragment, summary, &mut gen);
     proof.record_success(states_checked, &reduce_properties);
-    VerifyResult { verified: true, reduce_properties, proof, states_checked }
+    VerifyResult {
+        verified: true,
+        reduce_properties,
+        proof,
+        states_checked,
+    }
 }
 
 fn shuffle_data(fragment: &Fragment, state: &Env, rng: &mut StdRng) -> Env {
@@ -224,7 +233,9 @@ mod tests {
             )],
         );
         let r = ReduceLambda::new(IrExpr::var("v2"));
-        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(r);
         let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
         let result = full_verify(&frag, &summary, &VerifyConfig::default());
         assert!(!result.verified);
@@ -232,8 +243,7 @@ mod tests {
     }
 
     #[test]
-    fn permutation_trials_reject_order_dependent_summaries_for_commutative_fragments()
-    {
+    fn permutation_trials_reject_order_dependent_summaries_for_commutative_fragments() {
         // Fragment: sum (order-insensitive). Candidate: keep-last reduce —
         // wrong everywhere except trivial data; already rejected by plain
         // states, but permutation trials also kill candidates that match
@@ -256,7 +266,9 @@ mod tests {
             vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
         );
         let r = ReduceLambda::new(IrExpr::var("v2"));
-        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(r);
         let summary = ProgramSummary::single("m", expr, OutputKind::Scalar);
         let result = full_verify(&frag, &summary, &VerifyConfig::default());
         assert!(!result.verified);
@@ -272,7 +284,9 @@ mod tests {
             vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
         );
         let r = ReduceLambda::new(IrExpr::var("v1"));
-        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m).reduce(r);
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(r);
         let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
         let result = full_verify(&frag, &summary, &VerifyConfig::default());
         // keep-first != sum, so it is refuted; but if it were verified the

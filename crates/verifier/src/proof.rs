@@ -22,12 +22,13 @@ pub struct ProofScript {
 impl ProofScript {
     pub fn new(fragment: &Fragment, summary: &ProgramSummary) -> ProofScript {
         let mut lines = Vec::new();
-        lines.push(format!("// Verification transcript for fragment {}", fragment.id));
+        lines.push(format!(
+            "// Verification transcript for fragment {}",
+            fragment.id
+        ));
         lines.push("// Obligations (Hoare logic, Figure 4):".to_string());
         lines.push("//   Initiation:   (i = 0)            -> Inv(out, 0)".to_string());
-        lines.push(
-            "//   Continuation: Inv(out, i) ∧ i < n  -> Inv(out', i+1)".to_string(),
-        );
+        lines.push("//   Continuation: Inv(out, i) ∧ i < n  -> Inv(out', i+1)".to_string());
         lines.push("//   Termination:  Inv(out, n)         -> PS(out)".to_string());
         lines.push(format!(
             "// Invariant shape: out = MR(data[0..i]) with MR from the candidate below"
@@ -42,7 +43,8 @@ impl ProofScript {
     }
 
     pub fn record_refutation(&mut self, cex: &Env) {
-        self.lines.push("REFUTED: counter-example state".to_string());
+        self.lines
+            .push("REFUTED: counter-example state".to_string());
         for (name, value) in cex.iter() {
             self.lines.push(format!("  {name} = {value}"));
         }

@@ -30,7 +30,10 @@ fn main() {
         .collect();
 
     let iterations = 10;
-    println!("PageRank over {} edges, {iterations} iterations\n", edges.len());
+    println!(
+        "PageRank over {} edges, {iterations} iterations\n",
+        edges.len()
+    );
 
     ctx.reset_stats();
     let cached = manual::pagerank_cached(&ctx, &edges, n_nodes, iterations);
@@ -63,10 +66,8 @@ fn main() {
     // Priced at the paper's scale (2.25 B edges).
     let spec = ClusterSpec::paper();
     let factor = 2_250_000_000f64 / edges.len() as f64;
-    let t_cached =
-        simulate_job(&cached_stats.scaled(factor), &spec, Framework::Spark).seconds;
-    let t_uncached =
-        simulate_job(&uncached_stats.scaled(factor), &spec, Framework::Spark).seconds;
+    let t_cached = simulate_job(&cached_stats.scaled(factor), &spec, Framework::Spark).seconds;
+    let t_uncached = simulate_job(&uncached_stats.scaled(factor), &spec, Framework::Spark).seconds;
     println!(
         "\nsimulated at 2.25B edges: tutorial {t_cached:.0} s vs Casper-style \
          {t_uncached:.0} s ({:.2}x — the paper reports 1.3x)",

@@ -37,12 +37,20 @@ fn main() {
     );
 
     let frag = report.for_function("rwm").expect("fragment found");
-    let FragmentOutcome::Translated { summaries, program, code, .. } = &frag.outcome
+    let FragmentOutcome::Translated {
+        summaries,
+        program,
+        code,
+        ..
+    } = &frag.outcome
     else {
         panic!("row-wise mean should translate");
     };
 
-    println!("== Synthesized program summary ==\n{}\n", pretty_summary(&summaries[0]));
+    println!(
+        "== Synthesized program summary ==\n{}\n",
+        pretty_summary(&summaries[0])
+    );
     println!("== Generated Spark code (Figure 1b) ==\n{code}");
 
     // Execute on the engine.

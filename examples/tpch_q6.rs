@@ -19,7 +19,10 @@ use suites::{all_benchmarks, tpch};
 
 fn main() {
     let all = all_benchmarks();
-    let b = all.iter().find(|b| b.name == "tpch/q6_revenue").expect("registered");
+    let b = all
+        .iter()
+        .find(|b| b.name == "tpch/q6_revenue")
+        .expect("registered");
 
     // The Appendix D program-analysis table.
     let program = Arc::new(seqlang::compile(b.source).unwrap());
@@ -28,8 +31,14 @@ fn main() {
         .find(|f| f.func == "q6_revenue")
         .expect("fragment");
     println!("== Program analysis (Appendix D) ==");
-    println!("inputs:    {:?}", frag.inputs.iter().map(|(n, _)| n).collect::<Vec<_>>());
-    println!("outputs:   {:?}", frag.outputs.iter().map(|(n, _)| n).collect::<Vec<_>>());
+    println!(
+        "inputs:    {:?}",
+        frag.inputs.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    println!(
+        "outputs:   {:?}",
+        frag.outputs.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
     println!("operators: {:?}", frag.seed.operators);
     println!("constants: {:?}", frag.seed.constants);
     println!("methods:   {:?}\n", frag.seed.methods);
@@ -39,11 +48,19 @@ fn main() {
         .translate_source(b.source)
         .expect("compiles");
     let fr = report.for_function("q6_revenue").expect("fragment report");
-    let FragmentOutcome::Translated { summaries, program: gen, code, .. } = &fr.outcome
+    let FragmentOutcome::Translated {
+        summaries,
+        program: gen,
+        code,
+        ..
+    } = &fr.outcome
     else {
         panic!("Q6 should translate")
     };
-    println!("== Synthesized summary ==\n{}\n", pretty_summary(&summaries[0]));
+    println!(
+        "== Synthesized summary ==\n{}\n",
+        pretty_summary(&summaries[0])
+    );
     println!("== Generated Spark code ==\n{code}");
 
     // Execute and compare against the sequential semantics.
@@ -58,8 +75,13 @@ fn main() {
     let got = out.get("revenue").unwrap().clone();
     println!("sequential revenue = {expected}");
     println!("MapReduce revenue  = {got}");
-    let (Value::Double(a), Value::Double(bv)) = (&expected, &got) else { panic!() };
-    assert!((a - bv).abs() < 1e-6 * a.abs().max(1.0), "results must agree");
+    let (Value::Double(a), Value::Double(bv)) = (&expected, &got) else {
+        panic!()
+    };
+    assert!(
+        (a - bv).abs() < 1e-6 * a.abs().max(1.0),
+        "results must agree"
+    );
     println!("\n✓ results agree on 50,000 generated lineitem rows");
 
     // The paper's SparkSQL comparison runs over the same schema.

@@ -1,0 +1,256 @@
+//! Offline stand-in for `proptest`: deterministic, fixed-count property
+//! testing with the same surface syntax.
+//!
+//! The [`proptest!`] macro runs each property body [`CASES`] times with
+//! inputs drawn from [`strategy::Strategy`] implementations seeded per
+//! test name. There is no shrinking — a failing case panics with the
+//! ordinary assertion message. Supported strategies are the ones this
+//! workspace uses: integer/float ranges, tuples of strategies,
+//! `prop::collection::vec`, and string patterns of the form
+//! `"[a-z]{m,n}"`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases run per property.
+pub const CASES: u64 = 64;
+
+/// Deterministic input generator handed to strategies.
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen_range(0u64..u64::MAX)
+    }
+
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+pub mod strategy {
+    use super::Gen;
+
+    /// A recipe for producing values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, gen: &mut Gen) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, gen: &mut Gen) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (gen.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, gen: &mut Gen) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + gen.f64_unit() * (self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, gen: &mut Gen) -> Self::Value {
+            (self.0.sample(gen), self.1.sample(gen))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, gen: &mut Gen) -> Self::Value {
+            (self.0.sample(gen), self.1.sample(gen), self.2.sample(gen))
+        }
+    }
+
+    /// String pattern strategy supporting the `[a-z]{m,n}` subset of
+    /// proptest's regex syntax (a single character class with an
+    /// optional repetition count; bare classes produce one character).
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, gen: &mut Gen) -> String {
+            let (chars, min, max) = parse_pattern(self);
+            let len = if max > min {
+                min + (gen.next_u64() as usize) % (max - min + 1)
+            } else {
+                min
+            };
+            (0..len)
+                .map(|_| chars[(gen.next_u64() as usize) % chars.len()])
+                .collect()
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let bytes: Vec<char> = pat.chars().collect();
+        let mut chars: Vec<char> = Vec::new();
+        let mut i = 0;
+        if i < bytes.len() && bytes[i] == '[' {
+            i += 1;
+            while i < bytes.len() && bytes[i] != ']' {
+                if i + 2 < bytes.len() && bytes[i + 1] == '-' && bytes[i + 2] != ']' {
+                    let (lo, hi) = (bytes[i], bytes[i + 2]);
+                    chars.extend((lo..=hi).filter(|c| c.is_ascii()));
+                    i += 3;
+                } else {
+                    chars.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // consume ']'
+        }
+        if chars.is_empty() {
+            chars.extend('a'..='z');
+        }
+        let rest: String = bytes[i.min(bytes.len())..].iter().collect();
+        let (min, max) = parse_repeat(&rest).unwrap_or((1, 1));
+        (chars, min, max)
+    }
+
+    fn parse_repeat(s: &str) -> Option<(usize, usize)> {
+        let inner = s.strip_prefix('{')?.strip_suffix('}')?;
+        match inner.split_once(',') {
+            Some((a, b)) => Some((a.trim().parse().ok()?, b.trim().parse().ok()?)),
+            None => {
+                let n = inner.trim().parse().ok()?;
+                Some((n, n))
+            }
+        }
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+
+        /// Strategy producing `Vec`s of `elem` with length drawn from
+        /// `sizes`.
+        pub fn vec<S: Strategy>(elem: S, sizes: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, sizes }
+        }
+
+        pub struct VecStrategy<S> {
+            elem: S,
+            sizes: core::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, gen: &mut crate::Gen) -> Vec<S::Value> {
+                let len = self.sizes.clone().sample(gen);
+                (0..len).map(|_| self.elem.sample(gen)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Gen, CASES};
+}
+
+/// Mirrors `proptest::prop_assert!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Binds `name in strategy` parameter lists inside [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($gen:ident,) => {};
+    ($gen:ident, mut $x:ident in $s:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $x = $crate::strategy::Strategy::sample(&$s, &mut $gen);
+        $( $crate::__proptest_bind!($gen, $($rest)*); )?
+    };
+    ($gen:ident, $x:ident in $s:expr $(, $($rest:tt)*)?) => {
+        let $x = $crate::strategy::Strategy::sample(&$s, &mut $gen);
+        $( $crate::__proptest_bind!($gen, $($rest)*); )?
+    };
+}
+
+/// Mirrors `proptest::proptest!`: each `fn name(x in strategy, ..)`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$attr:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            // Seed by test name so properties are independent streams.
+            let __seed = stringify!($name)
+                .bytes()
+                .fold(0xCA5Bu64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+            let mut __gen = $crate::Gen::new(__seed);
+            for __case in 0..$crate::CASES {
+                let _ = __case;
+                $crate::__proptest_bind!(__gen, $($params)*);
+                $body
+            }
+        }
+        $crate::proptest!{ $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -5i64..5, u in 1usize..4) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((1..4).contains(&u));
+        }
+
+        #[test]
+        fn vec_lengths_respected(xs in prop::collection::vec(0i64..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|x| (0..10).contains(x)));
+        }
+
+        #[test]
+        fn string_pattern_subset(s in "[a-d]{1,2}") {
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+            prop_assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+        }
+
+        #[test]
+        fn tuples_compose(p in (0i64..10, -50i64..50)) {
+            prop_assert!((0..10).contains(&p.0));
+            prop_assert!((-50..50).contains(&p.1));
+        }
+    }
+}

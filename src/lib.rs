@@ -1,0 +1,29 @@
+//! Workspace façade for the Casper reproduction.
+//!
+//! This crate re-exports the public surface of every sub-crate so the
+//! repository-level examples and integration tests have a single
+//! dependency root. The interesting code lives in the sub-crates — see
+//! `ARCHITECTURE.md` for the map from crates to the paper's sections:
+//!
+//! * [`seqlang`] — the sequential input language (§2)
+//! * [`analyzer`] — fragment identification and VC generation (§3)
+//! * [`synthesis`] — grammar generation, enumeration, CEGIS (§3.4, §4)
+//! * [`verifier`] — full verification and CA-property harvesting (§4.1)
+//! * [`cost`] — the symbolic cost model and dominance pruning (§5)
+//! * [`codegen`] — plan compilation, dialect emission, runtime monitor (§6)
+//! * [`casper`] — the end-to-end compiler pipeline (§2.3, Figure 2)
+//! * [`mapreduce`] — the executable MapReduce substrate and cluster simulator
+//! * [`suites`] — the paper's benchmark programs (§7)
+//! * [the `bench` harness](::bench) — the table/figure harness binaries (§7)
+
+pub use ::bench;
+pub use analyzer;
+pub use casper;
+pub use casper_ir;
+pub use codegen;
+pub use cost;
+pub use mapreduce;
+pub use seqlang;
+pub use suites;
+pub use synthesis;
+pub use verifier;

@@ -27,8 +27,13 @@ fn fast_config() -> CasperConfig {
 /// sequential semantics on fresh data.
 fn check_equivalence(name: &str) {
     let all = all_benchmarks();
-    let b = all.iter().find(|b| b.name == name).unwrap_or_else(|| panic!("{name}?"));
-    let report = Casper::new(fast_config()).translate_source(b.source).unwrap();
+    let b = all
+        .iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("{name}?"));
+    let report = Casper::new(fast_config())
+        .translate_source(b.source)
+        .unwrap();
     let fr = report.for_function(b.func).expect("fragment report");
     let FragmentOutcome::Translated { program, .. } = &fr.outcome else {
         panic!("{name} did not translate");
@@ -46,7 +51,9 @@ fn check_equivalence(name: &str) {
         let expected = frag.project_outputs(&frag.run(&state).unwrap());
         let (got, _) = program.run(&ctx, &state).unwrap();
         for (var, want) in expected.iter() {
-            let have = got.get(var).unwrap_or_else(|| panic!("{name}: missing {var}"));
+            let have = got
+                .get(var)
+                .unwrap_or_else(|| panic!("{name}: missing {var}"));
             assert!(
                 bench::outputs_equal(want, have),
                 "{name} seed {seed}: {var} = {have}, want {want}"
@@ -103,9 +110,15 @@ fn db_select_equivalence() {
 #[test]
 fn untranslatable_fragments_fail_cleanly() {
     let all = all_benchmarks();
-    for name in ["stats/convolve", "phoenix/kmeans_assign", "fiji/trails_window"] {
+    for name in [
+        "stats/convolve",
+        "phoenix/kmeans_assign",
+        "fiji/trails_window",
+    ] {
         let b = all.iter().find(|b| b.name == name).unwrap();
-        let report = Casper::new(fast_config()).translate_source(b.source).unwrap();
+        let report = Casper::new(fast_config())
+            .translate_source(b.source)
+            .unwrap();
         assert_eq!(report.translated_count(), 0, "{name} must not translate");
     }
 }
@@ -121,10 +134,15 @@ fn generated_code_compiles_against_all_dialects() {
         }
     "#;
     for dialect in [Dialect::Spark, Dialect::Hadoop, Dialect::Flink] {
-        let config = CasperConfig { dialect, ..fast_config() };
+        let config = CasperConfig {
+            dialect,
+            ..fast_config()
+        };
         let report = Casper::new(config).translate_source(src).unwrap();
         let fr = report.for_function("sum").unwrap();
-        let FragmentOutcome::Translated { code, .. } = &fr.outcome else { panic!() };
+        let FragmentOutcome::Translated { code, .. } = &fr.outcome else {
+            panic!()
+        };
         assert!(!code.is_empty());
         assert!(code.contains(dialect.name()) || !code.is_empty());
     }
@@ -141,8 +159,7 @@ fn translated_plan_scales_with_parallelism() {
         }
     "#;
     let report = Casper::new(fast_config()).translate_source(src).unwrap();
-    let FragmentOutcome::Translated { program, .. } =
-        &report.for_function("sum").unwrap().outcome
+    let FragmentOutcome::Translated { program, .. } = &report.for_function("sum").unwrap().outcome
     else {
         panic!()
     };

@@ -1,0 +1,113 @@
+//! Regression guard for the parallel synthesis driver: translating the
+//! same multi-fragment program at `parallelism = 1` and `parallelism = N`
+//! must produce identical per-fragment outcomes — same summaries, same
+//! generated code, same search-counter trace. This is the determinism
+//! contract `synthesis::cegis`'s chunk-replay scheme promises.
+
+use std::time::Duration;
+
+use casper::{Casper, CasperConfig, FragmentOutcome, TranslationReport};
+use casper_ir::pretty::pretty_summary;
+use suites::MULTI_FRAGMENT_SRC as SUITE_SRC;
+use synthesis::FindConfig;
+
+fn translate(workers: usize) -> TranslationReport {
+    // A generous timeout keeps the only legitimate source of
+    // serial/parallel divergence — deadline truncation — out of play.
+    let config = CasperConfig {
+        find: FindConfig {
+            timeout: Duration::from_secs(300),
+            ..FindConfig::default()
+        },
+        ..CasperConfig::default()
+    }
+    .with_parallelism(workers);
+    Casper::new(config)
+        .translate_source(SUITE_SRC)
+        .expect("suite source compiles")
+}
+
+/// A comparable fingerprint of everything outcome-relevant in a
+/// fragment report.
+fn fingerprint(report: &TranslationReport) -> Vec<String> {
+    report
+        .fragments
+        .iter()
+        .map(|f| match &f.outcome {
+            FragmentOutcome::Translated {
+                summaries,
+                code,
+                dialect,
+                ..
+            } => {
+                let pretty: Vec<String> = summaries.iter().map(pretty_summary).collect();
+                format!(
+                    "{} translated [{:?}] summaries={} code={}",
+                    f.id,
+                    dialect,
+                    pretty.join(" | "),
+                    code,
+                )
+            }
+            FragmentOutcome::Failed(reason) => {
+                format!("{} failed: {}", f.id, reason.describe())
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_and_serial_translations_are_identical() {
+    let serial = translate(1);
+    let parallel = translate(4);
+
+    assert_eq!(serial.fragments.len(), 6, "six fragments identified");
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+
+    // The search traces must match counter-for-counter, not just the
+    // final artifacts: the parallel screener replays the sequential φ
+    // evolution exactly.
+    for (s, p) in serial.fragments.iter().zip(&parallel.fragments) {
+        assert_eq!(
+            s.search.candidates_checked, p.search.candidates_checked,
+            "{}: candidates_checked diverged",
+            s.id
+        );
+        assert_eq!(
+            s.search.counter_examples, p.search.counter_examples,
+            "{}: counter_examples diverged",
+            s.id
+        );
+        assert_eq!(
+            s.search.sent_to_verifier, p.search.sent_to_verifier,
+            "{}: sent_to_verifier diverged",
+            s.id
+        );
+        assert_eq!(
+            s.search.classes_explored, p.search.classes_explored,
+            "{}: classes_explored diverged",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn cpu_time_accounting_is_populated() {
+    let report = translate(2);
+    for f in &report.fragments {
+        assert!(f.compile_time > Duration::ZERO, "{}: zero wall clock", f.id);
+        assert!(f.cpu_time > Duration::ZERO, "{}: zero cpu time", f.id);
+    }
+    // Lower bound: the whole-translation wall clock includes every
+    // fragment's translation, so it is at least the longest single
+    // fragment's wall clock at any worker count.
+    assert!(
+        report.wall_time
+            >= report
+                .fragments
+                .iter()
+                .map(|f| f.compile_time)
+                .max()
+                .unwrap()
+    );
+}
