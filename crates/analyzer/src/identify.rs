@@ -490,9 +490,10 @@ fn extract_seed(program: &Program, loop_stmt: &Stmt) -> GrammarSeed {
             seed.operators.push(op);
         }
     };
-    visit_exprs(loop_stmt, &mut |e| match e {
-        Expr::Binary { op, .. } => push_op(*op),
-        _ => {}
+    visit_exprs(loop_stmt, &mut |e| {
+        if let Expr::Binary { op, .. } = e {
+            push_op(*op)
+        }
     });
     visit_exprs(loop_stmt, &mut |e| match e {
         Expr::IntLit(n, _) => {
@@ -513,15 +514,13 @@ fn extract_seed(program: &Program, loop_stmt: &Stmt) -> GrammarSeed {
                 seed.constants.push(v);
             }
         }
-        Expr::Call { func, .. } => {
-            if program.function(func).is_none() && !seed.methods.contains(func) {
-                seed.methods.push(func.clone());
-            }
+        Expr::Call { func, .. }
+            if program.function(func).is_none() && !seed.methods.contains(func) =>
+        {
+            seed.methods.push(func.clone());
         }
-        Expr::MethodCall { method, .. } => {
-            if !seed.methods.contains(method) {
-                seed.methods.push(method.clone());
-            }
+        Expr::MethodCall { method, .. } if !seed.methods.contains(method) => {
+            seed.methods.push(method.clone());
         }
         _ => {}
     });

@@ -389,7 +389,7 @@ mod tests {
         for st in gen.states(40) {
             let key = st.get("key1").unwrap().clone();
             let text = st.get("text").unwrap().elements().unwrap();
-            if text.iter().any(|w| *w == key) {
+            if text.contains(&key) {
                 any_hit = true;
             }
         }

@@ -88,16 +88,24 @@ impl<'f> VerificationTask<'f> {
     }
 
     fn outputs_match(&self, expected: &Env, got: &Env) -> bool {
-        for (name, want) in expected.iter() {
-            let Some(have) = got.get(name) else {
-                return false;
-            };
-            if !values_match(want, have, self.rel_tol) {
-                return false;
-            }
-        }
-        true
+        outputs_match(expected, got, self.rel_tol)
     }
+}
+
+/// Do the computed outputs agree with the expected ones, for every
+/// expected variable? This is the single output-comparison rule of both
+/// verification phases; the synthesizer's compiled screening layer reuses
+/// it so compiled and tree-walking verdicts can never diverge.
+pub fn outputs_match(expected: &Env, got: &Env, rel_tol: f64) -> bool {
+    for (name, want) in expected.iter() {
+        let Some(have) = got.get(name) else {
+            return false;
+        };
+        if !values_match(want, have, rel_tol) {
+            return false;
+        }
+    }
+    true
 }
 
 fn values_match(want: &Value, have: &Value, rel_tol: f64) -> bool {

@@ -1,16 +1,24 @@
 //! Criterion microbenchmarks for synthesis throughput: grammar
-//! generation, candidate enumeration, a full findSummary run on the
-//! sum benchmark, and the serial-vs-parallel comparison for the
-//! multi-fragment pipeline driver.
+//! generation, candidate enumeration (lazy stream throughput,
+//! candidates/sec), compiled-vs-tree-walk candidate screening, the
+//! observational-dedup ratio on the suite grammars, a full findSummary
+//! run on the sum benchmark, and the serial-vs-parallel comparison for
+//! the multi-fragment pipeline driver. The enumeration/screening
+//! headline numbers are also written to `BENCH_enumeration.json` at the
+//! workspace root.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use analyzer::identify_fragments;
+use analyzer::stategen::{StateGen, StateGenConfig};
 use casper::{Casper, CasperConfig};
+use casper_ir::compile::CompiledSummary;
+use casper_ir::eval::eval_summary;
 use suites::MULTI_FRAGMENT_SRC;
-use synthesis::{find_summary, generate_classes, FindConfig, Grammar};
+use synthesis::{find_summary, generate_classes, CandidateStream, Chunk, FindConfig, Grammar};
 use verifier::{full_verify, VerifyConfig};
 
 const SUM_SRC: &str = "fn sum(xs: list<int>) -> int {
@@ -49,6 +57,167 @@ fn bench_synthesis(c: &mut Criterion) {
         })
     });
     group.finish();
+}
+
+/// Headline numbers for the enumeration / screening stack, dumped as a
+/// machine-readable artifact next to the human-readable bench log.
+struct EnumerationStats {
+    candidates_per_sec: f64,
+    tree_walk_screen: Duration,
+    compiled_screen: Duration,
+    dedup_ratio: f64,
+    generated: u64,
+    deduped: u64,
+    screened: u64,
+}
+
+/// Lazy-stream throughput plus compiled-vs-tree-walk screening over the
+/// same candidate set and bounded states the CEGIS loop would use.
+fn bench_enumeration(c: &mut Criterion) {
+    let program = Arc::new(seqlang::compile(SUM_SRC).unwrap());
+    let frag = identify_fragments(&program).remove(0);
+    let grammar = Grammar::for_fragment(&frag);
+    let classes = generate_classes();
+    let top = classes[classes.len() - 1];
+
+    // Candidates/sec: full drain of the lazy stream for the top class.
+    c.bench_function("enumeration/stream_drain_g5", |b| {
+        b.iter(|| {
+            let mut stream = CandidateStream::new(&grammar, &top);
+            stream.all().len()
+        })
+    });
+    let drain_started = Instant::now();
+    let mut stream = CandidateStream::new(&grammar, &top);
+    let n_candidates = stream.all().len();
+    let drain_elapsed = drain_started.elapsed();
+    let candidates_per_sec = n_candidates as f64 / drain_elapsed.as_secs_f64().max(1e-9);
+
+    // Screening comparison: evaluate every candidate on every bounded
+    // pre-loop state, tree-walking vs compiled.
+    let mut gen = StateGen::new(&frag, StateGenConfig::bounded());
+    let pres: Vec<_> = gen
+        .states(24)
+        .iter()
+        .filter_map(|st| frag.pre_loop_state(st).ok())
+        .collect();
+    let cands: Vec<_> = stream.all().iter().take(400).cloned().collect();
+
+    let mut group = c.benchmark_group("enumeration/screen");
+    group.bench_function("tree_walk", |b| {
+        b.iter(|| {
+            let mut live = 0usize;
+            for cand in &cands {
+                for pre in &pres {
+                    if eval_summary(cand, pre).is_ok() {
+                        live += 1;
+                    }
+                }
+            }
+            live
+        })
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            let mut live = 0usize;
+            for cand in &cands {
+                let compiled = CompiledSummary::compile(cand);
+                for pre in &pres {
+                    if compiled.eval(pre).is_ok() {
+                        live += 1;
+                    }
+                }
+            }
+            live
+        })
+    });
+    group.finish();
+
+    let timed = |f: &dyn Fn() -> usize| {
+        let started = Instant::now();
+        black_box(f());
+        started.elapsed()
+    };
+    let tree_walk_screen = timed(&|| {
+        cands
+            .iter()
+            .flat_map(|cand| pres.iter().map(move |pre| eval_summary(cand, pre)))
+            .filter(|r| r.is_ok())
+            .count()
+    });
+    let compiled_screen = timed(&|| {
+        cands
+            .iter()
+            .map(|cand| {
+                let compiled = CompiledSummary::compile(cand);
+                pres.iter().filter(|pre| compiled.eval(pre).is_ok()).count()
+            })
+            .sum()
+    });
+
+    // Dedup ratio over the whole suite program (serial, so the counters
+    // are the canonical sequential trace).
+    let report = Casper::new(CasperConfig::default().with_parallelism(1))
+        .translate_source(MULTI_FRAGMENT_SRC)
+        .expect("suite program compiles");
+    let stats = EnumerationStats {
+        candidates_per_sec,
+        tree_walk_screen,
+        compiled_screen,
+        dedup_ratio: report.dedup_ratio(),
+        generated: report.total_generated(),
+        deduped: report.total_deduped(),
+        screened: report.total_screened(),
+    };
+    println!(
+        "enumeration: {:.0} candidates/sec (G5 drain of {n_candidates}); \
+         screening {} candidates x {} states: tree-walk {:.2?} vs compiled {:.2?} ({:.2}x); \
+         suite dedup ratio {:.3} ({} of {} generated deduped, {} screened)",
+        stats.candidates_per_sec,
+        cands.len(),
+        pres.len(),
+        stats.tree_walk_screen,
+        stats.compiled_screen,
+        stats.tree_walk_screen.as_secs_f64() / stats.compiled_screen.as_secs_f64().max(1e-9),
+        stats.dedup_ratio,
+        stats.deduped,
+        stats.generated,
+        stats.screened,
+    );
+    write_enumeration_artifact(&stats);
+
+    // Keep the blocked-set-aware chunk path warm in the profile too.
+    let mut cursor = 0usize;
+    let blocked: HashSet<casper_ir::mr::ProgramSummary> = HashSet::new();
+    while let Chunk::Batch(batch) = stream.next_chunk(&mut cursor, 64, &blocked) {
+        black_box(batch.len());
+    }
+}
+
+/// Write `BENCH_enumeration.json` at the workspace root (hand-rolled
+/// JSON; the offline environment has no serde).
+fn write_enumeration_artifact(stats: &EnumerationStats) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_enumeration.json");
+    let speedup =
+        stats.tree_walk_screen.as_secs_f64() / stats.compiled_screen.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"candidates_per_sec\": {:.1},\n  \"tree_walk_screen_ms\": {:.3},\n  \
+         \"compiled_screen_ms\": {:.3},\n  \"compiled_speedup\": {:.2},\n  \
+         \"dedup_ratio\": {:.4},\n  \"candidates_generated\": {},\n  \
+         \"candidates_deduped\": {},\n  \"candidates_screened\": {}\n}}\n",
+        stats.candidates_per_sec,
+        stats.tree_walk_screen.as_secs_f64() * 1e3,
+        stats.compiled_screen.as_secs_f64() * 1e3,
+        speedup,
+        stats.dedup_ratio,
+        stats.generated,
+        stats.deduped,
+        stats.screened,
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("enumeration: wrote {path}"),
+        Err(e) => println!("enumeration: could not write {path}: {e}"),
+    }
 }
 
 fn translate_wall(workers: usize) -> Duration {
@@ -113,5 +282,10 @@ fn lpt_makespan(times: &[Duration], workers: usize) -> Duration {
     loads.into_iter().max().unwrap_or(Duration::ZERO)
 }
 
-criterion_group!(benches, bench_synthesis, bench_parallel_driver);
+criterion_group!(
+    benches,
+    bench_synthesis,
+    bench_enumeration,
+    bench_parallel_driver
+);
 criterion_main!(benches);

@@ -4,9 +4,13 @@
 //! Independent fragments translate concurrently on a scoped worker pool
 //! (the [`CasperConfig::parallelism`] knob), and each fragment's CEGIS
 //! search can itself screen candidate chunks across cores
-//! ([`synthesis::FindConfig::parallelism`]). Reports always come back
-//! in source order, and `parallelism = 1` reproduces the sequential
-//! behavior exactly — the configuration the paper's ablations assume.
+//! ([`synthesis::FindConfig::parallelism`]). Candidate screening runs on
+//! the compiled evaluator with observational-equivalence dedup; the
+//! per-fragment generated/deduped/screened counters surface through
+//! [`FragmentReport::search`] and the [`TranslationReport`] aggregates.
+//! Reports always come back in source order, and `parallelism = 1`
+//! reproduces the sequential behavior exactly — the configuration the
+//! paper's ablations assume.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};

@@ -147,6 +147,44 @@ impl TranslationReport {
             .sum()
     }
 
+    /// Candidates the enumerator streamed into screening across all
+    /// fragments (post blocked-set filtering, pre dedup).
+    pub fn total_generated(&self) -> u64 {
+        self.fragments
+            .iter()
+            .map(|f| f.search.candidates_generated)
+            .sum()
+    }
+
+    /// Candidates absorbed by observational-equivalence dedup across all
+    /// fragments.
+    pub fn total_deduped(&self) -> u64 {
+        self.fragments
+            .iter()
+            .map(|f| f.search.candidates_deduped)
+            .sum()
+    }
+
+    /// Candidates actually screened against the bounded checker across
+    /// all fragments (`generated − deduped`).
+    pub fn total_screened(&self) -> u64 {
+        self.fragments
+            .iter()
+            .map(|f| f.search.candidates_checked)
+            .sum()
+    }
+
+    /// Whole-translation dedup ratio: the fraction of streamed candidates
+    /// the OE layer retired as duplicates of already-rejected candidates
+    /// instead of charging to the screening ledger.
+    pub fn dedup_ratio(&self) -> f64 {
+        let generated = self.total_generated();
+        if generated == 0 {
+            return 0.0;
+        }
+        self.total_deduped() as f64 / generated as f64
+    }
+
     pub fn total_compile_time(&self) -> Duration {
         self.fragments.iter().map(|f| f.compile_time).sum()
     }

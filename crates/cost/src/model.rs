@@ -13,16 +13,9 @@ use crate::sym::SymCost;
 use crate::CostWeights;
 
 /// The cost model: weights plus a type environment for static sizing.
+#[derive(Default)]
 pub struct CostModel {
     pub weights: CostWeights,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        CostModel {
-            weights: CostWeights::default(),
-        }
-    }
 }
 
 /// Static (symbolic) cost of a summary, per input record (§5.1).

@@ -54,6 +54,15 @@ impl SymCost {
                 .sum::<f64>()
     }
 
+    /// Collapse to a scalar at the all-ones probability assignment: every
+    /// conditional emit fires, every join matches. This is the worst-case
+    /// byte volume of the summary and the ordering key the enumerator's
+    /// cheapest-first candidate stream uses (the single cost model shared
+    /// with final ranking — see `model::static_cost`).
+    pub fn upper_bound(&self) -> f64 {
+        self.base + self.terms.values().sum::<f64>()
+    }
+
     /// Does `self` cost at least as much as `other` for *every* assignment
     /// of the unknowns in `[0,1]`? Both costs are linear in each `pᵢ`, so
     /// checking all corner assignments of the union of unknowns is exact.
@@ -145,6 +154,16 @@ mod tests {
         c.add_term("p2", 150.0);
         assert!(!b.dominates(&c));
         assert!(!c.dominates(&b));
+    }
+
+    #[test]
+    fn upper_bound_is_all_ones_assignment() {
+        let mut c = SymCost::constant(84.0);
+        c.add_term("p1", 150.0);
+        c.add_term("p2", 16.0);
+        assert!((c.upper_bound() - 250.0).abs() < 1e-9);
+        let ones: BTreeMap<String, f64> = [("p1".to_string(), 1.0), ("p2".to_string(), 1.0)].into();
+        assert!((c.upper_bound() - c.eval(&ones, 1.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! Compiled candidate evaluation: lower a summary once, run it many times.
+//!
+//! The CEGIS screening loop evaluates every candidate summary against the
+//! whole counter-example set Φ and the bounded domain — the same small
+//! expression trees are re-walked thousands of times. [`CompiledSummary`]
+//! lowers a [`ProgramSummary`] into a tree of flat closures exactly once:
+//! every λ-parameter reference is resolved to a slot index at compile
+//! time, constants are materialised, and each IR node becomes one direct
+//! call instead of an enum dispatch plus environment lookup. The
+//! compiled form is semantically identical to [`crate::eval::eval_summary`]
+//! (both share the output-reconstruction code in [`crate::eval`]), which
+//! is what lets the synthesizer's screening counters stay bit-identical
+//! whichever evaluator runs.
+//!
+//! ```
+//! use casper_ir::compile::CompiledSummary;
+//! use casper_ir::expr::IrExpr;
+//! use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
+//! use casper_ir::mr::{DataSource, MrExpr, OutputKind, ProgramSummary};
+//! use seqlang::ast::BinOp;
+//! use seqlang::ty::Type;
+//! use seqlang::value::Value;
+//! use seqlang::Env;
+//!
+//! // s = reduce(map(xs, x -> (0, x)), +)
+//! let m = MapLambda::new(
+//!     vec!["x"],
+//!     vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+//! );
+//! let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+//!     .map(m)
+//!     .reduce(ReduceLambda::binop(BinOp::Add));
+//! let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
+//!
+//! let compiled = CompiledSummary::compile(&summary);
+//! let mut state = Env::new();
+//! state.set("xs", Value::List((1..=4).map(Value::Int).collect()));
+//! state.set("s", Value::Int(0));
+//!
+//! let out = compiled.eval(&state).unwrap();
+//! assert_eq!(out.get("s"), Some(&Value::Int(10)));
+//! // Bit-identical to the tree-walking reference evaluator.
+//! assert_eq!(out, casper_ir::eval::eval_summary(&summary, &state).unwrap());
+//! ```
+
+use seqlang::ast::{BinOp, UnOp};
+use seqlang::error::{Error, Result};
+use seqlang::interp::{eval_binop, eval_free_function, eval_pure_method};
+use seqlang::value::Value;
+use seqlang::Env;
+
+use crate::eval::{eval_data, eval_join, group_by_key, reconstruct_output, Row};
+use crate::expr::IrExpr;
+use crate::lambda::{MapLambda, ReduceLambda};
+use crate::mr::{DataSource, MrExpr, OutputKind, ProgramSummary};
+
+/// Execution frame a compiled expression runs against: the λ-parameter
+/// slots of the enclosing transformer plus the free-variable state.
+struct Frame<'a> {
+    locals: &'a [Value],
+    state: &'a Env,
+}
+
+/// A compiled IR expression: all structure folded into one closure tree.
+type ExprFn = Box<dyn Fn(&Frame<'_>) -> Result<Value> + Send + Sync>;
+
+/// One compiled emit statement of a map transformer.
+struct CompiledEmit {
+    cond: Option<ExprFn>,
+    key: ExprFn,
+    val: ExprFn,
+}
+
+/// A compiled MR pipeline stage.
+enum Stage {
+    Data(DataSource),
+    Map {
+        inner: Box<Stage>,
+        arity: usize,
+        emits: Vec<CompiledEmit>,
+    },
+    Reduce {
+        inner: Box<Stage>,
+        body: ExprFn,
+    },
+    Join {
+        left: Box<Stage>,
+        right: Box<Stage>,
+    },
+}
+
+/// A program summary lowered to slot-resolved closures, evaluatable
+/// against any program state. See the [module docs](self) for an example.
+pub struct CompiledSummary {
+    bindings: Vec<CompiledBinding>,
+}
+
+struct CompiledBinding {
+    vars: Vec<String>,
+    kind: OutputKind,
+    stage: Stage,
+}
+
+impl CompiledSummary {
+    /// Lower every binding of `summary` into compiled form.
+    pub fn compile(summary: &ProgramSummary) -> CompiledSummary {
+        CompiledSummary {
+            bindings: summary
+                .bindings
+                .iter()
+                .map(|b| CompiledBinding {
+                    vars: b.vars.clone(),
+                    kind: b.kind.clone(),
+                    stage: compile_stage(&b.expr),
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluate against a concrete pre-loop state, returning the computed
+    /// outputs — behaviourally identical to [`crate::eval::eval_summary`]
+    /// on the summary this was compiled from.
+    pub fn eval(&self, state: &Env) -> Result<Env> {
+        let mut out = Env::new();
+        for binding in &self.bindings {
+            let rows = run_stage(&binding.stage, state)?;
+            reconstruct_output(state, &binding.vars, &binding.kind, &rows, &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+fn compile_stage(expr: &MrExpr) -> Stage {
+    match expr {
+        MrExpr::Data(src) => Stage::Data(src.clone()),
+        MrExpr::Map(inner, lambda) => Stage::Map {
+            inner: Box::new(compile_stage(inner)),
+            arity: lambda.params.len(),
+            emits: compile_map(lambda),
+        },
+        MrExpr::Reduce(inner, lambda) => Stage::Reduce {
+            inner: Box::new(compile_stage(inner)),
+            body: compile_reduce(lambda),
+        },
+        MrExpr::Join(l, r) => Stage::Join {
+            left: Box::new(compile_stage(l)),
+            right: Box::new(compile_stage(r)),
+        },
+    }
+}
+
+fn compile_map(lambda: &MapLambda) -> Vec<CompiledEmit> {
+    lambda
+        .emits
+        .iter()
+        .map(|emit| CompiledEmit {
+            cond: emit.cond.as_ref().map(|c| compile_expr(c, &lambda.params)),
+            key: compile_expr(&emit.key, &lambda.params),
+            val: compile_expr(&emit.val, &lambda.params),
+        })
+        .collect()
+}
+
+fn compile_reduce(lambda: &ReduceLambda) -> ExprFn {
+    compile_expr(&lambda.body, &lambda.params)
+}
+
+fn run_stage(stage: &Stage, state: &Env) -> Result<Vec<Row>> {
+    match stage {
+        Stage::Data(src) => eval_data(state, src),
+        Stage::Map {
+            inner,
+            arity,
+            emits,
+        } => {
+            let input = run_stage(inner, state)?;
+            let mut out = Vec::with_capacity(input.len() * emits.len().max(1));
+            for row in &input {
+                if row.len() != *arity {
+                    return Err(Error::runtime(format!(
+                        "map λ expects {} params, record has {} fields",
+                        arity,
+                        row.len()
+                    )));
+                }
+                let frame = Frame { locals: row, state };
+                for emit in emits {
+                    let fire = match &emit.cond {
+                        Some(c) => c(&frame)?
+                            .as_bool()
+                            .ok_or_else(|| Error::runtime("emit guard not a bool"))?,
+                        None => true,
+                    };
+                    if fire {
+                        let k = (emit.key)(&frame)?;
+                        let v = (emit.val)(&frame)?;
+                        out.push(vec![k, v]);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Stage::Reduce { inner, body } => {
+            let input = run_stage(inner, state)?;
+            let groups = group_by_key(&input)?;
+            let mut out = Vec::with_capacity(groups.len());
+            for (k, vals) in groups {
+                let mut acc = vals[0].clone();
+                for v in &vals[1..] {
+                    let locals = [acc, v.clone()];
+                    let frame = Frame {
+                        locals: &locals,
+                        state,
+                    };
+                    acc = body(&frame)?;
+                }
+                out.push(vec![k, acc]);
+            }
+            Ok(out)
+        }
+        Stage::Join { left, right } => {
+            let l = run_stage(left, state)?;
+            let r = run_stage(right, state)?;
+            eval_join(&l, &r)
+        }
+    }
+}
+
+/// Compile one expression over the λ-parameter namespace `params`:
+/// parameter references become slot reads, everything else becomes a
+/// state lookup — the same shadowing the tree-walking evaluator gets by
+/// overwriting a cloned state env with the parameter values.
+fn compile_expr<P: AsRef<str>>(e: &IrExpr, params: &[P]) -> ExprFn {
+    match e {
+        IrExpr::ConstInt(n) => {
+            let n = *n;
+            Box::new(move |_| Ok(Value::Int(n)))
+        }
+        IrExpr::ConstDouble(x) => {
+            let x = x.0;
+            Box::new(move |_| Ok(Value::Double(x)))
+        }
+        IrExpr::ConstBool(b) => {
+            let b = *b;
+            Box::new(move |_| Ok(Value::Bool(b)))
+        }
+        IrExpr::ConstStr(s) => {
+            let v = Value::str(s.as_str());
+            Box::new(move |_| Ok(v.clone()))
+        }
+        IrExpr::Var(name) => {
+            if let Some(slot) = params.iter().position(|p| p.as_ref() == name) {
+                Box::new(move |f| Ok(f.locals[slot].clone()))
+            } else {
+                let name = name.clone();
+                Box::new(move |f| {
+                    f.state
+                        .get(&name)
+                        .cloned()
+                        .ok_or_else(|| Error::runtime(format!("IR: unbound variable `{name}`")))
+                })
+            }
+        }
+        IrExpr::Field(base, field) => {
+            let base = compile_expr(base, params);
+            let field = field.clone();
+            Box::new(move |f| {
+                let b = base(f)?;
+                b.field(&field)
+                    .cloned()
+                    .ok_or_else(|| Error::runtime(format!("IR: no field `{field}` on {b}")))
+            })
+        }
+        IrExpr::TupleGet(base, i) => {
+            let base = compile_expr(base, params);
+            let i = *i;
+            Box::new(move |f| {
+                let b = base(f)?;
+                b.tuple_get(i)
+                    .cloned()
+                    .ok_or_else(|| Error::runtime(format!("IR: tuple index {i} on {b}")))
+            })
+        }
+        IrExpr::Tuple(es) => {
+            let parts: Vec<ExprFn> = es.iter().map(|x| compile_expr(x, params)).collect();
+            Box::new(move |f| {
+                let mut vals = Vec::with_capacity(parts.len());
+                for p in &parts {
+                    vals.push(p(f)?);
+                }
+                Ok(Value::Tuple(vals))
+            })
+        }
+        IrExpr::Bin(op, l, r) => {
+            let lc = compile_expr(l, params);
+            let rc = compile_expr(r, params);
+            match op {
+                // Short-circuit like the source language (and exactly like
+                // the tree-walking evaluator, including its tolerance for
+                // non-boolean left operands).
+                BinOp::And => Box::new(move |f| {
+                    if lc(f)?.as_bool() != Some(true) {
+                        return Ok(Value::Bool(false));
+                    }
+                    rc(f)
+                }),
+                BinOp::Or => Box::new(move |f| {
+                    if lc(f)?.as_bool() == Some(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    rc(f)
+                }),
+                op => {
+                    let op = *op;
+                    Box::new(move |f| eval_binop(op, lc(f)?, rc(f)?))
+                }
+            }
+        }
+        IrExpr::Un(op, inner) => {
+            let ic = compile_expr(inner, params);
+            let op = *op;
+            Box::new(move |f| {
+                let v = ic(f)?;
+                match (op, v) {
+                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
+                    (UnOp::Neg, Value::Double(x)) => Ok(Value::Double(-x)),
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (UnOp::BitNot, Value::Int(n)) => Ok(Value::Int(!n)),
+                    (op, v) => Err(Error::runtime(format!("IR: bad unary {op:?} on {v}"))),
+                }
+            })
+        }
+        IrExpr::Call(name, args) => {
+            let argc: Vec<ExprFn> = args.iter().map(|a| compile_expr(a, params)).collect();
+            let name = name.clone();
+            Box::new(move |f| {
+                let mut vals = Vec::with_capacity(argc.len());
+                for a in &argc {
+                    vals.push(a(f)?);
+                }
+                eval_free_function(&name, &vals)
+            })
+        }
+        IrExpr::Method(base, name, args) => {
+            let base = compile_expr(base, params);
+            let argc: Vec<ExprFn> = args.iter().map(|a| compile_expr(a, params)).collect();
+            let name = name.clone();
+            Box::new(move |f| {
+                let b = base(f)?;
+                let mut vals = Vec::with_capacity(argc.len());
+                for a in &argc {
+                    vals.push(a(f)?);
+                }
+                eval_pure_method(&b, &name, &vals)
+            })
+        }
+        IrExpr::If(c, t, e2) => {
+            let cc = compile_expr(c, params);
+            let tc = compile_expr(t, params);
+            let ec = compile_expr(e2, params);
+            Box::new(move |f| {
+                let cond = cc(f)?
+                    .as_bool()
+                    .ok_or_else(|| Error::runtime("IR: non-bool condition"))?;
+                if cond {
+                    tc(f)
+                } else {
+                    ec(f)
+                }
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_summary;
+    use crate::lambda::Emit;
+    use crate::mr::OutputBinding;
+    use seqlang::ty::Type;
+
+    fn state(pairs: &[(&str, Value)]) -> Env {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// Compiled and tree-walking evaluation must agree exactly, including
+    /// on error outcomes.
+    fn assert_agrees(summary: &ProgramSummary, st: &Env) {
+        let compiled = CompiledSummary::compile(summary);
+        match (eval_summary(summary, st), compiled.eval(st)) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "outputs diverge"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("agreement broken: tree-walk {a:?} vs compiled {b:?}"),
+        }
+    }
+
+    fn sum_summary() -> ProgramSummary {
+        let m = MapLambda::new(
+            vec!["v"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("v"))],
+        );
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Add));
+        ProgramSummary::single("s", expr, OutputKind::Scalar)
+    }
+
+    #[test]
+    fn compiled_sum_matches_tree_walk() {
+        let st = state(&[
+            (
+                "xs",
+                Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+            ),
+            ("s", Value::Int(0)),
+        ]);
+        assert_agrees(&sum_summary(), &st);
+        let empty = state(&[("xs", Value::List(vec![])), ("s", Value::Int(17))]);
+        assert_agrees(&sum_summary(), &empty);
+    }
+
+    #[test]
+    fn compiled_three_stage_pipeline_with_free_vars() {
+        // Row-wise mean: the final map divides by the free variable `cols`.
+        let m1 = MapLambda::new(
+            vec!["i", "j", "v"],
+            vec![Emit::unconditional(IrExpr::var("i"), IrExpr::var("v"))],
+        );
+        let m2 = MapLambda::new(
+            vec!["k", "v"],
+            vec![Emit::unconditional(
+                IrExpr::var("k"),
+                IrExpr::bin(BinOp::Div, IrExpr::var("v"), IrExpr::var("cols")),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::indexed_2d("mat", Type::Int))
+            .map(m1)
+            .reduce(ReduceLambda::binop(BinOp::Add))
+            .map(m2);
+        let summary = ProgramSummary::single(
+            "m",
+            expr,
+            OutputKind::AssocArray {
+                len_var: "rows".into(),
+            },
+        );
+        let st = state(&[
+            (
+                "mat",
+                Value::Array(vec![
+                    Value::Array(vec![Value::Int(1), Value::Int(3)]),
+                    Value::Array(vec![Value::Int(10), Value::Int(20)]),
+                ]),
+            ),
+            ("rows", Value::Int(2)),
+            ("cols", Value::Int(2)),
+            ("m", Value::Array(vec![Value::Int(0), Value::Int(0)])),
+        ]);
+        assert_agrees(&summary, &st);
+        let out = CompiledSummary::compile(&summary).eval(&st).unwrap();
+        assert_eq!(
+            out.get("m"),
+            Some(&Value::Array(vec![Value::Int(2), Value::Int(15)]))
+        );
+    }
+
+    #[test]
+    fn compiled_guarded_emits_and_join() {
+        // dot product over joined indexed sources with a guard.
+        let m = MapLambda::new(
+            vec!["k", "v"],
+            vec![Emit::guarded(
+                IrExpr::bin(BinOp::Gt, IrExpr::tget(IrExpr::var("v"), 0), IrExpr::int(0)),
+                IrExpr::int(0),
+                IrExpr::bin(
+                    BinOp::Mul,
+                    IrExpr::tget(IrExpr::var("v"), 0),
+                    IrExpr::tget(IrExpr::var("v"), 1),
+                ),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::indexed("xs", Type::Int))
+            .join(MrExpr::Data(DataSource::indexed("ys", Type::Int)))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Add));
+        let summary = ProgramSummary::single("dot", expr, OutputKind::Scalar);
+        let st = state(&[
+            (
+                "xs",
+                Value::Array(vec![Value::Int(-1), Value::Int(2), Value::Int(3)]),
+            ),
+            (
+                "ys",
+                Value::Array(vec![Value::Int(5), Value::Int(6), Value::Int(7)]),
+            ),
+            ("dot", Value::Int(0)),
+        ]);
+        assert_agrees(&summary, &st);
+    }
+
+    #[test]
+    fn compiled_scalar_tuple_and_shadowing() {
+        // A λ parameter named like a state variable must shadow it.
+        let m = MapLambda::new(
+            vec!["key1"],
+            vec![Emit::unconditional(
+                IrExpr::int(0),
+                IrExpr::Tuple(vec![
+                    IrExpr::bin(BinOp::Eq, IrExpr::var("key1"), IrExpr::var("needle")),
+                    IrExpr::ConstBool(false),
+                ]),
+            )],
+        );
+        let r = ReduceLambda::new(IrExpr::Tuple(vec![
+            IrExpr::bin(
+                BinOp::Or,
+                IrExpr::tget(IrExpr::var("v1"), 0),
+                IrExpr::tget(IrExpr::var("v2"), 0),
+            ),
+            IrExpr::bin(
+                BinOp::Or,
+                IrExpr::tget(IrExpr::var("v1"), 1),
+                IrExpr::tget(IrExpr::var("v2"), 1),
+            ),
+        ]));
+        let expr = MrExpr::Data(DataSource::flat("text", Type::Str))
+            .map(m)
+            .reduce(r);
+        let summary = ProgramSummary {
+            bindings: vec![OutputBinding {
+                vars: vec!["f1".into(), "f2".into()],
+                expr,
+                kind: OutputKind::ScalarTuple,
+            }],
+        };
+        let st = state(&[
+            (
+                "text",
+                Value::List(vec![Value::str("a"), Value::str("cat")]),
+            ),
+            ("key1", Value::str("decoy")),
+            ("needle", Value::str("cat")),
+            ("f1", Value::Bool(false)),
+            ("f2", Value::Bool(false)),
+        ]);
+        assert_agrees(&summary, &st);
+        let out = CompiledSummary::compile(&summary).eval(&st).unwrap();
+        assert_eq!(out.get("f1"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn compiled_errors_match_tree_walk_errors() {
+        // Division by a zero-valued free variable faults both evaluators.
+        let m = MapLambda::new(
+            vec!["v"],
+            vec![Emit::unconditional(
+                IrExpr::int(0),
+                IrExpr::bin(BinOp::Div, IrExpr::var("v"), IrExpr::var("z")),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Add));
+        let summary = ProgramSummary::single("s", expr, OutputKind::Scalar);
+        let st = state(&[
+            ("xs", Value::List(vec![Value::Int(1)])),
+            ("z", Value::Int(0)),
+            ("s", Value::Int(0)),
+        ]);
+        assert_agrees(&summary, &st);
+        assert!(CompiledSummary::compile(&summary).eval(&st).is_err());
+        // Unbound variables error in both too.
+        let st2 = state(&[
+            ("xs", Value::List(vec![Value::Int(1)])),
+            ("s", Value::Int(0)),
+        ]);
+        assert_agrees(&summary, &st2);
+    }
+
+    #[test]
+    fn short_circuit_skips_faulting_operand() {
+        let m = MapLambda::new(
+            vec!["v"],
+            vec![Emit::guarded(
+                IrExpr::bin(
+                    BinOp::And,
+                    IrExpr::ConstBool(false),
+                    IrExpr::bin(
+                        BinOp::Gt,
+                        IrExpr::bin(BinOp::Div, IrExpr::int(1), IrExpr::int(0)),
+                        IrExpr::int(0),
+                    ),
+                ),
+                IrExpr::int(0),
+                IrExpr::var("v"),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m);
+        let summary = ProgramSummary::single("out", expr, OutputKind::CollectedList);
+        let st = state(&[
+            ("xs", Value::List(vec![Value::Int(1), Value::Int(2)])),
+            ("out", Value::List(vec![])),
+        ]);
+        assert_agrees(&summary, &st);
+        let out = CompiledSummary::compile(&summary).eval(&st).unwrap();
+        assert_eq!(out.get("out"), Some(&Value::List(vec![])));
+    }
+}

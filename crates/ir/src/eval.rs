@@ -25,7 +25,7 @@ pub struct EvalCtx<'a> {
 
 /// A record flowing between stages: data sources produce records of their
 /// shape's arity; map/reduce/join stages produce `[key, value]` records.
-type Row = Vec<Value>;
+pub(crate) type Row = Vec<Value>;
 
 impl<'a> EvalCtx<'a> {
     pub fn new(state: &'a Env) -> Self {
@@ -44,181 +44,13 @@ impl<'a> EvalCtx<'a> {
 
     fn eval_binding(&self, binding: &OutputBinding, out: &mut Env) -> Result<()> {
         let rows = self.eval_mr(&binding.expr)?;
-        match &binding.kind {
-            OutputKind::Scalar => {
-                let var = &binding.vars[0];
-                let value = self.extract_scalar(&rows, var)?;
-                out.set(var.clone(), value);
-            }
-            OutputKind::ScalarTuple => {
-                let value = self.extract_single(&rows)?;
-                match value {
-                    Some(Value::Tuple(parts)) => {
-                        if parts.len() != binding.vars.len() {
-                            return Err(Error::runtime(format!(
-                                "summary tuple has {} parts for {} variables",
-                                parts.len(),
-                                binding.vars.len()
-                            )));
-                        }
-                        for (var, v) in binding.vars.iter().zip(parts) {
-                            out.set(var.clone(), v);
-                        }
-                    }
-                    Some(other) => {
-                        return Err(Error::runtime(format!(
-                            "ScalarTuple output expected tuple, got {other}"
-                        )))
-                    }
-                    None => {
-                        // Empty dataset: all variables keep pre-loop values.
-                        for var in &binding.vars {
-                            let v = self.pre_value(var)?;
-                            out.set(var.clone(), v);
-                        }
-                    }
-                }
-            }
-            OutputKind::KeyedScalars { keys } => {
-                if keys.len() != binding.vars.len() {
-                    return Err(Error::runtime("KeyedScalars arity mismatch"));
-                }
-                for (var, key_expr) in binding.vars.iter().zip(keys) {
-                    let key = key_expr.eval(self.state)?;
-                    let mut hits = rows.iter().filter(|r| r.len() == 2 && r[0] == key);
-                    match (hits.next(), hits.next()) {
-                        (None, _) => {
-                            let v = self.pre_value(var)?;
-                            out.set(var.clone(), v);
-                        }
-                        (Some(row), None) => out.set(var.clone(), row[1].clone()),
-                        (Some(_), Some(_)) => {
-                            return Err(Error::runtime(format!(
-                                "KeyedScalars: duplicate key {key} (missing reduce?)"
-                            )))
-                        }
-                    }
-                }
-            }
-            OutputKind::AssocArray { len_var } => {
-                let var = &binding.vars[0];
-                let len = self
-                    .state
-                    .get(len_var)
-                    .and_then(Value::as_int)
-                    .ok_or_else(|| {
-                        Error::runtime(format!("length variable `{len_var}` not an int"))
-                    })?;
-                let pre = self.pre_value(var)?;
-                let Value::Array(mut arr) = pre else {
-                    return Err(Error::runtime(format!("`{var}` is not an array")));
-                };
-                arr.resize(len as usize, Value::Int(0));
-                for row in &rows {
-                    let [k, v] = row.as_slice() else {
-                        return Err(Error::runtime("non-KV row at output"));
-                    };
-                    let i = k.as_int().ok_or_else(|| {
-                        Error::runtime(format!("array output needs int keys, got {k}"))
-                    })?;
-                    if i < 0 || i as usize >= arr.len() {
-                        return Err(Error::runtime(format!(
-                            "array output key {i} out of bounds (len {})",
-                            arr.len()
-                        )));
-                    }
-                    arr[i as usize] = v.clone();
-                }
-                out.set(var.clone(), Value::Array(arr));
-            }
-            OutputKind::AssocMap => {
-                let var = &binding.vars[0];
-                let mut entries: Vec<(Value, Value)> = Vec::with_capacity(rows.len());
-                for row in &rows {
-                    let [k, v] = row.as_slice() else {
-                        return Err(Error::runtime("non-KV row at output"));
-                    };
-                    if entries.iter().any(|(ek, _)| ek == k) {
-                        return Err(Error::runtime(format!(
-                            "map output has duplicate key {k} (missing reduce?)"
-                        )));
-                    }
-                    entries.push((k.clone(), v.clone()));
-                }
-                out.set(var.clone(), Value::Map(entries));
-            }
-            OutputKind::CollectedList => {
-                let var = &binding.vars[0];
-                let mut vals: Vec<Value> = rows.iter().map(|r| r[r.len() - 1].clone()).collect();
-                // MapReduce output is a multiset: canonicalise by sorting.
-                vals.sort();
-                out.set(var.clone(), Value::List(vals));
-            }
-        }
-        Ok(())
-    }
-
-    fn pre_value(&self, var: &str) -> Result<Value> {
-        self.state
-            .get(var)
-            .cloned()
-            .ok_or_else(|| Error::runtime(format!("output `{var}` missing from pre-state")))
-    }
-
-    fn extract_single(&self, rows: &[Row]) -> Result<Option<Value>> {
-        match rows {
-            [] => Ok(None),
-            [row] => Ok(Some(row[row.len() - 1].clone())),
-            _ => Err(Error::runtime(format!(
-                "scalar output produced {} pairs (expected ≤ 1)",
-                rows.len()
-            ))),
-        }
-    }
-
-    fn extract_scalar(&self, rows: &[Row], var: &str) -> Result<Value> {
-        match self.extract_single(rows)? {
-            Some(v) => Ok(v),
-            None => self.pre_value(var),
-        }
+        reconstruct_output(self.state, &binding.vars, &binding.kind, &rows, out)
     }
 
     /// Evaluate an MR pipeline to its key/value multiset.
     pub fn eval_mr(&self, expr: &MrExpr) -> Result<Vec<Row>> {
         match expr {
-            MrExpr::Data(src) => {
-                let coll = self
-                    .state
-                    .get(&src.var)
-                    .ok_or_else(|| Error::runtime(format!("no input `{}`", src.var)))?;
-                let elems = coll
-                    .elements()
-                    .ok_or_else(|| Error::runtime(format!("`{}` is not a collection", src.var)))?;
-                match src.shape {
-                    DataShape::Flat => Ok(elems.iter().map(|e| vec![e.clone()]).collect()),
-                    DataShape::Indexed => Ok(elems
-                        .iter()
-                        .enumerate()
-                        .map(|(i, e)| vec![Value::Int(i as i64), e.clone()])
-                        .collect()),
-                    DataShape::Indexed2D => {
-                        let mut rows = Vec::new();
-                        for (i, row) in elems.iter().enumerate() {
-                            let inner = row.elements().ok_or_else(|| {
-                                Error::runtime(format!("`{}` is not 2-D", src.var))
-                            })?;
-                            for (j, e) in inner.iter().enumerate() {
-                                rows.push(vec![
-                                    Value::Int(i as i64),
-                                    Value::Int(j as i64),
-                                    e.clone(),
-                                ]);
-                            }
-                        }
-                        Ok(rows)
-                    }
-                }
-            }
+            MrExpr::Data(src) => eval_data(self.state, src),
             MrExpr::Map(inner, lambda) => {
                 let input = self.eval_mr(inner)?;
                 self.eval_map(lambda, &input)
@@ -272,22 +104,10 @@ impl<'a> EvalCtx<'a> {
         // within-group order of values (the deterministic semantics both
         // verification phases rely on; commutativity is checked separately
         // before codegen may parallelise the reduction).
-        let mut order: Vec<Value> = Vec::new();
-        let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
-        for row in input {
-            let [k, v] = row.as_slice() else {
-                return Err(Error::runtime("reduce input is not key/value"));
-            };
-            groups.entry(k.clone()).or_insert_with(|| {
-                order.push(k.clone());
-                Vec::new()
-            });
-            groups.get_mut(k).expect("just inserted").push(v.clone());
-        }
-        let mut out = Vec::with_capacity(order.len());
+        let groups = group_by_key(input)?;
+        let mut out = Vec::with_capacity(groups.len());
         let mut env = self.state.clone();
-        for k in order {
-            let vals = &groups[&k];
+        for (k, vals) in groups {
             let mut acc = vals[0].clone();
             for v in &vals[1..] {
                 env.set(lambda.params[0].clone(), acc);
@@ -298,6 +118,208 @@ impl<'a> EvalCtx<'a> {
         }
         Ok(out)
     }
+}
+
+/// Produce a data source's record multiset from the program state — shared
+/// by the tree-walking evaluator and [`crate::compile::CompiledSummary`].
+pub(crate) fn eval_data(state: &Env, src: &crate::mr::DataSource) -> Result<Vec<Row>> {
+    let coll = state
+        .get(&src.var)
+        .ok_or_else(|| Error::runtime(format!("no input `{}`", src.var)))?;
+    let elems = coll
+        .elements()
+        .ok_or_else(|| Error::runtime(format!("`{}` is not a collection", src.var)))?;
+    match src.shape {
+        DataShape::Flat => Ok(elems.iter().map(|e| vec![e.clone()]).collect()),
+        DataShape::Indexed => Ok(elems
+            .iter()
+            .enumerate()
+            .map(|(i, e)| vec![Value::Int(i as i64), e.clone()])
+            .collect()),
+        DataShape::Indexed2D => {
+            let mut rows = Vec::new();
+            for (i, row) in elems.iter().enumerate() {
+                let inner = row
+                    .elements()
+                    .ok_or_else(|| Error::runtime(format!("`{}` is not 2-D", src.var)))?;
+                for (j, e) in inner.iter().enumerate() {
+                    rows.push(vec![Value::Int(i as i64), Value::Int(j as i64), e.clone()]);
+                }
+            }
+            Ok(rows)
+        }
+    }
+}
+
+/// Group a key/value multiset by key, preserving first-appearance order of
+/// keys and the within-group order of values.
+pub(crate) fn group_by_key(input: &[Row]) -> Result<Vec<(Value, Vec<Value>)>> {
+    let mut order: Vec<Value> = Vec::new();
+    let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+    for row in input {
+        let [k, v] = row.as_slice() else {
+            return Err(Error::runtime("reduce input is not key/value"));
+        };
+        groups.entry(k.clone()).or_insert_with(|| {
+            order.push(k.clone());
+            Vec::new()
+        });
+        groups.get_mut(k).expect("just inserted").push(v.clone());
+    }
+    Ok(order
+        .into_iter()
+        .map(|k| {
+            let vals = groups.remove(&k).expect("grouped");
+            (k, vals)
+        })
+        .collect())
+}
+
+fn pre_value(state: &Env, var: &str) -> Result<Value> {
+    state
+        .get(var)
+        .cloned()
+        .ok_or_else(|| Error::runtime(format!("output `{var}` missing from pre-state")))
+}
+
+fn extract_single(rows: &[Row]) -> Result<Option<Value>> {
+    match rows {
+        [] => Ok(None),
+        [row] => Ok(Some(row[row.len() - 1].clone())),
+        _ => Err(Error::runtime(format!(
+            "scalar output produced {} pairs (expected ≤ 1)",
+            rows.len()
+        ))),
+    }
+}
+
+fn extract_scalar(state: &Env, rows: &[Row], var: &str) -> Result<Value> {
+    match extract_single(rows)? {
+        Some(v) => Ok(v),
+        None => pre_value(state, var),
+    }
+}
+
+/// Reconstruct the values of `vars` from a pipeline's key/value multiset
+/// according to the binding's [`OutputKind`] — the single semantics shared
+/// by the tree-walking evaluator and the compiled evaluator, so the two
+/// can never diverge on output reconstruction.
+pub(crate) fn reconstruct_output(
+    state: &Env,
+    vars: &[String],
+    kind: &OutputKind,
+    rows: &[Row],
+    out: &mut Env,
+) -> Result<()> {
+    match kind {
+        OutputKind::Scalar => {
+            let var = &vars[0];
+            let value = extract_scalar(state, rows, var)?;
+            out.set(var.clone(), value);
+        }
+        OutputKind::ScalarTuple => {
+            let value = extract_single(rows)?;
+            match value {
+                Some(Value::Tuple(parts)) => {
+                    if parts.len() != vars.len() {
+                        return Err(Error::runtime(format!(
+                            "summary tuple has {} parts for {} variables",
+                            parts.len(),
+                            vars.len()
+                        )));
+                    }
+                    for (var, v) in vars.iter().zip(parts) {
+                        out.set(var.clone(), v);
+                    }
+                }
+                Some(other) => {
+                    return Err(Error::runtime(format!(
+                        "ScalarTuple output expected tuple, got {other}"
+                    )))
+                }
+                None => {
+                    // Empty dataset: all variables keep pre-loop values.
+                    for var in vars {
+                        let v = pre_value(state, var)?;
+                        out.set(var.clone(), v);
+                    }
+                }
+            }
+        }
+        OutputKind::KeyedScalars { keys } => {
+            if keys.len() != vars.len() {
+                return Err(Error::runtime("KeyedScalars arity mismatch"));
+            }
+            for (var, key_expr) in vars.iter().zip(keys) {
+                let key = key_expr.eval(state)?;
+                let mut hits = rows.iter().filter(|r| r.len() == 2 && r[0] == key);
+                match (hits.next(), hits.next()) {
+                    (None, _) => {
+                        let v = pre_value(state, var)?;
+                        out.set(var.clone(), v);
+                    }
+                    (Some(row), None) => out.set(var.clone(), row[1].clone()),
+                    (Some(_), Some(_)) => {
+                        return Err(Error::runtime(format!(
+                            "KeyedScalars: duplicate key {key} (missing reduce?)"
+                        )))
+                    }
+                }
+            }
+        }
+        OutputKind::AssocArray { len_var } => {
+            let var = &vars[0];
+            let len = state
+                .get(len_var)
+                .and_then(Value::as_int)
+                .ok_or_else(|| Error::runtime(format!("length variable `{len_var}` not an int")))?;
+            let pre = pre_value(state, var)?;
+            let Value::Array(mut arr) = pre else {
+                return Err(Error::runtime(format!("`{var}` is not an array")));
+            };
+            arr.resize(len as usize, Value::Int(0));
+            for row in rows {
+                let [k, v] = row.as_slice() else {
+                    return Err(Error::runtime("non-KV row at output"));
+                };
+                let i = k.as_int().ok_or_else(|| {
+                    Error::runtime(format!("array output needs int keys, got {k}"))
+                })?;
+                if i < 0 || i as usize >= arr.len() {
+                    return Err(Error::runtime(format!(
+                        "array output key {i} out of bounds (len {})",
+                        arr.len()
+                    )));
+                }
+                arr[i as usize] = v.clone();
+            }
+            out.set(var.clone(), Value::Array(arr));
+        }
+        OutputKind::AssocMap => {
+            let var = &vars[0];
+            let mut entries: Vec<(Value, Value)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let [k, v] = row.as_slice() else {
+                    return Err(Error::runtime("non-KV row at output"));
+                };
+                if entries.iter().any(|(ek, _)| ek == k) {
+                    return Err(Error::runtime(format!(
+                        "map output has duplicate key {k} (missing reduce?)"
+                    )));
+                }
+                entries.push((k.clone(), v.clone()));
+            }
+            out.set(var.clone(), Value::Map(entries));
+        }
+        OutputKind::CollectedList => {
+            let var = &vars[0];
+            let mut vals: Vec<Value> = rows.iter().map(|r| r[r.len() - 1].clone()).collect();
+            // MapReduce output is a multiset: canonicalise by sorting.
+            vals.sort();
+            out.set(var.clone(), Value::List(vals));
+        }
+    }
+    Ok(())
 }
 
 /// Join two key/value multisets on key equality: `(k,v) ⋈ (k,w) → (k,(v,w))`.

@@ -100,10 +100,8 @@ impl IrExpr {
     /// Free variables referenced by this expression.
     pub fn free_vars(&self, out: &mut Vec<String>) {
         match self {
-            IrExpr::Var(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
-                }
+            IrExpr::Var(v) if !out.contains(v) => {
+                out.push(v.clone());
             }
             IrExpr::Field(b, _) | IrExpr::TupleGet(b, _) | IrExpr::Un(_, b) => b.free_vars(out),
             IrExpr::Tuple(es) => {

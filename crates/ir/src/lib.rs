@@ -15,6 +15,7 @@
 //! The [`fold`] module implements the Fold-IR of prior work, re-hosted on
 //! this infrastructure exactly as §7.5 describes.
 
+pub mod compile;
 pub mod eval;
 pub mod expr;
 pub mod fold;
@@ -23,6 +24,7 @@ pub mod mr;
 pub mod pretty;
 pub mod size;
 
+pub use compile::CompiledSummary;
 pub use eval::{eval_summary, EvalCtx};
 pub use expr::IrExpr;
 pub use lambda::{Emit, MapLambda, ReduceLambda};

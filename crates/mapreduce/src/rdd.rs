@@ -111,7 +111,7 @@ impl<T: Payload> Rdd<T> {
         self.partitions.iter().map(|p| p.len() as u64).sum()
     }
 
-    fn from_partitions(&self, partitions: Vec<Vec<T>>) -> Rdd<T> {
+    fn with_partitions(&self, partitions: Vec<Vec<T>>) -> Rdd<T> {
         Rdd {
             ctx: self.ctx.clone(),
             partitions: Arc::new(partitions),
@@ -158,7 +158,7 @@ impl<T: Payload> Rdd<T> {
             p.iter().filter(|t| f(t)).cloned().collect()
         });
         self.record_narrow("filter", &parts);
-        self.from_partitions(parts)
+        self.with_partitions(parts)
     }
 
     /// Map each record to a key/value pair (`mapToPair`).
@@ -235,7 +235,7 @@ impl<T: Payload> Rdd<T> {
     ) -> A {
         let z = zero.clone();
         let partials: Vec<A> = par_map_partitions(&self.ctx, &self.partitions, move |p| {
-            vec![p.iter().fold(z.clone(), |acc, x| seq(acc, x))]
+            vec![p.iter().fold(z.clone(), &seq)]
         })
         .into_iter()
         .flatten()
@@ -426,6 +426,7 @@ where
                 rsh[hash_key(&k, buckets)].push((k, w));
             }
         }
+        #[allow(clippy::type_complexity)]
         let zipped: Vec<Vec<(Vec<(K, V)>, Vec<(K, W)>)>> =
             lsh.into_iter().zip(rsh).map(|pair| vec![pair]).collect();
         let parts: Vec<Vec<(K, (V, W))>> = par_map_partitions(&self.ctx, &zipped, |pair_slice| {

@@ -95,7 +95,7 @@ mod tests {
         // bounded below by observed d and above by n.
         let sample: Vec<i64> = (0..100).map(|i| i % 3).collect();
         let est = estimate_unique_keys(&sample, 10_000, |x| *x);
-        assert!(est >= 3 && est <= 10_000);
+        assert!((3..=10_000).contains(&est));
 
         // All-unique sample: estimate n.
         let sample: Vec<i64> = (0..100).collect();

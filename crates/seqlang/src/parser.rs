@@ -341,10 +341,7 @@ impl Parser {
 
     fn parse_bin(&mut self, min_prec: u8) -> Result<Expr> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let Some((op, prec)) = bin_op(self.peek()) else {
-                break;
-            };
+        while let Some((op, prec)) = bin_op(self.peek()) {
             if prec < min_prec {
                 break;
             }

@@ -103,7 +103,7 @@ pub fn q15_casper(ctx: &Arc<Context>, rows: &[LiRow], dt1: i64, dt2: i64) -> (i6
         .map_to_pair(|r| (r.1, r.3 * (1.0 - r.4)))
         .reduce_by_key(|a, b| a + b);
     revenues
-        .reduce(|a, b| if a.1 >= b.1 { a.clone() } else { b.clone() })
+        .reduce(|a, b| if a.1 >= b.1 { *a } else { *b })
         .unwrap_or((0, 0.0))
 }
 

@@ -107,7 +107,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "tpch/q1_sum_qty",
             suite: Suite::TpcH,
-            source: &const_format_q1_sum_qty(),
+            source: const_format_q1_sum_qty(),
             func: "q1_sum_qty",
             expect_translate: true,
             gen: li_state,
@@ -116,7 +116,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "tpch/q1_sum_base",
             suite: Suite::TpcH,
-            source: &const_format_q1_sum_base(),
+            source: const_format_q1_sum_base(),
             func: "q1_sum_base",
             expect_translate: true,
             gen: li_state,
@@ -125,7 +125,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "tpch/q1_sum_disc_price",
             suite: Suite::TpcH,
-            source: &const_format_q1_disc(),
+            source: const_format_q1_disc(),
             func: "q1_sum_disc_price",
             expect_translate: true,
             gen: li_state,
@@ -134,7 +134,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "tpch/q1_count",
             suite: Suite::TpcH,
-            source: &const_format_q1_count(),
+            source: const_format_q1_count(),
             func: "q1_count",
             expect_translate: true,
             gen: li_state,
@@ -145,7 +145,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "tpch/q6_revenue",
             suite: Suite::TpcH,
-            source: &const_format_q6(),
+            source: const_format_q6(),
             func: "q6_revenue",
             expect_translate: true,
             gen: |rng, n| {
@@ -161,7 +161,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "tpch/q15_revenue_by_supplier",
             suite: Suite::TpcH,
-            source: &const_format_q15_rev(),
+            source: const_format_q15_rev(),
             func: "q15_revenue_by_supplier",
             expect_translate: true,
             gen: |rng, n| {
@@ -226,7 +226,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "tpch/q17_avg_qty_by_part",
             suite: Suite::TpcH,
-            source: &const_format_q17_qty(),
+            source: const_format_q17_qty(),
             func: "q17_avg_qty_by_part",
             expect_translate: true,
             gen: li_state,
@@ -235,7 +235,7 @@ pub fn benchmarks() -> Vec<Benchmark> {
         Benchmark {
             name: "tpch/q17_join_revenue",
             suite: Suite::TpcH,
-            source: &const_format_q17_join(),
+            source: const_format_q17_join(),
             func: "q17_join_revenue",
             expect_translate: true,
             gen: |rng, n| {

@@ -1,20 +1,68 @@
 //! The CEGIS loop (§3.4.1) and Casper's search algorithm `findSummary`
 //! (Figure 5), including candidate blocking on theorem-prover failures
 //! (§4.1) and incremental grammar-class traversal (§4.2–4.3).
+//!
+//! ## Screening architecture
+//!
+//! Screening a candidate means checking it against the counter-example
+//! set Φ and the bounded domain. Both are drawn from a fixed, finite
+//! **observation basis** built once per search: the initial random Φ
+//! states plus every prefix of every bounded state (the prefix walk is
+//! how the executable VCs of §3.3 check initiation, continuation and
+//! termination on one state). The fragment's expected outputs per basis
+//! state are precomputed, so screening one candidate costs one
+//! [`CompiledSummary`] evaluation per state instead of re-running the
+//! sequential fragment interpreter for every (candidate, state, prefix)
+//! triple — the compiled evaluator plus the precomputed basis is what
+//! makes the bounded-model-checking phase cheap.
+//!
+//! ## Observational-equivalence dedup
+//!
+//! The φ fast-screen evaluates a candidate on Φ in order and
+//! short-circuits at the first failing state; that failing prefix of
+//! output fingerprints is the candidate's *signature*. Signatures of
+//! φ-rejected candidates join a *dead set*; a later candidate whose
+//! signature matches is retired as a duplicate
+//! ([`SearchReport::candidates_deduped`]) instead of being charged as a
+//! fresh rejection — the screening ledger (`candidates_checked`, the
+//! BMC-workload column of Tables 2/3) counts each observational
+//! equivalence class once per Φ generation, not once per member, even
+//! though every class is re-streamed on each `findSummary` round. A
+//! matching signature means identical outputs up to and including a
+//! shared failing Φ state (signature length is part of the hash, so
+//! growing Φ retires old entries automatically), so a retired candidate
+//! provably fails a state the un-deduped serial search would also have
+//! checked — dedup can only remove candidates the search was going to
+//! reject anyway, never a summary it would have found. Candidates that
+//! *pass* Φ are never deduplicated: distinct φ-clean candidates may
+//! still diverge on the bounded domain or under the full verifier, and
+//! the multiplicity of ∆ (the runtime monitor's variant pool) depends
+//! on keeping all of them.
+//!
+//! ## Determinism
+//!
+//! With `parallelism > 1` chunks of candidates are *observed*
+//! concurrently (the expensive, Φ-independent part) and then adjudicated
+//! sequentially in enumeration order against the live Φ and dead set —
+//! the same decision sequence the serial loop produces, bit for bit.
+//! Counter-examples enter Φ as basis indices, so replaying a verdict
+//! against states discovered mid-chunk is a table lookup, not a re-run.
 
 use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use analyzer::fragment::Fragment;
 use analyzer::stategen::{StateGen, StateGenConfig};
-use analyzer::vc::{CheckOutcome, VerificationTask};
-use casper_ir::eval::eval_summary;
+use analyzer::vc::{outputs_match, VerificationTask};
+use casper_ir::compile::CompiledSummary;
 use casper_ir::mr::ProgramSummary;
 use seqlang::env::Env;
 
-use crate::enumerate::CandidateStream;
+use crate::enumerate::{CandidateStream, Chunk};
 use crate::grammar::{generate_classes, Grammar, GrammarClass};
 
 /// Candidates handed to the worker pool per screening round. Bounds the
@@ -29,7 +77,7 @@ pub fn default_parallelism() -> usize {
         .unwrap_or(4)
 }
 
-/// Configuration for one `synthesize` call (the inner CEGIS loop).
+/// Configuration for one CEGIS run (the inner loop of Figure 5).
 #[derive(Debug, Clone)]
 pub struct SynthConfig {
     /// Number of bounded-domain states used by the bounded model checker.
@@ -65,11 +113,14 @@ pub struct FindConfig {
     pub incremental: bool,
     /// Worker threads for the bounded-model-checking phase. `1` runs the
     /// exact sequential Figure 5 loop (the paper's configuration);
-    /// larger values screen candidate chunks concurrently while
-    /// producing **identical** search outcomes (see the replay argument
-    /// on the internal `synthesize_parallel`). Defaults to the host's
-    /// core count.
+    /// larger values observe candidate chunks concurrently while
+    /// producing **identical** search outcomes (see the module docs).
+    /// Defaults to the host's core count.
     pub parallelism: usize,
+    /// Observational-equivalence deduplication (see the module docs).
+    /// `false` screens every candidate — the ablation baseline the
+    /// dedup-soundness property test compares against.
+    pub dedup: bool,
 }
 
 impl Default for FindConfig {
@@ -80,6 +131,7 @@ impl Default for FindConfig {
             max_solutions: 12,
             incremental: true,
             parallelism: default_parallelism(),
+            dedup: true,
         }
     }
 }
@@ -88,7 +140,15 @@ impl Default for FindConfig {
 /// and 3.
 #[derive(Debug, Clone, Default)]
 pub struct SearchReport {
-    /// Candidates the synthesizer proposed to the bounded checker.
+    /// Candidates the enumerator streamed into the screening layer
+    /// (after blocked-set filtering, before dedup).
+    pub candidates_generated: u64,
+    /// Candidates retired by observational-equivalence dedup: their
+    /// failing Φ output prefix matched an already-rejected candidate, so
+    /// they are not charged to the screening ledger again.
+    pub candidates_deduped: u64,
+    /// Candidates actually screened against the bounded checker
+    /// (`generated − deduped` over the same stream).
     pub candidates_checked: u64,
     /// Candidates that passed bounded checking and went to full
     /// verification.
@@ -110,6 +170,16 @@ pub struct SearchReport {
     pub timed_out: bool,
 }
 
+impl SearchReport {
+    /// Fraction of streamed candidates the dedup layer absorbed.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.candidates_generated == 0 {
+            return 0.0;
+        }
+        self.candidates_deduped as f64 / self.candidates_generated as f64
+    }
+}
+
 /// Result of the search.
 #[derive(Debug, Clone)]
 pub enum FindOutcome {
@@ -121,118 +191,295 @@ pub enum FindOutcome {
     TimedOut,
 }
 
-/// The inner CEGIS loop of Figure 5 (lines 1–8), generalised to walk an
-/// enumerated candidate stream: maintain a set Φ of concrete states;
-/// propose candidates consistent with Φ; bounded-verify survivors; grow Φ
-/// with counter-examples.
-pub fn synthesize<'c>(
-    stream: impl Iterator<Item = &'c ProgramSummary>,
-    task: &VerificationTask<'_>,
-    phi: &mut Vec<Env>,
-    bounded: &[Env],
-    report: &mut SearchReport,
-    deadline: Instant,
-) -> Option<ProgramSummary> {
-    'next_candidate: for cand in stream {
-        if Instant::now() >= deadline {
-            report.timed_out = true;
-            return None;
-        }
-        report.candidates_checked += 1;
-        let eval = |pre: &Env| eval_summary(cand, pre);
-        // Fast screen against accumulated counter-examples.
-        for state in phi.iter() {
-            match task.check_exact_state(&eval, state) {
-                CheckOutcome::Holds | CheckOutcome::StateInvalid => {}
-                CheckOutcome::CounterExample(_) => continue 'next_candidate,
+/// Fingerprint marker for a candidate evaluation that faulted.
+const FAULT_FINGERPRINT: u64 = 0x6661756c74; // "fault"
+
+/// What a candidate did on one basis state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StateObs {
+    /// The fragment itself faults on this state — skipped for every
+    /// candidate (`CheckOutcome::StateInvalid`).
+    Invalid,
+    /// Candidate outputs agree with the fragment's; carries the output
+    /// fingerprint for the OE signature.
+    Agree(u64),
+    /// Candidate outputs differ (or its evaluation faulted).
+    Differ(u64),
+}
+
+impl StateObs {
+    fn is_differ(&self) -> bool {
+        matches!(self, StateObs::Differ(_))
+    }
+}
+
+/// One precomputed screening state.
+struct BasisEntry {
+    /// Pre-loop state candidates are evaluated on; `None` when the
+    /// fragment faults on this state (it is then skipped).
+    pre: Option<Env>,
+    /// Expected outputs (present iff `pre` is).
+    expected: Option<Env>,
+}
+
+/// The fixed observation basis of one search: every state either phase of
+/// screening can ever test, with the fragment's behaviour precomputed.
+struct Basis {
+    entries: Vec<BasisEntry>,
+    /// Basis indices of the initial Φ states.
+    init_phi: Vec<usize>,
+    /// Per bounded state: the contiguous range of its prefix states in
+    /// prefix order `0..=n` (the executable-VC walk of §3.3).
+    bounded: Vec<Range<usize>>,
+    rel_tol: f64,
+}
+
+impl Basis {
+    fn build(fragment: &Fragment, init: &[Env], bounded: &[Env], rel_tol: f64) -> Basis {
+        let mut entries: Vec<BasisEntry> = Vec::new();
+        let add = |st: &Env, entries: &mut Vec<BasisEntry>| -> usize {
+            let idx = entries.len();
+            let entry = match (fragment.run(st), fragment.pre_loop_state(st)) {
+                (Ok(post), Ok(pre)) => BasisEntry {
+                    expected: Some(fragment.project_outputs(&post)),
+                    pre: Some(pre),
+                },
+                _ => BasisEntry {
+                    pre: None,
+                    expected: None,
+                },
+            };
+            entries.push(entry);
+            idx
+        };
+        let init_phi: Vec<usize> = init.iter().map(|st| add(st, &mut entries)).collect();
+        let mut ranges = Vec::new();
+        for st in bounded {
+            let n = fragment.data_len(st);
+            let start = entries.len();
+            for p in 0..=n {
+                let truncated = fragment.truncate_state(st, p);
+                add(&truncated, &mut entries);
             }
+            ranges.push(start..entries.len());
         }
-        // Bounded model checking over the bounded domain, with the full
-        // prefix (invariant) walk.
-        for state in bounded {
-            match task.check_state(&eval, state) {
-                CheckOutcome::Holds | CheckOutcome::StateInvalid => {}
-                CheckOutcome::CounterExample(cex) => {
-                    report.counter_examples += 1;
-                    phi.push(cex);
-                    continue 'next_candidate;
+        Basis {
+            entries,
+            init_phi,
+            bounded: ranges,
+            rel_tol,
+        }
+    }
+
+    /// Evaluate one candidate on one basis state.
+    fn observe(&self, compiled: &CompiledSummary, idx: usize) -> StateObs {
+        let entry = &self.entries[idx];
+        let (Some(pre), Some(expected)) = (&entry.pre, &entry.expected) else {
+            return StateObs::Invalid;
+        };
+        match compiled.eval(pre) {
+            // A candidate that faults on a valid state is wrong on it.
+            Err(_) => StateObs::Differ(FAULT_FINGERPRINT),
+            Ok(got) => {
+                let fp = fingerprint_env(&got);
+                if outputs_match(expected, &got, self.rel_tol) {
+                    StateObs::Agree(fp)
+                } else {
+                    StateObs::Differ(fp)
                 }
             }
         }
-        return Some(cand.clone());
     }
-    None
 }
 
-/// Verdict of screening one candidate against a φ snapshot and the
-/// bounded domain.
-enum Screen {
-    /// Rejected by an accumulated counter-example (fast screen).
-    PhiReject,
-    /// Rejected by the bounded model checker; carries the counter-example.
-    BoundedReject(Env),
-    /// Survived every state — ready for full verification.
+/// Deterministic fingerprint of an output environment. `Env` iterates in
+/// sorted key order (`BTreeMap`), so equal contents hash equally across
+/// instances and threads.
+fn fingerprint_env(env: &Env) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for (name, value) in env.iter() {
+        name.hash(&mut h);
+        value.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The OE signature of a rejected candidate: its output vector over the
+/// failing Φ prefix (observation is truncated at the first failing
+/// state, so the last entry is always the `Differ` that killed it). Two
+/// equal signatures mean identical outputs up to and including a shared
+/// failing state, which is the whole soundness argument for skipping the
+/// duplicate. The vector length is hashed in, so signatures taken at
+/// different Φ generations or failure depths can never match — the dead
+/// set self-invalidates as Φ grows.
+fn signature(phi_obs: &[StateObs]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    phi_obs.len().hash(&mut h);
+    for obs in phi_obs {
+        match obs {
+            StateObs::Invalid => 0u8.hash(&mut h),
+            StateObs::Agree(fp) => {
+                1u8.hash(&mut h);
+                fp.hash(&mut h);
+            }
+            StateObs::Differ(fp) => {
+                2u8.hash(&mut h);
+                fp.hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Verdict of the bounded-domain walk, Φ-independent.
+#[derive(Debug, Clone, Copy)]
+enum BoundedVerdict {
+    /// First failing prefix state, as a basis index (the counter-example
+    /// the serial loop would add to Φ).
+    Reject(usize),
     Pass,
-    /// The wall-clock budget expired before this candidate was screened.
-    DeadlineHit,
+}
+
+/// Everything a screening worker computes about one candidate. The φ
+/// observation is taken against the Φ snapshot current when the chunk was
+/// formed, in Φ order, truncated at the first failing state (the φ
+/// fast-screen's short-circuit — the Φ tail is never evaluated for a
+/// failing candidate); the adjudication loop extends it if Φ grew
+/// mid-chunk and the snapshot was clean.
+struct Observation {
+    compiled: CompiledSummary,
+    phi_obs: Vec<StateObs>,
+    /// `None` when the snapshot φ-screen already failed — the serial loop
+    /// never reaches the bounded walk for such candidates, so neither do
+    /// we.
+    bounded: Option<BoundedVerdict>,
+}
+
+/// Did the (truncated) φ observation end in a failure?
+fn phi_failed(phi_obs: &[StateObs]) -> bool {
+    phi_obs.last().is_some_and(StateObs::is_differ)
+}
+
+/// Evaluate `compiled` on the Φ suffix `phi`, appending to `out` in
+/// order and stopping at the first failing state.
+fn observe_phi(compiled: &CompiledSummary, basis: &Basis, phi: &[usize], out: &mut Vec<StateObs>) {
+    for &idx in phi {
+        let obs = basis.observe(compiled, idx);
+        let failed = obs.is_differ();
+        out.push(obs);
+        if failed {
+            return;
+        }
+    }
 }
 
 /// Screen one candidate exactly as the serial CEGIS body does: the φ
-/// fast-screen first, then the bounded walk, reporting the first
-/// counter-example found.
-fn screen_one(
-    task: &VerificationTask<'_>,
-    cand: &ProgramSummary,
-    phi: &[Env],
-    bounded: &[Env],
-) -> Screen {
-    let eval = |pre: &Env| eval_summary(cand, pre);
-    for state in phi {
-        if let CheckOutcome::CounterExample(_) = task.check_exact_state(&eval, state) {
-            return Screen::PhiReject;
-        }
+/// fast-screen first (over the snapshot, short-circuiting), then the
+/// bounded prefix walk for φ-clean candidates only.
+fn observe_candidate(cand: &ProgramSummary, basis: &Basis, phi: &[usize]) -> Observation {
+    let compiled = CompiledSummary::compile(cand);
+    let mut phi_obs: Vec<StateObs> = Vec::with_capacity(phi.len());
+    observe_phi(&compiled, basis, phi, &mut phi_obs);
+    let bounded = if phi_failed(&phi_obs) {
+        None
+    } else {
+        Some(bounded_walk(&compiled, basis))
+    };
+    Observation {
+        compiled,
+        phi_obs,
+        bounded,
     }
-    for state in bounded {
-        if let CheckOutcome::CounterExample(cex) = task.check_state(&eval, state) {
-            return Screen::BoundedReject(cex);
-        }
-    }
-    Screen::Pass
 }
 
-/// Does the candidate survive the counter-examples added after its
-/// screening snapshot was taken? (The sequential loop would have applied
-/// these in its φ fast-screen.)
-fn survives_new(task: &VerificationTask<'_>, cand: &ProgramSummary, new_phi: &[Env]) -> bool {
-    let eval = |pre: &Env| eval_summary(cand, pre);
-    new_phi.iter().all(|state| {
-        !matches!(
-            task.check_exact_state(&eval, state),
-            CheckOutcome::CounterExample(_)
-        )
-    })
+/// Walk the bounded domain in state order, each state's prefixes in
+/// prefix order, stopping at the first failure — identical to the serial
+/// `check_state` traversal, including the skip-rest-of-state behaviour on
+/// an invalid prefix.
+fn bounded_walk(compiled: &CompiledSummary, basis: &Basis) -> BoundedVerdict {
+    for range in &basis.bounded {
+        for idx in range.clone() {
+            match basis.observe(compiled, idx) {
+                StateObs::Invalid => break, // fragment faults: skip this state
+                StateObs::Differ(_) => return BoundedVerdict::Reject(idx),
+                StateObs::Agree(_) => {}
+            }
+        }
+    }
+    BoundedVerdict::Pass
 }
 
-/// Screen a candidate chunk across a scoped worker pool. Work is dealt
+/// Sequential adjudication of one observed candidate against the live Φ
+/// and dead set — the single decision procedure both the serial loop and
+/// the parallel replay run, in enumeration order.
+enum Adjudication {
+    Deduped,
+    PhiReject,
+    BoundedReject(usize),
+    Pass,
+}
+
+fn adjudicate(
+    obs: &Observation,
+    phi: &[usize],
+    basis: &Basis,
+    dead: &mut HashSet<u64>,
+    dedup: bool,
+) -> Adjudication {
+    // Extend a clean snapshot observation with counter-examples admitted
+    // after the chunk was formed (table lookups on the basis, no
+    // fragment re-runs); a snapshot that already failed fails at the
+    // same state against any longer Φ.
+    let mut phi_obs = obs.phi_obs.clone();
+    if !phi_failed(&phi_obs) {
+        observe_phi(&obs.compiled, basis, &phi[phi_obs.len()..], &mut phi_obs);
+    }
+    if phi_failed(&phi_obs) {
+        // The candidate is rejected either way; the dead set only
+        // decides whether it is charged as a fresh rejection or retired
+        // as a duplicate of one. Checking the failure bit before the
+        // hash means a signature collision can at worst relabel a
+        // rejection — never swallow a φ-clean candidate.
+        if !dedup {
+            return Adjudication::PhiReject;
+        }
+        let sig = signature(&phi_obs);
+        if dead.contains(&sig) {
+            return Adjudication::Deduped;
+        }
+        dead.insert(sig);
+        return Adjudication::PhiReject;
+    }
+    // φ-clean over the extended set implies φ-clean over the snapshot,
+    // so the worker computed the bounded verdict.
+    match obs
+        .bounded
+        .expect("φ-clean candidates carry a bounded verdict")
+    {
+        BoundedVerdict::Reject(idx) => Adjudication::BoundedReject(idx),
+        BoundedVerdict::Pass => Adjudication::Pass,
+    }
+}
+
+/// Observe a candidate chunk across a scoped worker pool. Work is dealt
 /// by an atomic cursor; results land in per-candidate slots so the
 /// caller sees them in enumeration order regardless of completion
 /// order. Workers cooperatively cancel once the deadline passes, and
 /// each adds its busy time to `busy_ns` for the CPU-time accounting in
-/// [`SearchReport::cpu_time`].
-fn screen_chunk_parallel(
+/// [`SearchReport::cpu_time`]. `None` slots mean the deadline hit first.
+fn observe_chunk_parallel(
     chunk: &[&ProgramSummary],
-    task: &VerificationTask<'_>,
-    phi: &[Env],
-    bounded: &[Env],
+    basis: &Basis,
+    phi: &[usize],
     workers: usize,
     deadline: Instant,
     busy_ns: &AtomicU64,
-) -> Vec<Screen> {
+) -> Vec<Option<Observation>> {
     let n = chunk.len();
-    let mut out: Vec<Option<Screen>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<Option<Observation>> = (0..n).map(|_| None).collect();
     let next = AtomicUsize::new(0);
     let cancel = AtomicBool::new(false);
-    let slots: Vec<Mutex<&mut Option<Screen>>> = out.iter_mut().map(Mutex::new).collect();
+    let slots: Vec<Mutex<&mut Option<Observation>>> = out.iter_mut().map(Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(|| {
@@ -249,42 +496,33 @@ fn screen_chunk_parallel(
                         cancel.store(true, Ordering::Relaxed);
                         break;
                     }
-                    let verdict = screen_one(task, chunk[i], phi, bounded);
-                    **slots[i].lock().expect("slot lock") = Some(verdict);
+                    let obs = observe_candidate(chunk[i], basis, phi);
+                    **slots[i].lock().expect("slot lock") = Some(obs);
                 }
                 busy_ns.fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
         }
     });
-    out.into_iter()
-        .map(|slot| slot.unwrap_or(Screen::DeadlineHit))
-        .collect()
+    out
 }
 
-/// Parallel drop-in for [`synthesize`]: identical outcomes, chunked
-/// concurrent screening.
-///
-/// Correctness relies on a replay argument. A candidate's serial
-/// verdict is "reject" iff it fails some state in φ-at-its-turn or some
-/// bounded state. Chunks are screened against a φ *snapshot* plus the
-/// full bounded domain; the only states a candidate misses are the
-/// counter-examples contributed by earlier candidates *in the same
-/// chunk*. The sequential replay below re-checks exactly those
-/// ([`survives_new`]) before trusting a verdict, so the candidate
-/// returned — and every counter-example admitted to φ — is precisely
-/// what the `parallelism = 1` loop would have produced. Timing-based
-/// divergence is possible only at the deadline, which truncates both
-/// variants non-deterministically anyway.
+/// The inner CEGIS loop of Figure 5 (lines 1–8) over a lazy candidate
+/// stream: maintain Φ; skip observationally dead candidates; screen the
+/// rest against Φ and the bounded domain; grow Φ with counter-examples;
+/// return the first survivor. With `workers > 1` chunks are observed
+/// concurrently and replayed sequentially — outcomes are identical (see
+/// the module docs).
 #[allow(clippy::too_many_arguments)]
-fn synthesize_parallel(
-    stream: &CandidateStream<'_>,
+fn synthesize_stream(
+    stream: &mut CandidateStream<'_>,
     blocked: &RwLock<HashSet<ProgramSummary>>,
-    task: &VerificationTask<'_>,
-    phi: &mut Vec<Env>,
-    bounded: &[Env],
+    basis: &Basis,
+    phi: &mut Vec<usize>,
+    dead: &mut HashSet<u64>,
     report: &mut SearchReport,
     deadline: Instant,
     workers: usize,
+    dedup: bool,
     busy_ns: &AtomicU64,
     parallel_wall: &mut Duration,
 ) -> Option<ProgramSummary> {
@@ -298,41 +536,48 @@ fn synthesize_parallel(
             let guard = blocked.read().expect("blocked set");
             stream.next_chunk(&mut cursor, CHUNK_SIZE, &guard)
         };
-        if chunk.is_empty() {
-            if cursor >= stream.all().len() {
-                return None; // class exhausted
-            }
-            continue; // chunk was entirely blocked; keep scanning
-        }
-        let round = Instant::now();
-        let verdicts =
-            screen_chunk_parallel(&chunk, task, phi, bounded, workers, deadline, busy_ns);
-        *parallel_wall += round.elapsed();
+        let chunk = match chunk {
+            Chunk::Exhausted => return None, // class exhausted
+            Chunk::AllBlocked => continue,   // window swallowed; keep scanning
+            Chunk::Batch(cands) => cands,
+        };
+
+        let observations: Vec<Option<Observation>> = if workers <= 1 {
+            chunk
+                .iter()
+                .map(|cand| {
+                    if Instant::now() >= deadline {
+                        None
+                    } else {
+                        Some(observe_candidate(cand, basis, phi))
+                    }
+                })
+                .collect()
+        } else {
+            let round = Instant::now();
+            let obs = observe_chunk_parallel(&chunk, basis, phi, workers, deadline, busy_ns);
+            *parallel_wall += round.elapsed();
+            obs
+        };
 
         // Deterministic replay in enumeration order.
-        let snapshot_len = phi.len();
-        for (cand, verdict) in chunk.into_iter().zip(verdicts) {
-            match verdict {
-                Screen::DeadlineHit => {
-                    report.timed_out = true;
-                    return None;
-                }
-                Screen::PhiReject => report.candidates_checked += 1,
-                Screen::BoundedReject(cex) => {
+        for (cand, obs) in chunk.into_iter().zip(observations) {
+            let Some(obs) = obs else {
+                report.timed_out = true;
+                return None;
+            };
+            report.candidates_generated += 1;
+            match adjudicate(&obs, phi, basis, dead, dedup) {
+                Adjudication::Deduped => report.candidates_deduped += 1,
+                Adjudication::PhiReject => report.candidates_checked += 1,
+                Adjudication::BoundedReject(idx) => {
                     report.candidates_checked += 1;
-                    // Serial would have fast-screened against the
-                    // counter-examples added earlier in this chunk and
-                    // never reached the bounded walk.
-                    if survives_new(task, cand, &phi[snapshot_len..]) {
-                        report.counter_examples += 1;
-                        phi.push(cex);
-                    }
+                    report.counter_examples += 1;
+                    phi.push(idx);
                 }
-                Screen::Pass => {
+                Adjudication::Pass => {
                     report.candidates_checked += 1;
-                    if survives_new(task, cand, &phi[snapshot_len..]) {
-                        return Some(cand.clone());
-                    }
+                    return Some(cand.clone());
                 }
             }
         }
@@ -409,18 +654,22 @@ pub fn find_summary(
 
     let task = VerificationTask::new(fragment);
     let mut gen = StateGen::new(fragment, config.synth.domain.clone());
-    let mut phi: Vec<Env> = gen.states(config.synth.initial_states);
-    let bounded: Vec<Env> = gen.states(config.synth.bounded_states);
+    let init_states: Vec<Env> = gen.states(config.synth.initial_states);
+    let bounded_states: Vec<Env> = gen.states(config.synth.bounded_states);
+    let basis = Basis::build(fragment, &init_states, &bounded_states, task.rel_tol);
 
-    // Ω ∪ ∆ as a blocked set (candidates already adjudicated), behind a
+    // Φ as basis indices; the OE dead set; Ω ∪ ∆ as a blocked set
+    // (candidates already adjudicated by the full verifier), behind a
     // lock so the streaming chunk producer and the screening pool can
     // share it.
+    let mut phi: Vec<usize> = basis.init_phi.clone();
+    let mut dead: HashSet<u64> = HashSet::new();
     let blocked: RwLock<HashSet<ProgramSummary>> = RwLock::new(HashSet::new());
     let mut delta: Vec<ProgramSummary> = Vec::new();
 
     for class in &classes {
         report.classes_explored += 1;
-        let stream = CandidateStream::new(&grammar, class);
+        let mut stream = CandidateStream::new(&grammar, class);
         loop {
             if Instant::now() >= deadline {
                 report.timed_out = true;
@@ -431,24 +680,19 @@ pub fn find_summary(
                     (FindOutcome::Found(delta), report)
                 };
             }
-            let found = if workers <= 1 {
-                let guard = blocked.read().expect("blocked set");
-                let serial = stream.all().iter().filter(|c| !guard.contains(*c));
-                synthesize(serial, &task, &mut phi, &bounded, &mut report, deadline)
-            } else {
-                synthesize_parallel(
-                    &stream,
-                    &blocked,
-                    &task,
-                    &mut phi,
-                    &bounded,
-                    &mut report,
-                    deadline,
-                    workers,
-                    &busy_ns,
-                    &mut parallel_wall,
-                )
-            };
+            let found = synthesize_stream(
+                &mut stream,
+                &blocked,
+                &basis,
+                &mut phi,
+                &mut dead,
+                &mut report,
+                deadline,
+                workers,
+                config.dedup,
+                &busy_ns,
+                &mut parallel_wall,
+            );
             match found {
                 None => break, // class exhausted (or timed out; loop re-checks)
                 Some(cand) => {
@@ -485,6 +729,8 @@ pub fn find_summary(
 mod tests {
     use super::*;
     use analyzer::identify_fragments;
+    use analyzer::vc::CheckOutcome;
+    use casper_ir::eval::eval_summary;
     use casper_ir::pretty::pretty_summary;
     use seqlang::compile;
     use std::sync::Arc;
@@ -526,6 +772,11 @@ mod tests {
         let text = pretty_summary(&sols[0]);
         assert!(text.contains("reduce(map(xs"), "{text}");
         assert!(report.candidates_checked > 0);
+        assert_eq!(
+            report.candidates_generated,
+            report.candidates_checked + report.candidates_deduped,
+            "counter algebra must hold"
+        );
     }
 
     #[test]
@@ -624,6 +875,8 @@ mod tests {
                 panic!("both searches must succeed");
             };
             assert_eq!(a, b, "summary sets diverge");
+            assert_eq!(r1.candidates_generated, r4.candidates_generated);
+            assert_eq!(r1.candidates_deduped, r4.candidates_deduped);
             assert_eq!(r1.candidates_checked, r4.candidates_checked);
             assert_eq!(r1.counter_examples, r4.counter_examples);
             assert_eq!(r1.sent_to_verifier, r4.sent_to_verifier);
@@ -631,7 +884,11 @@ mod tests {
     }
 
     #[test]
-    fn incremental_checks_fewer_candidates_than_flat() {
+    fn dedup_preserves_outcomes_and_shrinks_screening() {
+        // The OE-dedup soundness contract, checked exactly: the deduped
+        // search finds the same summaries, accumulates the same
+        // counter-examples, and its screening ledger is exactly the
+        // un-deduped ledger minus the retired duplicates.
         let src = "fn sum(xs: list<int>) -> int {
             let s: int = 0;
             for (x in xs) { s = s + x; }
@@ -640,22 +897,28 @@ mod tests {
         let p = Arc::new(compile(src).unwrap());
         let frag = identify_fragments(&p).remove(0);
         let verifier = testing_verifier(&frag);
-        let inc = FindConfig {
-            max_solutions: 1,
+        let on = FindConfig::default();
+        let off = FindConfig {
+            dedup: false,
             ..FindConfig::default()
         };
-        let (_, r_inc) = find_summary(&frag, &verifier, &inc);
-        let flat = FindConfig {
-            incremental: false,
-            max_solutions: 1,
-            ..FindConfig::default()
+        let (with, r_on) = find_summary(&frag, &verifier, &on);
+        let (without, r_off) = find_summary(&frag, &verifier, &off);
+        let (FindOutcome::Found(a), FindOutcome::Found(b)) = (with, without) else {
+            panic!("both searches must succeed");
         };
-        let (_, r_flat) = find_summary(&frag, &verifier, &flat);
+        assert_eq!(a, b, "dedup changed the verified summaries");
+        assert_eq!(r_on.counter_examples, r_off.counter_examples);
+        assert_eq!(r_on.sent_to_verifier, r_off.sent_to_verifier);
+        assert_eq!(r_off.candidates_deduped, 0);
+        assert_eq!(
+            r_on.candidates_checked + r_on.candidates_deduped,
+            r_off.candidates_checked,
+            "dedup must retire ledger entries one-for-one"
+        );
         assert!(
-            r_inc.candidates_checked <= r_flat.candidates_checked,
-            "incremental {} vs flat {}",
-            r_inc.candidates_checked,
-            r_flat.candidates_checked
+            r_on.candidates_deduped > 0,
+            "the sum grammar contains observational duplicates"
         );
     }
 }

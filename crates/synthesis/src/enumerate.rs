@@ -17,70 +17,188 @@
 //! the fragment's parameters, free scalars, constants, harvested atoms,
 //! and modelled library methods.
 
-use std::cell::OnceCell;
-use std::collections::HashSet;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use casper_ir::expr::IrExpr;
 use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
 use casper_ir::mr::{DataShape, MrExpr, OutputBinding, OutputKind, ProgramSummary};
+use cost::CostWeights;
 use seqlang::ast::BinOp;
 use seqlang::ty::Type;
 
 use crate::grammar::{AccumOp, AccumUpdate, Grammar, GrammarClass, MapAccum};
 
-/// Caps that keep enumeration tractable (the paper relies on Sketch's
-/// solver; we rely on cost-ordered pools).
+/// Caps that keep the per-stage expression pools tractable (the paper
+/// relies on Sketch's solver; we rely on cost-ordered pools). There is no
+/// cap on the number of candidates: the lazy stream produces them in cost
+/// order and the search simply stops pulling when it is done.
 const POOL_CAP: usize = 48;
 const EMIT_CAP: usize = 600;
-const CANDIDATE_CAP: usize = 60_000;
 
-/// Enumerate all candidate summaries of a grammar class, in cost order.
-pub fn candidates(grammar: &Grammar, class: &GrammarClass) -> Vec<ProgramSummary> {
-    let mut out: Vec<ProgramSummary> = Vec::new();
-    let mut seen: HashSet<ProgramSummary> = HashSet::new();
+/// Ordering key for one candidate: the cost crate's static model (§5.1,
+/// the same `static_cost` the pipeline ranks verified summaries with),
+/// collapsed at the all-ones probability assignment so enumeration has a
+/// deterministic scalar to sort by. Sharing the model keeps "cheapest
+/// first" meaning the same thing during search and during final ranking.
+pub fn enumeration_cost(grammar: &Grammar, summary: &ProgramSummary) -> f64 {
+    CostEnv::new(grammar).cost(summary)
+}
 
-    let mut push = |s: ProgramSummary, out: &mut Vec<ProgramSummary>| {
-        if out.len() < CANDIDATE_CAP && !seen.contains(&s) {
-            seen.insert(s.clone());
-            out.push(s);
+/// Type environment + weights shared by every cost evaluation of one
+/// grammar's candidates.
+struct CostEnv {
+    types: HashMap<String, Type>,
+    weights: CostWeights,
+}
+
+impl CostEnv {
+    fn new(grammar: &Grammar) -> CostEnv {
+        let mut types: HashMap<String, Type> = HashMap::new();
+        for (n, t) in &grammar.scalars {
+            types.insert(n.clone(), t.clone());
         }
-    };
+        for spec in &grammar.sources {
+            for (p, t) in spec.params.iter().zip(&spec.param_tys) {
+                types.insert(p.clone(), t.clone());
+            }
+        }
+        for (e, t) in &grammar.field_atoms {
+            types.insert(format!("{e}"), t.clone());
+        }
+        CostEnv {
+            types,
+            weights: CostWeights::default(),
+        }
+    }
 
+    fn cost(&self, summary: &ProgramSummary) -> f64 {
+        let lookup = |name: &str| self.types.get(name).cloned();
+        cost::model::static_cost(summary, &lookup, &[], &self.weights).upper_bound()
+    }
+}
+
+/// A generated candidate tagged with its ordering key: the static cost
+/// and the generation sequence number that breaks ties, so the heap pops
+/// in exactly the order a stable sort by cost would produce.
+struct Ranked {
+    cost: f64,
+    seq: usize,
+    summary: ProgramSummary,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Ranked {}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want cheapest-first pops.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Run every grammar family, collecting deduplicated candidates in raw
+/// generation order with their costs and sequence numbers.
+fn generate_ranked(grammar: &Grammar, class: &GrammarClass) -> Vec<Ranked> {
+    let mut out: Vec<Ranked> = Vec::new();
     if grammar.sources.is_empty() || grammar.outputs.is_empty() {
         return out;
     }
-
-    // Single-source families (also used when multiple sources exist, per
-    // source).
-    for spec_idx in 0..grammar.sources.len() {
-        single_source_candidates(grammar, class, spec_idx, &mut |s| push(s, &mut out));
+    let env = CostEnv::new(grammar);
+    let mut seen: HashSet<ProgramSummary> = HashSet::new();
+    {
+        let mut push = |s: ProgramSummary| {
+            if seen.insert(s.clone()) {
+                out.push(Ranked {
+                    cost: env.cost(&s),
+                    seq: out.len(),
+                    summary: s,
+                });
+            }
+        };
+        // Single-source families (also used when multiple sources exist,
+        // per source).
+        for spec_idx in 0..grammar.sources.len() {
+            single_source_candidates(grammar, class, spec_idx, &mut push);
+        }
+        // Join families.
+        if grammar.sources.len() >= 2 && class.max_ops >= 3 {
+            join_candidates(grammar, class, &mut push);
+        }
     }
-    // Join families.
-    if grammar.sources.len() >= 2 && class.max_ops >= 3 {
-        join_candidates(grammar, class, &mut |s| push(s, &mut out));
-    }
-
-    // Cost order: cheaper summaries first (§4.2's bias towards smaller
-    // grammars extends to within-class ordering).
-    out.sort_by_key(summary_cost);
     out
 }
 
-/// A chunked, lazily-produced view of one grammar class's candidates.
+/// Enumerate all candidate summaries of a grammar class, in cost order —
+/// the eager reference the lazy [`CandidateStream`] is golden-tested
+/// against: a stable sort by [`enumeration_cost`] over generation order.
+pub fn candidates(grammar: &Grammar, class: &GrammarClass) -> Vec<ProgramSummary> {
+    let mut ranked = generate_ranked(grammar, class);
+    ranked.sort_by(|a, b| a.cost.total_cmp(&b.cost).then_with(|| a.seq.cmp(&b.seq)));
+    ranked.into_iter().map(|r| r.summary).collect()
+}
+
+/// One `next_chunk` outcome — the three states a caller must tell apart.
+#[derive(Debug)]
+pub enum Chunk<'s> {
+    /// At least one unblocked candidate was found (up to the requested
+    /// chunk size), in global cheapest-first order.
+    Batch(Vec<&'s ProgramSummary>),
+    /// A full inspection window was scanned and every candidate in it was
+    /// blocked. More candidates may remain: call `next_chunk` again. The
+    /// bounded window keeps the caller's deadline checks regular even
+    /// when the blocked set swallows long runs of the stream.
+    AllBlocked,
+    /// The cursor is past the last candidate of the class: nothing was —
+    /// or will ever be — returned for this cursor again.
+    Exhausted,
+}
+
+/// How many candidates one `next_chunk` call may inspect per requested
+/// slot before giving up with [`Chunk::AllBlocked`].
+const INSPECT_FACTOR: usize = 4;
+
+/// A lazy, heap-based, cost-ordered candidate generator for one grammar
+/// class.
 ///
-/// Enumeration is deferred until the first chunk (or [`all`]) is
-/// requested, so classes the search never reaches — because an earlier
-/// class already produced verified summaries, or the budget ran out —
-/// pay nothing. Chunks preserve the global cheapest-first order of
-/// [`candidates`] and filter against the caller's blocked set (Ω ∪ ∆),
-/// which is how the parallel CEGIS driver in [`crate::cegis`] feeds
-/// candidate batches to its worker pool.
+/// Nothing is generated at construction: classes the search never reaches
+/// — because an earlier class already produced verified summaries, or the
+/// budget ran out — pay nothing. On first pull the grammar families are
+/// expanded once into a min-heap keyed by ([`enumeration_cost`],
+/// generation sequence); candidates are then popped incrementally, so a
+/// search that accepts an early candidate never pays the `O(n log n)`
+/// full sort (only `O(k log n)` for the `k` candidates it actually
+/// inspected) and there is no truncation cap to fall off. The emitted
+/// prefix is memoised, which keeps the sequence identical to
+/// [`candidates`] and lets any number of cursors replay it.
 ///
-/// [`all`]: CandidateStream::all
+/// ### Cursor semantics
+///
+/// `next_chunk` cursors are caller-owned indices into the global
+/// cheapest-first sequence. A cursor only moves forward, past every
+/// candidate *inspected* (blocked candidates are skipped, not returned,
+/// but still advance the cursor). Distinct cursors are independent: the
+/// parallel CEGIS driver in [`crate::cegis`] restarts screening rounds
+/// with a fresh cursor while the stream keeps its generated state.
 pub struct CandidateStream<'g> {
     grammar: &'g Grammar,
     class: GrammarClass,
-    cell: OnceCell<Vec<ProgramSummary>>,
+    /// Min-heap of not-yet-emitted candidates; `None` until first pull.
+    heap: Option<BinaryHeap<Ranked>>,
+    /// The cost-ordered prefix popped so far; index `i` is the `i`-th
+    /// candidate of the class's global cheapest-first sequence.
+    emitted: Vec<ProgramSummary>,
 }
 
 impl<'g> CandidateStream<'g> {
@@ -89,58 +207,72 @@ impl<'g> CandidateStream<'g> {
         CandidateStream {
             grammar,
             class: *class,
-            cell: OnceCell::new(),
+            heap: None,
+            emitted: Vec::new(),
         }
+    }
+
+    /// Extend the emitted prefix to at least `upto` candidates; returns
+    /// `false` once the class has fewer than `upto` candidates in total.
+    fn ensure_emitted(&mut self, upto: usize) -> bool {
+        if self.emitted.len() >= upto {
+            return true;
+        }
+        let heap = self.heap.get_or_insert_with(|| {
+            generate_ranked(self.grammar, &self.class)
+                .into_iter()
+                .collect()
+        });
+        while self.emitted.len() < upto {
+            match heap.pop() {
+                Some(r) => self.emitted.push(r.summary),
+                None => return false,
+            }
+        }
+        true
     }
 
     /// The full cost-sorted candidate list, generated on first use.
-    pub fn all(&self) -> &[ProgramSummary] {
-        self.cell
-            .get_or_init(|| candidates(self.grammar, &self.class))
+    pub fn all(&mut self) -> &[ProgramSummary] {
+        self.ensure_emitted(usize::MAX - 1);
+        &self.emitted
     }
 
     /// Gather up to `size` not-yet-blocked candidates starting at
-    /// `*cursor`, advancing the cursor past everything inspected.
-    /// Returns an empty vector once the class is exhausted.
+    /// `*cursor`, advancing the cursor past everything inspected. The
+    /// call inspects at most `size * INSPECT_FACTOR` candidates; see
+    /// [`Chunk`] for how exhaustion and an all-blocked window are told
+    /// apart.
     pub fn next_chunk(
-        &self,
+        &mut self,
         cursor: &mut usize,
         size: usize,
         blocked: &HashSet<ProgramSummary>,
-    ) -> Vec<&ProgramSummary> {
-        let all = self.all();
-        let mut chunk = Vec::with_capacity(size.min(16));
-        while *cursor < all.len() && chunk.len() < size {
-            let cand = &all[*cursor];
+    ) -> Chunk<'_> {
+        let window = size.max(1) * INSPECT_FACTOR;
+        let mut picked: Vec<usize> = Vec::with_capacity(size.min(16));
+        let mut inspected = 0usize;
+        let mut exhausted = false;
+        while picked.len() < size && inspected < window {
+            if !self.ensure_emitted(*cursor + 1) {
+                exhausted = true;
+                break;
+            }
+            let idx = *cursor;
             *cursor += 1;
-            if !blocked.contains(cand) {
-                chunk.push(cand);
+            inspected += 1;
+            if !blocked.contains(&self.emitted[idx]) {
+                picked.push(idx);
             }
         }
-        chunk
-    }
-}
-
-/// A crude static cost: operator count ×4 plus total expression length —
-/// enough to order candidates cheapest-first within a class.
-pub fn summary_cost(s: &ProgramSummary) -> usize {
-    let mut cost = 0usize;
-    for b in &s.bindings {
-        cost += 4 * b.expr.op_count();
-        b.expr.walk(&mut |e| match e {
-            MrExpr::Map(_, l) => {
-                for emit in &l.emits {
-                    cost += emit.key.length() + emit.val.length();
-                    if let Some(c) = &emit.cond {
-                        cost += c.length();
-                    }
-                }
+        if picked.is_empty() {
+            if exhausted {
+                return Chunk::Exhausted;
             }
-            MrExpr::Reduce(_, l) => cost += l.body.length(),
-            _ => {}
-        });
+            return Chunk::AllBlocked;
+        }
+        Chunk::Batch(picked.iter().map(|&i| &self.emitted[i]).collect())
     }
-    cost
 }
 
 /// Typed expression pools for one map stage.
@@ -525,19 +657,15 @@ fn single_source_candidates(
             Type::Int | Type::Double | Type::Bool | Type::Str => {
                 scalar_candidates(grammar, class, &pools, &data, &fp, var, out_ty, push);
             }
-            Type::Array(elem) => {
-                if class.max_ops >= 1 {
-                    if let Some(len_var) = &grammar.array_len_var {
-                        array_candidates(
-                            grammar, class, &pools, &data, &fp, var, elem, len_var, spec, push,
-                        );
-                    }
+            Type::Array(elem) if class.max_ops >= 1 => {
+                if let Some(len_var) = &grammar.array_len_var {
+                    array_candidates(
+                        grammar, class, &pools, &data, &fp, var, elem, len_var, spec, push,
+                    );
                 }
             }
-            Type::Map(_, vt) => {
-                if class.max_ops >= 2 {
-                    map_output_candidates(grammar, class, &pools, &data, &fp, var, vt, push);
-                }
+            Type::Map(_, vt) if class.max_ops >= 2 => {
+                map_output_candidates(grammar, class, &pools, &data, &fp, var, vt, push);
             }
             Type::List(elem) => {
                 collected_list_candidates(grammar, class, &pools, &data, &fp, var, elem, push);
@@ -622,6 +750,7 @@ fn scalar_candidates(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn tuple_intermediate_candidates(
     grammar: &Grammar,
     class: &GrammarClass,
@@ -748,6 +877,7 @@ fn array_candidates(
 }
 
 /// Map output (WordCount): keys from element/str atoms, reduce required.
+#[allow(clippy::too_many_arguments)]
 fn map_output_candidates(
     grammar: &Grammar,
     class: &GrammarClass,
@@ -774,6 +904,7 @@ fn map_output_candidates(
 }
 
 /// List output (selection/projection): a single map stage.
+#[allow(clippy::too_many_arguments)]
 fn collected_list_candidates(
     grammar: &Grammar,
     class: &GrammarClass,
@@ -1454,8 +1585,73 @@ mod tests {
         );
         let classes = generate_classes();
         let cands = candidates(&g, &classes[4]);
-        let costs: Vec<usize> = cands.iter().map(summary_cost).collect();
+        let costs: Vec<f64> = cands.iter().map(|c| enumeration_cost(&g, c)).collect();
         assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn lazy_stream_matches_eager_order() {
+        // Golden ordering: chunked lazy pulls must reproduce the eager
+        // reference sequence exactly (heap tie-breaking == stable sort).
+        let g = grammar_for(
+            "fn sm(text: list<string>, key1: string, key2: string) -> bool {
+                let f1: bool = false;
+                for (w in text) { if (w == key1) { f1 = true; } }
+                return f1;
+            }",
+        );
+        let classes = generate_classes();
+        for class in &classes {
+            let eager = candidates(&g, class);
+            let mut stream = CandidateStream::new(&g, class);
+            let mut cursor = 0usize;
+            let blocked = HashSet::new();
+            let mut lazy: Vec<ProgramSummary> = Vec::new();
+            loop {
+                match stream.next_chunk(&mut cursor, 7, &blocked) {
+                    Chunk::Batch(batch) => lazy.extend(batch.into_iter().cloned()),
+                    Chunk::AllBlocked => continue,
+                    Chunk::Exhausted => break,
+                }
+            }
+            assert_eq!(eager, lazy, "order diverged in class {class:?}");
+        }
+    }
+
+    #[test]
+    fn next_chunk_distinguishes_exhaustion_from_all_blocked() {
+        let g = grammar_for(
+            "fn sum(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }",
+        );
+        let classes = generate_classes();
+        let mut stream = CandidateStream::new(&g, &classes[1]);
+        let total = stream.all().len();
+        assert!(total > 0);
+
+        // Block the entire cheapest-first prefix: a fresh cursor must see
+        // AllBlocked windows (not Exhausted) until it scans past them.
+        let blocked: HashSet<ProgramSummary> = stream.all().iter().cloned().collect();
+        let mut cursor = 0usize;
+        let mut all_blocked_seen = 0usize;
+        loop {
+            match stream.next_chunk(&mut cursor, 4, &blocked) {
+                Chunk::Batch(b) => panic!("nothing should be free, got {}", b.len()),
+                Chunk::AllBlocked => all_blocked_seen += 1,
+                Chunk::Exhausted => break,
+            }
+        }
+        assert!(all_blocked_seen > 0, "blocked windows must be reported");
+        assert_eq!(cursor, total, "cursor advances past blocked candidates");
+
+        // Once the cursor sits at the end, Exhausted is stable.
+        assert!(matches!(
+            stream.next_chunk(&mut cursor, 4, &HashSet::new()),
+            Chunk::Exhausted
+        ));
     }
 
     #[test]

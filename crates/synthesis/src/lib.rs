@@ -22,19 +22,28 @@
 //! enumeration plus the same CEGIS outer loop; the interface (grammar in,
 //! bounded-verified candidate out) is identical.
 //!
+//! Candidates are produced by a **lazy, heap-based, cost-ordered
+//! generator** ([`CandidateStream`]) whose ordering key is the cost
+//! crate's static model ([`enumerate::enumeration_cost`]) — the same
+//! model that ranks verified summaries, so "cheapest first" means one
+//! thing end to end. Screening runs on a **compiled evaluator**
+//! (`casper_ir::compile`) over a precomputed observation basis, with
+//! **observational-equivalence dedup** absorbing candidates whose output
+//! vectors over Φ match an already-rejected equivalence class.
+//!
 //! The bounded-model-checking phase — the dominant cost of compilation —
 //! runs on a worker pool when [`FindConfig::parallelism`] exceeds one:
 //! candidate chunks stream lazily out of [`CandidateStream`], workers
-//! screen them concurrently, and a deterministic replay keeps outcomes
-//! identical to the sequential search (see [`cegis`]).
+//! observe them concurrently, and a deterministic replay keeps outcomes
+//! (and every search counter, including the dedup decisions) identical
+//! to the sequential search (see [`cegis`]).
 
 pub mod cegis;
 pub mod enumerate;
 pub mod grammar;
 
 pub use cegis::{
-    default_parallelism, find_summary, synthesize, FindConfig, FindOutcome, SearchReport,
-    SynthConfig,
+    default_parallelism, find_summary, FindConfig, FindOutcome, SearchReport, SynthConfig,
 };
-pub use enumerate::CandidateStream;
+pub use enumerate::{enumeration_cost, CandidateStream, Chunk};
 pub use grammar::{generate_classes, Grammar, GrammarClass};

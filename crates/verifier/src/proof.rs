@@ -30,9 +30,9 @@ impl ProofScript {
         lines.push("//   Initiation:   (i = 0)            -> Inv(out, 0)".to_string());
         lines.push("//   Continuation: Inv(out, i) ∧ i < n  -> Inv(out', i+1)".to_string());
         lines.push("//   Termination:  Inv(out, n)         -> PS(out)".to_string());
-        lines.push(format!(
-            "// Invariant shape: out = MR(data[0..i]) with MR from the candidate below"
-        ));
+        lines.push(
+            "// Invariant shape: out = MR(data[0..i]) with MR from the candidate below".to_string(),
+        );
         lines.push(String::new());
         lines.push("// Candidate program summary:".to_string());
         for l in pretty_summary(summary).lines() {

@@ -66,8 +66,18 @@ fn parallel_and_serial_translations_are_identical() {
 
     // The search traces must match counter-for-counter, not just the
     // final artifacts: the parallel screener replays the sequential φ
-    // evolution exactly.
+    // evolution — including every observational-dedup decision — exactly.
     for (s, p) in serial.fragments.iter().zip(&parallel.fragments) {
+        assert_eq!(
+            s.search.candidates_generated, p.search.candidates_generated,
+            "{}: candidates_generated diverged",
+            s.id
+        );
+        assert_eq!(
+            s.search.candidates_deduped, p.search.candidates_deduped,
+            "{}: candidates_deduped diverged",
+            s.id
+        );
         assert_eq!(
             s.search.candidates_checked, p.search.candidates_checked,
             "{}: candidates_checked diverged",
@@ -88,7 +98,25 @@ fn parallel_and_serial_translations_are_identical() {
             "{}: classes_explored diverged",
             s.id
         );
+        assert_eq!(
+            s.search.candidates_generated,
+            s.search.candidates_checked + s.search.candidates_deduped,
+            "{}: generated must equal checked + deduped",
+            s.id
+        );
     }
+
+    // The dedup layer must actually absorb work somewhere in the suite
+    // (the acceptance bar: ratio > 0 on at least one suite grammar).
+    assert!(
+        serial.total_deduped() > 0,
+        "no fragment produced observational duplicates"
+    );
+    assert!(serial.dedup_ratio() > 0.0);
+    assert_eq!(
+        serial.total_generated(),
+        serial.total_screened() + serial.total_deduped()
+    );
 }
 
 #[test]

@@ -111,6 +111,97 @@ proptest! {
         prop_assert!(expensive.dominates(&cheaper));
     }
 
+    /// The compiled evaluator agrees with the tree-walking reference on
+    /// arbitrary data — the contract that lets the CEGIS screening layer
+    /// run compiled without changing a single verdict.
+    #[test]
+    fn compiled_evaluator_matches_tree_walk(
+        xs in prop::collection::vec(-1000i64..1000, 0..200),
+        words in prop::collection::vec("[a-d]{1,2}", 0..100)
+    ) {
+        use casper_ir::compile::CompiledSummary;
+
+        let mut st = Env::new();
+        st.set("xs", Value::List(xs.iter().copied().map(Value::Int).collect()));
+        st.set("s", Value::Int(0));
+        let summary = sum_summary();
+        let compiled = CompiledSummary::compile(&summary);
+        prop_assert_eq!(
+            eval_summary(&summary, &st).unwrap(),
+            compiled.eval(&st).unwrap()
+        );
+
+        let mut st2 = Env::new();
+        st2.set("ws", Value::List(words.iter().map(Value::str).collect()));
+        st2.set("counts", Value::Map(vec![]));
+        let wc = wc_summary();
+        let compiled_wc = CompiledSummary::compile(&wc);
+        prop_assert_eq!(
+            eval_summary(&wc, &st2).unwrap(),
+            compiled_wc.eval(&st2).unwrap()
+        );
+    }
+
+    /// Observational-equivalence dedup never skips the summary the
+    /// un-deduped serial search finds: across varying bounded-domain
+    /// sizes and Φ seeds, the deduped search returns the identical
+    /// verified set, accumulates the same counter-examples, and absorbs
+    /// screening work one-for-one.
+    #[test]
+    fn dedup_never_skips_the_undeduped_solution(
+        bounded_states in 6usize..24,
+        initial_states in 1usize..6,
+        which in 0usize..3
+    ) {
+        use analyzer::identify_fragments;
+        use std::sync::Arc;
+        use synthesis::{find_summary, FindConfig, FindOutcome};
+
+        let sources = [
+            "fn sum(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }",
+            "fn cc(xs: list<int>, t: int) -> int {
+                let n: int = 0;
+                for (x in xs) { if (x > t) { n = n + 1; } }
+                return n;
+            }",
+            "fn mx(xs: list<int>) -> int {
+                let m: int = 0;
+                for (x in xs) { if (x > m) { m = x; } }
+                return m;
+            }",
+        ];
+        let p = Arc::new(seqlang::compile(sources[which]).unwrap());
+        let frag = identify_fragments(&p).remove(0);
+        let mut base = FindConfig {
+            parallelism: 1,
+            max_solutions: 2,
+            ..FindConfig::default()
+        };
+        base.synth.bounded_states = bounded_states;
+        base.synth.initial_states = initial_states;
+
+        let with = FindConfig { dedup: true, ..base.clone() };
+        let without = FindConfig { dedup: false, ..base };
+        let accept = |_: &casper_ir::mr::ProgramSummary| true;
+        let (on, r_on) = find_summary(&frag, &accept, &with);
+        let (off, r_off) = find_summary(&frag, &accept, &without);
+        let (FindOutcome::Found(a), FindOutcome::Found(b)) = (on, off) else {
+            panic!("both searches must find summaries");
+        };
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(r_on.counter_examples, r_off.counter_examples);
+        prop_assert_eq!(r_on.sent_to_verifier, r_off.sent_to_verifier);
+        prop_assert_eq!(r_off.candidates_deduped, 0);
+        prop_assert_eq!(
+            r_on.candidates_checked + r_on.candidates_deduped,
+            r_off.candidates_checked
+        );
+    }
+
     /// Engine byte accounting is additive under scaling.
     #[test]
     fn stats_scaling_is_monotone(records in 1u64..100_000, f in 1.0f64..100.0) {
