@@ -1,0 +1,561 @@
+//! Runtime benchmark for the execution data plane: fused+compiled plan
+//! execution vs the compiled-unfused and tree-walking executors, over
+//! scaled suite-style workloads (wordcount, a TPC-H Q6-style guarded
+//! aggregation, row-wise mean, a join dot-product), plus the iterative
+//! plan-cache comparison. Headline numbers (per-record ns and the
+//! fused-vs-tree-walk / fused-vs-unfused speedups) are written to
+//! `BENCH_runtime.json` at the workspace root.
+//!
+//! Dataset sizes are `RUNTIME_BENCH_BASE` records (default 1500, the
+//! harness's `MEASURE_N`) times per-workload scale factors of 10x–1000x.
+//! The tree-walking executor clones the full program state per record,
+//! so it is only measured at the smallest scale; the fused plane runs at
+//! every scale. Set `RUNTIME_BENCH_BASE=60` (CI smoke) for a fast run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use casper_ir::expr::IrExpr;
+use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
+use casper_ir::mr::{DataSource, MrExpr, OutputKind, ProgramSummary};
+use codegen::{CompiledPlan, PlanCache};
+use mapreduce::sim::simulate_job;
+use mapreduce::{ClusterSpec, Context, Framework};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqlang::ast::BinOp;
+use seqlang::env::Env;
+use seqlang::ty::Type;
+use seqlang::value::Value;
+use suites::data;
+use verifier::CaProperties;
+
+fn ca() -> CaProperties {
+    CaProperties {
+        commutative: true,
+        associative: true,
+    }
+}
+
+fn base_records() -> usize {
+    std::env::var("RUNTIME_BENCH_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500)
+}
+
+/// One benchmark workload: a verified-summary plan plus a state builder
+/// producing ~`n` primary records.
+struct Workload {
+    name: &'static str,
+    summary: ProgramSummary,
+    props: Vec<CaProperties>,
+    state_for: fn(usize) -> Env,
+    /// Scale factors over the base record count.
+    scales: &'static [usize],
+}
+
+fn wordcount() -> Workload {
+    let m = MapLambda::new(
+        vec!["w"],
+        vec![Emit::unconditional(IrExpr::var("w"), IrExpr::int(1))],
+    );
+    let expr = MrExpr::Data(DataSource::flat("words", Type::Str))
+        .map(m)
+        .reduce(ReduceLambda::binop(BinOp::Add));
+    Workload {
+        name: "wordcount",
+        summary: ProgramSummary::single("counts", expr, OutputKind::AssocMap),
+        props: vec![ca()],
+        state_for: |n| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut st = Env::new();
+            st.set("words", data::words(&mut rng, n, 512));
+            st.set("counts", Value::Map(vec![]));
+            st
+        },
+        scales: &[10, 100, 1000],
+    }
+}
+
+/// TPC-H Q6-style guarded aggregation: sum price*rate over records
+/// passing a threshold filter (guarded emit + free scalar variables).
+fn tpch_q6_style() -> Workload {
+    let m = MapLambda::new(
+        vec!["p"],
+        vec![Emit::guarded(
+            IrExpr::bin(BinOp::Gt, IrExpr::var("p"), IrExpr::var("threshold")),
+            IrExpr::int(0),
+            IrExpr::bin(BinOp::Mul, IrExpr::var("p"), IrExpr::var("rate")),
+        )],
+    );
+    let expr = MrExpr::Data(DataSource::flat("prices", Type::Double))
+        .map(m)
+        .reduce(ReduceLambda::binop(BinOp::Add));
+    Workload {
+        name: "tpch_q6_style",
+        summary: ProgramSummary::single("revenue", expr, OutputKind::Scalar),
+        props: vec![ca()],
+        state_for: |n| {
+            let mut rng = StdRng::seed_from_u64(12);
+            let mut st = Env::new();
+            st.set("prices", data::double_list(&mut rng, n, 0.0, 100.0));
+            st.set("threshold", Value::Double(50.0));
+            st.set("rate", Value::Double(0.05));
+            st.set("revenue", Value::Double(0.0));
+            st
+        },
+        scales: &[10, 100, 1000],
+    }
+}
+
+/// Row-wise mean (the paper's Figure 1): fused map chain after a reduce.
+fn row_wise_mean() -> Workload {
+    let m1 = MapLambda::new(
+        vec!["i", "j", "v"],
+        vec![Emit::unconditional(IrExpr::var("i"), IrExpr::var("v"))],
+    );
+    let m2 = MapLambda::new(
+        vec!["k", "v"],
+        vec![Emit::unconditional(
+            IrExpr::var("k"),
+            IrExpr::bin(BinOp::Div, IrExpr::var("v"), IrExpr::var("cols")),
+        )],
+    );
+    let expr = MrExpr::Data(DataSource::indexed_2d("mat", Type::Int))
+        .map(m1)
+        .reduce(ReduceLambda::binop(BinOp::Add))
+        .map(m2);
+    Workload {
+        name: "row_wise_mean",
+        summary: ProgramSummary::single(
+            "m",
+            expr,
+            OutputKind::AssocArray {
+                len_var: "rows".into(),
+            },
+        ),
+        props: vec![ca()],
+        state_for: |n| {
+            let cols = 8usize;
+            let rows = (n / cols).max(1);
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut st = Env::new();
+            st.set("mat", data::matrix(&mut rng, rows, cols, -50, 50));
+            st.set("rows", Value::Int(rows as i64));
+            st.set("cols", Value::Int(cols as i64));
+            st.set("m", Value::Array(vec![Value::Int(0); rows]));
+            st
+        },
+        scales: &[10, 100],
+    }
+}
+
+/// A three-operator narrow chain (bucket → threshold filter → square)
+/// before the reduce: the fused plane runs it as ONE per-partition pass,
+/// the unfused executor materializes two intermediate datasets plus the
+/// pair→record conversions between them.
+fn map_chain() -> Workload {
+    let m1 = MapLambda::new(
+        vec!["x"],
+        vec![Emit::unconditional(
+            IrExpr::bin(BinOp::Mod, IrExpr::var("x"), IrExpr::int(64)),
+            IrExpr::bin(BinOp::Mul, IrExpr::var("x"), IrExpr::int(3)),
+        )],
+    );
+    let m2 = MapLambda::new(
+        vec!["k", "v"],
+        vec![Emit::guarded(
+            IrExpr::bin(BinOp::Gt, IrExpr::var("v"), IrExpr::var("t")),
+            IrExpr::var("k"),
+            IrExpr::bin(BinOp::Add, IrExpr::var("v"), IrExpr::var("shift")),
+        )],
+    );
+    let m3 = MapLambda::new(
+        vec!["k", "v"],
+        vec![Emit::unconditional(
+            IrExpr::var("k"),
+            IrExpr::bin(BinOp::Mul, IrExpr::var("v"), IrExpr::var("v")),
+        )],
+    );
+    let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+        .map(m1)
+        .map(m2)
+        .map(m3)
+        .reduce(ReduceLambda::binop(BinOp::Add));
+    Workload {
+        name: "map_chain",
+        summary: ProgramSummary::single("h", expr, OutputKind::AssocMap),
+        props: vec![ca()],
+        state_for: |n| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut st = Env::new();
+            st.set("xs", data::int_list(&mut rng, n, -500, 500));
+            st.set("t", Value::Int(-250));
+            st.set("shift", Value::Int(7));
+            st.set("h", Value::Map(vec![]));
+            st
+        },
+        scales: &[10, 100, 1000],
+    }
+}
+
+/// Dot product over joined indexed sources (join + fused map + reduce).
+fn dot_join() -> Workload {
+    let m = MapLambda::new(
+        vec!["k", "v"],
+        vec![Emit::unconditional(
+            IrExpr::int(0),
+            IrExpr::bin(
+                BinOp::Mul,
+                IrExpr::tget(IrExpr::var("v"), 0),
+                IrExpr::tget(IrExpr::var("v"), 1),
+            ),
+        )],
+    );
+    let expr = MrExpr::Data(DataSource::indexed("xs", Type::Int))
+        .join(MrExpr::Data(DataSource::indexed("ys", Type::Int)))
+        .map(m)
+        .reduce(ReduceLambda::binop(BinOp::Add));
+    Workload {
+        name: "dot_join",
+        summary: ProgramSummary::single("dot", expr, OutputKind::Scalar),
+        props: vec![ca()],
+        state_for: |n| {
+            let mut rng = StdRng::seed_from_u64(14);
+            let mut st = Env::new();
+            st.set("xs", data::int_array(&mut rng, n, -100, 100));
+            st.set("ys", data::int_array(&mut rng, n, -100, 100));
+            st.set("dot", Value::Int(0));
+            st
+        },
+        scales: &[10, 100],
+    }
+}
+
+/// Time `f`, adaptively repeating fast bodies for a stable mean.
+fn time_per_run(mut f: impl FnMut()) -> Duration {
+    let once = Instant::now();
+    f();
+    let first = once.elapsed();
+    if first > Duration::from_millis(500) {
+        return first;
+    }
+    let iters = (Duration::from_millis(500).as_nanos() / first.as_nanos().max(1)).clamp(1, 20);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters as u32
+}
+
+struct ScaleResult {
+    scale: usize,
+    records: usize,
+    fused_ns: f64,
+    unfused_ns: Option<f64>,
+    tree_walk_ns: Option<f64>,
+    outputs_identical: bool,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    plan_compile_us: f64,
+    scales: Vec<ScaleResult>,
+}
+
+fn measure_workload(w: &Workload, base: usize) -> WorkloadResult {
+    let compile_started = Instant::now();
+    let plan = CompiledPlan::new(w.summary.clone(), w.props.clone());
+    let plan_compile_us = compile_started.elapsed().as_secs_f64() * 1e6;
+
+    let mut scales = Vec::new();
+    for (si, &scale) in w.scales.iter().enumerate() {
+        let n = base * scale;
+        let state = (w.state_for)(n);
+        let ctx = Context::with_parallelism(4, 8);
+
+        let fused = time_per_run(|| {
+            plan.execute(&ctx, &state).expect("fused execution");
+        });
+        let per = |d: Duration| d.as_secs_f64() * 1e9 / n as f64;
+
+        // The unfused-compiled ablation runs at every scale; the tree
+        // walk clones the full state per record — quadratic in the
+        // dataset and the thing being replaced — so it is only measured
+        // at the smallest scale.
+        let unfused = time_per_run(|| {
+            plan.execute_compiled_unfused(&ctx, &state)
+                .expect("unfused execution");
+        });
+        let unfused_ns = Some(per(unfused));
+        // Output identity is checked at EVERY scale against the unfused
+        // executor; the tree walk joins the comparison (and the timing)
+        // only at the smallest scale — its per-record state clone is
+        // quadratic in the dataset and the thing being replaced.
+        let a = plan.execute(&ctx, &state).unwrap();
+        let c2 = plan.execute_compiled_unfused(&ctx, &state).unwrap();
+        let mut outputs_identical = a == c2;
+        let mut tree_walk_ns = None;
+        if si == 0 {
+            let tree = time_per_run(|| {
+                plan.execute_interpreted(&ctx, &state)
+                    .expect("interpreted execution");
+            });
+            tree_walk_ns = Some(per(tree));
+            let b = plan.execute_interpreted(&ctx, &state).unwrap();
+            outputs_identical = outputs_identical && a == b;
+        }
+        assert!(outputs_identical, "{}: executors diverge", w.name);
+        scales.push(ScaleResult {
+            scale,
+            records: n,
+            fused_ns: per(fused),
+            unfused_ns,
+            tree_walk_ns,
+            outputs_identical,
+        });
+    }
+    WorkloadResult {
+        name: w.name,
+        plan_compile_us,
+        scales,
+    }
+}
+
+struct CacheResult {
+    records: usize,
+    iterations: usize,
+    uncached_wall: Duration,
+    cached_wall: Duration,
+    cache_hits: u64,
+    sim_uncached_s: f64,
+    sim_cached_s: f64,
+}
+
+/// PageRank contribution scatter executed iteratively: `ranks`/`degs`
+/// change every iteration, the edge list does not — a cached plan serves
+/// the heavy ingest cut-point from the [`PlanCache`] while the fused map
+/// and shuffle recompute against the fresh ranks.
+fn measure_iterative_cache(base: usize) -> CacheResult {
+    let m = MapLambda::new(
+        vec!["e"],
+        vec![Emit::unconditional(
+            IrExpr::Field(Box::new(IrExpr::var("e")), "dst".into()),
+            IrExpr::bin(
+                BinOp::Div,
+                IrExpr::Method(
+                    Box::new(IrExpr::var("ranks")),
+                    "get".into(),
+                    vec![IrExpr::Field(Box::new(IrExpr::var("e")), "src".into())],
+                ),
+                IrExpr::Method(
+                    Box::new(IrExpr::var("degs")),
+                    "get".into(),
+                    vec![IrExpr::Field(Box::new(IrExpr::var("e")), "src".into())],
+                ),
+            ),
+        )],
+    );
+    let expr = MrExpr::Data(DataSource::flat("edges", Type::Int))
+        .map(m)
+        .reduce(ReduceLambda::binop(BinOp::Add));
+    let summary = ProgramSummary::single("contribs", expr, OutputKind::AssocMap);
+    let plan = CompiledPlan::new(summary, vec![ca()]);
+
+    let n = base * 10;
+    let nodes = (n / 8).max(4);
+    let mut rng = StdRng::seed_from_u64(15);
+    let mut state = Env::new();
+    state.set("edges", data::edges(&mut rng, n, nodes));
+    state.set("degs", {
+        // Degrees ≥ 1 so the division is total.
+        let mut rng2 = StdRng::seed_from_u64(16);
+        data::double_array(&mut rng2, nodes, 1.0, 8.0)
+    });
+    state.set("contribs", Value::Map(vec![]));
+    let iterations = 5usize;
+    let fresh_ranks = |iter: usize| {
+        Value::Array(
+            (0..nodes)
+                .map(|i| Value::Double(1.0 + (iter * i % 7) as f64 * 0.1))
+                .collect(),
+        )
+    };
+
+    // Uncached series.
+    let ctx = Context::with_parallelism(4, 8);
+    ctx.reset_stats();
+    let uncached_started = Instant::now();
+    let mut uncached_outs = Vec::new();
+    for it in 0..iterations {
+        state.set("ranks", fresh_ranks(it));
+        uncached_outs.push(plan.execute(&ctx, &state).expect("uncached iteration"));
+    }
+    let uncached_wall = uncached_started.elapsed();
+    let sim_uncached_s =
+        simulate_job(&ctx.stats(), &ClusterSpec::paper(), Framework::Spark).seconds;
+
+    // Cached series: identical outputs, edge ingest served from cache.
+    let ctx2 = Context::with_parallelism(4, 8);
+    ctx2.reset_stats();
+    let mut cache = PlanCache::new();
+    let cached_started = Instant::now();
+    for (it, expected) in uncached_outs.iter().enumerate() {
+        state.set("ranks", fresh_ranks(it));
+        let out = plan
+            .execute_cached(&ctx2, &state, &mut cache)
+            .expect("cached iteration");
+        assert_eq!(&out, expected, "cache changed iteration {it}");
+    }
+    let cached_wall = cached_started.elapsed();
+    let sim_cached_s = simulate_job(&ctx2.stats(), &ClusterSpec::paper(), Framework::Spark).seconds;
+
+    CacheResult {
+        records: n,
+        iterations,
+        uncached_wall,
+        cached_wall,
+        cache_hits: cache.hits(),
+        sim_uncached_s,
+        sim_cached_s,
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "null".into(),
+    }
+}
+
+fn write_artifact(base: usize, results: &[WorkloadResult], cache: &CacheResult) {
+    let mut workloads = String::new();
+    let mut min_fused_vs_tree: f64 = f64::INFINITY;
+    // The fusion-isolating headline comes from the workload with a real
+    // narrow chain; single-map pipelines are structurally identical
+    // fused and unfused.
+    let chain_fused_vs_unfused = results
+        .iter()
+        .find(|w| w.name == "map_chain")
+        .and_then(|w| w.scales.last())
+        .and_then(|s| s.unfused_ns.map(|u| u / s.fused_ns))
+        .unwrap_or(f64::NAN);
+    for (wi, w) in results.iter().enumerate() {
+        let mut scales = String::new();
+        for (si, s) in w.scales.iter().enumerate() {
+            let fused_vs_tree = s.tree_walk_ns.map(|t| t / s.fused_ns);
+            let fused_vs_unfused = s.unfused_ns.map(|u| u / s.fused_ns);
+            if let Some(r) = fused_vs_tree {
+                min_fused_vs_tree = min_fused_vs_tree.min(r);
+            }
+            scales.push_str(&format!(
+                "        {{\"scale\": {}, \"records\": {}, \"fused_per_record_ns\": {:.1}, \
+                 \"unfused_per_record_ns\": {}, \"tree_walk_per_record_ns\": {}, \
+                 \"fused_vs_tree_walk\": {}, \"fused_vs_unfused\": {}, \
+                 \"outputs_identical\": {}}}{}\n",
+                s.scale,
+                s.records,
+                s.fused_ns,
+                fmt_opt(s.unfused_ns),
+                fmt_opt(s.tree_walk_ns),
+                fmt_opt(fused_vs_tree),
+                fmt_opt(fused_vs_unfused),
+                s.outputs_identical,
+                if si + 1 < w.scales.len() { "," } else { "" },
+            ));
+        }
+        workloads.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"plan_compile_us\": {:.1},\n      \
+             \"scales\": [\n{}      ]\n    }}{}\n",
+            w.name,
+            w.plan_compile_us,
+            scales,
+            if wi + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    let json = format!(
+        "{{\n  \"base_records\": {base},\n  \"workloads\": [\n{workloads}  ],\n  \
+         \"headline\": {{\n    \"min_fused_vs_tree_walk\": {:.2},\n    \
+         \"chain_fused_vs_unfused\": {:.2}\n  }},\n  \"iterative_cache\": {{\n    \
+         \"workload\": \"pagerank_contribs\",\n    \"records\": {},\n    \
+         \"iterations\": {},\n    \"uncached_wall_ms\": {:.2},\n    \
+         \"cached_wall_ms\": {:.2},\n    \"cache_hits\": {},\n    \
+         \"sim_uncached_s\": {:.3},\n    \"sim_cached_s\": {:.3}\n  }}\n}}\n",
+        min_fused_vs_tree,
+        chain_fused_vs_unfused,
+        cache.records,
+        cache.iterations,
+        cache.uncached_wall.as_secs_f64() * 1e3,
+        cache.cached_wall.as_secs_f64() * 1e3,
+        cache.cache_hits,
+        cache.sim_uncached_s,
+        cache.sim_cached_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("runtime: wrote {path}"),
+        Err(e) => println!("runtime: could not write {path}: {e}"),
+    }
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let base = base_records();
+    let workloads = [
+        wordcount(),
+        tpch_q6_style(),
+        row_wise_mean(),
+        map_chain(),
+        dot_join(),
+    ];
+
+    // Human-readable criterion entries at the smallest scale.
+    for w in &workloads {
+        let plan = CompiledPlan::new(w.summary.clone(), w.props.clone());
+        let state = (w.state_for)(base * w.scales[0]);
+        let ctx: Arc<Context> = Context::with_parallelism(4, 8);
+        c.bench_function(&format!("runtime/{}_fused_{}x", w.name, w.scales[0]), |b| {
+            b.iter(|| plan.execute(&ctx, &state).expect("fused"))
+        });
+    }
+
+    // Headline measurements + artifact.
+    let results: Vec<WorkloadResult> = workloads
+        .iter()
+        .map(|w| measure_workload(w, base))
+        .collect();
+    for w in &results {
+        for s in &w.scales {
+            println!(
+                "runtime/{} @{}x ({} records): fused {:.0} ns/rec{}{}",
+                w.name,
+                s.scale,
+                s.records,
+                s.fused_ns,
+                s.unfused_ns
+                    .map(|u| format!(", unfused {u:.0} ns/rec ({:.1}x)", u / s.fused_ns))
+                    .unwrap_or_default(),
+                s.tree_walk_ns
+                    .map(|t| format!(", tree-walk {t:.0} ns/rec ({:.1}x)", t / s.fused_ns))
+                    .unwrap_or_default(),
+            );
+        }
+    }
+    let cache = measure_iterative_cache(base);
+    println!(
+        "runtime/pagerank_contribs cache: {} iters x {} records, wall {:.2?} -> {:.2?}, \
+         {} stage hits, simulated cluster {:.2}s -> {:.2}s",
+        cache.iterations,
+        cache.records,
+        cache.uncached_wall,
+        cache.cached_wall,
+        cache.cache_hits,
+        cache.sim_uncached_s,
+        cache.sim_cached_s,
+    );
+    write_artifact(base, &results, &cache);
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

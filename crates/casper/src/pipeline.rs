@@ -211,12 +211,18 @@ impl Casper {
         };
 
         // Compile surviving variants: re-verify to harvest CA properties
-        // for primitive selection, then build the monitor program.
+        // for primitive selection, then lower each summary into a fused,
+        // slot-resolved plan and build the monitor program. Plan lowering
+        // is timed separately: it is the pay-once cost that buys
+        // closure-per-record execution.
         let mut variants = Vec::with_capacity(kept.len());
         let mut code = String::new();
+        let mut plan_compile_time = std::time::Duration::ZERO;
         for (i, summary) in kept.iter().enumerate() {
             let vr = full_verify(fragment, summary, &self.config.verify);
+            let lowering = Instant::now();
             let plan = CompiledPlan::new(summary.clone(), vr.reduce_properties.clone());
+            plan_compile_time += lowering.elapsed();
             if i == 0 {
                 code = generated_code(summary, &plan.reduce_props, self.config.dialect);
             }
@@ -227,7 +233,7 @@ impl Casper {
         }
         let program = GeneratedProgram::new(variants);
 
-        FragmentReport::new(
+        let mut report = FragmentReport::new(
             fragment,
             FragmentOutcome::Translated {
                 summaries: kept,
@@ -237,7 +243,9 @@ impl Casper {
             },
             search,
             started.elapsed(),
-        )
+        );
+        report.plan_compile_time = plan_compile_time;
+        report
     }
 
     fn failed(

@@ -65,6 +65,13 @@ pub struct FragmentReport {
     pub search: SearchReport,
     /// Wall-clock compile time for this fragment.
     pub compile_time: Duration,
+    /// Time spent lowering verified summaries into fused, slot-resolved
+    /// execution plans (`CompiledPlan::new` across all variants) — the
+    /// plan-compile share of [`compile_time`], paid once so that every
+    /// subsequent execution runs closure-per-record.
+    ///
+    /// [`compile_time`]: FragmentReport::compile_time
+    pub plan_compile_time: Duration,
     /// Aggregate CPU time for this fragment: the wall-clock of its
     /// sequential phases plus the summed busy time of the search's
     /// screening workers. At `parallelism = 1` this equals
@@ -94,6 +101,7 @@ impl FragmentReport {
             outcome,
             search,
             compile_time,
+            plan_compile_time: Duration::ZERO,
             cpu_time,
         }
     }
@@ -187,6 +195,13 @@ impl TranslationReport {
 
     pub fn total_compile_time(&self) -> Duration {
         self.fragments.iter().map(|f| f.compile_time).sum()
+    }
+
+    /// Summed plan-lowering time across fragments — compare with the
+    /// per-execution times the runtime bench reports to see what the
+    /// compile-once/run-many trade buys.
+    pub fn total_plan_compile_time(&self) -> Duration {
+        self.fragments.iter().map(|f| f.plan_compile_time).sum()
     }
 
     /// Summed CPU time across fragments — compare with [`wall_time`] to

@@ -22,5 +22,5 @@ pub mod monitor;
 pub mod plan;
 
 pub use emit::{generated_code, Dialect};
-pub use monitor::{GeneratedProgram, PlanChoice, Variant};
-pub use plan::{alias_free, CompiledPlan};
+pub use monitor::{GeneratedProgram, PlanChoice, ProgramCache, Variant};
+pub use plan::{alias_free, CompiledPlan, PlanCache};

@@ -6,6 +6,7 @@
 //! estimates the unknowns of the cost formulas on the sample, computes
 //! each variant's cost, and executes the cheapest.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use cost::model::dynamic_cost;
@@ -15,7 +16,7 @@ use seqlang::env::Env;
 use seqlang::error::Result;
 use seqlang::value::Value;
 
-use crate::plan::{alias_free, CompiledPlan};
+use crate::plan::{alias_free, CompiledPlan, PlanCache};
 
 /// One generated implementation variant.
 #[derive(Clone)]
@@ -37,6 +38,25 @@ pub struct PlanChoice {
     pub chosen: usize,
     /// Estimated cost of every variant, by index.
     pub costs: Vec<f64>,
+}
+
+/// Per-variant [`PlanCache`]s for iterative execution of a generated
+/// program: the monitor may pick a different variant each call, so each
+/// keeps its own stage cache.
+#[derive(Default)]
+pub struct ProgramCache {
+    caches: HashMap<usize, PlanCache>,
+}
+
+impl ProgramCache {
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Total cache hits across all variants.
+    pub fn hits(&self) -> u64 {
+        self.caches.values().map(PlanCache::hits).sum()
+    }
 }
 
 /// A generated program: verified variants + the sampling monitor.
@@ -94,6 +114,22 @@ impl GeneratedProgram {
         let choice = self.choose(state);
         let plan = &self.variants[choice.chosen].plan;
         let outputs = plan.execute(ctx, state)?;
+        Ok((outputs, choice))
+    }
+
+    /// Iterative-driver entry point: like [`run`](GeneratedProgram::run),
+    /// but plan-stage cut-points whose inputs are unchanged since the
+    /// previous call are served from `cache` instead of recomputed.
+    pub fn run_cached(
+        &self,
+        ctx: &Arc<Context>,
+        state: &Env,
+        cache: &mut ProgramCache,
+    ) -> Result<(Env, PlanChoice)> {
+        let choice = self.choose(state);
+        let plan = &self.variants[choice.chosen].plan;
+        let plan_cache = cache.caches.entry(choice.chosen).or_default();
+        let outputs = plan.execute_cached(ctx, state, plan_cache)?;
         Ok((outputs, choice))
     }
 

@@ -71,17 +71,125 @@ struct CompiledEmit {
     val: ExprFn,
 }
 
+/// A map transformer λm lowered once to slot-resolved closures: parameter
+/// references become frame-slot reads, so applying the λ to a record is a
+/// handful of direct calls — no `Env` clone, no name hashing, no tree
+/// walk. Shared by [`CompiledSummary`] and the execution data plane
+/// (`codegen::plan`'s fused stages), so the two lowerings cannot diverge.
+pub struct CompiledMapLambda {
+    arity: usize,
+    emits: Vec<CompiledEmit>,
+    free_vars: Vec<String>,
+}
+
+impl CompiledMapLambda {
+    /// Lower `lambda`, resolving its parameters to frame slots.
+    pub fn compile(lambda: &MapLambda) -> CompiledMapLambda {
+        let mut free = Vec::new();
+        for emit in &lambda.emits {
+            if let Some(c) = &emit.cond {
+                c.free_vars(&mut free);
+            }
+            emit.key.free_vars(&mut free);
+            emit.val.free_vars(&mut free);
+        }
+        free.retain(|v| !lambda.params.iter().any(|p| p == v));
+        CompiledMapLambda {
+            arity: lambda.params.len(),
+            emits: compile_map(lambda),
+            free_vars: free,
+        }
+    }
+
+    /// Number of record fields the λ binds.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// State variables the λ body reads besides its parameters.
+    pub fn free_vars(&self) -> &[String] {
+        &self.free_vars
+    }
+
+    /// Apply the λ to one record frame, appending the emitted key/value
+    /// pairs to `out`. Guard and shape errors propagate exactly like the
+    /// tree-walking evaluator's.
+    pub fn apply_into(
+        &self,
+        row: &[Value],
+        state: &Env,
+        out: &mut Vec<(Value, Value)>,
+    ) -> Result<()> {
+        if row.len() != self.arity {
+            return Err(Error::runtime(format!(
+                "map λ expects {} params, record has {} fields",
+                self.arity,
+                row.len()
+            )));
+        }
+        let frame = Frame { locals: row, state };
+        for emit in &self.emits {
+            let fire = match &emit.cond {
+                Some(c) => c(&frame)?
+                    .as_bool()
+                    .ok_or_else(|| Error::runtime("emit guard not a bool"))?,
+                None => true,
+            };
+            if fire {
+                let k = (emit.key)(&frame)?;
+                let v = (emit.val)(&frame)?;
+                out.push((k, v));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A reduce transformer λr lowered once to a slot-resolved closure;
+/// combining two values is a single direct call over a two-slot frame.
+pub struct CompiledReduceLambda {
+    body: ExprFn,
+    free_vars: Vec<String>,
+}
+
+impl CompiledReduceLambda {
+    /// Lower `lambda`, resolving `v1`/`v2` to frame slots.
+    pub fn compile(lambda: &ReduceLambda) -> CompiledReduceLambda {
+        let mut free = Vec::new();
+        lambda.body.free_vars(&mut free);
+        free.retain(|v| !lambda.params.iter().any(|p| p == v));
+        CompiledReduceLambda {
+            body: compile_reduce(lambda),
+            free_vars: free,
+        }
+    }
+
+    /// State variables the λ body reads besides `v1`/`v2`.
+    pub fn free_vars(&self) -> &[String] {
+        &self.free_vars
+    }
+
+    /// Combine two values.
+    pub fn combine(&self, v1: Value, v2: Value, state: &Env) -> Result<Value> {
+        let locals = [v1, v2];
+        let frame = Frame {
+            locals: &locals,
+            state,
+        };
+        (self.body)(&frame)
+    }
+}
+
 /// A compiled MR pipeline stage.
 enum Stage {
     Data(DataSource),
     Map {
         inner: Box<Stage>,
-        arity: usize,
-        emits: Vec<CompiledEmit>,
+        lambda: CompiledMapLambda,
     },
     Reduce {
         inner: Box<Stage>,
-        body: ExprFn,
+        lambda: CompiledReduceLambda,
     },
     Join {
         left: Box<Stage>,
@@ -135,12 +243,11 @@ fn compile_stage(expr: &MrExpr) -> Stage {
         MrExpr::Data(src) => Stage::Data(src.clone()),
         MrExpr::Map(inner, lambda) => Stage::Map {
             inner: Box::new(compile_stage(inner)),
-            arity: lambda.params.len(),
-            emits: compile_map(lambda),
+            lambda: CompiledMapLambda::compile(lambda),
         },
         MrExpr::Reduce(inner, lambda) => Stage::Reduce {
             inner: Box::new(compile_stage(inner)),
-            body: compile_reduce(lambda),
+            lambda: CompiledReduceLambda::compile(lambda),
         },
         MrExpr::Join(l, r) => Stage::Join {
             left: Box::new(compile_stage(l)),
@@ -168,51 +275,27 @@ fn compile_reduce(lambda: &ReduceLambda) -> ExprFn {
 fn run_stage(stage: &Stage, state: &Env) -> Result<Vec<Row>> {
     match stage {
         Stage::Data(src) => eval_data(state, src),
-        Stage::Map {
-            inner,
-            arity,
-            emits,
-        } => {
+        Stage::Map { inner, lambda } => {
             let input = run_stage(inner, state)?;
-            let mut out = Vec::with_capacity(input.len() * emits.len().max(1));
+            let mut out = Vec::with_capacity(input.len());
+            let mut pairs = Vec::new();
             for row in &input {
-                if row.len() != *arity {
-                    return Err(Error::runtime(format!(
-                        "map λ expects {} params, record has {} fields",
-                        arity,
-                        row.len()
-                    )));
-                }
-                let frame = Frame { locals: row, state };
-                for emit in emits {
-                    let fire = match &emit.cond {
-                        Some(c) => c(&frame)?
-                            .as_bool()
-                            .ok_or_else(|| Error::runtime("emit guard not a bool"))?,
-                        None => true,
-                    };
-                    if fire {
-                        let k = (emit.key)(&frame)?;
-                        let v = (emit.val)(&frame)?;
-                        out.push(vec![k, v]);
-                    }
+                pairs.clear();
+                lambda.apply_into(row, state, &mut pairs)?;
+                for (k, v) in pairs.drain(..) {
+                    out.push(vec![k, v]);
                 }
             }
             Ok(out)
         }
-        Stage::Reduce { inner, body } => {
+        Stage::Reduce { inner, lambda } => {
             let input = run_stage(inner, state)?;
             let groups = group_by_key(&input)?;
             let mut out = Vec::with_capacity(groups.len());
             for (k, vals) in groups {
                 let mut acc = vals[0].clone();
                 for v in &vals[1..] {
-                    let locals = [acc, v.clone()];
-                    let frame = Frame {
-                        locals: &locals,
-                        state,
-                    };
-                    acc = body(&frame)?;
+                    acc = lambda.combine(acc, v.clone(), state)?;
                 }
                 out.push(vec![k, acc]);
             }

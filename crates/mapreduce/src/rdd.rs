@@ -28,15 +28,16 @@ pub struct Rdd<T> {
 /// A dataset of key/value pairs, unlocked for shuffle operations.
 pub type PairRdd<K, V> = Rdd<(K, V)>;
 
-/// Run `f` over every partition in parallel on the context's worker pool.
-fn par_map_partitions<T, U, F>(ctx: &Context, parts: &[Vec<T>], f: F) -> Vec<Vec<U>>
+/// Run `f` over every partition in parallel on the context's worker pool,
+/// collecting one result per partition in partition order.
+fn par_map_partitions<T, U, F>(ctx: &Context, parts: &[Vec<T>], f: F) -> Vec<U>
 where
     T: Send + Sync,
     U: Send,
-    F: Fn(&[T]) -> Vec<U> + Send + Sync,
+    F: Fn(&[T]) -> U + Send + Sync,
 {
     let n = parts.len();
-    let mut out: Vec<Option<Vec<U>>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
     if n == 0 {
         return Vec::new();
     }
@@ -45,7 +46,7 @@ where
         return parts.iter().map(|p| f(p)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<Vec<U>>>> =
+    let slots: Vec<parking_lot::Mutex<&mut Option<U>>> =
         out.iter_mut().map(parking_lot::Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -64,10 +65,96 @@ where
         .collect()
 }
 
+/// Like [`par_map_partitions`], but each partition is *moved* into `f` —
+/// used where the serial code would consume its input (the shuffle's
+/// bucketing pass) so parallelism doesn't force per-record clones.
+fn par_consume_partitions<T, U, F>(ctx: &Context, parts: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Send + Sync,
+{
+    let n = parts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = ctx.workers.min(n);
+    if workers <= 1 {
+        return parts.into_iter().map(f).collect();
+    }
+    let inputs: Vec<parking_lot::Mutex<Option<T>>> = parts
+        .into_iter()
+        .map(|p| parking_lot::Mutex::new(Some(p)))
+        .collect();
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<&mut Option<U>>> =
+        out.iter_mut().map(parking_lot::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let input = inputs[i].lock().take().expect("partition taken once");
+                let result = f(input);
+                **slots[i].lock() = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("partition processed"))
+        .collect()
+}
+
 fn hash_key<K: Hash>(k: &K, buckets: usize) -> usize {
     let mut h = DefaultHasher::new();
     k.hash(&mut h);
     (h.finish() as usize) % buckets
+}
+
+/// Unwrap a `Result` whose error type is uninhabited (the infallible
+/// instantiations of the `try_*` operator cores).
+fn infallible<T>(r: std::result::Result<T, std::convert::Infallible>) -> T {
+    match r {
+        Ok(t) => t,
+        Err(e) => match e {},
+    }
+}
+
+/// Hash-partition key/value records into `buckets` groups, bucketing each
+/// input partition on the worker pool and concatenating per bucket in
+/// partition order — byte-identical to a serial single-threaded pass.
+/// Returns the buckets and the shuffled-byte volume.
+fn parallel_shuffle<K, V>(
+    ctx: &Context,
+    records: Vec<Vec<(K, V)>>,
+    buckets: usize,
+) -> (Vec<Vec<(K, V)>>, u64)
+where
+    K: Payload + Hash,
+    V: Payload,
+{
+    type Bucketed<K, V> = (Vec<Vec<(K, V)>>, u64);
+    let bucketed: Vec<Bucketed<K, V>> = par_consume_partitions(ctx, records, |part| {
+        let mut local: Vec<Vec<(K, V)>> = (0..buckets).map(|_| Vec::new()).collect();
+        let mut moved = 0u64;
+        for (k, v) in part {
+            moved += 8 + k.payload_bytes() + v.payload_bytes();
+            local[hash_key(&k, buckets)].push((k, v));
+        }
+        (local, moved)
+    });
+    let mut out: Vec<Vec<(K, V)>> = (0..buckets).map(|_| Vec::new()).collect();
+    let mut moved_total = 0u64;
+    for (local, moved) in bucketed {
+        moved_total += moved;
+        for (bucket, mut part) in out.iter_mut().zip(local) {
+            bucket.append(&mut part);
+        }
+    }
+    (out, moved_total)
 }
 
 impl<T: Payload> Rdd<T> {
@@ -128,6 +215,74 @@ impl<T: Payload> Rdd<T> {
             .map(Payload::payload_bytes)
             .sum();
         self.ctx.record_stage(stage);
+    }
+
+    /// Re-bind a dataset to another context without copying its data —
+    /// used when a cached cut-point is served to a later execution whose
+    /// stats should accumulate in the caller's context.
+    pub fn bind_context(&self, ctx: &Arc<Context>) -> Rdd<T> {
+        Rdd {
+            ctx: ctx.clone(),
+            partitions: self.partitions.clone(),
+        }
+    }
+
+    /// `mapPartitions`: one fused pass over each partition, in parallel on
+    /// the worker pool. This is the primitive the plan compiler targets —
+    /// a whole chain of narrow operators runs as a single per-partition
+    /// traversal instead of one materialized dataset per operator.
+    ///
+    /// Errors propagate deterministically: the lowest-indexed failing
+    /// partition's error is returned regardless of worker count, and no
+    /// stage is recorded for a failed pass.
+    pub fn map_partitions<U, E, F>(&self, label: &str, f: F) -> std::result::Result<Rdd<U>, E>
+    where
+        U: Payload,
+        E: Send,
+        F: Fn(&[T]) -> std::result::Result<Vec<U>, E> + Send + Sync,
+    {
+        let results = par_map_partitions(&self.ctx, &self.partitions, |p| f(p));
+        let mut parts = Vec::with_capacity(results.len());
+        for r in results {
+            parts.push(r?);
+        }
+        self.record_narrow(label, &parts);
+        Ok(Rdd {
+            ctx: self.ctx.clone(),
+            partitions: Arc::new(parts),
+        })
+    }
+
+    /// Fallible [`map`](Rdd::map): the first failing record's error (in
+    /// partition order) aborts the stage.
+    pub fn try_map<U, E>(
+        &self,
+        f: impl Fn(&T) -> std::result::Result<U, E> + Send + Sync,
+    ) -> std::result::Result<Rdd<U>, E>
+    where
+        U: Payload,
+        E: Send,
+    {
+        self.map_partitions("map", move |p| p.iter().map(&f).collect())
+    }
+
+    /// Fallible [`flat_map_to_pair`](Rdd::flat_map_to_pair).
+    pub fn try_flat_map_to_pair<K, V, E>(
+        &self,
+        f: impl Fn(&T) -> std::result::Result<Vec<(K, V)>, E> + Send + Sync,
+    ) -> std::result::Result<PairRdd<K, V>, E>
+    where
+        K: Payload,
+        V: Payload,
+        E: Send,
+    {
+        self.map_partitions("flatMapToPair", move |p| {
+            let mut out = Vec::with_capacity(p.len());
+            for t in p {
+                out.extend(f(t)?);
+            }
+            Ok(out)
+        })
     }
 
     /// One-to-one transformation.
@@ -249,9 +404,13 @@ impl<T: Payload> Rdd<T> {
         partials.into_iter().fold(zero, comb)
     }
 
-    /// Marks the dataset as cached. Execution here is eager, so this is a
-    /// semantic no-op kept for API fidelity with generated code; iterative
-    /// *plans* model recomputation by re-running their input pipeline.
+    /// Marks the dataset as cached. Execution here is eager, so the
+    /// partitions are already materialized and shared by `Arc` — holding
+    /// the returned handle and reusing it *is* Spark's `cache()`.
+    /// Re-running a producing pipeline against unchanged inputs is what
+    /// recomputes; plans avoid that via `codegen`'s `PlanCache`, which
+    /// memoizes stage cut-points across executions and records zero-cost
+    /// [`StageStats::cache_hit`] markers the simulator skips.
     pub fn cache(&self) -> Rdd<T> {
         self.clone()
     }
@@ -262,82 +421,84 @@ where
     K: Payload + Eq + Hash + Ord,
     V: Payload,
 {
-    /// Shuffle: hash-partition records by key into `buckets` groups,
-    /// charging shuffle bytes for everything that moves.
+    /// Shuffle: hash-partition records by key into `buckets` groups in
+    /// parallel on the worker pool, charging shuffle bytes for everything
+    /// that moves.
     fn shuffle_by_key(&self, records: Vec<Vec<(K, V)>>, buckets: usize) -> (Vec<Vec<(K, V)>>, u64) {
-        let mut out: Vec<Vec<(K, V)>> = (0..buckets).map(|_| Vec::new()).collect();
-        let mut moved_bytes = 0u64;
-        for part in records {
-            for (k, v) in part {
-                moved_bytes += 8 + k.payload_bytes() + v.payload_bytes();
-                out[hash_key(&k, buckets)].push((k, v));
-            }
-        }
-        (out, moved_bytes)
+        parallel_shuffle(&self.ctx, records, buckets)
     }
 
     /// `reduceByKey` with map-side combining (the default, as in Spark —
     /// Table 4's WC 1).
     pub fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V + Send + Sync) -> PairRdd<K, V> {
-        self.reduce_by_key_opt(f, true)
+        infallible(self.reduce_by_key_core(&|a, b| Ok(f(a, b)), true))
     }
 
     /// `reduceByKey` with combiners switched off (Table 4's WC 2): every
     /// record crosses the shuffle.
     pub fn reduce_by_key_no_combine(&self, f: impl Fn(&V, &V) -> V + Send + Sync) -> PairRdd<K, V> {
-        self.reduce_by_key_opt(f, false)
+        infallible(self.reduce_by_key_core(&|a, b| Ok(f(a, b)), false))
     }
 
-    fn reduce_by_key_opt(
+    /// Fallible `reduceByKey` (map-side combining on): the combiner may
+    /// fail, and the lowest-indexed failing partition's error aborts the
+    /// stage deterministically at any worker count.
+    pub fn try_reduce_by_key<E: Send>(
         &self,
-        f: impl Fn(&V, &V) -> V + Send + Sync,
+        f: impl Fn(&V, &V) -> std::result::Result<V, E> + Send + Sync,
+    ) -> std::result::Result<PairRdd<K, V>, E> {
+        self.reduce_by_key_core(&f, true)
+    }
+
+    fn reduce_by_key_core<E: Send>(
+        &self,
+        f: &(impl Fn(&V, &V) -> std::result::Result<V, E> + Send + Sync),
         combine: bool,
-    ) -> PairRdd<K, V> {
-        let records_in = self.count();
-        // Map-side combine.
-        let pre: Vec<Vec<(K, V)>> = if combine {
-            par_map_partitions(&self.ctx, &self.partitions, |p| {
-                let mut acc: HashMap<&K, V> = HashMap::new();
-                let mut order: Vec<&K> = Vec::new();
-                for (k, v) in p {
-                    match acc.get_mut(k) {
-                        Some(slot) => *slot = f(slot, v),
-                        None => {
-                            order.push(k);
-                            acc.insert(k, v.clone());
-                        }
-                    }
-                }
-                order
-                    .into_iter()
-                    .map(|k| (k.clone(), acc.remove(k).expect("present")))
-                    .collect()
-            })
-        } else {
-            self.partitions.iter().cloned().collect()
-        };
-        let buckets = self.partitions.len().max(1);
-        let (shuffled, moved) = self.shuffle_by_key(pre, buckets);
-        // Reduce side.
-        let parts: Vec<Vec<(K, V)>> = par_map_partitions(&self.ctx, &shuffled, |p| {
+    ) -> std::result::Result<PairRdd<K, V>, E> {
+        // Fold one partition's records into per-key accumulators,
+        // preserving first-appearance key order.
+        let fold = |p: &[(K, V)]| -> std::result::Result<Vec<(K, V)>, E> {
             let mut acc: HashMap<&K, V> = HashMap::new();
             let mut order: Vec<&K> = Vec::new();
             for (k, v) in p {
                 match acc.get_mut(k) {
-                    Some(slot) => *slot = f(slot, v),
+                    Some(slot) => *slot = f(slot, v)?,
                     None => {
                         order.push(k);
                         acc.insert(k, v.clone());
                     }
                 }
             }
-            let mut out: Vec<(K, V)> = order
+            Ok(order
                 .into_iter()
                 .map(|k| (k.clone(), acc.remove(k).expect("present")))
-                .collect();
+                .collect())
+        };
+
+        let records_in = self.count();
+        // Map-side combine.
+        let pre: Vec<Vec<(K, V)>> = if combine {
+            let folded = par_map_partitions(&self.ctx, &self.partitions, fold);
+            let mut parts = Vec::with_capacity(folded.len());
+            for r in folded {
+                parts.push(r?);
+            }
+            parts
+        } else {
+            self.partitions.iter().cloned().collect()
+        };
+        let buckets = self.partitions.len().max(1);
+        let (shuffled, moved) = self.shuffle_by_key(pre, buckets);
+        // Reduce side.
+        let reduced = par_map_partitions(&self.ctx, &shuffled, |p| {
+            let mut out = fold(p)?;
             out.sort_by(|a, b| a.0.cmp(&b.0));
-            out
+            Ok(out)
         });
+        let mut parts: Vec<Vec<(K, V)>> = Vec::with_capacity(reduced.len());
+        for r in reduced {
+            parts.push(r?);
+        }
         let mut stage = StageStats::new(
             StageKind::Shuffle,
             if combine {
@@ -355,10 +516,10 @@ where
             .map(|(k, v)| 8 + k.payload_bytes() + v.payload_bytes())
             .sum();
         self.ctx.record_stage(stage);
-        Rdd {
+        Ok(Rdd {
             ctx: self.ctx.clone(),
             partitions: Arc::new(parts),
-        }
+        })
     }
 
     /// `groupByKey`: shuffle everything, produce per-key value vectors in
@@ -418,14 +579,7 @@ where
         let right: Vec<Vec<(K, W)>> = other.partitions.iter().cloned().collect();
         let (lsh, lmoved) = self.shuffle_by_key(left, buckets);
         // Shuffle the right side with the same hash function.
-        let mut rsh: Vec<Vec<(K, W)>> = (0..buckets).map(|_| Vec::new()).collect();
-        let mut rmoved = 0u64;
-        for part in right {
-            for (k, w) in part {
-                rmoved += 8 + k.payload_bytes() + w.payload_bytes();
-                rsh[hash_key(&k, buckets)].push((k, w));
-            }
-        }
+        let (rsh, rmoved) = parallel_shuffle(&self.ctx, right, buckets);
         #[allow(clippy::type_complexity)]
         let zipped: Vec<Vec<(Vec<(K, V)>, Vec<(K, W)>)>> =
             lsh.into_iter().zip(rsh).map(|pair| vec![pair]).collect();

@@ -67,6 +67,11 @@ pub fn simulate_job(stats: &JobStats, spec: &ClusterSpec, framework: Framework) 
     let cores = spec.total_cores();
     let mut seconds = framework.job_overhead_s();
     for stage in &stats.stages {
+        // Cache cut-points serve a materialized result: no CPU, disk, or
+        // network is spent recomputing them.
+        if stage.cached {
+            continue;
+        }
         match stage.kind {
             StageKind::Input => {
                 // HDFS scan, parallel across nodes.

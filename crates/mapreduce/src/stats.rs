@@ -48,6 +48,9 @@ pub struct StageStats {
     pub bytes_out: u64,
     /// Bytes that crossed the (simulated) network in a shuffle.
     pub bytes_shuffled: u64,
+    /// Stage was served from a cache cut-point instead of recomputed; the
+    /// cluster simulator charges nothing for it.
+    pub cached: bool,
 }
 
 impl StageStats {
@@ -59,7 +62,16 @@ impl StageStats {
             records_out: 0,
             bytes_out: 0,
             bytes_shuffled: 0,
+            cached: false,
         }
+    }
+
+    /// A zero-cost marker for a stage whose result came from a cache.
+    pub fn cache_hit(kind: StageKind, label: impl Into<String>, records_out: u64) -> StageStats {
+        let mut s = StageStats::new(kind, label);
+        s.records_out = records_out;
+        s.cached = true;
+        s
     }
 }
 
@@ -108,6 +120,7 @@ impl JobStats {
                     records_out: scale(s.records_out),
                     bytes_out: scale(s.bytes_out),
                     bytes_shuffled: scale(s.bytes_shuffled),
+                    cached: s.cached,
                 })
                 .collect(),
         }

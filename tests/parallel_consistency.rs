@@ -119,6 +119,153 @@ fn parallel_and_serial_translations_are_identical() {
     );
 }
 
+/// The fused execution data plane must be deterministic in everything
+/// the stats layer counts: executing every translated suite fragment at
+/// different engine worker counts yields identical outputs AND identical
+/// per-stage counters (records in/out, bytes emitted, bytes shuffled),
+/// and fusion must not change what crosses the shuffle relative to the
+/// tree-walking per-operator executor.
+#[test]
+fn fused_stage_stats_deterministic_and_shuffle_preserving() {
+    use casper_ir::eval::eval_summary;
+    use mapreduce::Context;
+    use seqlang::env::Env;
+    use seqlang::value::Value;
+
+    let report = translate(2);
+
+    // One state covering every fragment's inputs and pre-loop outputs.
+    let mut state = Env::new();
+    state.set(
+        "xs",
+        Value::List((0..200).map(|i| Value::Int((i * 7 % 83) - 41)).collect()),
+    );
+    state.set(
+        "words",
+        Value::List(
+            (0..150)
+                .map(|i| Value::str(format!("w{}", i % 13)))
+                .collect(),
+        ),
+    );
+    state.set("t", Value::Int(3));
+    state.set("s", Value::Int(0));
+    state.set("m", Value::Int(0));
+    state.set("n", Value::Int(0));
+    state.set("f", Value::Bool(false));
+    state.set("q", Value::Int(0));
+    state.set("counts", Value::Map(vec![]));
+
+    let mut fragments_executed = 0usize;
+    for frag in &report.fragments {
+        let FragmentOutcome::Translated {
+            program, summaries, ..
+        } = &frag.outcome
+        else {
+            continue;
+        };
+        for variant in &program.variants {
+            let plan = &variant.plan;
+            // Same partition count, different worker counts: outputs and
+            // every stats counter must be bit-identical.
+            let serial_ctx = Context::with_parallelism(1, 8);
+            let parallel_ctx = Context::with_parallelism(4, 8);
+            let serial_out = plan.execute(&serial_ctx, &state).expect("serial exec");
+            let parallel_out = plan.execute(&parallel_ctx, &state).expect("parallel exec");
+            assert_eq!(
+                serial_out, parallel_out,
+                "{}/{}: fused outputs diverge across worker counts",
+                frag.id, variant.name
+            );
+            assert_eq!(
+                serial_ctx.stats(),
+                parallel_ctx.stats(),
+                "{}/{}: fused stage stats diverge across worker counts",
+                frag.id,
+                variant.name
+            );
+
+            // Fusion must not change shuffle volume or shuffle count
+            // relative to the per-operator interpreted executor, and the
+            // outputs must be identical to the golden reference.
+            let interp_ctx = Context::with_parallelism(4, 8);
+            let interp_out = plan
+                .execute_interpreted(&interp_ctx, &state)
+                .expect("interpreted exec");
+            assert_eq!(
+                serial_out, interp_out,
+                "{}/{}: fused vs interpreted outputs diverge",
+                frag.id, variant.name
+            );
+            let fused_stats = serial_ctx.stats();
+            let interp_stats = interp_ctx.stats();
+            assert_eq!(
+                fused_stats.total_shuffled_bytes(),
+                interp_stats.total_shuffled_bytes(),
+                "{}/{}: fusion changed shuffle bytes",
+                frag.id,
+                variant.name
+            );
+            assert_eq!(
+                fused_stats.shuffle_count(),
+                interp_stats.shuffle_count(),
+                "{}/{}: fusion changed shuffle count",
+                frag.id,
+                variant.name
+            );
+        }
+        // The engine result agrees with the IR reference evaluator on the
+        // best summary.
+        let ir_out = eval_summary(&summaries[0], &state).expect("IR eval");
+        let ctx = Context::with_parallelism(4, 8);
+        let engine_out = program.variants[0].plan.execute(&ctx, &state).unwrap();
+        for (var, val) in ir_out.iter() {
+            match val {
+                // Engine collects maps key-sorted; the IR evaluator keeps
+                // first-appearance order — compare as multisets.
+                Value::Map(entries) => {
+                    let mut a = entries.clone();
+                    a.sort();
+                    let Some(Value::Map(b)) = engine_out.get(var) else {
+                        panic!("{}: `{var}` missing or not a map", frag.id);
+                    };
+                    let mut b = b.clone();
+                    b.sort();
+                    assert_eq!(a, b, "{}: `{var}` diverges", frag.id);
+                }
+                other => assert_eq!(
+                    Some(other),
+                    engine_out.get(var),
+                    "{}: `{var}` diverges",
+                    frag.id
+                ),
+            }
+        }
+        fragments_executed += 1;
+    }
+    assert_eq!(fragments_executed, 6, "all six suite fragments must run");
+}
+
+#[test]
+fn plan_compile_time_is_accounted() {
+    let report = translate(2);
+    for f in &report.fragments {
+        if f.outcome.is_translated() {
+            assert!(
+                f.plan_compile_time > Duration::ZERO,
+                "{}: plan lowering must be timed",
+                f.id
+            );
+            assert!(
+                f.plan_compile_time <= f.compile_time,
+                "{}: plan lowering exceeds total compile time",
+                f.id
+            );
+        }
+    }
+    assert!(report.total_plan_compile_time() > Duration::ZERO);
+}
+
 #[test]
 fn cpu_time_accounting_is_populated() {
     let report = translate(2);

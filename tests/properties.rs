@@ -27,6 +27,85 @@ fn sum_summary() -> ProgramSummary {
     ProgramSummary::single("s", expr, OutputKind::Scalar)
 }
 
+fn ca() -> CaProperties {
+    CaProperties {
+        commutative: true,
+        associative: true,
+    }
+}
+
+/// Canonicalize multiset-semantics outputs (maps and lists) by sorting,
+/// so engine results (key-sorted collect) compare against the IR
+/// evaluator's first-appearance order.
+fn canon(env: &Env) -> Env {
+    env.iter()
+        .map(|(k, v)| {
+            let v = match v {
+                Value::Map(entries) => {
+                    let mut e = entries.clone();
+                    e.sort();
+                    Value::Map(e)
+                }
+                Value::List(items) => {
+                    let mut xs = items.clone();
+                    xs.sort();
+                    Value::List(xs)
+                }
+                other => other.clone(),
+            };
+            (k.clone(), v)
+        })
+        .collect()
+}
+
+/// The core differential contract of the execution data plane: the
+/// fused+compiled plan, the unfused compiled plan, and the tree-walking
+/// interpreted plan agree exactly (outputs and error outcomes), and all
+/// agree with the IR reference evaluator and `CompiledSummary::eval` up
+/// to multiset canonicalization.
+fn assert_data_plane_agrees(summary: &ProgramSummary, props: Vec<CaProperties>, state: &Env) {
+    use casper_ir::compile::CompiledSummary;
+    use codegen::PlanCache;
+
+    let plan = CompiledPlan::new(summary.clone(), props);
+    let ctx = Context::with_parallelism(4, 8);
+    let fused = plan.execute(&ctx, state);
+    let unfused = plan.execute_compiled_unfused(&ctx, state);
+    let interp = plan.execute_interpreted(&ctx, state);
+    let reference = eval_summary(summary, state);
+    let compiled_ref = CompiledSummary::compile(summary).eval(state);
+    let mut cache = PlanCache::new();
+    let cached_cold = plan.execute_cached(&ctx, state, &mut cache);
+    let cached_warm = plan.execute_cached(&ctx, state, &mut cache);
+
+    match (&fused, &interp, &unfused) {
+        (Ok(a), Ok(b), Ok(c)) => {
+            assert_eq!(a, b, "fused vs interpreted diverge");
+            assert_eq!(a, c, "fused vs unfused diverge");
+        }
+        (Err(_), Err(_), Err(_)) => {}
+        _ => panic!("plan modes disagree on failure: {fused:?} / {interp:?} / {unfused:?}"),
+    }
+    match (&fused, &cached_cold, &cached_warm) {
+        (Ok(a), Ok(b), Ok(c)) => {
+            assert_eq!(a, b, "cached cold diverges");
+            assert_eq!(a, c, "cached warm diverges");
+        }
+        (Err(_), Err(_), Err(_)) => {}
+        _ => panic!("cache changes outcomes: {fused:?} / {cached_cold:?} / {cached_warm:?}"),
+    }
+    match (&reference, &compiled_ref) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "tree-walk vs CompiledSummary diverge"),
+        (Err(_), Err(_)) => {}
+        _ => panic!("IR evaluators disagree: {reference:?} / {compiled_ref:?}"),
+    }
+    match (&fused, &reference) {
+        (Ok(a), Ok(b)) => assert_eq!(canon(a), canon(b), "engine vs IR evaluator diverge"),
+        (Err(_), Err(_)) => {}
+        _ => panic!("engine vs IR evaluator disagree on failure: {fused:?} / {reference:?}"),
+    }
+}
+
 fn wc_summary() -> ProgramSummary {
     let m = MapLambda::new(
         vec!["w"],
@@ -199,6 +278,119 @@ proptest! {
         prop_assert_eq!(
             r_on.candidates_checked + r_on.candidates_deduped,
             r_off.candidates_checked
+        );
+    }
+
+    /// Fused+compiled plan execution is result-identical to the unfused,
+    /// the tree-walking interpreted executor, and both IR evaluators on
+    /// arbitrary data — including the empty input.
+    #[test]
+    fn fused_plan_differential_sum_and_wordcount(
+        xs in prop::collection::vec(-1000i64..1000, 0..200),
+        words in prop::collection::vec("[a-d]{1,2}", 0..100)
+    ) {
+        let mut st = Env::new();
+        st.set("xs", Value::List(xs.iter().copied().map(Value::Int).collect()));
+        st.set("s", Value::Int(0));
+        assert_data_plane_agrees(&sum_summary(), vec![ca()], &st);
+
+        let mut st2 = Env::new();
+        st2.set("ws", Value::List(words.iter().map(Value::str).collect()));
+        st2.set("counts", Value::Map(vec![]));
+        assert_data_plane_agrees(&wc_summary(), vec![ca()], &st2);
+    }
+
+    /// Differential test over a fused multi-map pipeline (row-wise mean)
+    /// whose final λ divides by a free variable: `cols = 0` drives the
+    /// error path through every executor at once.
+    #[test]
+    fn fused_plan_differential_rwm_including_errors(
+        rows_data in prop::collection::vec(prop::collection::vec(-50i64..50, 3..4), 0..20),
+        cols in 0i64..4
+    ) {
+        let m1 = MapLambda::new(
+            vec!["i", "j", "v"],
+            vec![Emit::unconditional(IrExpr::var("i"), IrExpr::var("v"))],
+        );
+        let m2 = MapLambda::new(
+            vec!["k", "v"],
+            vec![Emit::unconditional(
+                IrExpr::var("k"),
+                IrExpr::bin(BinOp::Div, IrExpr::var("v"), IrExpr::var("cols")),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::indexed_2d("mat", Type::Int))
+            .map(m1)
+            .reduce(ReduceLambda::binop(BinOp::Add))
+            .map(m2);
+        let summary = ProgramSummary::single(
+            "m",
+            expr,
+            OutputKind::AssocArray { len_var: "rows".into() },
+        );
+        let mut st = Env::new();
+        let n = rows_data.len();
+        st.set(
+            "mat",
+            Value::Array(
+                rows_data
+                    .iter()
+                    .map(|r| Value::Array(r.iter().copied().map(Value::Int).collect()))
+                    .collect(),
+            ),
+        );
+        st.set("rows", Value::Int(n as i64));
+        st.set("cols", Value::Int(cols));
+        st.set("m", Value::Array(vec![Value::Int(0); n]));
+        assert_data_plane_agrees(&summary, vec![ca()], &st);
+    }
+
+    /// Differential test across a join pipeline and a non-CA
+    /// (groupByKey + ordered fold) reduce.
+    #[test]
+    fn fused_plan_differential_join_and_non_ca(
+        xs in prop::collection::vec(-100i64..100, 0..40),
+        ys in prop::collection::vec(-100i64..100, 0..40)
+    ) {
+        // Dot product over joined indexed sources.
+        let m = MapLambda::new(
+            vec!["k", "v"],
+            vec![Emit::unconditional(
+                IrExpr::int(0),
+                IrExpr::bin(
+                    BinOp::Mul,
+                    IrExpr::tget(IrExpr::var("v"), 0),
+                    IrExpr::tget(IrExpr::var("v"), 1),
+                ),
+            )],
+        );
+        let expr = MrExpr::Data(DataSource::indexed("xs", Type::Int))
+            .join(MrExpr::Data(DataSource::indexed("ys", Type::Int)))
+            .map(m)
+            .reduce(ReduceLambda::binop(BinOp::Add));
+        let summary = ProgramSummary::single("dot", expr, OutputKind::Scalar);
+        let mut st = Env::new();
+        st.set("xs", Value::Array(xs.iter().copied().map(Value::Int).collect()));
+        st.set("ys", Value::Array(ys.iter().copied().map(Value::Int).collect()));
+        st.set("dot", Value::Int(0));
+        assert_data_plane_agrees(&summary, vec![ca()], &st);
+
+        // Keep-first reducer: non-commutative, must fold in arrival order.
+        let m2 = MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+        );
+        let expr2 = MrExpr::Data(DataSource::flat("zs", Type::Int))
+            .map(m2)
+            .reduce(ReduceLambda::new(IrExpr::var("v1")));
+        let summary2 = ProgramSummary::single("first", expr2, OutputKind::Scalar);
+        let mut st2 = Env::new();
+        st2.set("zs", Value::List(xs.iter().copied().map(Value::Int).collect()));
+        st2.set("first", Value::Int(-7));
+        assert_data_plane_agrees(
+            &summary2,
+            vec![CaProperties { commutative: false, associative: true }],
+            &st2,
         );
     }
 
