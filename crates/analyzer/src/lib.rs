@@ -12,14 +12,20 @@
 //! 4. prepares **verification conditions**: an executable Hoare-triple
 //!    checker built around the prefix-invariant form of Figure 4
 //!    ([`vc::VerificationTask`]), plus a program-state generator for
-//!    bounded model checking ([`stategen`]).
+//!    bounded model checking ([`stategen`]);
+//! 5. precomputes per-fragment **evaluation bases** ([`basis`]): the
+//!    fragment's expected outputs over a state domain, built once and
+//!    shared by reference across every candidate both screening phases
+//!    test.
 
+pub mod basis;
 pub mod dataflow;
 pub mod fragment;
 pub mod identify;
 pub mod stategen;
 pub mod vc;
 
+pub use basis::{observe_fragment, VcEntry, VerificationBasis};
 pub use fragment::{DataVarInfo, Fragment, FragmentFeatures, GrammarSeed};
 pub use identify::identify_fragments;
 pub use stategen::{StateGen, StateGenConfig};

@@ -19,7 +19,7 @@ use casper_ir::compile::CompiledSummary;
 use casper_ir::eval::eval_summary;
 use suites::MULTI_FRAGMENT_SRC;
 use synthesis::{find_summary, generate_classes, CandidateStream, Chunk, FindConfig, Grammar};
-use verifier::{full_verify, VerifyConfig};
+use verifier::{Verifier, VerifyConfig};
 
 const SUM_SRC: &str = "fn sum(xs: list<int>) -> int {
     let s: int = 0;
@@ -45,9 +45,12 @@ fn bench_synthesis(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("sum", |b| {
         b.iter(|| {
-            let verify = |s: &casper_ir::mr::ProgramSummary| {
-                full_verify(&frag, s, &VerifyConfig::default()).verified
-            };
+            // A fresh engine per iteration — the per-fragment pipeline
+            // shape — so the measured number includes the real cold-path
+            // verification cost, not warm verdict-cache lookups.
+            let verifier = Verifier::new(&frag, VerifyConfig::default());
+            let verify =
+                |s: &casper_ir::mr::ProgramSummary| casper::search_verdict(&verifier.verify(s));
             let config = FindConfig {
                 timeout: Duration::from_secs(30),
                 max_solutions: 1,

@@ -1,9 +1,16 @@
 //! Table 1: number of code fragments translated by Casper per suite, and
 //! the mean/max simulated speedups over the sequential implementations
-//! (Spark backend, paper-scale datasets).
+//! (Spark backend, paper-scale datasets). Also prints the verification
+//! cost ledger per benchmark: full-verify wall vs CPU time and the
+//! verdict-cache hit ratio.
 
-use bench::{run_benchmark, sweep_config};
+use bench::{run_benchmark, sweep_config, BenchRun};
 use suites::{suite_benchmarks, Suite};
+
+/// Translated-fragment floor: the suite sweep has translated 63 of its
+/// 79 identified fragments since PR 3 — regressions below that are a
+/// bug, not noise.
+const MIN_TRANSLATED: usize = 63;
 
 fn main() {
     println!("Table 1 — translated fragments and speedups (Spark, paper-scale data)\n");
@@ -14,6 +21,7 @@ fn main() {
     let config = sweep_config();
     let mut grand_identified = 0;
     let mut grand_translated = 0;
+    let mut runs: Vec<BenchRun> = Vec::new();
     for suite in Suite::all() {
         let mut identified = 0;
         let mut translated = 0;
@@ -27,6 +35,7 @@ fn main() {
                     speedups.push(sp.spark);
                 }
             }
+            runs.push(run);
         }
         grand_identified += identified;
         grand_translated += translated;
@@ -44,8 +53,47 @@ fn main() {
             max
         );
     }
+
+    // The verification ledger: where full-verification time went per
+    // benchmark, and how much of it the verdict cache absorbed.
+    println!("\nVerification cost per benchmark (full verifier)\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8} {:>10}",
+        "Benchmark", "Wall (ms)", "CPU (ms)", "Hits", "Hit ratio"
+    );
+    let mut total_hits = 0u64;
+    let mut total_misses = 0u64;
+    for run in &runs {
+        if run.verdict_cache_hits + run.verdict_cache_misses == 0 {
+            continue;
+        }
+        total_hits += run.verdict_cache_hits;
+        total_misses += run.verdict_cache_misses;
+        println!(
+            "{:<28} {:>12.2} {:>12.2} {:>8} {:>9.0}%",
+            run.name,
+            run.verify_wall.as_secs_f64() * 1e3,
+            run.verify_cpu.as_secs_f64() * 1e3,
+            run.verdict_cache_hits,
+            run.verdict_cache_hit_ratio() * 100.0,
+        );
+    }
+    let total = total_hits + total_misses;
+    if total > 0 {
+        println!(
+            "\nVerdict cache overall: {total_hits} hits / {total} verifications \
+             ({:.0}%)",
+            casper::report::hit_ratio(total_hits, total_misses) * 100.0
+        );
+    }
+
     println!(
         "\nTotal: {grand_translated} / {grand_identified} fragments translated \
          (paper: 82 / 101)"
+    );
+    assert!(
+        grand_translated >= MIN_TRANSLATED,
+        "translated-fragment count regressed: {grand_translated} / {grand_identified} \
+         (floor: {MIN_TRANSLATED})"
     );
 }

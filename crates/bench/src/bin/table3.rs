@@ -8,7 +8,7 @@ use analyzer::identify_fragments;
 use casper_ir::mr::ProgramSummary;
 use suites::all_benchmarks;
 use synthesis::{find_summary, FindConfig};
-use verifier::{full_verify, VerifyConfig};
+use verifier::{Verifier, VerifyConfig};
 
 fn main() {
     println!("Table 3 — incremental grammar generation ablation\n");
@@ -38,8 +38,13 @@ fn main() {
         let Some(frag) = frags.iter().find(|f| f.func == b.func) else {
             continue;
         };
-        let verify = |s: &ProgramSummary| full_verify(frag, s, &VerifyConfig::default()).verified;
         let run = |incremental: bool| {
+            // A fresh engine (basis + verdict cache) per ablation run:
+            // sharing the cache would hand the second run free verdicts
+            // for every candidate the first already adjudicated and bias
+            // the candidates-checked comparison.
+            let verifier = Verifier::new(frag, VerifyConfig::default());
+            let verify = |s: &ProgramSummary| casper::search_verdict(&verifier.verify(s));
             let config = FindConfig {
                 timeout: Duration::from_secs(10),
                 max_solutions: 4,

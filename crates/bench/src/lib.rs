@@ -45,6 +45,14 @@ pub struct BenchRun {
     /// Theorem-prover rejections across the benchmark's fragments.
     pub tp_failures: u64,
     pub compile_time: Duration,
+    /// Full-verification wall clock across the benchmark's fragments.
+    pub verify_wall: Duration,
+    /// Full-verification CPU time (serial wall + verifier worker busy).
+    pub verify_cpu: Duration,
+    /// Verdict-cache hits across the benchmark's fragments.
+    pub verdict_cache_hits: u64,
+    /// Verdict-cache misses (full verifications) across the fragments.
+    pub verdict_cache_misses: u64,
     /// LOC of the primary fragment and its generated code, MR op count.
     pub fragment_loc: usize,
     pub generated_loc: usize,
@@ -53,6 +61,14 @@ pub struct BenchRun {
     pub speedup: Option<FrameworkSpeedups>,
     /// Engine output matched the sequential semantics.
     pub output_correct: bool,
+}
+
+impl BenchRun {
+    /// Fraction of the benchmark's verifications the verdict cache
+    /// absorbed.
+    pub fn verdict_cache_hit_ratio(&self) -> f64 {
+        casper::report::hit_ratio(self.verdict_cache_hits, self.verdict_cache_misses)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +90,10 @@ pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
     let translated = report.translated_count();
     let tp_failures = report.total_tp_failures();
     let compile_time = report.total_compile_time();
+    let verify_wall = report.total_verify_wall();
+    let verify_cpu = report.total_verify_cpu();
+    let verdict_cache_hits = report.total_verdict_cache_hits();
+    let verdict_cache_misses = report.total_verdict_cache_misses();
 
     let mut fragment_loc = 0;
     let mut generated_loc = 0;
@@ -99,6 +119,10 @@ pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
         translated,
         tp_failures,
         compile_time,
+        verify_wall,
+        verify_cpu,
+        verdict_cache_hits,
+        verdict_cache_misses,
         fragment_loc,
         generated_loc,
         ops,

@@ -29,5 +29,5 @@
 pub mod pipeline;
 pub mod report;
 
-pub use pipeline::{Casper, CasperConfig};
+pub use pipeline::{search_verdict, Casper, CasperConfig};
 pub use report::{FragmentOutcome, FragmentReport, TranslationReport};

@@ -24,8 +24,8 @@ use cost::model::{prune_dominated, static_cost};
 use cost::CostWeights;
 use seqlang::error::Result;
 use seqlang::ty::Type;
-use synthesis::{find_summary, FindConfig, FindOutcome};
-use verifier::{full_verify, VerifyConfig};
+use synthesis::{find_summary, FindConfig, FindOutcome, VerifierVerdict};
+use verifier::{Verifier, VerifyConfig};
 
 use crate::report::{FailureReason, FragmentOutcome, FragmentReport, TranslationReport};
 
@@ -61,13 +61,26 @@ impl Default for CasperConfig {
     }
 }
 
+/// Adapt one [`verifier::Verification`] into the verdict struct
+/// `find_summary` consumes — the single mapping between the verifier's
+/// accounting and the search's, shared by the pipeline and the bench
+/// harnesses.
+pub fn search_verdict(v: &verifier::Verification) -> VerifierVerdict {
+    VerifierVerdict {
+        verified: v.result.verified,
+        cpu_time: v.cpu,
+        cache_hit: v.cache_hit,
+    }
+}
+
 impl CasperConfig {
-    /// Set both the fragment-level and the inner-search worker counts.
+    /// Set the fragment-level, inner-search, and verifier worker counts.
     /// `with_parallelism(1)` is the fully sequential configuration the
     /// paper's ablations (Table 3) assume.
     pub fn with_parallelism(mut self, workers: usize) -> CasperConfig {
         self.parallelism = workers.max(1);
         self.find.parallelism = workers.max(1);
+        self.verify.parallelism = workers.max(1);
         self
     }
 }
@@ -124,11 +137,12 @@ impl Casper {
                 .collect();
         }
 
-        // Divide the inner screening pool among concurrent fragments so
-        // `parallelism` bounds total thread pressure instead of
-        // multiplying it.
+        // Divide the inner screening and verification pools among
+        // concurrent fragments so `parallelism` bounds total thread
+        // pressure instead of multiplying it.
         let mut inner_config = self.config.clone();
         inner_config.find.parallelism = (self.config.find.parallelism.max(1) / workers).max(1);
+        inner_config.verify.parallelism = (self.config.verify.parallelism.max(1) / workers).max(1);
         let inner = Casper::new(inner_config);
 
         let n = fragments.len();
@@ -165,29 +179,44 @@ impl Casper {
             return self.failed(fragment, FailureReason::UnmodeledMethod, started);
         }
 
-        // Search with the full verifier adjudicating candidates.
-        let verify_cfg = self.config.verify.clone();
-        let full = |summary: &ProgramSummary| -> bool {
-            full_verify(fragment, summary, &verify_cfg).verified
+        // One verification engine per fragment: the full-domain basis is
+        // built once and shared by reference across every candidate the
+        // search sends over, and the verdict cache turns re-verification
+        // (property harvesting below, equivalent candidates across
+        // grammar classes) into lookups. The search receives the engine
+        // itself — not a domain config to rebuild per candidate.
+        let verifier = Verifier::new(fragment, self.config.verify.clone());
+        let full = |summary: &ProgramSummary| -> VerifierVerdict {
+            search_verdict(&verifier.verify(summary))
         };
         let (outcome, search) = find_summary(fragment, &full, &self.config.find);
+        let seal_verify = |report: &mut FragmentReport| {
+            report.verify_wall = verifier.wall_time();
+            report.verify_cpu = verifier.cpu_time();
+            report.verdict_cache_hits = verifier.cache_hits();
+            report.verdict_cache_misses = verifier.cache_misses();
+        };
         let summaries = match outcome {
             FindOutcome::Found(s) => s,
             FindOutcome::TimedOut => {
-                return FragmentReport::new(
+                let mut report = FragmentReport::new(
                     fragment,
                     FragmentOutcome::Failed(FailureReason::Timeout),
                     search,
                     started.elapsed(),
-                )
+                );
+                seal_verify(&mut report);
+                return report;
             }
             FindOutcome::Exhausted => {
-                return FragmentReport::new(
+                let mut report = FragmentReport::new(
                     fragment,
                     FragmentOutcome::Failed(FailureReason::SearchExhausted),
                     search,
                     started.elapsed(),
-                )
+                );
+                seal_verify(&mut report);
+                return report;
             }
         };
 
@@ -211,15 +240,16 @@ impl Casper {
         };
 
         // Compile surviving variants: re-verify to harvest CA properties
-        // for primitive selection, then lower each summary into a fused,
-        // slot-resolved plan and build the monitor program. Plan lowering
-        // is timed separately: it is the pay-once cost that buys
-        // closure-per-record execution.
+        // for primitive selection — a verdict-cache lookup, since every
+        // kept summary was verified on its way into ∆ — then lower each
+        // summary into a fused, slot-resolved plan and build the monitor
+        // program. Plan lowering is timed separately: it is the pay-once
+        // cost that buys closure-per-record execution.
         let mut variants = Vec::with_capacity(kept.len());
         let mut code = String::new();
         let mut plan_compile_time = std::time::Duration::ZERO;
         for (i, summary) in kept.iter().enumerate() {
-            let vr = full_verify(fragment, summary, &self.config.verify);
+            let vr = verifier.verify(summary).result;
             let lowering = Instant::now();
             let plan = CompiledPlan::new(summary.clone(), vr.reduce_properties.clone());
             plan_compile_time += lowering.elapsed();
@@ -245,6 +275,7 @@ impl Casper {
             started.elapsed(),
         );
         report.plan_compile_time = plan_compile_time;
+        seal_verify(&mut report);
         report
     }
 

@@ -7,6 +7,17 @@ use casper_ir::mr::ProgramSummary;
 use codegen::{Dialect, GeneratedProgram};
 use synthesis::SearchReport;
 
+/// The verdict-cache hit ratio `hits / (hits + misses)`, `0.0` when no
+/// verifications ran — the single formula every report level and the
+/// bench harness share.
+pub fn hit_ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        return 0.0;
+    }
+    hits as f64 / total as f64
+}
+
 /// Why a fragment failed to translate (§7.1's failure taxonomy).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FailureReason {
@@ -72,6 +83,20 @@ pub struct FragmentReport {
     ///
     /// [`compile_time`]: FragmentReport::compile_time
     pub plan_compile_time: Duration,
+    /// Wall-clock time this fragment spent in full verification — every
+    /// candidate the search sent over plus the property-harvesting
+    /// re-verifications (verdict-cache lookups).
+    pub verify_wall: Duration,
+    /// CPU time of full verification: serial wall plus the summed busy
+    /// time of the verifier's state-checking workers. Equals
+    /// [`verify_wall`] at `verify.parallelism = 1`.
+    ///
+    /// [`verify_wall`]: FragmentReport::verify_wall
+    pub verify_cpu: Duration,
+    /// Verifications served from the per-fragment verdict cache.
+    pub verdict_cache_hits: u64,
+    /// Verifications that ran in full (cache misses).
+    pub verdict_cache_misses: u64,
     /// Aggregate CPU time for this fragment: the wall-clock of its
     /// sequential phases plus the summed busy time of the search's
     /// screening workers. At `parallelism = 1` this equals
@@ -102,8 +127,18 @@ impl FragmentReport {
             search,
             compile_time,
             plan_compile_time: Duration::ZERO,
+            verify_wall: Duration::ZERO,
+            verify_cpu: Duration::ZERO,
+            verdict_cache_hits: 0,
+            verdict_cache_misses: 0,
             cpu_time,
         }
+    }
+
+    /// Fraction of this fragment's verifications the verdict cache
+    /// absorbed.
+    pub fn verdict_cache_hit_ratio(&self) -> f64 {
+        hit_ratio(self.verdict_cache_hits, self.verdict_cache_misses)
     }
     /// MapReduce operator count of the best summary (Table 2's "# Op").
     pub fn op_count(&self) -> usize {
@@ -195,6 +230,34 @@ impl TranslationReport {
 
     pub fn total_compile_time(&self) -> Duration {
         self.fragments.iter().map(|f| f.compile_time).sum()
+    }
+
+    /// Summed full-verification wall clock across fragments.
+    pub fn total_verify_wall(&self) -> Duration {
+        self.fragments.iter().map(|f| f.verify_wall).sum()
+    }
+
+    /// Summed full-verification CPU time across fragments.
+    pub fn total_verify_cpu(&self) -> Duration {
+        self.fragments.iter().map(|f| f.verify_cpu).sum()
+    }
+
+    /// Verdict-cache hits across all fragments.
+    pub fn total_verdict_cache_hits(&self) -> u64 {
+        self.fragments.iter().map(|f| f.verdict_cache_hits).sum()
+    }
+
+    /// Verdict-cache misses (full verifications) across all fragments.
+    pub fn total_verdict_cache_misses(&self) -> u64 {
+        self.fragments.iter().map(|f| f.verdict_cache_misses).sum()
+    }
+
+    /// Whole-translation verdict-cache hit ratio.
+    pub fn verdict_cache_hit_ratio(&self) -> f64 {
+        hit_ratio(
+            self.total_verdict_cache_hits(),
+            self.total_verdict_cache_misses(),
+        )
     }
 
     /// Summed plan-lowering time across fragments — compare with the

@@ -197,6 +197,30 @@ enum Stage {
     },
 }
 
+/// A single MR pipeline expression lowered to slot-resolved closures,
+/// evaluatable to its key/value multiset against any program state —
+/// the compiled counterpart of [`crate::eval::EvalCtx::eval_mr`]. The
+/// verifier uses this to harvest the concrete values entering each
+/// reduce stage without tree-walking the sub-pipeline per state.
+pub struct CompiledMrExpr {
+    stage: Stage,
+}
+
+impl CompiledMrExpr {
+    /// Lower `expr` once to compiled form.
+    pub fn compile(expr: &MrExpr) -> CompiledMrExpr {
+        CompiledMrExpr {
+            stage: compile_stage(expr),
+        }
+    }
+
+    /// Evaluate to the pipeline's record multiset — behaviourally
+    /// identical to the tree-walking `eval_mr` on the source expression.
+    pub fn eval(&self, state: &Env) -> Result<Vec<Vec<Value>>> {
+        run_stage(&self.stage, state)
+    }
+}
+
 /// A program summary lowered to slot-resolved closures, evaluatable
 /// against any program state. See the [module docs](self) for an example.
 pub struct CompiledSummary {
@@ -662,6 +686,30 @@ mod tests {
             ("s", Value::Int(0)),
         ]);
         assert_agrees(&summary, &st2);
+    }
+
+    #[test]
+    fn compiled_mr_expr_matches_tree_walk_rows() {
+        // The sub-pipeline feeding the reduce, evaluated standalone.
+        let summary = sum_summary();
+        let MrExpr::Reduce(inner, _) = &summary.bindings[0].expr else {
+            panic!("sum summary ends in a reduce");
+        };
+        let st = state(&[
+            (
+                "xs",
+                Value::List(vec![Value::Int(4), Value::Int(7), Value::Int(-2)]),
+            ),
+            ("s", Value::Int(0)),
+        ]);
+        let compiled = CompiledMrExpr::compile(inner);
+        let rows = compiled.eval(&st).unwrap();
+        let reference = crate::eval::EvalCtx::new(&st).eval_mr(inner).unwrap();
+        assert_eq!(rows, reference);
+        // Errors propagate identically too.
+        let missing = state(&[("s", Value::Int(0))]);
+        assert!(compiled.eval(&missing).is_err());
+        assert!(crate::eval::EvalCtx::new(&missing).eval_mr(inner).is_err());
     }
 
     #[test]

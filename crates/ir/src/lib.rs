@@ -24,7 +24,7 @@ pub mod mr;
 pub mod pretty;
 pub mod size;
 
-pub use compile::CompiledSummary;
+pub use compile::{CompiledMrExpr, CompiledSummary};
 pub use eval::{eval_summary, EvalCtx};
 pub use expr::IrExpr;
 pub use lambda::{Emit, MapLambda, ReduceLambda};

@@ -55,6 +55,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use analyzer::basis::observe_fragment;
 use analyzer::fragment::Fragment;
 use analyzer::stategen::{StateGen, StateGenConfig};
 use analyzer::vc::{outputs_match, VerificationTask};
@@ -136,6 +137,32 @@ impl Default for FindConfig {
     }
 }
 
+/// What the full verifier reports back to the search for one candidate —
+/// the verdict plus the accounting `find_summary` folds into
+/// [`SearchReport`]. Verifier implementations that do no instrumentation
+/// (tests, benches) build it with [`VerifierVerdict::simple`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifierVerdict {
+    /// Did the candidate pass full verification (into ∆)?
+    pub verified: bool,
+    /// CPU time of the verification: serial wall plus summed worker busy
+    /// time when the verifier checks states in parallel.
+    pub cpu_time: Duration,
+    /// Served from the verifier's verdict cache?
+    pub cache_hit: bool,
+}
+
+impl VerifierVerdict {
+    /// A bare verdict with no cost/cache instrumentation.
+    pub fn simple(verified: bool) -> VerifierVerdict {
+        VerifierVerdict {
+            verified,
+            cpu_time: Duration::ZERO,
+            cache_hit: false,
+        }
+    }
+}
+
 /// Statistics of one `find_summary` run — the raw material for Tables 2
 /// and 3.
 #[derive(Debug, Clone, Default)]
@@ -159,6 +186,18 @@ pub struct SearchReport {
     pub counter_examples: u64,
     /// Grammar classes explored.
     pub classes_explored: usize,
+    /// Wall-clock time spent inside the full verifier.
+    pub verify_wall: Duration,
+    /// CPU time spent inside the full verifier (serial wall plus summed
+    /// worker busy time of its state-checking pool). Equals
+    /// [`verify_wall`] when the verifier runs serially.
+    ///
+    /// [`verify_wall`]: SearchReport::verify_wall
+    pub verify_cpu: Duration,
+    /// Verifications served from the verdict cache.
+    pub verdict_cache_hits: u64,
+    /// Verifications that ran in full (cache misses).
+    pub verdict_cache_misses: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// Aggregate CPU time: wall-clock of the sequential portions plus
@@ -237,14 +276,17 @@ struct Basis {
 impl Basis {
     fn build(fragment: &Fragment, init: &[Env], bounded: &[Env], rel_tol: f64) -> Basis {
         let mut entries: Vec<BasisEntry> = Vec::new();
+        // The fragment side of each state is precomputed by the shared
+        // basis machinery (`analyzer::basis`) — the same helper the full
+        // verifier's domain build runs.
         let add = |st: &Env, entries: &mut Vec<BasisEntry>| -> usize {
             let idx = entries.len();
-            let entry = match (fragment.run(st), fragment.pre_loop_state(st)) {
-                (Ok(post), Ok(pre)) => BasisEntry {
-                    expected: Some(fragment.project_outputs(&post)),
+            let entry = match observe_fragment(fragment, st) {
+                Some((pre, expected)) => BasisEntry {
                     pre: Some(pre),
+                    expected: Some(expected),
                 },
-                _ => BasisEntry {
+                None => BasisEntry {
                     pre: None,
                     expected: None,
                 },
@@ -612,14 +654,15 @@ fn synthesize_stream(
 /// let fragment = identify_fragments(&program).remove(0);
 /// // Accept every bounded-verified candidate (stand-in for the full
 /// // verifier, which `casper::Casper` wires in for real runs).
-/// let accept = |_: &casper_ir::mr::ProgramSummary| true;
+/// use synthesis::VerifierVerdict;
+/// let accept = |_: &casper_ir::mr::ProgramSummary| VerifierVerdict::simple(true);
 /// let (outcome, report) = find_summary(&fragment, &accept, &FindConfig::default());
 /// assert!(matches!(outcome, FindOutcome::Found(_)));
 /// assert!(report.candidates_checked > 0);
 /// ```
 pub fn find_summary(
     fragment: &Fragment,
-    full_verify: &dyn Fn(&ProgramSummary) -> bool,
+    full_verify: &dyn Fn(&ProgramSummary) -> VerifierVerdict,
     config: &FindConfig,
 ) -> (FindOutcome, SearchReport) {
     let started = Instant::now();
@@ -630,12 +673,18 @@ pub fn find_summary(
     let workers = config.parallelism.max(1);
 
     // Wall/CPU accounting: everything outside the parallel screening
-    // rounds is sequential driver time and counts once; the rounds
-    // contribute their workers' summed busy time instead.
+    // rounds and the verifier is sequential driver time and counts once;
+    // the screening rounds contribute their workers' summed busy time,
+    // and the verifier contributes its own CPU accounting (which equals
+    // its wall time when it runs serially).
     let seal = |report: &mut SearchReport, parallel_wall: Duration| {
         report.elapsed = started.elapsed();
-        report.cpu_time = report.elapsed.saturating_sub(parallel_wall)
-            + Duration::from_nanos(busy_ns.load(Ordering::Relaxed));
+        report.cpu_time = report
+            .elapsed
+            .saturating_sub(parallel_wall)
+            .saturating_sub(report.verify_wall)
+            + Duration::from_nanos(busy_ns.load(Ordering::Relaxed))
+            + report.verify_cpu;
     };
 
     if !fragment.ir_expressible() {
@@ -698,7 +747,16 @@ pub fn find_summary(
                 Some(cand) => {
                     report.sent_to_verifier += 1;
                     blocked.write().expect("blocked set").insert(cand.clone());
-                    if full_verify(&cand) {
+                    let verify_started = Instant::now();
+                    let verdict = full_verify(&cand);
+                    report.verify_wall += verify_started.elapsed();
+                    report.verify_cpu += verdict.cpu_time;
+                    if verdict.cache_hit {
+                        report.verdict_cache_hits += 1;
+                    } else {
+                        report.verdict_cache_misses += 1;
+                    }
+                    if verdict.verified {
                         delta.push(cand);
                         if delta.len() >= config.max_solutions {
                             seal(&mut report, parallel_wall);
@@ -736,14 +794,18 @@ mod tests {
     use std::sync::Arc;
 
     /// A cheap stand-in for the full verifier: large-domain re-checking.
-    fn testing_verifier<'f>(fragment: &'f Fragment) -> impl Fn(&ProgramSummary) -> bool + 'f {
+    fn testing_verifier<'f>(
+        fragment: &'f Fragment,
+    ) -> impl Fn(&ProgramSummary) -> VerifierVerdict + 'f {
         move |summary: &ProgramSummary| {
             let task = VerificationTask::new(fragment);
             let mut gen = StateGen::new(fragment, StateGenConfig::full());
             let eval = |pre: &Env| eval_summary(summary, pre);
-            gen.states(24)
-                .iter()
-                .all(|st| !matches!(task.check_state(&eval, st), CheckOutcome::CounterExample(_)))
+            VerifierVerdict::simple(
+                gen.states(24).iter().all(|st| {
+                    !matches!(task.check_state(&eval, st), CheckOutcome::CounterExample(_))
+                }),
+            )
         }
     }
 

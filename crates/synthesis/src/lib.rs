@@ -44,6 +44,7 @@ pub mod grammar;
 
 pub use cegis::{
     default_parallelism, find_summary, FindConfig, FindOutcome, SearchReport, SynthConfig,
+    VerifierVerdict,
 };
 pub use enumerate::{enumeration_cost, CandidateStream, Chunk};
 pub use grammar::{generate_classes, Grammar, GrammarClass};

@@ -22,10 +22,22 @@
 //!
 //! Every verification produces a human-readable proof transcript
 //! ([`proof`]) mirroring the paper's generated Dafny scripts.
+//!
+//! Verification runs compiled, parallel, and cache-backed: the
+//! per-fragment [`Verifier`] precomputes the fragment's behaviour over
+//! the full domain once (the [`analyzer::basis::VerificationBasis`]),
+//! evaluates candidates through the shared slot-resolved lowering
+//! (`casper_ir::compile`), checks obligations on a scoped worker pool
+//! with deterministic adjudication, and memoizes verdicts per candidate
+//! fingerprint and domain generation. The tree-walking reference
+//! ([`Verifier::verify_interpreted`]) remains as the golden differential
+//! oracle.
 
 pub mod algebra;
 pub mod fullverify;
 pub mod proof;
 
 pub use algebra::{ca_properties, CaProperties};
-pub use fullverify::{full_verify, VerifyConfig, VerifyResult};
+pub use fullverify::{
+    default_verify_parallelism, full_verify, Verification, Verifier, VerifyConfig, VerifyResult,
+};

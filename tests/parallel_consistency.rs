@@ -99,6 +99,26 @@ fn parallel_and_serial_translations_are_identical() {
             s.id
         );
         assert_eq!(
+            s.search.verdict_cache_hits, p.search.verdict_cache_hits,
+            "{}: search verdict_cache_hits diverged",
+            s.id
+        );
+        assert_eq!(
+            s.search.verdict_cache_misses, p.search.verdict_cache_misses,
+            "{}: search verdict_cache_misses diverged",
+            s.id
+        );
+        assert_eq!(
+            s.verdict_cache_hits, p.verdict_cache_hits,
+            "{}: fragment verdict_cache_hits diverged",
+            s.id
+        );
+        assert_eq!(
+            s.verdict_cache_misses, p.verdict_cache_misses,
+            "{}: fragment verdict_cache_misses diverged",
+            s.id
+        );
+        assert_eq!(
             s.search.candidates_generated,
             s.search.candidates_checked + s.search.candidates_deduped,
             "{}: generated must equal checked + deduped",
@@ -117,6 +137,119 @@ fn parallel_and_serial_translations_are_identical() {
         serial.total_generated(),
         serial.total_screened() + serial.total_deduped()
     );
+
+    // The verdict cache must absorb the pipeline's property-harvesting
+    // re-verifications (every kept summary is verified once by the
+    // search, then looked up), at any worker count.
+    assert!(
+        serial.total_verdict_cache_hits() > 0,
+        "harvest re-verification must hit the verdict cache"
+    );
+    assert!(serial.verdict_cache_hit_ratio() > 0.0);
+}
+
+/// The rebuilt verification stack's determinism contract: verdicts, the
+/// admitted counter-example, `states_checked`, reduce properties, the
+/// proof transcript, and the verdict-cache counters are bit-identical at
+/// any worker count — and the compiled verifier agrees exactly with the
+/// tree-walking golden reference over the same basis.
+#[test]
+fn verifier_verdicts_and_counters_identical_across_worker_counts() {
+    use analyzer::identify_fragments;
+    use casper_ir::expr::IrExpr;
+    use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
+    use casper_ir::mr::{DataSource, MrExpr, OutputKind, ProgramSummary};
+    use seqlang::ast::BinOp;
+    use seqlang::ty::Type;
+    use std::sync::Arc;
+    use verifier::{Verifier, VerifyConfig};
+
+    let program = Arc::new(
+        seqlang::compile(
+            "fn sum(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }",
+        )
+        .unwrap(),
+    );
+    let fragment = identify_fragments(&program).remove(0);
+
+    let map_identity = || {
+        MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+        )
+    };
+    let mk = |reduce: ReduceLambda| {
+        let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+            .map(map_identity())
+            .reduce(reduce);
+        ProgramSummary::single("s", expr, OutputKind::Scalar)
+    };
+    // A verified candidate, a refuted one, and a faulting one.
+    let candidates = vec![
+        mk(ReduceLambda::binop(BinOp::Add)),
+        mk(ReduceLambda::new(IrExpr::var("v2"))),
+        mk(ReduceLambda::new(IrExpr::bin(
+            BinOp::Div,
+            IrExpr::var("v1"),
+            IrExpr::var("v2"),
+        ))),
+    ];
+
+    let reference = Verifier::new(
+        &fragment,
+        VerifyConfig {
+            parallelism: 1,
+            ..VerifyConfig::default()
+        },
+    );
+    // Same call sequence against the reference: each candidate twice.
+    let mut expected = Vec::new();
+    for cand in &candidates {
+        expected.push(reference.verify(cand));
+        expected.push(reference.verify(cand));
+    }
+
+    for workers in [2, 4, 8] {
+        let verifier = Verifier::new(
+            &fragment,
+            VerifyConfig {
+                parallelism: workers,
+                // Force the parallel checker regardless of basis size.
+                parallel_min_obligations: 0,
+                ..VerifyConfig::default()
+            },
+        );
+        let mut got = Vec::new();
+        for cand in &candidates {
+            got.push(verifier.verify(cand));
+            got.push(verifier.verify(cand));
+        }
+        for (e, g) in expected.iter().zip(&got) {
+            assert_eq!(e.result.verified, g.result.verified, "verdict diverged");
+            assert_eq!(e.result.states_checked, g.result.states_checked);
+            assert_eq!(e.result.counter_example, g.result.counter_example);
+            assert_eq!(e.result.reduce_properties, g.result.reduce_properties);
+            assert_eq!(e.result.reason, g.result.reason);
+            assert_eq!(e.result.proof.text(), g.result.proof.text());
+            assert_eq!(e.cache_hit, g.cache_hit, "cache decision diverged");
+        }
+        assert_eq!(reference.cache_hits(), verifier.cache_hits());
+        assert_eq!(reference.cache_misses(), verifier.cache_misses());
+
+        // Compiled vs tree-walking reference over the same basis.
+        for cand in &candidates {
+            let compiled = verifier.verify_uncached(cand);
+            let interpreted = verifier.verify_interpreted(cand);
+            assert_eq!(compiled.verified, interpreted.verified);
+            assert_eq!(compiled.states_checked, interpreted.states_checked);
+            assert_eq!(compiled.counter_example, interpreted.counter_example);
+            assert_eq!(compiled.reduce_properties, interpreted.reduce_properties);
+        }
+    }
 }
 
 /// The fused execution data plane must be deterministic in everything

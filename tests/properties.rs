@@ -265,7 +265,8 @@ proptest! {
 
         let with = FindConfig { dedup: true, ..base.clone() };
         let without = FindConfig { dedup: false, ..base };
-        let accept = |_: &casper_ir::mr::ProgramSummary| true;
+        let accept =
+            |_: &casper_ir::mr::ProgramSummary| synthesis::VerifierVerdict::simple(true);
         let (on, r_on) = find_summary(&frag, &accept, &with);
         let (off, r_off) = find_summary(&frag, &accept, &without);
         let (FindOutcome::Found(a), FindOutcome::Found(b)) = (on, off) else {
@@ -392,6 +393,95 @@ proptest! {
             vec![CaProperties { commutative: false, associative: true }],
             &st2,
         );
+    }
+
+    /// The verification stack's differential contract: the compiled,
+    /// parallel verifier and the tree-walking golden reference produce
+    /// identical verdicts, counter-examples, state counts, and reduce
+    /// properties over the same basis — across domain sizes (including
+    /// the empty domain), permutation counts, worker counts, and
+    /// candidate shapes (correct, refuted, and error-faulting).
+    #[test]
+    fn compiled_verifier_matches_tree_walk_verdicts(
+        states in 0usize..16,
+        permutations in 0usize..3,
+        workers in 1usize..5,
+        which in 0usize..4
+    ) {
+        use analyzer::identify_fragments;
+        use std::sync::Arc;
+        use verifier::{Verifier, VerifyConfig};
+
+        let program = Arc::new(
+            seqlang::compile(
+                "fn sum(xs: list<int>) -> int {
+                    let s: int = 0;
+                    for (x in xs) { s = s + x; }
+                    return s;
+                }",
+            )
+            .unwrap(),
+        );
+        let fragment = identify_fragments(&program).remove(0);
+        let m = || MapLambda::new(
+            vec!["x"],
+            vec![Emit::unconditional(IrExpr::int(0), IrExpr::var("x"))],
+        );
+        let mk = |r: ReduceLambda| {
+            let expr = MrExpr::Data(DataSource::flat("xs", Type::Int)).map(m()).reduce(r);
+            ProgramSummary::single("s", expr, OutputKind::Scalar)
+        };
+        let candidate = match which {
+            // Correct.
+            0 => mk(ReduceLambda::binop(BinOp::Add)),
+            // Refuted (keep-last).
+            1 => mk(ReduceLambda::new(IrExpr::var("v2"))),
+            // Faults on in-domain states (division by reduce input).
+            2 => mk(ReduceLambda::new(IrExpr::bin(
+                BinOp::Div,
+                IrExpr::var("v1"),
+                IrExpr::var("v2"),
+            ))),
+            // Faults in the map (division by the element).
+            _ => {
+                let lam = MapLambda::new(
+                    vec!["x"],
+                    vec![Emit::unconditional(
+                        IrExpr::int(0),
+                        IrExpr::bin(BinOp::Div, IrExpr::int(1), IrExpr::var("x")),
+                    )],
+                );
+                let expr = MrExpr::Data(DataSource::flat("xs", Type::Int))
+                    .map(lam)
+                    .reduce(ReduceLambda::binop(BinOp::Add));
+                ProgramSummary::single("s", expr, OutputKind::Scalar)
+            }
+        };
+        let config = VerifyConfig {
+            states,
+            permutations,
+            parallelism: workers,
+            // Small domains would otherwise fall back to the serial
+            // walk; force the parallel checker so the worker dimension
+            // is genuinely exercised.
+            parallel_min_obligations: 0,
+            ..VerifyConfig::default()
+        };
+        let verifier = Verifier::new(&fragment, config);
+        let compiled = verifier.verify_uncached(&candidate);
+        let interpreted = verifier.verify_interpreted(&candidate);
+        prop_assert_eq!(compiled.verified, interpreted.verified);
+        prop_assert_eq!(compiled.states_checked, interpreted.states_checked);
+        prop_assert_eq!(compiled.counter_example, interpreted.counter_example);
+        prop_assert_eq!(compiled.reduce_properties, interpreted.reduce_properties);
+        prop_assert_eq!(compiled.reason, interpreted.reason);
+        if states == 0 {
+            // Empty domain: trivially verified with zero states checked —
+            // unless the reducer-input harvest faults (which both
+            // verifiers must agree on, and `verified` equality above
+            // already locks in).
+            prop_assert_eq!(compiled.states_checked, 0);
+        }
     }
 
     /// Engine byte accounting is additive under scaling.
