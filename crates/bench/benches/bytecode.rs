@@ -1,0 +1,549 @@
+//! Bytecode-VM benchmark: the flat bytecode engine vs the closure-tree
+//! compiler vs the tree-walking interpreter, measured per consumer —
+//! per-candidate screening (compile + evaluate over the bounded domain,
+//! exactly the CEGIS inner loop), per-record map-λ evaluation (the data
+//! plane's hot path), and per-call reduce combining over deep expression
+//! chains (where dispatch cost dominates). Headline numbers are written
+//! to `BENCH_bytecode.json` at the workspace root.
+//!
+//! Every timed comparison is also checked differentially: the VM's
+//! outputs — values *and* error strings — must be identical to both
+//! references, and the artifact records the verdict.
+//!
+//! Set `BYTECODE_BENCH_RECORDS` (default 2000) to shrink the record
+//! volume for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use analyzer::identify_fragments;
+use analyzer::stategen::{StateGen, StateGenConfig};
+use casper_ir::compile::{CompiledMapLambda, CompiledReduceLambda};
+use casper_ir::{eval_summary, Emit, Engine, IrExpr, MapLambda, ProgramSummary, ReduceLambda};
+use seqlang::ast::BinOp;
+use seqlang::env::Env;
+use seqlang::value::Value;
+use synthesis::{generate_classes, CandidateStream, Grammar};
+
+/// Candidates drawn per fragment for the screening family.
+const CANDIDATES: usize = 24;
+
+/// Bounded states per candidate — the screening domain of the CEGIS loop.
+const SCREEN_STATES: usize = 10;
+
+fn records_knob() -> usize {
+    std::env::var("BYTECODE_BENCH_RECORDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000)
+}
+
+/// Time `f`: one warm-up call, then the best of three ~70ms sample
+/// batches — min-of-N filters out scheduler noise on shared hosts.
+fn time_mean(mut f: impl FnMut()) -> Duration {
+    let once = Instant::now();
+    f();
+    let first = once.elapsed();
+    if first > Duration::from_millis(210) {
+        return first;
+    }
+    let iters = (Duration::from_millis(70).as_nanos() / first.as_nanos().max(1)).clamp(1, 50);
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed() / iters as u32);
+    }
+    best
+}
+
+// ---------------------------------------------------------------------
+// Family 1: per-candidate screening.
+
+struct ScreenCase {
+    name: &'static str,
+    candidates: Vec<ProgramSummary>,
+    states: Vec<Env>,
+}
+
+fn screen_case(name: &'static str, src: &str) -> ScreenCase {
+    let program = Arc::new(seqlang::compile(src).unwrap());
+    let fragment = identify_fragments(&program).remove(0);
+    let grammar = Grammar::for_fragment(&fragment);
+    let classes = generate_classes();
+    // The top class has the richest candidate mix (multi-op pipelines) —
+    // take the head of the cost-ordered stream unfiltered: screening sees
+    // failures and survivors alike, and so must this benchmark.
+    let top = classes[classes.len() - 1];
+    let mut stream = CandidateStream::new(&grammar, &top);
+    let candidates: Vec<ProgramSummary> = stream.all().iter().take(CANDIDATES).cloned().collect();
+    let states = StateGen::new(&fragment, StateGenConfig::bounded()).states(SCREEN_STATES);
+    assert!(!candidates.is_empty(), "{name}: empty candidate stream");
+    ScreenCase {
+        name,
+        candidates,
+        states,
+    }
+}
+
+fn screen_cases() -> Vec<ScreenCase> {
+    vec![
+        screen_case(
+            "sum",
+            "fn sum(xs: list<int>) -> int {
+                let s: int = 0;
+                for (x in xs) { s = s + x; }
+                return s;
+            }",
+        ),
+        screen_case(
+            "conditional_count",
+            "fn cc(xs: list<int>, t: int) -> int {
+                let n: int = 0;
+                for (x in xs) { if (x > t) { n = n + 1; } }
+                return n;
+            }",
+        ),
+    ]
+}
+
+/// One screening pass exactly as `observe_candidate` runs it: lower the
+/// candidate once on the given engine, evaluate it over every bounded
+/// state. Returns the outcome fingerprints for the differential check.
+fn screen_outcomes(c: &ScreenCase, engine: Engine) -> Vec<Result<Env, String>> {
+    let mut out = Vec::new();
+    for cand in &c.candidates {
+        let compiled = casper_ir::CompiledSummary::compile_with(cand, engine);
+        for st in &c.states {
+            out.push(compiled.eval(st).map_err(|e| e.to_string()));
+        }
+    }
+    out
+}
+
+struct ScreenResult {
+    name: &'static str,
+    candidates: usize,
+    evals: usize,
+    vm_per_eval_ns: f64,
+    closure_tree_per_eval_ns: f64,
+    tree_walk_per_eval_ns: f64,
+    vm_vs_closure_tree: f64,
+    vm_vs_tree_walk: f64,
+    outputs_identical: bool,
+}
+
+fn measure_screening(c: &ScreenCase) -> ScreenResult {
+    let evals = c.candidates.len() * c.states.len();
+    let vm_out = screen_outcomes(c, Engine::Bytecode);
+    let ct_out = screen_outcomes(c, Engine::ClosureTree);
+    let tw_out: Vec<Result<Env, String>> = c
+        .candidates
+        .iter()
+        .flat_map(|cand| {
+            c.states
+                .iter()
+                .map(|st| eval_summary(cand, st).map_err(|e| e.to_string()))
+        })
+        .collect();
+    let outputs_identical = vm_out == ct_out && vm_out == tw_out;
+
+    let vm = time_mean(|| {
+        let _ = screen_outcomes(c, Engine::Bytecode);
+    });
+    let ct = time_mean(|| {
+        let _ = screen_outcomes(c, Engine::ClosureTree);
+    });
+    let tw = time_mean(|| {
+        for cand in &c.candidates {
+            for st in &c.states {
+                let _ = eval_summary(cand, st);
+            }
+        }
+    });
+    let per = |d: Duration| d.as_secs_f64() * 1e9 / evals.max(1) as f64;
+    ScreenResult {
+        name: c.name,
+        candidates: c.candidates.len(),
+        evals,
+        vm_per_eval_ns: per(vm),
+        closure_tree_per_eval_ns: per(ct),
+        tree_walk_per_eval_ns: per(tw),
+        vm_vs_closure_tree: per(ct) / per(vm),
+        vm_vs_tree_walk: per(tw) / per(vm),
+        outputs_identical,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 2: per-record map-λ evaluation (the data plane's hot path).
+
+struct MapCase {
+    name: &'static str,
+    lambda: MapLambda,
+    rows: Vec<Vec<Value>>,
+}
+
+fn map_cases(records: usize) -> Vec<MapCase> {
+    let contribs = MapLambda::new(
+        vec!["src", "dst", "rank"],
+        vec![
+            Emit::unconditional(
+                IrExpr::var("dst"),
+                IrExpr::bin(
+                    BinOp::Add,
+                    IrExpr::bin(BinOp::Mul, IrExpr::var("rank"), IrExpr::ConstInt(85)),
+                    IrExpr::ConstInt(15),
+                ),
+            ),
+            Emit {
+                cond: Some(IrExpr::bin(
+                    BinOp::Lt,
+                    IrExpr::var("src"),
+                    IrExpr::var("dst"),
+                )),
+                key: IrExpr::var("src"),
+                val: IrExpr::bin(BinOp::Mul, IrExpr::var("rank"), IrExpr::var("rank")),
+            },
+        ],
+    );
+    let rows: Vec<Vec<Value>> = (0..records)
+        .map(|i| {
+            vec![
+                Value::Int((i % 97) as i64),
+                Value::Int((i % 31) as i64),
+                Value::Int((i * 7 % 1009) as i64),
+            ]
+        })
+        .collect();
+    vec![MapCase {
+        name: "pagerank_contribs",
+        lambda: contribs,
+        rows,
+    }]
+}
+
+/// The pre-compilation data plane: bind the λ parameters into an env per
+/// record and tree-walk every emit expression.
+fn tree_walk_map(lambda: &MapLambda, row: &[Value], out: &mut Vec<(Value, Value)>) {
+    let mut env = Env::new();
+    for (p, v) in lambda.params.iter().zip(row) {
+        env.set(p.clone(), v.clone());
+    }
+    for emit in &lambda.emits {
+        let fire = match &emit.cond {
+            Some(c) => c.eval(&env).ok().and_then(|v| v.as_bool()).unwrap_or(false),
+            None => true,
+        };
+        if fire {
+            let k = emit.key.eval(&env).unwrap();
+            let v = emit.val.eval(&env).unwrap();
+            out.push((k, v));
+        }
+    }
+}
+
+struct MapResult {
+    name: &'static str,
+    records: usize,
+    vm_per_record_ns: f64,
+    closure_tree_per_record_ns: f64,
+    tree_walk_per_record_ns: f64,
+    vm_vs_closure_tree: f64,
+    vm_vs_tree_walk: f64,
+    outputs_identical: bool,
+}
+
+fn measure_map(c: &MapCase) -> MapResult {
+    let state = Env::new();
+    let vm = CompiledMapLambda::compile_with(&c.lambda, Engine::Bytecode);
+    let ct = CompiledMapLambda::compile_with(&c.lambda, Engine::ClosureTree);
+    let run = |l: &CompiledMapLambda| {
+        let mut out = Vec::with_capacity(c.rows.len() * 2);
+        for row in &c.rows {
+            l.apply_into(row, &state, &mut out).unwrap();
+        }
+        out
+    };
+    let mut tw_out = Vec::with_capacity(c.rows.len() * 2);
+    for row in &c.rows {
+        tree_walk_map(&c.lambda, row, &mut tw_out);
+    }
+    let outputs_identical = run(&vm) == run(&ct) && run(&vm) == tw_out;
+
+    let t_vm = time_mean(|| {
+        let _ = run(&vm);
+    });
+    let t_ct = time_mean(|| {
+        let _ = run(&ct);
+    });
+    let t_tw = time_mean(|| {
+        let mut out = Vec::with_capacity(c.rows.len() * 2);
+        for row in &c.rows {
+            tree_walk_map(&c.lambda, row, &mut out);
+        }
+    });
+    let per = |d: Duration| d.as_secs_f64() * 1e9 / c.rows.len().max(1) as f64;
+    MapResult {
+        name: c.name,
+        records: c.rows.len(),
+        vm_per_record_ns: per(t_vm),
+        closure_tree_per_record_ns: per(t_ct),
+        tree_walk_per_record_ns: per(t_tw),
+        vm_vs_closure_tree: per(t_ct) / per(t_vm),
+        vm_vs_tree_walk: per(t_tw) / per(t_vm),
+        outputs_identical,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 3: per-call reduce combining over deep expression chains —
+// per-record evaluation where dispatch cost, not data movement, is the
+// whole bill.
+
+/// A well-typed int chain of `depth` binary nodes over `v1`/`v2`:
+/// alternating `*`/`+` with small constants, the shape deep synthesized
+/// reducers and fused arithmetic stages take.
+fn chain(depth: usize) -> IrExpr {
+    let mut e = IrExpr::var("v1");
+    for i in 0..depth {
+        let term = match i % 3 {
+            0 => IrExpr::var("v2"),
+            1 => IrExpr::ConstInt((i % 7 + 1) as i64),
+            _ => IrExpr::var("v1"),
+        };
+        let op = if i % 2 == 0 { BinOp::Add } else { BinOp::Mul };
+        e = IrExpr::bin(op, e, term);
+    }
+    e
+}
+
+struct ChainResult {
+    depth: usize,
+    vm_per_call_ns: f64,
+    closure_tree_per_call_ns: f64,
+    tree_walk_per_call_ns: f64,
+    vm_vs_closure_tree: f64,
+    vm_vs_tree_walk: f64,
+    outputs_identical: bool,
+}
+
+fn measure_chain(depth: usize, calls: usize) -> ChainResult {
+    let lambda = ReduceLambda::new(chain(depth));
+    let vm = CompiledReduceLambda::compile_with(&lambda, Engine::Bytecode);
+    let ct = CompiledReduceLambda::compile_with(&lambda, Engine::ClosureTree);
+    let state = Env::new();
+    let pairs: Vec<(i64, i64)> = (0..calls)
+        .map(|i| ((i % 101) as i64, (i * 13 % 53) as i64))
+        .collect();
+
+    let run = |l: &CompiledReduceLambda| {
+        let mut acc = Vec::with_capacity(pairs.len());
+        for &(a, b) in &pairs {
+            acc.push(l.combine(Value::Int(a), Value::Int(b), &state).unwrap());
+        }
+        acc
+    };
+    let tw_run = || {
+        let mut acc = Vec::with_capacity(pairs.len());
+        for &(a, b) in &pairs {
+            let mut env = Env::new();
+            env.set("v1", Value::Int(a));
+            env.set("v2", Value::Int(b));
+            acc.push(lambda.body.eval(&env).unwrap());
+        }
+        acc
+    };
+    let outputs_identical = run(&vm) == run(&ct) && run(&vm) == tw_run();
+
+    let t_vm = time_mean(|| {
+        let _ = run(&vm);
+    });
+    let t_ct = time_mean(|| {
+        let _ = run(&ct);
+    });
+    let t_tw = time_mean(|| {
+        let _ = tw_run();
+    });
+    let per = |d: Duration| d.as_secs_f64() * 1e9 / calls.max(1) as f64;
+    ChainResult {
+        depth,
+        vm_per_call_ns: per(t_vm),
+        closure_tree_per_call_ns: per(t_ct),
+        tree_walk_per_call_ns: per(t_tw),
+        vm_vs_closure_tree: per(t_ct) / per(t_vm),
+        vm_vs_tree_walk: per(t_tw) / per(t_vm),
+        outputs_identical,
+    }
+}
+
+// ---------------------------------------------------------------------
+
+fn write_artifact(
+    records: usize,
+    screens: &[ScreenResult],
+    maps: &[MapResult],
+    chains: &[ChainResult],
+) {
+    let mut max_speedup = 0.0f64;
+    let mut best_family = "";
+    let mut all_identical = true;
+
+    let mut screening = String::new();
+    for (i, r) in screens.iter().enumerate() {
+        all_identical &= r.outputs_identical;
+        if r.vm_vs_closure_tree > max_speedup {
+            max_speedup = r.vm_vs_closure_tree;
+            best_family = "screening";
+        }
+        screening.push_str(&format!(
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"evals\": {}, \
+             \"vm_per_eval_ns\": {:.1}, \"closure_tree_per_eval_ns\": {:.1}, \
+             \"tree_walk_per_eval_ns\": {:.1}, \"vm_vs_closure_tree\": {:.2}, \
+             \"vm_vs_tree_walk\": {:.2}, \"outputs_identical\": {}}}{}\n",
+            r.name,
+            r.candidates,
+            r.evals,
+            r.vm_per_eval_ns,
+            r.closure_tree_per_eval_ns,
+            r.tree_walk_per_eval_ns,
+            r.vm_vs_closure_tree,
+            r.vm_vs_tree_walk,
+            r.outputs_identical,
+            if i + 1 < screens.len() { "," } else { "" },
+        ));
+    }
+
+    let mut map_json = String::new();
+    for (i, r) in maps.iter().enumerate() {
+        all_identical &= r.outputs_identical;
+        if r.vm_vs_closure_tree > max_speedup {
+            max_speedup = r.vm_vs_closure_tree;
+            best_family = "map_records";
+        }
+        map_json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"records\": {}, \"vm_per_record_ns\": {:.1}, \
+             \"closure_tree_per_record_ns\": {:.1}, \"tree_walk_per_record_ns\": {:.1}, \
+             \"vm_vs_closure_tree\": {:.2}, \"vm_vs_tree_walk\": {:.2}, \
+             \"outputs_identical\": {}}}{}\n",
+            r.name,
+            r.records,
+            r.vm_per_record_ns,
+            r.closure_tree_per_record_ns,
+            r.tree_walk_per_record_ns,
+            r.vm_vs_closure_tree,
+            r.vm_vs_tree_walk,
+            r.outputs_identical,
+            if i + 1 < maps.len() { "," } else { "" },
+        ));
+    }
+
+    let mut chain_json = String::new();
+    for (i, r) in chains.iter().enumerate() {
+        all_identical &= r.outputs_identical;
+        if r.vm_vs_closure_tree > max_speedup {
+            max_speedup = r.vm_vs_closure_tree;
+            best_family = "reduce_chains";
+        }
+        chain_json.push_str(&format!(
+            "    {{\"depth\": {}, \"vm_per_call_ns\": {:.1}, \
+             \"closure_tree_per_call_ns\": {:.1}, \"tree_walk_per_call_ns\": {:.1}, \
+             \"vm_vs_closure_tree\": {:.2}, \"vm_vs_tree_walk\": {:.2}, \
+             \"outputs_identical\": {}}}{}\n",
+            r.depth,
+            r.vm_per_call_ns,
+            r.closure_tree_per_call_ns,
+            r.tree_walk_per_call_ns,
+            r.vm_vs_closure_tree,
+            r.vm_vs_tree_walk,
+            r.outputs_identical,
+            if i + 1 < chains.len() { "," } else { "" },
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"records\": {records},\n  \"screening\": [\n{screening}  ],\n  \
+         \"map_records\": [\n{map_json}  ],\n  \"reduce_chains\": [\n{chain_json}  ],\n  \
+         \"headline\": {{\n    \"max_vm_vs_closure_tree\": {max_speedup:.2},\n    \
+         \"best_family\": \"{best_family}\",\n    \
+         \"outputs_identical\": {all_identical}\n  }}\n}}\n",
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bytecode.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("bytecode: wrote {path}"),
+        Err(e) => println!("bytecode: could not write {path}: {e}"),
+    }
+}
+
+fn bench_bytecode(c: &mut Criterion) {
+    let records = records_knob();
+
+    // Human-readable criterion entries: one VM screening sweep.
+    let scs = screen_cases();
+    for sc in &scs {
+        c.bench_function(&format!("bytecode/screen_{}_vm", sc.name), |b| {
+            b.iter(|| screen_outcomes(sc, Engine::Bytecode))
+        });
+    }
+
+    let screens: Vec<ScreenResult> = scs.iter().map(measure_screening).collect();
+    for r in &screens {
+        println!(
+            "bytecode/screen_{}: {} candidates / {} evals, vm {:.0} ns/eval, \
+             closure-tree {:.0} ns/eval ({:.2}x), tree-walk {:.0} ns/eval ({:.2}x), \
+             outputs identical: {}",
+            r.name,
+            r.candidates,
+            r.evals,
+            r.vm_per_eval_ns,
+            r.closure_tree_per_eval_ns,
+            r.vm_vs_closure_tree,
+            r.tree_walk_per_eval_ns,
+            r.vm_vs_tree_walk,
+            r.outputs_identical,
+        );
+    }
+
+    let maps: Vec<MapResult> = map_cases(records).iter().map(measure_map).collect();
+    for r in &maps {
+        println!(
+            "bytecode/map_{}: {} records, vm {:.0} ns/record, closure-tree {:.0} ns/record \
+             ({:.2}x), tree-walk {:.0} ns/record ({:.2}x), outputs identical: {}",
+            r.name,
+            r.records,
+            r.vm_per_record_ns,
+            r.closure_tree_per_record_ns,
+            r.vm_vs_closure_tree,
+            r.tree_walk_per_record_ns,
+            r.vm_vs_tree_walk,
+            r.outputs_identical,
+        );
+    }
+
+    let calls = records.max(100);
+    let chains: Vec<ChainResult> = [8usize, 32, 128]
+        .iter()
+        .map(|&d| measure_chain(d, calls))
+        .collect();
+    for r in &chains {
+        println!(
+            "bytecode/chain_depth_{}: vm {:.0} ns/call, closure-tree {:.0} ns/call ({:.2}x), \
+             tree-walk {:.0} ns/call ({:.2}x), outputs identical: {}",
+            r.depth,
+            r.vm_per_call_ns,
+            r.closure_tree_per_call_ns,
+            r.vm_vs_closure_tree,
+            r.tree_walk_per_call_ns,
+            r.vm_vs_tree_walk,
+            r.outputs_identical,
+        );
+    }
+
+    write_artifact(records, &screens, &maps, &chains);
+}
+
+criterion_group!(benches, bench_bytecode);
+criterion_main!(benches);

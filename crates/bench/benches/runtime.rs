@@ -384,40 +384,57 @@ fn measure_iterative_cache(base: usize) -> CacheResult {
         )
     };
 
-    // Uncached series.
-    let ctx = Context::with_parallelism(4, 8);
-    ctx.reset_stats();
-    let uncached_started = Instant::now();
+    // Both series are measured best-of-REPS with a fresh context (and,
+    // for the cached series, a fresh `PlanCache`) per repetition — hit
+    // counts stay deterministic (the first iteration of each rep is the
+    // cold miss) and min-of-N filters scheduler noise, which at these
+    // multi-second walls would otherwise swamp the cache's margin.
+    const REPS: usize = 3;
+    let mut uncached_wall = Duration::MAX;
     let mut uncached_outs = Vec::new();
-    for it in 0..iterations {
-        state.set("ranks", fresh_ranks(it));
-        uncached_outs.push(plan.execute(&ctx, &state).expect("uncached iteration"));
+    let mut sim_uncached_s = 0.0;
+    for _ in 0..REPS {
+        let ctx = Context::with_parallelism(4, 8);
+        ctx.reset_stats();
+        let started = Instant::now();
+        let mut outs = Vec::new();
+        for it in 0..iterations {
+            state.set("ranks", fresh_ranks(it));
+            outs.push(plan.execute(&ctx, &state).expect("uncached iteration"));
+        }
+        uncached_wall = uncached_wall.min(started.elapsed());
+        uncached_outs = outs;
+        sim_uncached_s =
+            simulate_job(&ctx.stats(), &ClusterSpec::paper(), Framework::Spark).seconds;
     }
-    let uncached_wall = uncached_started.elapsed();
-    let sim_uncached_s =
-        simulate_job(&ctx.stats(), &ClusterSpec::paper(), Framework::Spark).seconds;
 
     // Cached series: identical outputs, edge ingest served from cache.
-    let ctx2 = Context::with_parallelism(4, 8);
-    ctx2.reset_stats();
-    let mut cache = PlanCache::new();
-    let cached_started = Instant::now();
-    for (it, expected) in uncached_outs.iter().enumerate() {
-        state.set("ranks", fresh_ranks(it));
-        let out = plan
-            .execute_cached(&ctx2, &state, &mut cache)
-            .expect("cached iteration");
-        assert_eq!(&out, expected, "cache changed iteration {it}");
+    let mut cached_wall = Duration::MAX;
+    let mut cache_hits = 0;
+    let mut sim_cached_s = 0.0;
+    for _ in 0..REPS {
+        let ctx2 = Context::with_parallelism(4, 8);
+        ctx2.reset_stats();
+        let mut cache = PlanCache::new();
+        let started = Instant::now();
+        for (it, expected) in uncached_outs.iter().enumerate() {
+            state.set("ranks", fresh_ranks(it));
+            let out = plan
+                .execute_cached(&ctx2, &state, &mut cache)
+                .expect("cached iteration");
+            assert_eq!(&out, expected, "cache changed iteration {it}");
+        }
+        cached_wall = cached_wall.min(started.elapsed());
+        cache_hits = cache.hits();
+        sim_cached_s = simulate_job(&ctx2.stats(), &ClusterSpec::paper(), Framework::Spark).seconds;
     }
-    let cached_wall = cached_started.elapsed();
-    let sim_cached_s = simulate_job(&ctx2.stats(), &ClusterSpec::paper(), Framework::Spark).seconds;
 
     CacheResult {
         records: n,
         iterations,
         uncached_wall,
         cached_wall,
-        cache_hits: cache.hits(),
+        cache_hits,
         sim_uncached_s,
         sim_cached_s,
     }

@@ -87,6 +87,39 @@ fn main() {
         );
     }
 
+    // The failure ledger: every untranslated fragment, classified into
+    // the §7.1 failure taxonomy (plus whether it ever reached the full
+    // verifier), and a per-class roll-up.
+    println!("\nUntranslated fragments — failure ledger\n");
+    println!(
+        "{:<28} {:<24} {:>4} {:>9} {:<14}",
+        "Benchmark", "Fragment", "LOC", "To-verif", "Class"
+    );
+    let mut class_counts: Vec<(&'static str, usize)> = Vec::new();
+    for run in &runs {
+        for failure in &run.failures {
+            let class = failure.class();
+            println!(
+                "{:<28} {:<24} {:>4} {:>9} {:<14} {}",
+                run.name,
+                failure.func,
+                failure.loc,
+                failure.sent_to_verifier,
+                class,
+                failure.reason.describe(),
+            );
+            match class_counts.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, n)) => *n += 1,
+                None => class_counts.push((class, 1)),
+            }
+        }
+    }
+    let total_failed: usize = class_counts.iter().map(|(_, n)| n).sum();
+    println!("\nFailure classes ({total_failed} fragments)\n");
+    for (class, n) in &class_counts {
+        println!("{class:<14} {n:>3}");
+    }
+
     println!(
         "\nTotal: {grand_translated} / {grand_identified} fragments translated \
          (paper: 82 / 101)"

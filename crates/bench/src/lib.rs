@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use analyzer::identify_fragments;
+use casper::report::FailureReason;
 use casper::{Casper, CasperConfig, FragmentOutcome};
 use codegen::Dialect;
 use mapreduce::sim::{simulate_job, simulate_sequential, speedup};
@@ -61,6 +62,43 @@ pub struct BenchRun {
     pub speedup: Option<FrameworkSpeedups>,
     /// Engine output matched the sequential semantics.
     pub output_correct: bool,
+    /// Every fragment of this benchmark that failed to translate, with
+    /// its classified failure reason (the table-1 failure ledger).
+    pub failures: Vec<FragmentFailure>,
+}
+
+/// One untranslated fragment and why it was left behind.
+pub struct FragmentFailure {
+    pub func: String,
+    pub loc: usize,
+    pub reason: FailureReason,
+    /// Candidates the search escalated to the full verifier before the
+    /// fragment was abandoned — distinguishes "nothing plausible in the
+    /// grammar" from "plausible candidates kept failing verification".
+    pub sent_to_verifier: u64,
+}
+
+impl FragmentFailure {
+    /// The ledger's failure-class bucket. `SearchExhausted` splits on
+    /// whether the search ever escalated a candidate: if the verifier saw
+    /// candidates and rejected them all, the gap is on the verification
+    /// side (too-weak invariant grammar / bounded model); if nothing was
+    /// ever plausible enough to escalate, the summary grammar itself has
+    /// the hole.
+    pub fn class(&self) -> &'static str {
+        match self.reason {
+            FailureReason::InnerDataLoop => "grammar hole",
+            FailureReason::UnmodeledMethod => "domain hole",
+            FailureReason::Timeout => "timeout",
+            FailureReason::SearchExhausted => {
+                if self.sent_to_verifier > 0 {
+                    "verifier gap"
+                } else {
+                    "grammar hole"
+                }
+            }
+        }
+    }
 }
 
 impl BenchRun {
@@ -94,6 +132,19 @@ pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
     let verify_cpu = report.total_verify_cpu();
     let verdict_cache_hits = report.total_verdict_cache_hits();
     let verdict_cache_misses = report.total_verdict_cache_misses();
+    let failures = report
+        .fragments
+        .iter()
+        .filter_map(|f| match &f.outcome {
+            FragmentOutcome::Failed(reason) => Some(FragmentFailure {
+                func: f.func.clone(),
+                loc: f.loc,
+                reason: reason.clone(),
+                sent_to_verifier: f.search.sent_to_verifier,
+            }),
+            FragmentOutcome::Translated { .. } => None,
+        })
+        .collect();
 
     let mut fragment_loc = 0;
     let mut generated_loc = 0;
@@ -128,6 +179,7 @@ pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
         ops,
         speedup: speedups,
         output_correct,
+        failures,
     }
 }
 

@@ -83,6 +83,16 @@ impl CasperConfig {
         self.verify.parallelism = workers.max(1);
         self
     }
+
+    /// Run screening AND verification on one candidate-evaluation
+    /// engine — the bytecode VM by default; `Engine::ClosureTree` is the
+    /// differential-reference ablation. Outcomes are bit-identical either
+    /// way; only the time split changes.
+    pub fn with_engine(mut self, engine: casper_ir::Engine) -> CasperConfig {
+        self.find.engine = engine;
+        self.verify.engine = engine;
+        self
+    }
 }
 
 /// The Casper compiler.
@@ -195,6 +205,7 @@ impl Casper {
             report.verify_cpu = verifier.cpu_time();
             report.verdict_cache_hits = verifier.cache_hits();
             report.verdict_cache_misses = verifier.cache_misses();
+            report.engine = self.config.find.engine.name();
         };
         let summaries = match outcome {
             FindOutcome::Found(s) => s,
@@ -285,12 +296,14 @@ impl Casper {
         reason: FailureReason,
         started: Instant,
     ) -> FragmentReport {
-        FragmentReport::new(
+        let mut report = FragmentReport::new(
             fragment,
             FragmentOutcome::Failed(reason),
             Default::default(),
             started.elapsed(),
-        )
+        );
+        report.engine = self.config.find.engine.name();
+        report
     }
 
     /// Type environment for static costing: λ params of each source,

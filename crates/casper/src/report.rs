@@ -103,6 +103,21 @@ pub struct FragmentReport {
     /// `compile_time`; the gap between the two is what the parallel
     /// driver bought.
     pub cpu_time: Duration,
+    /// Label of the candidate-evaluation engine the search and verifier
+    /// ran on (`"bytecode"` by default, `"closure-tree"` for the
+    /// differential-reference ablation) — the per-engine time split pairs
+    /// this with [`screen_wall`] / [`verify_wall`].
+    ///
+    /// [`screen_wall`]: FragmentReport::screen_wall
+    /// [`verify_wall`]: FragmentReport::verify_wall
+    pub engine: &'static str,
+    /// Wall-clock the search spent screening candidates on the engine —
+    /// the search's elapsed time minus the share it spent waiting on full
+    /// verification. Together with [`verify_wall`] this splits the hot
+    /// evaluation time by consumer.
+    ///
+    /// [`verify_wall`]: FragmentReport::verify_wall
+    pub screen_wall: Duration,
 }
 
 impl FragmentReport {
@@ -118,6 +133,7 @@ impl FragmentReport {
         compile_time: Duration,
     ) -> FragmentReport {
         let cpu_time = search.cpu_time + compile_time.saturating_sub(search.elapsed);
+        let screen_wall = search.elapsed.saturating_sub(search.verify_wall);
         FragmentReport {
             id: fragment.id.clone(),
             func: fragment.func.clone(),
@@ -132,6 +148,8 @@ impl FragmentReport {
             verdict_cache_hits: 0,
             verdict_cache_misses: 0,
             cpu_time,
+            engine: casper_ir::Engine::default().name(),
+            screen_wall,
         }
     }
 
@@ -235,6 +253,24 @@ impl TranslationReport {
     /// Summed full-verification wall clock across fragments.
     pub fn total_verify_wall(&self) -> Duration {
         self.fragments.iter().map(|f| f.verify_wall).sum()
+    }
+
+    /// Summed candidate-screening wall clock across fragments — the
+    /// engine-side counterpart of [`total_verify_wall`] in the per-engine
+    /// time split.
+    ///
+    /// [`total_verify_wall`]: TranslationReport::total_verify_wall
+    pub fn total_screen_wall(&self) -> Duration {
+        self.fragments.iter().map(|f| f.screen_wall).sum()
+    }
+
+    /// The evaluation engine the translation ran on (all fragments of one
+    /// translation share a config).
+    pub fn engine(&self) -> &'static str {
+        self.fragments
+            .first()
+            .map(|f| f.engine)
+            .unwrap_or_else(|| casper_ir::Engine::default().name())
     }
 
     /// Summed full-verification CPU time across fragments.

@@ -3,14 +3,16 @@
 //! The CEGIS screening loop evaluates every candidate summary against the
 //! whole counter-example set Φ and the bounded domain — the same small
 //! expression trees are re-walked thousands of times. [`CompiledSummary`]
-//! lowers a [`ProgramSummary`] into a tree of flat closures exactly once:
-//! every λ-parameter reference is resolved to a slot index at compile
-//! time, constants are materialised, and each IR node becomes one direct
-//! call instead of an enum dispatch plus environment lookup. The
-//! compiled form is semantically identical to [`crate::eval::eval_summary`]
-//! (both share the output-reconstruction code in [`crate::eval`]), which
-//! is what lets the synthesizer's screening counters stay bit-identical
-//! whichever evaluator runs.
+//! lowers a [`ProgramSummary`] exactly once: every λ-parameter reference
+//! is resolved to a slot index at compile time, constants are
+//! materialised, and the expression bodies are compiled for one of two
+//! [`Engine`]s — the flat bytecode VM of [`crate::bytecode`] (the
+//! default), or the slot-resolved closure trees it superseded, kept alive
+//! as the differential golden reference. Both engines are semantically
+//! identical to [`crate::eval::eval_summary`] (all share the
+//! output-reconstruction code in [`crate::eval`]), which is what lets the
+//! synthesizer's screening counters stay bit-identical whichever
+//! evaluator runs.
 //!
 //! ```
 //! use casper_ir::compile::CompiledSummary;
@@ -49,6 +51,7 @@ use seqlang::interp::{eval_binop, eval_free_function, eval_pure_method};
 use seqlang::value::Value;
 use seqlang::Env;
 
+use crate::bytecode::{Chunk, Engine};
 use crate::eval::{eval_data, eval_join, group_by_key, reconstruct_output, Row};
 use crate::expr::IrExpr;
 use crate::lambda::{MapLambda, ReduceLambda};
@@ -64,11 +67,37 @@ struct Frame<'a> {
 /// A compiled IR expression: all structure folded into one closure tree.
 type ExprFn = Box<dyn Fn(&Frame<'_>) -> Result<Value> + Send + Sync>;
 
+/// One expression lowered for a specific [`Engine`]: a flat bytecode
+/// chunk (the default) or the closure tree kept as the differential
+/// golden reference. Both produce bit-identical values and errors; the
+/// dispatch is one match at the λ-application boundary, outside the
+/// per-node hot path.
+enum ExprProgram {
+    Vm(Chunk),
+    Tree(ExprFn),
+}
+
+impl ExprProgram {
+    fn compile<P: AsRef<str>>(e: &IrExpr, params: &[P], engine: Engine) -> ExprProgram {
+        match engine {
+            Engine::Bytecode => ExprProgram::Vm(Chunk::compile(e, params)),
+            Engine::ClosureTree => ExprProgram::Tree(compile_expr(e, params)),
+        }
+    }
+
+    fn run(&self, f: &Frame<'_>) -> Result<Value> {
+        match self {
+            ExprProgram::Vm(chunk) => chunk.run(f.locals, f.state),
+            ExprProgram::Tree(func) => func(f),
+        }
+    }
+}
+
 /// One compiled emit statement of a map transformer.
 struct CompiledEmit {
-    cond: Option<ExprFn>,
-    key: ExprFn,
-    val: ExprFn,
+    cond: Option<ExprProgram>,
+    key: ExprProgram,
+    val: ExprProgram,
 }
 
 /// A map transformer λm lowered once to slot-resolved closures: parameter
@@ -83,8 +112,14 @@ pub struct CompiledMapLambda {
 }
 
 impl CompiledMapLambda {
-    /// Lower `lambda`, resolving its parameters to frame slots.
+    /// Lower `lambda` with the default engine (the bytecode VM).
     pub fn compile(lambda: &MapLambda) -> CompiledMapLambda {
+        CompiledMapLambda::compile_with(lambda, Engine::default())
+    }
+
+    /// Lower `lambda` for `engine`, resolving its parameters to frame
+    /// slots.
+    pub fn compile_with(lambda: &MapLambda, engine: Engine) -> CompiledMapLambda {
         let mut free = Vec::new();
         for emit in &lambda.emits {
             if let Some(c) = &emit.cond {
@@ -96,7 +131,7 @@ impl CompiledMapLambda {
         free.retain(|v| !lambda.params.iter().any(|p| p == v));
         CompiledMapLambda {
             arity: lambda.params.len(),
-            emits: compile_map(lambda),
+            emits: compile_map(lambda, engine),
             free_vars: free,
         }
     }
@@ -130,14 +165,15 @@ impl CompiledMapLambda {
         let frame = Frame { locals: row, state };
         for emit in &self.emits {
             let fire = match &emit.cond {
-                Some(c) => c(&frame)?
+                Some(c) => c
+                    .run(&frame)?
                     .as_bool()
                     .ok_or_else(|| Error::runtime("emit guard not a bool"))?,
                 None => true,
             };
             if fire {
-                let k = (emit.key)(&frame)?;
-                let v = (emit.val)(&frame)?;
+                let k = emit.key.run(&frame)?;
+                let v = emit.val.run(&frame)?;
                 out.push((k, v));
             }
         }
@@ -148,18 +184,23 @@ impl CompiledMapLambda {
 /// A reduce transformer λr lowered once to a slot-resolved closure;
 /// combining two values is a single direct call over a two-slot frame.
 pub struct CompiledReduceLambda {
-    body: ExprFn,
+    body: ExprProgram,
     free_vars: Vec<String>,
 }
 
 impl CompiledReduceLambda {
-    /// Lower `lambda`, resolving `v1`/`v2` to frame slots.
+    /// Lower `lambda` with the default engine (the bytecode VM).
     pub fn compile(lambda: &ReduceLambda) -> CompiledReduceLambda {
+        CompiledReduceLambda::compile_with(lambda, Engine::default())
+    }
+
+    /// Lower `lambda` for `engine`, resolving `v1`/`v2` to frame slots.
+    pub fn compile_with(lambda: &ReduceLambda, engine: Engine) -> CompiledReduceLambda {
         let mut free = Vec::new();
         lambda.body.free_vars(&mut free);
         free.retain(|v| !lambda.params.iter().any(|p| p == v));
         CompiledReduceLambda {
-            body: compile_reduce(lambda),
+            body: compile_reduce(lambda, engine),
             free_vars: free,
         }
     }
@@ -176,7 +217,7 @@ impl CompiledReduceLambda {
             locals: &locals,
             state,
         };
-        (self.body)(&frame)
+        self.body.run(&frame)
     }
 }
 
@@ -207,10 +248,15 @@ pub struct CompiledMrExpr {
 }
 
 impl CompiledMrExpr {
-    /// Lower `expr` once to compiled form.
+    /// Lower `expr` once with the default engine (the bytecode VM).
     pub fn compile(expr: &MrExpr) -> CompiledMrExpr {
+        CompiledMrExpr::compile_with(expr, Engine::default())
+    }
+
+    /// Lower `expr` once for `engine`.
+    pub fn compile_with(expr: &MrExpr, engine: Engine) -> CompiledMrExpr {
         CompiledMrExpr {
-            stage: compile_stage(expr),
+            stage: compile_stage(expr, engine),
         }
     }
 
@@ -234,8 +280,14 @@ struct CompiledBinding {
 }
 
 impl CompiledSummary {
-    /// Lower every binding of `summary` into compiled form.
+    /// Lower every binding of `summary` with the default engine (the
+    /// bytecode VM).
     pub fn compile(summary: &ProgramSummary) -> CompiledSummary {
+        CompiledSummary::compile_with(summary, Engine::default())
+    }
+
+    /// Lower every binding of `summary` for `engine`.
+    pub fn compile_with(summary: &ProgramSummary, engine: Engine) -> CompiledSummary {
         CompiledSummary {
             bindings: summary
                 .bindings
@@ -243,7 +295,7 @@ impl CompiledSummary {
                 .map(|b| CompiledBinding {
                     vars: b.vars.clone(),
                     kind: b.kind.clone(),
-                    stage: compile_stage(&b.expr),
+                    stage: compile_stage(&b.expr, engine),
                 })
                 .collect(),
         }
@@ -262,38 +314,41 @@ impl CompiledSummary {
     }
 }
 
-fn compile_stage(expr: &MrExpr) -> Stage {
+fn compile_stage(expr: &MrExpr, engine: Engine) -> Stage {
     match expr {
         MrExpr::Data(src) => Stage::Data(src.clone()),
         MrExpr::Map(inner, lambda) => Stage::Map {
-            inner: Box::new(compile_stage(inner)),
-            lambda: CompiledMapLambda::compile(lambda),
+            inner: Box::new(compile_stage(inner, engine)),
+            lambda: CompiledMapLambda::compile_with(lambda, engine),
         },
         MrExpr::Reduce(inner, lambda) => Stage::Reduce {
-            inner: Box::new(compile_stage(inner)),
-            lambda: CompiledReduceLambda::compile(lambda),
+            inner: Box::new(compile_stage(inner, engine)),
+            lambda: CompiledReduceLambda::compile_with(lambda, engine),
         },
         MrExpr::Join(l, r) => Stage::Join {
-            left: Box::new(compile_stage(l)),
-            right: Box::new(compile_stage(r)),
+            left: Box::new(compile_stage(l, engine)),
+            right: Box::new(compile_stage(r, engine)),
         },
     }
 }
 
-fn compile_map(lambda: &MapLambda) -> Vec<CompiledEmit> {
+fn compile_map(lambda: &MapLambda, engine: Engine) -> Vec<CompiledEmit> {
     lambda
         .emits
         .iter()
         .map(|emit| CompiledEmit {
-            cond: emit.cond.as_ref().map(|c| compile_expr(c, &lambda.params)),
-            key: compile_expr(&emit.key, &lambda.params),
-            val: compile_expr(&emit.val, &lambda.params),
+            cond: emit
+                .cond
+                .as_ref()
+                .map(|c| ExprProgram::compile(c, &lambda.params, engine)),
+            key: ExprProgram::compile(&emit.key, &lambda.params, engine),
+            val: ExprProgram::compile(&emit.val, &lambda.params, engine),
         })
         .collect()
 }
 
-fn compile_reduce(lambda: &ReduceLambda) -> ExprFn {
-    compile_expr(&lambda.body, &lambda.params)
+fn compile_reduce(lambda: &ReduceLambda, engine: Engine) -> ExprProgram {
+    ExprProgram::compile(&lambda.body, &lambda.params, engine)
 }
 
 fn run_stage(stage: &Stage, state: &Env) -> Result<Vec<Row>> {
@@ -494,14 +549,24 @@ mod tests {
             .collect()
     }
 
-    /// Compiled and tree-walking evaluation must agree exactly, including
-    /// on error outcomes.
+    /// Compiled evaluation — under BOTH engines — must agree exactly with
+    /// the tree walk, including on error outcomes and error identity.
     fn assert_agrees(summary: &ProgramSummary, st: &Env) {
-        let compiled = CompiledSummary::compile(summary);
-        match (eval_summary(summary, st), compiled.eval(st)) {
-            (Ok(a), Ok(b)) => assert_eq!(a, b, "outputs diverge"),
-            (Err(_), Err(_)) => {}
-            (a, b) => panic!("agreement broken: tree-walk {a:?} vs compiled {b:?}"),
+        for engine in [Engine::Bytecode, Engine::ClosureTree] {
+            let compiled = CompiledSummary::compile_with(summary, engine);
+            match (eval_summary(summary, st), compiled.eval(st)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "outputs diverge ({})", engine.name()),
+                (Err(a), Err(b)) => assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "error identity diverges ({})",
+                    engine.name()
+                ),
+                (a, b) => panic!(
+                    "agreement broken ({}): tree-walk {a:?} vs compiled {b:?}",
+                    engine.name()
+                ),
+            }
         }
     }
 

@@ -15,6 +15,7 @@
 //! The [`fold`] module implements the Fold-IR of prior work, re-hosted on
 //! this infrastructure exactly as §7.5 describes.
 
+pub mod bytecode;
 pub mod compile;
 pub mod eval;
 pub mod expr;
@@ -24,6 +25,7 @@ pub mod mr;
 pub mod pretty;
 pub mod size;
 
+pub use bytecode::{Chunk, Engine};
 pub use compile::{CompiledMrExpr, CompiledSummary};
 pub use eval::{eval_summary, EvalCtx};
 pub use expr::IrExpr;

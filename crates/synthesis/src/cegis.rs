@@ -59,6 +59,7 @@ use analyzer::basis::observe_fragment;
 use analyzer::fragment::Fragment;
 use analyzer::stategen::{StateGen, StateGenConfig};
 use analyzer::vc::{outputs_match, VerificationTask};
+use casper_ir::bytecode::Engine;
 use casper_ir::compile::CompiledSummary;
 use casper_ir::mr::ProgramSummary;
 use seqlang::env::Env;
@@ -122,6 +123,11 @@ pub struct FindConfig {
     /// `false` screens every candidate — the ablation baseline the
     /// dedup-soundness property test compares against.
     pub dedup: bool,
+    /// Evaluation engine candidates are lowered to for screening: the
+    /// bytecode VM by default, or the closure trees kept as the
+    /// differential reference. Outcomes and counters are bit-identical
+    /// either way.
+    pub engine: Engine,
 }
 
 impl Default for FindConfig {
@@ -133,6 +139,7 @@ impl Default for FindConfig {
             incremental: true,
             parallelism: default_parallelism(),
             dedup: true,
+            engine: Engine::default(),
         }
     }
 }
@@ -418,8 +425,13 @@ fn observe_phi(compiled: &CompiledSummary, basis: &Basis, phi: &[usize], out: &m
 /// Screen one candidate exactly as the serial CEGIS body does: the φ
 /// fast-screen first (over the snapshot, short-circuiting), then the
 /// bounded prefix walk for φ-clean candidates only.
-fn observe_candidate(cand: &ProgramSummary, basis: &Basis, phi: &[usize]) -> Observation {
-    let compiled = CompiledSummary::compile(cand);
+fn observe_candidate(
+    cand: &ProgramSummary,
+    basis: &Basis,
+    phi: &[usize],
+    engine: Engine,
+) -> Observation {
+    let compiled = CompiledSummary::compile_with(cand, engine);
     let mut phi_obs: Vec<StateObs> = Vec::with_capacity(phi.len());
     observe_phi(&compiled, basis, phi, &mut phi_obs);
     let bounded = if phi_failed(&phi_obs) {
@@ -509,10 +521,12 @@ fn adjudicate(
 /// order. Workers cooperatively cancel once the deadline passes, and
 /// each adds its busy time to `busy_ns` for the CPU-time accounting in
 /// [`SearchReport::cpu_time`]. `None` slots mean the deadline hit first.
+#[allow(clippy::too_many_arguments)]
 fn observe_chunk_parallel(
     chunk: &[&ProgramSummary],
     basis: &Basis,
     phi: &[usize],
+    engine: Engine,
     workers: usize,
     deadline: Instant,
     busy_ns: &AtomicU64,
@@ -538,7 +552,7 @@ fn observe_chunk_parallel(
                         cancel.store(true, Ordering::Relaxed);
                         break;
                     }
-                    let obs = observe_candidate(chunk[i], basis, phi);
+                    let obs = observe_candidate(chunk[i], basis, phi, engine);
                     **slots[i].lock().expect("slot lock") = Some(obs);
                 }
                 busy_ns.fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -565,6 +579,7 @@ fn synthesize_stream(
     deadline: Instant,
     workers: usize,
     dedup: bool,
+    engine: Engine,
     busy_ns: &AtomicU64,
     parallel_wall: &mut Duration,
 ) -> Option<ProgramSummary> {
@@ -591,13 +606,14 @@ fn synthesize_stream(
                     if Instant::now() >= deadline {
                         None
                     } else {
-                        Some(observe_candidate(cand, basis, phi))
+                        Some(observe_candidate(cand, basis, phi, engine))
                     }
                 })
                 .collect()
         } else {
             let round = Instant::now();
-            let obs = observe_chunk_parallel(&chunk, basis, phi, workers, deadline, busy_ns);
+            let obs =
+                observe_chunk_parallel(&chunk, basis, phi, engine, workers, deadline, busy_ns);
             *parallel_wall += round.elapsed();
             obs
         };
@@ -739,6 +755,7 @@ pub fn find_summary(
                 deadline,
                 workers,
                 config.dedup,
+                config.engine,
                 &busy_ns,
                 &mut parallel_wall,
             );

@@ -42,6 +42,7 @@ use analyzer::basis::{VcEntry, VerificationBasis};
 use analyzer::fragment::Fragment;
 use analyzer::stategen::StateGenConfig;
 use analyzer::vc::outputs_match;
+use casper_ir::bytecode::Engine;
 use casper_ir::compile::{CompiledMrExpr, CompiledSummary};
 use casper_ir::eval::EvalCtx;
 use casper_ir::mr::{MrExpr, ProgramSummary};
@@ -148,6 +149,11 @@ pub struct VerifyConfig {
     /// the bench harness and the differential tests do, so the parallel
     /// checker is exercised at every domain size.
     pub parallel_min_obligations: usize,
+    /// Evaluation engine candidates are lowered to for obligation
+    /// checking and reducer-input harvesting: the bytecode VM by default,
+    /// or the closure trees kept as the differential reference. Verdicts,
+    /// counter-examples, and proofs are bit-identical either way.
+    pub engine: Engine,
 }
 
 impl Default for VerifyConfig {
@@ -158,6 +164,7 @@ impl Default for VerifyConfig {
             domain: StateGenConfig::full(),
             parallelism: default_verify_parallelism(),
             parallel_min_obligations: PARALLEL_MIN_OBLIGATIONS,
+            engine: Engine::default(),
         }
     }
 }
@@ -310,7 +317,7 @@ impl<'f> Verifier<'f> {
         summary: &ProgramSummary,
         basis: &VerificationBasis,
     ) -> (VerifyResult, Duration, Duration) {
-        let compiled = CompiledSummary::compile(summary);
+        let compiled = CompiledSummary::compile_with(summary, self.config.engine);
         let eval = |pre: &Env| compiled.eval(pre);
         let workers = self.config.parallelism.max(1);
         let mut busy = Duration::ZERO;
@@ -333,9 +340,11 @@ impl<'f> Verifier<'f> {
             fail
         };
         // Reducer harvesting runs compiled too: each reduce stage's input
-        // pipeline is lowered once and evaluated per harvest state.
-        let reduce_inputs = |inner: &MrExpr| -> Box<ReduceRowsFn> {
-            let compiled_inner = CompiledMrExpr::compile(inner);
+        // pipeline is lowered once (same engine) and evaluated per
+        // harvest state.
+        let engine = self.config.engine;
+        let reduce_inputs = move |inner: &MrExpr| -> Box<ReduceRowsFn> {
+            let compiled_inner = CompiledMrExpr::compile_with(inner, engine);
             Box::new(move |pre: &Env| compiled_inner.eval(pre))
         };
         let result = adjudicate(self.fragment, summary, basis, first_fail, &reduce_inputs);

@@ -12,6 +12,10 @@ use suites::MULTI_FRAGMENT_SRC as SUITE_SRC;
 use synthesis::FindConfig;
 
 fn translate(workers: usize) -> TranslationReport {
+    translate_with_engine(workers, casper_ir::Engine::default())
+}
+
+fn translate_with_engine(workers: usize, engine: casper_ir::Engine) -> TranslationReport {
     // A generous timeout keeps the only legitimate source of
     // serial/parallel divergence — deadline truncation — out of play.
     let config = CasperConfig {
@@ -21,7 +25,8 @@ fn translate(workers: usize) -> TranslationReport {
         },
         ..CasperConfig::default()
     }
-    .with_parallelism(workers);
+    .with_parallelism(workers)
+    .with_engine(engine);
     Casper::new(config)
         .translate_source(SUITE_SRC)
         .expect("suite source compiles")
@@ -248,6 +253,79 @@ fn verifier_verdicts_and_counters_identical_across_worker_counts() {
             assert_eq!(compiled.states_checked, interpreted.states_checked);
             assert_eq!(compiled.counter_example, interpreted.counter_example);
             assert_eq!(compiled.reduce_properties, interpreted.reduce_properties);
+        }
+    }
+
+    // Engine ablation: the closure-tree backend must replay the VM
+    // reference bit-for-bit — verdicts, counter-examples, state counts,
+    // reduce properties, proof transcripts, and cache decisions — at any
+    // worker count. The default engine above is the bytecode VM.
+    assert_eq!(casper_ir::Engine::default().name(), "bytecode");
+    for workers in [1, 4] {
+        let tree = Verifier::new(
+            &fragment,
+            VerifyConfig {
+                parallelism: workers,
+                parallel_min_obligations: 0,
+                engine: casper_ir::Engine::ClosureTree,
+                ..VerifyConfig::default()
+            },
+        );
+        let mut got = Vec::new();
+        for cand in &candidates {
+            got.push(tree.verify(cand));
+            got.push(tree.verify(cand));
+        }
+        for (e, g) in expected.iter().zip(&got) {
+            assert_eq!(
+                e.result.verified, g.result.verified,
+                "engine verdict diverged"
+            );
+            assert_eq!(e.result.states_checked, g.result.states_checked);
+            assert_eq!(e.result.counter_example, g.result.counter_example);
+            assert_eq!(e.result.reduce_properties, g.result.reduce_properties);
+            assert_eq!(e.result.reason, g.result.reason);
+            assert_eq!(e.result.proof.text(), g.result.proof.text());
+            assert_eq!(e.cache_hit, g.cache_hit, "engine cache decision diverged");
+        }
+    }
+}
+
+/// Full-pipeline engine ablation: translating the whole suite with the
+/// bytecode VM (the default) and with the closure-tree backend must
+/// produce identical artifacts and search traces — the VM changes how
+/// candidates are evaluated, never what the pipeline concludes — and the
+/// per-report engine label must record which backend ran.
+#[test]
+fn bytecode_and_closure_tree_translations_are_identical() {
+    let vm = translate(1);
+    assert_eq!(vm.engine(), "bytecode", "VM must be the default engine");
+
+    for workers in [1, 4] {
+        let tree = translate_with_engine(workers, casper_ir::Engine::ClosureTree);
+        assert_eq!(tree.engine(), "closure-tree");
+        assert_eq!(fingerprint(&vm), fingerprint(&tree));
+        for (v, t) in vm.fragments.iter().zip(&tree.fragments) {
+            assert_eq!(
+                v.search.candidates_generated, t.search.candidates_generated,
+                "{}: candidates_generated diverged across engines",
+                v.id
+            );
+            assert_eq!(
+                v.search.candidates_deduped, t.search.candidates_deduped,
+                "{}: candidates_deduped diverged across engines",
+                v.id
+            );
+            assert_eq!(
+                v.search.counter_examples, t.search.counter_examples,
+                "{}: counter_examples diverged across engines",
+                v.id
+            );
+            assert_eq!(
+                v.search.sent_to_verifier, t.search.sent_to_verifier,
+                "{}: sent_to_verifier diverged across engines",
+                v.id
+            );
         }
     }
 }

@@ -106,6 +106,91 @@ fn assert_data_plane_agrees(summary: &ProgramSummary, props: Vec<CaProperties>, 
     }
 }
 
+/// Strategy producing arbitrary well-typed expressions over the λ
+/// parameters `v1`/`v2`, a state global `g`, and (rarely) an unbound
+/// variable — so generated trees exercise values, faults
+/// (division/modulo by zero), unbound-variable errors, short-circuit
+/// evaluation, and conditionals.
+struct ArbExpr {
+    bool_out: bool,
+}
+
+fn arb_int_expr() -> ArbExpr {
+    ArbExpr { bool_out: false }
+}
+
+fn arb_bool_expr() -> ArbExpr {
+    ArbExpr { bool_out: true }
+}
+
+impl Strategy for ArbExpr {
+    type Value = IrExpr;
+    fn sample(&self, gen: &mut Gen) -> IrExpr {
+        if self.bool_out {
+            gen_bool_expr(gen, 3)
+        } else {
+            gen_int_expr(gen, 4)
+        }
+    }
+}
+
+fn gen_int_expr(gen: &mut Gen, depth: usize) -> IrExpr {
+    use seqlang::ast::UnOp;
+    let roll = gen.next_u64() % 100;
+    if depth == 0 || roll < 40 {
+        return match gen.next_u64() % 13 {
+            0..=3 => IrExpr::int((gen.next_u64() % 40) as i64 - 20),
+            4..=6 => IrExpr::var("v1"),
+            7..=9 => IrExpr::var("v2"),
+            10..=11 => IrExpr::var("g"),
+            _ => IrExpr::var("missing"),
+        };
+    }
+    if roll < 75 {
+        let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod]
+            [(gen.next_u64() % 5) as usize];
+        IrExpr::bin(
+            op,
+            gen_int_expr(gen, depth - 1),
+            gen_int_expr(gen, depth - 1),
+        )
+    } else if roll < 90 {
+        IrExpr::If(
+            Box::new(gen_bool_expr(gen, depth - 1)),
+            Box::new(gen_int_expr(gen, depth - 1)),
+            Box::new(gen_int_expr(gen, depth - 1)),
+        )
+    } else {
+        IrExpr::Un(UnOp::Neg, Box::new(gen_int_expr(gen, depth - 1)))
+    }
+}
+
+fn gen_bool_expr(gen: &mut Gen, depth: usize) -> IrExpr {
+    if depth == 0 || gen.next_u64() % 100 < 60 {
+        let op = [
+            BinOp::Lt,
+            BinOp::Gt,
+            BinOp::Le,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ][(gen.next_u64() % 6) as usize];
+        let d = depth.saturating_sub(1);
+        IrExpr::bin(op, gen_int_expr(gen, d), gen_int_expr(gen, d))
+    } else {
+        let op = if gen.next_u64().is_multiple_of(2) {
+            BinOp::And
+        } else {
+            BinOp::Or
+        };
+        IrExpr::bin(
+            op,
+            gen_bool_expr(gen, depth - 1),
+            gen_bool_expr(gen, depth - 1),
+        )
+    }
+}
+
 fn wc_summary() -> ProgramSummary {
     let m = MapLambda::new(
         vec!["w"],
@@ -499,5 +584,97 @@ proptest! {
             (scaled.stages[0].bytes_out as f64 - j.stages[0].bytes_out as f64 * f).abs()
                 <= f
         );
+    }
+
+    /// The bytecode VM's differential contract at the expression level:
+    /// on arbitrary well-typed expressions, the raw chunk, the
+    /// bytecode-backed compiled reducer, the closure-tree-backed
+    /// compiled reducer, and the tree-walking `IrExpr::eval` all agree
+    /// on values, on whether evaluation faults, and on the exact error
+    /// message (error identity, not just error presence).
+    #[test]
+    fn bytecode_vm_matches_closure_tree_and_tree_walk(
+        e in arb_int_expr(),
+        v1 in -9i64..9,
+        v2 in -9i64..9,
+        g in -9i64..9,
+    ) {
+        use casper_ir::bytecode::Chunk;
+        use casper_ir::compile::CompiledReduceLambda;
+        use casper_ir::Engine;
+
+        let mut state = Env::new();
+        state.set("g", Value::Int(g));
+
+        let chunk = Chunk::compile(&e, &["v1", "v2"]);
+        let vm = chunk
+            .run(&[Value::Int(v1), Value::Int(v2)], &state)
+            .map_err(|err| err.to_string());
+
+        let lambda = ReduceLambda::new(e.clone());
+        let compiled_vm = CompiledReduceLambda::compile_with(&lambda, Engine::Bytecode)
+            .combine(Value::Int(v1), Value::Int(v2), &state)
+            .map_err(|err| err.to_string());
+        let compiled_tree = CompiledReduceLambda::compile_with(&lambda, Engine::ClosureTree)
+            .combine(Value::Int(v1), Value::Int(v2), &state)
+            .map_err(|err| err.to_string());
+
+        let mut env = Env::new();
+        env.set("g", Value::Int(g));
+        env.set("v1", Value::Int(v1));
+        env.set("v2", Value::Int(v2));
+        let walk = e.eval(&env).map_err(|err| err.to_string());
+
+        prop_assert_eq!(&vm, &compiled_vm, "raw chunk vs compiled-VM reducer");
+        prop_assert_eq!(&vm, &compiled_tree, "bytecode vs closure-tree");
+        prop_assert_eq!(&vm, &walk, "bytecode vs tree-walk");
+    }
+
+    /// The same contract one level up: arbitrary map/reduce summaries
+    /// (generated guard, value, and reduce-body expressions) evaluate
+    /// identically under `CompiledSummary` with the bytecode engine,
+    /// with the closure-tree engine, and under the tree-walking
+    /// reference evaluator — outputs and error strings both.
+    #[test]
+    fn summary_engines_agree_on_arbitrary_pipelines(
+        guard in arb_bool_expr(),
+        val in arb_int_expr(),
+        body in arb_int_expr(),
+        xs in prop::collection::vec(-9i64..9, 0..8),
+        g in -9i64..9,
+    ) {
+        use casper_ir::compile::CompiledSummary;
+        use casper_ir::Engine;
+
+        // The map λ over an indexed source binds (index, element) to
+        // (v1, v2), so the generated expressions are closed over the
+        // same names as the reduce body. Keys group by index mod 3 to
+        // exercise multi-group reduction without introducing faults in
+        // the key position.
+        let key = IrExpr::bin(BinOp::Mod, IrExpr::var("v1"), IrExpr::int(3));
+        let m = MapLambda::new(
+            vec!["v1", "v2"],
+            vec![Emit::guarded(guard, key, val)],
+        );
+        let expr = MrExpr::Data(DataSource::indexed("xs", Type::Int))
+            .map(m)
+            .reduce(ReduceLambda::new(body));
+        let summary = ProgramSummary::single("out", expr, OutputKind::AssocMap);
+
+        let mut state = Env::new();
+        state.set("xs", Value::Array(xs.into_iter().map(Value::Int).collect()));
+        state.set("g", Value::Int(g));
+        state.set("out", Value::Map(vec![]));
+
+        let vm = CompiledSummary::compile_with(&summary, Engine::Bytecode)
+            .eval(&state)
+            .map_err(|err| err.to_string());
+        let tree = CompiledSummary::compile_with(&summary, Engine::ClosureTree)
+            .eval(&state)
+            .map_err(|err| err.to_string());
+        let walk = eval_summary(&summary, &state).map_err(|err| err.to_string());
+
+        prop_assert_eq!(&vm, &tree, "bytecode vs closure-tree summary");
+        prop_assert_eq!(&vm, &walk, "bytecode vs tree-walk summary");
     }
 }
