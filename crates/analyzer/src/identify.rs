@@ -450,10 +450,13 @@ fn extract_features(
             expr.walk(&mut |e| {
                 if let Expr::Call { func, .. } = e {
                     if let Some(f) = program.function(func) {
-                        // Methods are supported by inlining; only simple
-                        // single-return functions are inlined (§6.1).
-                        let simple = f.body.stmts.len() == 1
-                            && matches!(f.body.stmts[0], Stmt::Return { .. });
+                        // Methods are supported by inlining; straight-line
+                        // helpers — `let` bindings followed by a single
+                        // return — are inlined (§6.1).
+                        let simple = f.body.stmts.split_last().is_some_and(|(last, init)| {
+                            matches!(last, Stmt::Return { .. })
+                                && init.iter().all(|s| matches!(s, Stmt::Let { .. }))
+                        });
                         if !simple {
                             feats.unmodeled_method = true;
                         }

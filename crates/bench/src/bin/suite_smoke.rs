@@ -1,0 +1,103 @@
+//! CI smoke for suite translation: run one or two representative
+//! benchmarks per suite under a bounded candidate budget and assert they
+//! still translate. The budget (`CASPER_SMOKE_BUDGET`, candidates
+//! streamed into screening) ends the search deterministically at a chunk
+//! boundary, so the outcome does not depend on machine speed the way a
+//! wall-clock timeout does; `CASPER_SMOKE_TIMEOUT_MS` stays generous and
+//! only backstops pathological environments.
+
+use std::time::{Duration, Instant};
+
+use bench::run_benchmark;
+use casper::CasperConfig;
+use suites::all_benchmarks;
+use synthesis::FindConfig;
+
+/// Benchmarks the smoke sweeps: the cheapest representative of each
+/// suite, plus the expanded-grammar showcases (inline window aggregates,
+/// helper inlining, nested membership scans) whose regressions the
+/// budget-bounded run must catch early.
+const SMOKE: &[&str] = &[
+    "phoenix/word_count",
+    "phoenix/kmeans_assign",
+    "ariths/sum",
+    "stats/dot_product",
+    "biglambda/db_select",
+    "tpch/q1_count",
+    "iterative/pagerank_mass",
+    "fiji/brightness_sum",
+    "fiji/trails_window",
+    "sessionize/vip_bytes",
+    "sessionize/peak_bytes",
+    "clickstream/windowed_weighted_sum",
+];
+
+/// One fragment that must keep failing — a translation here means the
+/// screening layer started accepting unsound summaries.
+const NEGATIVE: &str = "clickstream/session_ema";
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let budget = env_u64("CASPER_SMOKE_BUDGET", 150_000);
+    let timeout_ms = env_u64("CASPER_SMOKE_TIMEOUT_MS", 60_000);
+    let config = CasperConfig {
+        find: FindConfig {
+            timeout: Duration::from_millis(timeout_ms),
+            max_solutions: 2,
+            max_candidates: Some(budget),
+            ..FindConfig::default()
+        },
+        ..CasperConfig::default()
+    };
+    println!(
+        "Suite-translation smoke: budget {budget} candidates, \
+         timeout {timeout_ms} ms\n"
+    );
+
+    let all = all_benchmarks();
+    let mut failed = Vec::new();
+    for name in SMOKE {
+        let b = all
+            .iter()
+            .find(|b| b.name == *name)
+            .unwrap_or_else(|| panic!("unknown smoke benchmark {name}"));
+        let start = Instant::now();
+        let run = run_benchmark(b, &config);
+        let ok = run.translated == run.identified && run.identified > 0;
+        println!(
+            "{:<36} {:>2} / {:<2} fragments  {:>7.1?}  {}",
+            run.name,
+            run.translated,
+            run.identified,
+            start.elapsed(),
+            if ok { "ok" } else { "FAILED" }
+        );
+        if !ok {
+            failed.push(*name);
+        }
+    }
+
+    let b = all.iter().find(|b| b.name == NEGATIVE).unwrap();
+    let run = run_benchmark(b, &config);
+    println!(
+        "{:<36} {:>2} / {:<2} fragments  (must stay untranslated)",
+        run.name, run.translated, run.identified
+    );
+    assert_eq!(
+        run.translated, 0,
+        "{NEGATIVE} translated — an order-dependent fold got a summary"
+    );
+
+    assert!(
+        failed.is_empty(),
+        "smoke benchmarks failed to translate within the candidate \
+         budget: {failed:?}"
+    );
+    println!("\nSmoke OK: {} benchmarks translated.", SMOKE.len());
+}

@@ -7,10 +7,22 @@
 use bench::{run_benchmark, sweep_config, BenchRun};
 use suites::{suite_benchmarks, Suite};
 
-/// Translated-fragment floor: the suite sweep has translated 63 of its
-/// 79 identified fragments since PR 3 — regressions below that are a
-/// bug, not noise.
-const MIN_TRANSLATED: usize = 63;
+/// Translation floor over the paper's seven Table 1 suites: the sweep
+/// has translated 76 of the 79 identified fragments since the grammar
+/// grew inline aggregates and helper inlining — only PCA's covariance,
+/// Matrix Multiply, and `stats/convolve` remain inexpressible. A result
+/// below this floor is a regression, not noise.
+const MIN_PAPER_TRANSLATED: usize = 75;
+
+/// The paper suites identify exactly this many fragments; the extension
+/// suites (Sessionize, Clickstream) must push the grand total past it.
+const PAPER_IDENTIFIED: usize = 79;
+
+/// Failure-ledger ceiling: 3 permanent paper-suite holes (loops inside
+/// transformer bodies) plus the 2 deliberately untranslatable extension
+/// fragments (distinct-count, order-dependent EMA). A longer ledger
+/// means a fragment that used to translate stopped translating.
+const MAX_LEDGER: usize = 5;
 
 fn main() {
     println!("Table 1 — translated fragments and speedups (Spark, paper-scale data)\n");
@@ -21,6 +33,8 @@ fn main() {
     let config = sweep_config();
     let mut grand_identified = 0;
     let mut grand_translated = 0;
+    let mut paper_identified = 0;
+    let mut paper_translated = 0;
     let mut runs: Vec<BenchRun> = Vec::new();
     for suite in Suite::all() {
         let mut identified = 0;
@@ -39,6 +53,10 @@ fn main() {
         }
         grand_identified += identified;
         grand_translated += translated;
+        if suite.is_paper() {
+            paper_identified += identified;
+            paper_translated += translated;
+        }
         let mean = if speedups.is_empty() {
             0.0
         } else {
@@ -121,12 +139,30 @@ fn main() {
     }
 
     println!(
-        "\nTotal: {grand_translated} / {grand_identified} fragments translated \
-         (paper: 82 / 101)"
+        "\nPaper suites: {paper_translated} / {paper_identified} fragments translated \
+         (paper reports 82 / 101)"
+    );
+    println!(
+        "Total with extension suites: {grand_translated} / {grand_identified} \
+         fragments translated"
+    );
+    assert_eq!(
+        paper_identified, PAPER_IDENTIFIED,
+        "paper-suite fragment count drifted"
     );
     assert!(
-        grand_translated >= MIN_TRANSLATED,
-        "translated-fragment count regressed: {grand_translated} / {grand_identified} \
-         (floor: {MIN_TRANSLATED})"
+        paper_translated >= MIN_PAPER_TRANSLATED,
+        "paper-suite translation count regressed: {paper_translated} / {paper_identified} \
+         (floor: {MIN_PAPER_TRANSLATED})"
+    );
+    assert!(
+        grand_identified > PAPER_IDENTIFIED,
+        "extension suites missing from the sweep: only {grand_identified} fragments \
+         identified"
+    );
+    assert!(
+        total_failed <= MAX_LEDGER,
+        "failure ledger grew to {total_failed} entries (ceiling: {MAX_LEDGER}) — \
+         a fragment that used to translate no longer does"
     );
 }

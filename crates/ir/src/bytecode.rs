@@ -47,7 +47,7 @@ use seqlang::interp::{eval_binop, eval_free_function, eval_pure_method};
 use seqlang::value::Value;
 use seqlang::Env;
 
-use crate::expr::IrExpr;
+use crate::expr::{AggOp, IrExpr};
 
 /// Which lowering backs a compiled summary/λ: the flat bytecode VM (the
 /// default execution engine) or the slot-resolved closure trees kept as
@@ -138,6 +138,21 @@ enum Op {
     /// Short-circuit `||`: pop lhs; if it is `true`, push `true` and jump
     /// over the rhs. Otherwise fall through.
     OrJump(u32),
+    /// Pop the initial accumulator, fold `aggs[i]`'s body chunk over the
+    /// elements of its `over` collection, push the folded result.
+    Agg(u32),
+}
+
+/// One inline aggregate: the fold operator, where its collection lives
+/// (λ-slot or state variable — `over_name` is always interned for error
+/// messages), and the body chunk compiled over the enclosing λ-parameters
+/// plus the element binder as the last slot.
+#[derive(Debug, Clone)]
+struct AggSub {
+    op: AggOp,
+    over_slot: Option<u32>,
+    over_name: u32,
+    body: Chunk,
 }
 
 /// A compiled bytecode chunk: flat instruction stream plus deduplicated
@@ -149,6 +164,7 @@ pub struct Chunk {
     ops: Vec<Op>,
     consts: Vec<Value>,
     names: Vec<String>,
+    aggs: Vec<AggSub>,
     /// The chunk never needs more than one live value: a single producer
     /// followed by ops that each replace the top of stack. Such chunks —
     /// the common case after fusion — run in a register ([`run_linear`])
@@ -198,6 +214,7 @@ impl Chunk {
             ops: em.ops,
             consts: em.consts,
             names: em.names,
+            aggs: em.aggs,
             linear,
         }
     }
@@ -445,6 +462,28 @@ impl Chunk {
                         continue;
                     }
                 }
+                Op::Agg(i) => {
+                    let sub = &self.aggs[i as usize];
+                    let mut acc = stack.pop().expect("bytecode: Agg init");
+                    let name = &self.names[sub.over_name as usize];
+                    let coll = match sub.over_slot {
+                        Some(s) => locals[s as usize].clone(),
+                        None => state.get(name).cloned().ok_or_else(|| {
+                            Error::runtime(format!("IR: unbound variable `{name}`"))
+                        })?,
+                    };
+                    let elems = coll
+                        .elements()
+                        .ok_or_else(|| Error::runtime(format!("`{name}` is not a collection")))?;
+                    let mut locals2 = locals.to_vec();
+                    locals2.push(Value::Int(0));
+                    for e in elems {
+                        *locals2.last_mut().expect("element slot") = e.clone();
+                        let v = sub.body.run(&locals2, state)?;
+                        acc = sub.op.combine(acc, v)?;
+                    }
+                    stack.push(acc);
+                }
             }
             pc += 1;
         }
@@ -460,6 +499,7 @@ struct Emitter {
     ops: Vec<Op>,
     consts: Vec<Value>,
     names: Vec<String>,
+    aggs: Vec<AggSub>,
     /// No fusion may reach at or before this instruction index: it marks
     /// the most recent jump target, and merging a jump target into an
     /// earlier instruction would desynchronize the patched offsets.
@@ -565,7 +605,9 @@ impl Emitter {
                 self.ops.push(Op::Const(i));
             }
             IrExpr::Var(name) => {
-                if let Some(slot) = params.iter().position(|p| p.as_ref() == name) {
+                // `rposition`: the LAST binding of a name wins, matching
+                // the tree-walking evaluator's env-overwrite shadowing.
+                if let Some(slot) = params.iter().rposition(|p| p.as_ref() == name) {
                     self.ops.push(Op::Load(slot as u32));
                 } else {
                     let i = self.name_idx(name);
@@ -634,7 +676,7 @@ impl Emitter {
                 // arguments by an explicit `EnsureGlobal`, exactly where
                 // the tree-walking evaluator would raise it.
                 if let IrExpr::Var(v) = base.as_ref() {
-                    if let Some(slot) = params.iter().position(|p| p.as_ref() == v) {
+                    if let Some(slot) = params.iter().rposition(|p| p.as_ref() == v) {
                         for a in args {
                             self.emit(a, params);
                         }
@@ -667,6 +709,34 @@ impl Emitter {
                 self.patch(jf);
                 self.emit(e2, params);
                 self.patch(j);
+            }
+            IrExpr::Agg {
+                op,
+                init,
+                over,
+                param,
+                body,
+            } => {
+                // Init first (the tree walk evaluates it before resolving
+                // the collection), then one Agg super-instruction holding
+                // the body as a nested chunk over params ++ [param].
+                self.emit(init, params);
+                let mut body_params: Vec<String> =
+                    params.iter().map(|p| p.as_ref().to_string()).collect();
+                body_params.push(param.clone());
+                let body = Chunk::compile(body, &body_params);
+                let over_slot = params
+                    .iter()
+                    .rposition(|p| p.as_ref() == over.as_str())
+                    .map(|s| s as u32);
+                let over_name = self.name_idx(over);
+                self.aggs.push(AggSub {
+                    op: *op,
+                    over_slot,
+                    over_name,
+                    body,
+                });
+                self.ops.push(Op::Agg((self.aggs.len() - 1) as u32));
             }
         }
     }
@@ -947,6 +1017,45 @@ mod tests {
         let chunk = Chunk::compile(&e, &[] as &[&str]);
         assert_eq!(chunk.consts.len(), 1);
         assert_eq!(chunk.names.len(), 1);
+    }
+
+    #[test]
+    fn inline_aggregates_match_tree_walk() {
+        let gs = Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        // Global collection: agg_add(0, a in gs, a * x).
+        let e = IrExpr::Agg {
+            op: AggOp::Add,
+            init: Box::new(IrExpr::int(0)),
+            over: "gs".into(),
+            param: "a".into(),
+            body: Box::new(IrExpr::bin(BinOp::Mul, IrExpr::var("a"), IrExpr::var("x"))),
+        };
+        let mut st = Env::new();
+        st.set("gs", gs.clone());
+        assert_vm_agrees(&e, &["x"], &[Value::Int(2)], &st);
+        // Slot collection, and the binder shadowing a same-named outer
+        // parameter — the last binding must win in every engine.
+        let shadow = IrExpr::Agg {
+            op: AggOp::Max,
+            init: Box::new(IrExpr::var("v1")),
+            over: "v2".into(),
+            param: "v1".into(),
+            body: Box::new(IrExpr::var("v1")),
+        };
+        assert_vm_agrees(&shadow, &["v1", "v2"], &[Value::Int(-9), gs], &Env::new());
+        // Error identity: unbound collection, non-collection, faulting body.
+        assert_vm_agrees(&e, &["x"], &[Value::Int(2)], &Env::new());
+        let mut bad = Env::new();
+        bad.set("gs", Value::Int(3));
+        assert_vm_agrees(&e, &["x"], &[Value::Int(2)], &bad);
+        let faulting = IrExpr::Agg {
+            op: AggOp::Add,
+            init: Box::new(IrExpr::int(0)),
+            over: "gs".into(),
+            param: "a".into(),
+            body: Box::new(IrExpr::bin(BinOp::Div, IrExpr::var("a"), IrExpr::int(0))),
+        };
+        assert_vm_agrees(&faulting, &[], &[], &st);
     }
 
     #[test]

@@ -411,7 +411,10 @@ fn compile_expr<P: AsRef<str>>(e: &IrExpr, params: &[P]) -> ExprFn {
             Box::new(move |_| Ok(v.clone()))
         }
         IrExpr::Var(name) => {
-            if let Some(slot) = params.iter().position(|p| p.as_ref() == name) {
+            // `rposition`: the LAST binding of a name wins, matching the
+            // tree-walking evaluator's env-overwrite shadowing (relevant
+            // when an `Agg` element binder shadows an outer parameter).
+            if let Some(slot) = params.iter().rposition(|p| p.as_ref() == name) {
                 Box::new(move |f| Ok(f.locals[slot].clone()))
             } else {
                 let name = name.clone();
@@ -529,6 +532,51 @@ fn compile_expr<P: AsRef<str>>(e: &IrExpr, params: &[P]) -> ExprFn {
                 } else {
                     ec(f)
                 }
+            })
+        }
+        IrExpr::Agg {
+            op,
+            init,
+            over,
+            param,
+            body,
+        } => {
+            let op = *op;
+            let initc = compile_expr(init, params);
+            // The body sees the outer parameters plus the element binder
+            // appended last; rposition-resolution makes the binder shadow
+            // a same-named outer parameter, like the tree walk's env
+            // overwrite.
+            let mut body_params: Vec<String> =
+                params.iter().map(|p| p.as_ref().to_string()).collect();
+            body_params.push(param.clone());
+            let bodyc = compile_expr(body, &body_params);
+            let over_slot = params.iter().rposition(|p| p.as_ref() == over.as_str());
+            let over = over.clone();
+            Box::new(move |f| {
+                let mut acc = initc(f)?;
+                let coll =
+                    match over_slot {
+                        Some(slot) => f.locals[slot].clone(),
+                        None => f.state.get(&over).cloned().ok_or_else(|| {
+                            Error::runtime(format!("IR: unbound variable `{over}`"))
+                        })?,
+                    };
+                let elems = coll
+                    .elements()
+                    .ok_or_else(|| Error::runtime(format!("`{over}` is not a collection")))?;
+                let mut locals2 = f.locals.to_vec();
+                locals2.push(Value::Int(0));
+                for e in elems {
+                    *locals2.last_mut().expect("element slot") = e.clone();
+                    let frame = Frame {
+                        locals: &locals2,
+                        state: f.state,
+                    };
+                    let v = bodyc(&frame)?;
+                    acc = op.combine(acc, v)?;
+                }
+                Ok(acc)
             })
         }
     }

@@ -35,6 +35,67 @@ pub enum IrExpr {
     Method(Box<IrExpr>, String, Vec<IrExpr>),
     /// Conditional expression.
     If(Box<IrExpr>, Box<IrExpr>, Box<IrExpr>),
+    /// Inline aggregate: fold `body` over the elements of the collection
+    /// named `over`, starting from `init` and combining with `op`;
+    /// `param` binds the current element inside `body`. This is the
+    /// nested-aggregate production (per-record inner reductions such as
+    /// k-means' closest-centroid scan or a histogram CDF rank).
+    Agg {
+        op: AggOp,
+        init: Box<IrExpr>,
+        over: String,
+        param: String,
+        body: Box<IrExpr>,
+    },
+}
+
+/// Combining operation of an inline [`IrExpr::Agg`] aggregate. All three
+/// evaluation engines fold through [`AggOp::combine`], so their values
+/// and error strings agree by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+    Or,
+    And,
+}
+
+impl AggOp {
+    /// Fold one element contribution into the accumulator.
+    pub fn combine(&self, a: Value, b: Value) -> Result<Value> {
+        match self {
+            AggOp::Add => eval_binop(BinOp::Add, a, b),
+            AggOp::Mul => eval_binop(BinOp::Mul, a, b),
+            AggOp::Min => eval_free_function("min", &[a, b]),
+            AggOp::Max => eval_free_function("max", &[a, b]),
+            // Mirrors the short-circuit `Bin` semantics: a non-true lhs
+            // decides `and`, a true lhs decides `or`, else the rhs wins.
+            AggOp::Or => Ok(if a.as_bool() == Some(true) {
+                Value::Bool(true)
+            } else {
+                b
+            }),
+            AggOp::And => Ok(if a.as_bool() != Some(true) {
+                Value::Bool(false)
+            } else {
+                b
+            }),
+        }
+    }
+
+    /// Lower-case token used by `Display` and the pretty-printer.
+    pub fn token(&self) -> &'static str {
+        match self {
+            AggOp::Add => "add",
+            AggOp::Mul => "mul",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+            AggOp::Or => "or",
+            AggOp::And => "and",
+        }
+    }
 }
 
 /// `f64` wrapper with total equality/hash so IR terms can be deduplicated
@@ -94,6 +155,8 @@ impl IrExpr {
                 1 + args.iter().map(IrExpr::length).sum::<usize>()
             }
             IrExpr::If(c, t, e) => c.length() + t.length() + e.length(),
+            // The collection counts as one operand, like a call receiver.
+            IrExpr::Agg { init, body, .. } => init.length() + body.length() + 1,
         }
     }
 
@@ -128,6 +191,25 @@ impl IrExpr {
                 c.free_vars(out);
                 t.free_vars(out);
                 e.free_vars(out);
+            }
+            IrExpr::Agg {
+                init,
+                over,
+                param,
+                body,
+                ..
+            } => {
+                init.free_vars(out);
+                if !out.contains(over) {
+                    out.push(over.clone());
+                }
+                let mut inner = Vec::new();
+                body.free_vars(&mut inner);
+                for v in inner {
+                    if v != *param && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
             }
             _ => {}
         }
@@ -219,6 +301,29 @@ impl IrExpr {
                     e.eval(env)
                 }
             }
+            IrExpr::Agg {
+                op,
+                init,
+                over,
+                param,
+                body,
+            } => {
+                let mut acc = init.eval(env)?;
+                let coll = env
+                    .get(over)
+                    .cloned()
+                    .ok_or_else(|| Error::runtime(format!("IR: unbound variable `{over}`")))?;
+                let elems = coll
+                    .elements()
+                    .ok_or_else(|| Error::runtime(format!("`{over}` is not a collection")))?;
+                let mut env2 = env.clone();
+                for e in elems {
+                    env2.set(param.clone(), e.clone());
+                    let v = body.eval(&env2)?;
+                    acc = op.combine(acc, v)?;
+                }
+                Ok(acc)
+            }
         }
     }
 }
@@ -273,6 +378,13 @@ impl fmt::Display for IrExpr {
                 write!(f, ")")
             }
             IrExpr::If(c, t, e) => write!(f, "if {c} then {t} else {e}"),
+            IrExpr::Agg {
+                op,
+                init,
+                over,
+                param,
+                body,
+            } => write!(f, "agg_{}({init}, {param} in {over}, {body})", op.token()),
         }
     }
 }
@@ -359,6 +471,53 @@ mod tests {
             ),
         );
         assert_eq!(e.eval(&Env::new()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn agg_folds_over_collection() {
+        // agg_add(0, a in gs, a * x) over gs=[1,2,3], x=2 → 12.
+        let e = IrExpr::Agg {
+            op: AggOp::Add,
+            init: Box::new(IrExpr::int(0)),
+            over: "gs".into(),
+            param: "a".into(),
+            body: Box::new(IrExpr::bin(BinOp::Mul, IrExpr::var("a"), IrExpr::var("x"))),
+        };
+        let st = env(&[
+            (
+                "gs",
+                Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+            ),
+            ("x", Value::Int(2)),
+        ]);
+        assert_eq!(e.eval(&st).unwrap(), Value::Int(12));
+        // Empty collection yields the init value.
+        let empty = env(&[("gs", Value::List(vec![])), ("x", Value::Int(2))]);
+        assert_eq!(e.eval(&empty).unwrap(), Value::Int(0));
+        // Free vars: the init's, the collection, the body's minus `a`.
+        let mut vs = vec![];
+        e.free_vars(&mut vs);
+        assert_eq!(vs, vec!["gs".to_string(), "x".to_string()]);
+        // Length: init + body leaves + the collection.
+        assert_eq!(e.length(), 4);
+    }
+
+    #[test]
+    fn agg_error_paths() {
+        let e = IrExpr::Agg {
+            op: AggOp::Max,
+            init: Box::new(IrExpr::int(0)),
+            over: "gs".into(),
+            param: "a".into(),
+            body: Box::new(IrExpr::var("a")),
+        };
+        let unbound = e.eval(&Env::new()).unwrap_err().to_string();
+        assert!(unbound.contains("unbound variable `gs`"), "{unbound}");
+        let not_coll = e
+            .eval(&env(&[("gs", Value::Int(3))]))
+            .unwrap_err()
+            .to_string();
+        assert!(not_coll.contains("is not a collection"), "{not_coll}");
     }
 
     #[test]

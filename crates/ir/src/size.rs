@@ -104,6 +104,24 @@ pub fn infer_type(expr: &IrExpr, lookup: &dyn Fn(&str) -> Option<Type>) -> Optio
                 None
             }
         }
+        IrExpr::Agg { op, init, body, .. } => match op {
+            crate::expr::AggOp::Or | crate::expr::AggOp::And => Some(Type::Bool),
+            _ => {
+                // The fold's result is the numeric merge of the init and
+                // body types, same widening rule as `If`.
+                let it = infer_type(init, lookup)?;
+                let bt = infer_type(body, lookup)?;
+                if it == bt {
+                    Some(it)
+                } else if (it == Type::Int && bt == Type::Double)
+                    || (it == Type::Double && bt == Type::Int)
+                {
+                    Some(Type::Double)
+                } else {
+                    None
+                }
+            }
+        },
     }
 }
 

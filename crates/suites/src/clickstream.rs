@@ -1,0 +1,174 @@
+//! Clickstream suite — windowed-aggregate fragments beyond the paper's
+//! seven suites. The window scans (weighted window sum, rank-above-
+//! history) are the nested-loop shapes the expanded grammar lifts into
+//! inline aggregates; the rest cover the double-typed scalar, tuple, and
+//! string-keyed accumulator shapes ad-analytics pipelines use. The
+//! exponential moving average is deliberately untranslatable (the fold is
+//! order-dependent) and must land in the failure ledger.
+
+use rand::rngs::StdRng;
+use seqlang::env::Env;
+
+use crate::data;
+use crate::registry::{Benchmark, Suite};
+
+fn click_state(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = Env::new();
+    st.set("clicks", data::clicks(rng, n));
+    st
+}
+
+fn value_state(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = Env::new();
+    st.set("values", data::int_list(rng, n, 0, 1000));
+    st
+}
+
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "clickstream/spend_total",
+            suite: Suite::Clickstream,
+            source: r#"
+                struct Click { campaign: string, cost: double, purchase: bool }
+                fn spend_total(clicks: list<Click>) -> double {
+                    let s: double = 0.0;
+                    for (c in clicks) { s = s + c.cost; }
+                    return s;
+                }
+            "#,
+            func: "spend_total",
+            expect_translate: true,
+            gen: click_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "clickstream/conversions",
+            suite: Suite::Clickstream,
+            source: r#"
+                struct Click { campaign: string, cost: double, purchase: bool }
+                fn conversions(clicks: list<Click>) -> int {
+                    let n: int = 0;
+                    for (c in clicks) {
+                        if (c.purchase) { n = n + 1; }
+                    }
+                    return n;
+                }
+            "#,
+            func: "conversions",
+            expect_translate: true,
+            gen: click_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            // Spend grouped by campaign — string-keyed accumulation.
+            name: "clickstream/spend_by_campaign",
+            suite: Suite::Clickstream,
+            source: r#"
+                struct Click { campaign: string, cost: double, purchase: bool }
+                fn spend_by_campaign(clicks: list<Click>) -> map<string,double> {
+                    let spend: map<string,double> = new map<string,double>();
+                    for (c in clicks) {
+                        spend.put(c.campaign, spend.get_or(c.campaign, 0.0) + c.cost);
+                    }
+                    return spend;
+                }
+            "#,
+            func: "spend_by_campaign",
+            expect_translate: true,
+            gen: click_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            name: "clickstream/max_spend",
+            suite: Suite::Clickstream,
+            source: r#"
+                struct Click { campaign: string, cost: double, purchase: bool }
+                fn max_spend(clicks: list<Click>) -> double {
+                    let m: double = 0.0;
+                    for (c in clicks) {
+                        if (c.cost > m) { m = c.cost; }
+                    }
+                    return m;
+                }
+            "#,
+            func: "max_spend",
+            expect_translate: true,
+            gen: click_state,
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            // Sliding-window correlation: the inner window scan becomes an
+            // inline aggregate inside the map transformer.
+            name: "clickstream/windowed_weighted_sum",
+            suite: Suite::Clickstream,
+            source: r#"
+                fn windowed_weighted_sum(values: list<int>, window: list<int>) -> int {
+                    let s: int = 0;
+                    for (v in values) {
+                        for (w in window) {
+                            s = s + v * w;
+                        }
+                    }
+                    return s;
+                }
+            "#,
+            func: "windowed_weighted_sum",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = value_state(rng, n);
+                st.set("window", data::int_list(rng, 5, 0, 3));
+                st
+            },
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            // Rank-above-history: per record, fold a comparison over the
+            // history window, then count records whose rank clears the
+            // median — a conditional aggregate guarding an accumulator.
+            name: "clickstream/rank_above_history",
+            suite: Suite::Clickstream,
+            source: r#"
+                fn rank_above_history(values: list<int>, history: list<int>) -> int {
+                    let n: int = 0;
+                    for (v in values) {
+                        let above: int = 0;
+                        for (h in history) {
+                            if (v > h) { above = above + 1; }
+                        }
+                        if (above * 2 > history.size()) { n = n + 1; }
+                    }
+                    return n;
+                }
+            "#,
+            func: "rank_above_history",
+            expect_translate: true,
+            gen: |rng, n| {
+                let mut st = value_state(rng, n);
+                st.set("history", data::int_list(rng, 7, 0, 1000));
+                st
+            },
+            paper_scale: 2_000_000_000,
+        },
+        Benchmark {
+            // Exponential moving average: the fold is order-dependent
+            // (non-commutative), so no map/reduce summary verifies. Must
+            // land in the ledger as a grammar hole.
+            name: "clickstream/session_ema",
+            suite: Suite::Clickstream,
+            source: r#"
+                fn session_ema(values: list<int>) -> double {
+                    let ema: double = 0.0;
+                    for (v in values) {
+                        ema = ema * 0.9 + int_to_double(v) * 0.1;
+                    }
+                    return ema;
+                }
+            "#,
+            func: "session_ema",
+            expect_translate: false,
+            gen: value_state,
+            paper_scale: 2_000_000_000,
+        },
+    ]
+}

@@ -174,6 +174,65 @@ pub fn page_views(rng: &mut StdRng, n: usize) -> Value {
     )
 }
 
+/// Web-server access-log events for the sessionization suite: user id,
+/// HTTP status, payload bytes, and hour-of-day.
+pub fn log_events(rng: &mut StdRng, n: usize) -> Value {
+    let layout = StructLayout::new(
+        "Event",
+        vec![
+            "user".into(),
+            "status".into(),
+            "bytes".into(),
+            "hour".into(),
+        ],
+    );
+    Value::List(
+        (0..n)
+            .map(|_| {
+                // Squared draw skews towards low user ranks, so a few
+                // users dominate the log — the shape session analyses see.
+                let r: f64 = rng.gen();
+                let user = ((r * r) * 40.0) as usize;
+                let status = *[200, 200, 200, 301, 404, 500]
+                    .get(rng.gen_range(0..6))
+                    .unwrap();
+                Value::Struct(
+                    layout.clone(),
+                    vec![
+                        Value::str(format!("user{user}")),
+                        Value::Int(status),
+                        Value::Int(rng.gen_range(0..5000)),
+                        Value::Int(rng.gen_range(0..24)),
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Ad-click records for the clickstream suite: campaign, spend, and
+/// whether the click converted.
+pub fn clicks(rng: &mut StdRng, n: usize) -> Value {
+    let layout = StructLayout::new(
+        "Click",
+        vec!["campaign".into(), "cost".into(), "purchase".into()],
+    );
+    Value::List(
+        (0..n)
+            .map(|_| {
+                Value::Struct(
+                    layout.clone(),
+                    vec![
+                        Value::str(format!("camp{}", rng.gen_range(0..20))),
+                        Value::Double(rng.gen_range(0.05..5.0)),
+                        Value::Bool(rng.gen_bool(0.08)),
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
 /// Review records for the Yelp-kids selection benchmark.
 pub fn reviews(rng: &mut StdRng, n: usize) -> Value {
     let layout = StructLayout::new(

@@ -1,5 +1,7 @@
-//! `suites` — the paper's seven benchmark suites (§7.1) plus the
-//! baselines the evaluation compares against.
+//! `suites` — the paper's seven benchmark suites (§7.1), two
+//! post-paper extension suites ([`sessionize`], [`clickstream`])
+//! exercising the expanded grammar, plus the baselines the evaluation
+//! compares against.
 //!
 //! Each benchmark carries its sequential `seqlang` source (the input to
 //! Casper), a deterministic dataset generator, and the paper's expected
@@ -14,6 +16,7 @@
 
 pub mod ariths;
 pub mod biglambda;
+pub mod clickstream;
 pub mod data;
 pub mod fiji;
 pub mod iterative;
@@ -21,6 +24,7 @@ pub mod manual;
 pub mod mold;
 pub mod phoenix;
 pub mod registry;
+pub mod sessionize;
 pub mod sqlbase;
 pub mod stats;
 pub mod tpch;

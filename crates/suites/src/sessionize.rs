@@ -1,0 +1,180 @@
+//! Log-sessionization suite — server-log analytics fragments beyond the
+//! paper's seven suites, added to exercise the expanded grammar: inline
+//! aggregates over a second input collection (the VIP lookup), guarded
+//! accumulators whose guards fold over state, and the keyed/tuple
+//! accumulator shapes log pipelines use. One fragment is deliberately
+//! untranslatable (distinct-count needs iteration-history state) and
+//! must land in the failure ledger.
+
+use rand::rngs::StdRng;
+use seqlang::env::Env;
+use seqlang::value::Value;
+
+use crate::data;
+use crate::registry::{Benchmark, Suite};
+
+fn log_state(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = Env::new();
+    st.set("events", data::log_events(rng, n));
+    st
+}
+
+fn vip_state(rng: &mut StdRng, n: usize) -> Env {
+    let mut st = log_state(rng, n);
+    st.set(
+        "vips",
+        Value::List(
+            // Low ranks, so the skewed generator makes them hit often.
+            ["user0", "user1", "user2", "user3", "user5"]
+                .iter()
+                .map(|u| Value::str(*u))
+                .collect(),
+        ),
+    );
+    st
+}
+
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "sessionize/requests_total",
+            suite: Suite::Sessionize,
+            source: r#"
+                struct Event { user: string, status: int, bytes: int, hour: int }
+                fn requests_total(events: list<Event>) -> int {
+                    let n: int = 0;
+                    for (e in events) { n = n + 1; }
+                    return n;
+                }
+            "#,
+            func: "requests_total",
+            expect_translate: true,
+            gen: log_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "sessionize/bytes_total",
+            suite: Suite::Sessionize,
+            source: r#"
+                struct Event { user: string, status: int, bytes: int, hour: int }
+                fn bytes_total(events: list<Event>) -> int {
+                    let s: int = 0;
+                    for (e in events) { s = s + e.bytes; }
+                    return s;
+                }
+            "#,
+            func: "bytes_total",
+            expect_translate: true,
+            gen: log_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Two accumulators over one pass — the tuple-valued pipeline.
+            name: "sessionize/error_rate_sums",
+            suite: Suite::Sessionize,
+            source: r#"
+                struct Event { user: string, status: int, bytes: int, hour: int }
+                fn error_rate_sums(events: list<Event>) -> int {
+                    let errors: int = 0;
+                    let total: int = 0;
+                    for (e in events) {
+                        if (e.status >= 500) { errors = errors + 1; }
+                        total = total + 1;
+                    }
+                    return errors * 1000000 + total;
+                }
+            "#,
+            func: "error_rate_sums",
+            expect_translate: true,
+            gen: log_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Keyed count — the grouped-aggregation shape.
+            name: "sessionize/hits_by_hour",
+            suite: Suite::Sessionize,
+            source: r#"
+                struct Event { user: string, status: int, bytes: int, hour: int }
+                fn hits_by_hour(events: list<Event>) -> map<int,int> {
+                    let hits: map<int,int> = new map<int,int>();
+                    for (e in events) {
+                        hits.put(e.hour, hits.get_or(e.hour, 0) + 1);
+                    }
+                    return hits;
+                }
+            "#,
+            func: "hits_by_hour",
+            expect_translate: true,
+            gen: log_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            name: "sessionize/peak_bytes",
+            suite: Suite::Sessionize,
+            source: r#"
+                struct Event { user: string, status: int, bytes: int, hour: int }
+                fn peak_bytes(events: list<Event>) -> int {
+                    let m: int = 0;
+                    for (e in events) {
+                        if (e.bytes > m) { m = e.bytes; }
+                    }
+                    return m;
+                }
+            "#,
+            func: "peak_bytes",
+            expect_translate: true,
+            gen: log_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Membership test folded over a second collection: the inner
+            // loop becomes an inline aggregate guarding the accumulator —
+            // the expanded grammar's nested-aggregate production.
+            name: "sessionize/vip_bytes",
+            suite: Suite::Sessionize,
+            source: r#"
+                struct Event { user: string, status: int, bytes: int, hour: int }
+                fn vip_bytes(events: list<Event>, vips: list<string>) -> int {
+                    let s: int = 0;
+                    for (e in events) {
+                        let hit: int = 0;
+                        for (u in vips) {
+                            if (e.user == u) { hit = hit + 1; }
+                        }
+                        if (hit > 0) { s = s + e.bytes; }
+                    }
+                    return s;
+                }
+            "#,
+            func: "vip_bytes",
+            expect_translate: true,
+            gen: vip_state,
+            paper_scale: 1_000_000_000,
+        },
+        Benchmark {
+            // Distinct-count: the guard reads a map mutated across
+            // iterations, so no per-record summary exists. Must land in
+            // the ledger as a grammar hole.
+            name: "sessionize/unique_visitors",
+            suite: Suite::Sessionize,
+            source: r#"
+                struct Event { user: string, status: int, bytes: int, hour: int }
+                fn unique_visitors(events: list<Event>) -> int {
+                    let seen: map<string,int> = new map<string,int>();
+                    let uniq: int = 0;
+                    for (e in events) {
+                        if (seen.get_or(e.user, 0) == 0) {
+                            uniq = uniq + 1;
+                            seen.put(e.user, 1);
+                        }
+                    }
+                    return uniq;
+                }
+            "#,
+            func: "unique_visitors",
+            expect_translate: false,
+            gen: log_state,
+            paper_scale: 1_000_000_000,
+        },
+    ]
+}

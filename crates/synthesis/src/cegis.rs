@@ -128,6 +128,12 @@ pub struct FindConfig {
     /// differential reference. Outcomes and counters are bit-identical
     /// either way.
     pub engine: Engine,
+    /// Hard cap on candidates streamed into screening across the whole
+    /// search (all classes). `None` is unbounded. Exceeding the budget
+    /// ends the search exactly like a timeout, but deterministically —
+    /// the knob CI smoke runs use to bound wall time without making the
+    /// outcome depend on machine speed.
+    pub max_candidates: Option<u64>,
 }
 
 impl Default for FindConfig {
@@ -140,6 +146,7 @@ impl Default for FindConfig {
             parallelism: default_parallelism(),
             dedup: true,
             engine: Engine::default(),
+            max_candidates: None,
         }
     }
 }
@@ -580,12 +587,19 @@ fn synthesize_stream(
     workers: usize,
     dedup: bool,
     engine: Engine,
+    max_candidates: Option<u64>,
     busy_ns: &AtomicU64,
     parallel_wall: &mut Duration,
 ) -> Option<ProgramSummary> {
     let mut cursor = 0usize;
     loop {
         if Instant::now() >= deadline {
+            report.timed_out = true;
+            return None;
+        }
+        // The candidate budget is checked at chunk granularity, so the
+        // cut point depends only on the deterministic enumeration order.
+        if max_candidates.is_some_and(|cap| report.candidates_generated >= cap) {
             report.timed_out = true;
             return None;
         }
@@ -736,7 +750,10 @@ pub fn find_summary(
         report.classes_explored += 1;
         let mut stream = CandidateStream::new(&grammar, class);
         loop {
-            if Instant::now() >= deadline {
+            let out_of_budget = config
+                .max_candidates
+                .is_some_and(|cap| report.candidates_generated >= cap);
+            if Instant::now() >= deadline || out_of_budget {
                 report.timed_out = true;
                 seal(&mut report, parallel_wall);
                 return if delta.is_empty() {
@@ -756,6 +773,7 @@ pub fn find_summary(
                 workers,
                 config.dedup,
                 config.engine,
+                config.max_candidates,
                 &busy_ns,
                 &mut parallel_wall,
             );
@@ -960,6 +978,36 @@ mod tests {
             assert_eq!(r1.counter_examples, r4.counter_examples);
             assert_eq!(r1.sent_to_verifier, r4.sent_to_verifier);
         }
+    }
+
+    #[test]
+    fn candidate_budget_bounds_search_deterministically() {
+        // A search that runs out of candidate budget reports a timeout
+        // (never a false Exhausted), and the cut point is a function of
+        // the enumeration order alone: two runs with the same cap stream
+        // the same number of candidates. The reject-all verifier keeps
+        // the stream running until the budget is the thing that stops it.
+        let src = "fn sum(xs: list<int>) -> int {
+            let s: int = 0;
+            for (x in xs) { s = s + x; }
+            return s;
+        }";
+        let p = Arc::new(compile(src).unwrap());
+        let frag = identify_fragments(&p).remove(0);
+        let verifier = |_: &ProgramSummary| VerifierVerdict::simple(false);
+        let capped = FindConfig {
+            max_candidates: Some(40),
+            ..FindConfig::default()
+        };
+        let (o1, r1) = find_summary(&frag, &verifier, &capped);
+        let (o2, r2) = find_summary(&frag, &verifier, &capped);
+        assert!(matches!(o1, FindOutcome::TimedOut), "{r1:?}");
+        assert!(matches!(o2, FindOutcome::TimedOut), "{r2:?}");
+        assert!(r1.timed_out && r2.timed_out);
+        assert_eq!(r1.candidates_generated, r2.candidates_generated);
+        // Chunk granularity: the overshoot is bounded by one chunk.
+        assert!(r1.candidates_generated >= 40);
+        assert!(r1.candidates_generated < 40 + CHUNK_SIZE as u64);
     }
 
     #[test]

@@ -485,6 +485,20 @@ fn in_scope(e: &IrExpr, params: &[(String, Type)], grammar: &Grammar) -> bool {
         .all(|v| params.iter().any(|(n, _)| n == v) || grammar.scalars.iter().any(|(n, _)| n == v))
 }
 
+/// Like [`in_scope`], but also admits names the data plane resolves from
+/// the pre-loop state: collection names (the `over` of an inline
+/// aggregate) and output pre-values (the seed of a lifted min/max fold).
+fn in_scope_with_state(e: &IrExpr, params: &[(String, Type)], grammar: &Grammar) -> bool {
+    let mut vars = Vec::new();
+    e.free_vars(&mut vars);
+    vars.iter().all(|v| {
+        params.iter().any(|(n, _)| n == v)
+            || grammar.scalars.iter().any(|(n, _)| n == v)
+            || grammar.sources.iter().any(|s| &s.source.var == v)
+            || grammar.outputs.iter().any(|(n, _)| n == v)
+    })
+}
+
 /// Value-typed expression pool for the output type `t`.
 fn value_pool(pools: &Pools, t: &Type) -> Vec<IrExpr> {
     match t {
@@ -668,7 +682,9 @@ fn single_source_candidates(
                 map_output_candidates(grammar, class, &pools, &data, &fp, var, vt, push);
             }
             Type::List(elem) => {
-                collected_list_candidates(grammar, class, &pools, &data, &fp, var, elem, push);
+                collected_list_candidates(
+                    grammar, class, &pools, &data, &fp, &params, var, elem, push,
+                );
             }
             _ => {}
         },
@@ -911,11 +927,32 @@ fn collected_list_candidates(
     pools: &Pools,
     data: &MrExpr,
     fp: &[String],
+    params: &[(String, Type)],
     var: &str,
     elem_ty: &Type,
     push: &mut impl FnMut(ProgramSummary),
 ) {
-    let _ = grammar;
+    // Harvested appends first: the loop's own `out.add(e)` statements are
+    // the projections a correct summary must reproduce, so they are the
+    // cheapest-to-verify candidates (guards carried over when admitted).
+    for ap in &grammar.list_appends {
+        if ap.var != var || !in_scope_with_state(&ap.value, params, grammar) {
+            continue;
+        }
+        let emit = match &ap.cond {
+            Some(c) if class.allow_cond_emits && in_scope_with_state(c, params, grammar) => {
+                Emit::guarded(c.clone(), IrExpr::int(0), ap.value.clone())
+            }
+            Some(_) => continue,
+            None => Emit::unconditional(IrExpr::int(0), ap.value.clone()),
+        };
+        let expr = data.clone().map(MapLambda {
+            params: fp.to_vec(),
+            emits: vec![emit],
+        });
+        push(ProgramSummary::single(var, expr, OutputKind::CollectedList));
+    }
+
     let mut vals = value_pool(pools, elem_ty);
     // Whole-element projection for struct lists.
     if matches!(elem_ty, Type::Struct(_)) {
@@ -1113,10 +1150,19 @@ fn substitute_key(guard: &IrExpr, keys: &[IrExpr], target: &IrExpr) -> IrExpr {
     subst(guard, keys, target)
 }
 
-/// Join skeletons over the first two sources.
+/// Join skeletons over the first two *input* sources — an indexed write
+/// target (`out[i] = ...`) is recorded as a data var too and must not be
+/// a join leg.
 fn join_candidates(grammar: &Grammar, class: &GrammarClass, push: &mut impl FnMut(ProgramSummary)) {
-    let s1 = &grammar.sources[0];
-    let s2 = &grammar.sources[1];
+    let inputs: Vec<&crate::grammar::SourceSpec> = grammar
+        .sources
+        .iter()
+        .filter(|s| !grammar.outputs.iter().any(|(n, _)| n == &s.source.var))
+        .collect();
+    if inputs.len() < 2 {
+        return;
+    }
+    let (s1, s2) = (inputs[0], inputs[1]);
     let [(var, out_ty)] = &grammar.outputs[..] else {
         return;
     };
@@ -1339,10 +1385,10 @@ fn accum_candidates(
         .accum_updates
         .iter()
         .filter(|u| {
-            in_scope(&u.delta, params, grammar)
+            in_scope_with_state(&u.delta, params, grammar)
                 && u.cond
                     .as_ref()
-                    .map(|c| in_scope(c, params, grammar))
+                    .map(|c| in_scope_with_state(c, params, grammar))
                     .unwrap_or(true)
         })
         .collect();
@@ -1375,7 +1421,7 @@ fn accum_candidates(
                 .clone()
                 .map(MapLambda {
                     params: fp.to_vec(),
-                    emits: vec![emit],
+                    emits: vec![emit.clone()],
                 })
                 .reduce(u.op.reducer());
             push(ProgramSummary::single(
@@ -1383,6 +1429,26 @@ fn accum_candidates(
                 expr,
                 OutputKind::Scalar,
             ));
+            // Min/max folds clamp at the accumulator's pre-loop value
+            // (`m = max(m₀, max(δ…))`), so the plain delta fold is wrong
+            // whenever the init can dominate the data. Emit the pre-value
+            // as a seed row alongside the deltas — the data plane resolves
+            // the output name from the pre-loop state.
+            if matches!(u.op, AccumOp::Min | AccumOp::Max) && class.max_emits >= 2 {
+                let seed = Emit::unconditional(IrExpr::int(0), IrExpr::var(var.clone()));
+                let expr = data
+                    .clone()
+                    .map(MapLambda {
+                        params: fp.to_vec(),
+                        emits: vec![seed, emit],
+                    })
+                    .reduce(u.op.reducer());
+                push(ProgramSummary::single(
+                    var.clone(),
+                    expr,
+                    OutputKind::Scalar,
+                ));
+            }
         }
         return;
     }
@@ -1457,11 +1523,11 @@ fn map_accum_candidates(
         .map_accums
         .iter()
         .filter(|u| {
-            in_scope(&u.delta, params, grammar)
-                && in_scope(&u.key, params, grammar)
+            in_scope_with_state(&u.delta, params, grammar)
+                && in_scope_with_state(&u.key, params, grammar)
                 && u.cond
                     .as_ref()
-                    .map(|c| in_scope(c, params, grammar))
+                    .map(|c| in_scope_with_state(c, params, grammar))
                     .unwrap_or(true)
         })
         .collect();
@@ -1528,6 +1594,29 @@ pub fn subst_vars(e: &IrExpr, map: &dyn Fn(&str) -> Option<IrExpr>) -> IrExpr {
         ),
         IrExpr::If(c, t, e2) => {
             IrExpr::ite(subst_vars(c, map), subst_vars(t, map), subst_vars(e2, map))
+        }
+        IrExpr::Agg {
+            op,
+            init,
+            over,
+            param,
+            body,
+        } => {
+            // The element binder shadows the substitution inside the body;
+            // `over` is renamed only when the map sends it to another
+            // plain variable (it must stay a collection name).
+            let masked = |v: &str| if v == param.as_str() { None } else { map(v) };
+            let over = match map(over) {
+                Some(IrExpr::Var(nv)) => nv,
+                _ => over.clone(),
+            };
+            IrExpr::Agg {
+                op: *op,
+                init: Box::new(subst_vars(init, map)),
+                over,
+                param: param.clone(),
+                body: Box::new(subst_vars(body, &masked)),
+            }
         }
         other => other.clone(),
     }

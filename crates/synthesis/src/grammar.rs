@@ -1,12 +1,14 @@
 //! Search-space grammars, specialised per fragment (§3.2) and organised
 //! into the incremental hierarchy of §4.2 / Figure 6.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use analyzer::fragment::Fragment;
-use casper_ir::expr::IrExpr;
+use casper_ir::expr::{AggOp, IrExpr};
 use casper_ir::mr::{DataShape, DataSource};
-use seqlang::ast::{walk_stmts, BinOp, Expr, Stmt};
+use seqlang::ast::{walk_stmts, BinOp, Expr, Function, Program, Stmt};
 use seqlang::ty::Type;
 use seqlang::value::Value;
 
@@ -111,6 +113,11 @@ pub struct Grammar {
     /// Keyed-map accumulator updates: `m.put(k, m.get_or(k, init) ⊕ e)` —
     /// the WordCount / grouped-aggregation idiom.
     pub map_accums: Vec<MapAccum>,
+    /// Statement-level appends to list outputs: `out.add(e)`, with the
+    /// enclosing-guard conjunction. These are the projection expressions a
+    /// collected-list summary must reproduce verbatim, so the enumerator
+    /// seeds its map stage with them directly.
+    pub list_appends: Vec<ListAppend>,
     /// Length variable for array outputs (e.g. `rows`).
     pub array_len_var: Option<String>,
     /// Struct field atoms: `param.field` projections with their types.
@@ -177,6 +184,17 @@ pub struct AccumUpdate {
     pub cond: Option<IrExpr>,
     /// Type of the accumulated value.
     pub ty: Type,
+}
+
+/// One harvested `list.add(e)` statement from the loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListAppend {
+    /// The list-typed output variable appended to.
+    pub var: String,
+    /// Appended expression, in λ-parameter space.
+    pub value: IrExpr,
+    /// Guard in λ-parameter space, when the append is conditional.
+    pub cond: Option<IrExpr>,
 }
 
 /// A keyed accumulation into a map output.
@@ -325,10 +343,23 @@ impl Grammar {
                 }
             }
         }
-        let conv = Converter {
+        let mut conv = Converter {
             renames,
             index_renames,
+            program: fragment.program.clone(),
+            depth: Cell::new(0),
         };
+
+        // Pre-pass: straight-line locals and local fold loops
+        // (`let acc = e0; for (w in coll) { acc = acc ⊕ f(w) }`) become
+        // rename entries — the fold turns into an inline aggregate
+        // `agg_⊕(e0, w in coll, f(w))` — so every later harvest that
+        // mentions the local sees an in-scope expression.
+        if let Some(body) = loop_body(&fragment.loop_stmt) {
+            for (name, e) in harvest_local_aggs(body, fragment, &conv) {
+                conv.renames.insert(name, e);
+            }
+        }
 
         // Harvest atoms from the loop body.
         let mut harvested_conds = Vec::new();
@@ -362,9 +393,11 @@ impl Grammar {
         // a guard.
         let mut accum_updates: Vec<AccumUpdate> = Vec::new();
         let mut map_accums: Vec<MapAccum> = Vec::new();
+        let mut list_appends: Vec<ListAppend> = Vec::new();
         if let Some(body) = loop_body(&fragment.loop_stmt) {
             harvest_accums(body, fragment, &conv, None, &mut accum_updates);
             harvest_map_accums(body, fragment, &conv, None, &mut map_accums);
+            harvest_list_appends(body, fragment, &conv, None, &mut list_appends);
         }
 
         // Struct field atoms for struct-typed elements.
@@ -400,8 +433,407 @@ impl Grammar {
             harvested_vals,
             accum_updates,
             map_accums,
+            list_appends,
             array_len_var,
             field_atoms,
+        }
+    }
+}
+
+/// The inline-aggregate operator matching an accumulator operation.
+fn agg_op(op: &AccumOp) -> AggOp {
+    match op {
+        AccumOp::Add => AggOp::Add,
+        AccumOp::Mul => AggOp::Mul,
+        AccumOp::Min => AggOp::Min,
+        AccumOp::Max => AggOp::Max,
+        AccumOp::Or => AggOp::Or,
+        AccumOp::And => AggOp::And,
+    }
+}
+
+/// Identity element for an accumulator operation, when one exists.
+fn agg_identity(op: &AccumOp, ty: &Type) -> Option<IrExpr> {
+    Some(match (op, ty) {
+        (AccumOp::Add, Type::Int) => IrExpr::int(0),
+        (AccumOp::Add, Type::Double) => IrExpr::double(0.0),
+        (AccumOp::Mul, Type::Int) => IrExpr::int(1),
+        (AccumOp::Mul, Type::Double) => IrExpr::double(1.0),
+        (AccumOp::Or, Type::Bool) => IrExpr::ConstBool(false),
+        (AccumOp::And, Type::Bool) => IrExpr::ConstBool(true),
+        _ => return None,
+    })
+}
+
+/// Substitute plain variables in an IR expression; the binder of an
+/// inline aggregate shadows the substitution inside its body.
+fn subst_ir(e: &IrExpr, env: &HashMap<String, IrExpr>) -> IrExpr {
+    match e {
+        IrExpr::Var(v) => env.get(v).cloned().unwrap_or_else(|| e.clone()),
+        IrExpr::Un(op, x) => IrExpr::Un(*op, Box::new(subst_ir(x, env))),
+        IrExpr::Bin(op, l, r) => IrExpr::bin(*op, subst_ir(l, env), subst_ir(r, env)),
+        IrExpr::Field(b, f) => IrExpr::field(subst_ir(b, env), f.clone()),
+        IrExpr::TupleGet(b, i) => IrExpr::TupleGet(Box::new(subst_ir(b, env)), *i),
+        IrExpr::Tuple(es) => IrExpr::Tuple(es.iter().map(|x| subst_ir(x, env)).collect()),
+        IrExpr::Call(f, args) => {
+            IrExpr::Call(f.clone(), args.iter().map(|x| subst_ir(x, env)).collect())
+        }
+        IrExpr::Method(b, m, args) => IrExpr::Method(
+            Box::new(subst_ir(b, env)),
+            m.clone(),
+            args.iter().map(|x| subst_ir(x, env)).collect(),
+        ),
+        IrExpr::If(c, t, f) => IrExpr::ite(subst_ir(c, env), subst_ir(t, env), subst_ir(f, env)),
+        IrExpr::Agg {
+            op,
+            init,
+            over,
+            param,
+            body,
+        } => {
+            let mut masked = env.clone();
+            masked.remove(param);
+            let over = match env.get(over) {
+                Some(IrExpr::Var(nv)) => nv.clone(),
+                _ => over.clone(),
+            };
+            IrExpr::Agg {
+                op: *op,
+                init: Box::new(subst_ir(init, env)),
+                over,
+                param: param.clone(),
+                body: Box::new(subst_ir(body, &masked)),
+            }
+        }
+        IrExpr::ConstInt(_)
+        | IrExpr::ConstDouble(_)
+        | IrExpr::ConstBool(_)
+        | IrExpr::ConstStr(_) => e.clone(),
+    }
+}
+
+fn mentions_ir(e: &IrExpr, name: &str) -> bool {
+    let mut vars = Vec::new();
+    e.free_vars(&mut vars);
+    vars.iter().any(|v| v == name)
+}
+
+/// Pre-pass over the outer loop body (Mechanism behind the paper's nested
+/// aggregates, §3.2): track straight-line local `let`s in λ space, and
+/// collapse a local fold loop over a named collection into one inline
+/// aggregate. Locals written anywhere the pass cannot model are dropped,
+/// so stale substitutions never escape.
+fn harvest_local_aggs(
+    body: &seqlang::ast::Block,
+    fragment: &Fragment,
+    conv: &Converter,
+) -> HashMap<String, IrExpr> {
+    let is_output = |n: &str| fragment.outputs.iter().any(|(o, _)| o == n);
+    let mut pending: HashMap<String, IrExpr> = HashMap::new();
+    let mut tys: HashMap<String, Type> = HashMap::new();
+    for stmt in &body.stmts {
+        match stmt {
+            Stmt::Let { name, ty, init, .. } if !is_output(name) => match conv.convert(init) {
+                Some(e) => {
+                    pending.insert(name.clone(), subst_ir(&e, &pending));
+                    tys.insert(name.clone(), ty.clone());
+                }
+                None => {
+                    pending.remove(name);
+                }
+            },
+            Stmt::Assign {
+                target: Expr::Var { name, .. },
+                ..
+            } => {
+                // A top-level reassignment outside the recognised fold
+                // shape invalidates the local.
+                pending.remove(name);
+            }
+            Stmt::ForEach {
+                var: param,
+                iterable: Expr::Var { name: coll, .. },
+                body: inner,
+                ..
+            } => {
+                fold_local_aggs(param, coll, inner, conv, &mut pending, &tys);
+            }
+            other => {
+                // Any write to a tracked local inside an unmodelled
+                // construct (counted loop, conditional, ...) kills it.
+                walk_stmts(
+                    &seqlang::ast::Block {
+                        stmts: vec![other.clone()],
+                    },
+                    &mut |s| {
+                        if let Stmt::Assign {
+                            target: Expr::Var { name, .. },
+                            ..
+                        } = s
+                        {
+                            pending.remove(name);
+                        }
+                    },
+                );
+            }
+        }
+    }
+    pending
+}
+
+/// Recognise the single accumulation of each tracked local inside one
+/// inner for-each, replacing its pending value with the inline aggregate.
+fn fold_local_aggs(
+    param: &str,
+    coll: &str,
+    inner: &seqlang::ast::Block,
+    conv: &Converter,
+    pending: &mut HashMap<String, IrExpr>,
+    tys: &HashMap<String, Type>,
+) {
+    // Count every write inside the loop: a fold is only sound when its
+    // target is written exactly once, by the recognised statement.
+    let mut writes: HashMap<String, usize> = HashMap::new();
+    walk_stmts(inner, &mut |s| {
+        if let Stmt::Assign {
+            target: Expr::Var { name, .. },
+            ..
+        } = s
+        {
+            *writes.entry(name.clone()).or_default() += 1;
+        }
+    });
+
+    let mut inner_env: HashMap<String, IrExpr> = HashMap::new();
+    let mut folds: Vec<(String, AccumOp, IrExpr)> = Vec::new();
+    for stmt in &inner.stmts {
+        match stmt {
+            Stmt::Let { name, init, .. } => {
+                let resolved = conv.convert(init).map(|e| {
+                    let mut env = pending.clone();
+                    env.extend(inner_env.clone());
+                    subst_ir(&e, &env)
+                });
+                match resolved {
+                    Some(e) => {
+                        inner_env.insert(name.clone(), e);
+                    }
+                    None => {
+                        inner_env.remove(name);
+                    }
+                }
+            }
+            Stmt::Assign {
+                target: Expr::Var { name, .. },
+                value,
+                ..
+            } if pending.contains_key(name) => {
+                if let Some((op, body)) =
+                    local_fold_shape(name, None, value, conv, pending, &inner_env, tys)
+                {
+                    folds.push((name.clone(), op, body));
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk: None,
+                ..
+            } if then_blk.stmts.len() == 1 => {
+                if let Stmt::Assign {
+                    target: Expr::Var { name, .. },
+                    value,
+                    ..
+                } = &then_blk.stmts[0]
+                {
+                    if pending.contains_key(name) {
+                        if let Some((op, body)) = local_fold_shape(
+                            name,
+                            Some(cond),
+                            value,
+                            conv,
+                            pending,
+                            &inner_env,
+                            tys,
+                        ) {
+                            folds.push((name.clone(), op, body));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut folded: Vec<String> = Vec::new();
+    for (name, op, body) in folds {
+        if writes.get(&name) != Some(&1) || folded.iter().any(|f| f == &name) {
+            pending.remove(&name);
+            continue;
+        }
+        let init = pending
+            .remove(&name)
+            .expect("fold target tracked in pending");
+        pending.insert(
+            name.clone(),
+            IrExpr::Agg {
+                op: agg_op(&op),
+                init: Box::new(init),
+                over: coll.to_string(),
+                param: param.to_string(),
+                body: Box::new(body),
+            },
+        );
+        folded.push(name);
+    }
+    // Locals written in the loop without a recognised fold are stale.
+    for name in writes.keys() {
+        if !folded.iter().any(|f| f == name) {
+            pending.remove(name);
+        }
+    }
+}
+
+/// Classify one write to a tracked local as a fold step, returning the
+/// combining operation and the per-element body (guards folded in via
+/// `If(g, δ, identity)`, the min/max idiom via its comparison guard).
+fn local_fold_shape(
+    name: &str,
+    cond: Option<&Expr>,
+    value: &Expr,
+    conv: &Converter,
+    pending: &HashMap<String, IrExpr>,
+    inner_env: &HashMap<String, IrExpr>,
+    tys: &HashMap<String, Type>,
+) -> Option<(AccumOp, IrExpr)> {
+    use seqlang::ast::BinOp as B;
+    let resolve = |e: &Expr| -> Option<IrExpr> {
+        let c = conv.convert(e)?;
+        let mut env = pending.clone();
+        env.extend(inner_env.clone());
+        // The fold target must stay a bare variable for shape checks.
+        env.remove(name);
+        Some(subst_ir(&c, &env))
+    };
+    let guard = match cond {
+        Some(c) => Some(resolve(c)?),
+        None => None,
+    };
+    // `acc = acc ⊕ e` (either side), possibly guarded.
+    if let Expr::Binary { op, lhs, rhs, .. } = value {
+        let aop = match op {
+            B::Add => Some(AccumOp::Add),
+            B::Mul => Some(AccumOp::Mul),
+            B::Or => Some(AccumOp::Or),
+            B::And => Some(AccumOp::And),
+            _ => None,
+        };
+        if let Some(aop) = aop {
+            let other = if matches!(&**lhs, Expr::Var { name: n, .. } if n == name) {
+                Some(rhs)
+            } else if matches!(&**rhs, Expr::Var { name: n, .. } if n == name) {
+                Some(lhs)
+            } else {
+                None
+            };
+            if let Some(other) = other {
+                let delta = resolve(other)?;
+                if mentions_ir(&delta, name) {
+                    return None;
+                }
+                let body = match &guard {
+                    Some(g) => {
+                        if mentions_ir(g, name) {
+                            return None;
+                        }
+                        let identity = agg_identity(&aop, tys.get(name)?)?;
+                        IrExpr::ite(g.clone(), delta, identity)
+                    }
+                    None => delta,
+                };
+                return Some((aop, body));
+            }
+        }
+    }
+    // `if (e < acc) { acc = e }` — the running-min/max idiom.
+    if let Some(g) = &guard {
+        let delta = resolve(value)?;
+        if mentions_ir(&delta, name) {
+            return None;
+        }
+        if let Some(aop) = minmax_guard(g, &delta, name, conv) {
+            return Some((aop, delta));
+        }
+    }
+    None
+}
+
+/// Walk the loop body collecting statement-level appends to list outputs,
+/// tracking the enclosing-guard conjunction. Appends inside nested loops
+/// are skipped: they emit more than one element per outer record.
+fn harvest_list_appends(
+    block: &seqlang::ast::Block,
+    fragment: &Fragment,
+    conv: &Converter,
+    guard: Option<&IrExpr>,
+    out: &mut Vec<ListAppend>,
+) {
+    use seqlang::ast::BinOp as B;
+    let is_list_output = |name: &str| {
+        fragment
+            .outputs
+            .iter()
+            .any(|(n, t)| n == name && matches!(t, Type::List(_)))
+    };
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::ExprStmt {
+                expr:
+                    Expr::MethodCall {
+                        recv, method, args, ..
+                    },
+                ..
+            } if matches!(method.as_str(), "add" | "append") && args.len() == 1 => {
+                let Expr::Var { name, .. } = &**recv else {
+                    continue;
+                };
+                if !is_list_output(name) {
+                    continue;
+                }
+                if let Some(value) = conv.convert(&args[0]) {
+                    let ap = ListAppend {
+                        var: name.clone(),
+                        value,
+                        cond: guard.cloned(),
+                    };
+                    if !out.contains(&ap) {
+                        out.push(ap);
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                if let Some(g) = conv.convert(cond) {
+                    let combined = match guard {
+                        Some(outer) => IrExpr::bin(B::And, outer.clone(), g.clone()),
+                        None => g.clone(),
+                    };
+                    harvest_list_appends(then_blk, fragment, conv, Some(&combined), out);
+                    if let Some(b) = else_blk {
+                        let negated = IrExpr::Un(seqlang::ast::UnOp::Not, Box::new(g));
+                        let neg = match guard {
+                            Some(outer) => IrExpr::bin(B::And, outer.clone(), negated),
+                            None => negated,
+                        };
+                        harvest_list_appends(b, fragment, conv, Some(&neg), out);
+                    }
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -510,6 +942,60 @@ fn harvest_accums(
                         };
                         harvest_accums(b, fragment, conv, Some(&outer_neg), out);
                     }
+                }
+            }
+            Stmt::ForEach {
+                var: param,
+                iterable: Expr::Var { name: coll, .. },
+                body: inner,
+                ..
+            } => {
+                // A nested for-each over a named collection: each inner
+                // accumulation `out = out ⊕ f(w)` lifts to an outer-level
+                // update whose delta is the inline aggregate
+                // `agg_⊕(init, w in coll, f(w))` — the whole inner loop's
+                // contribution per outer record. Min/max folds seed from
+                // the output's pre-state value; ⊕-folds from the identity,
+                // with inner guards folded into the body.
+                let mut inner_updates = Vec::new();
+                harvest_accums(inner, fragment, conv, None, &mut inner_updates);
+                let mut lifted = false;
+                for u in &inner_updates {
+                    let (init, body) = match (&u.op, &u.cond) {
+                        (AccumOp::Min | AccumOp::Max, None) => {
+                            (IrExpr::var(u.var.clone()), u.delta.clone())
+                        }
+                        (AccumOp::Min | AccumOp::Max, Some(_)) => continue,
+                        (op, cond) => {
+                            let Some(identity) = agg_identity(op, &u.ty) else {
+                                continue;
+                            };
+                            let body = match cond {
+                                Some(c) => {
+                                    IrExpr::ite(c.clone(), u.delta.clone(), identity.clone())
+                                }
+                                None => u.delta.clone(),
+                            };
+                            (identity, body)
+                        }
+                    };
+                    out.push(AccumUpdate {
+                        var: u.var.clone(),
+                        op: u.op.clone(),
+                        delta: IrExpr::Agg {
+                            op: agg_op(&u.op),
+                            init: Box::new(init),
+                            over: coll.clone(),
+                            param: param.clone(),
+                            body: Box::new(body),
+                        },
+                        cond: guard.cloned(),
+                        ty: u.ty.clone(),
+                    });
+                    lifted = true;
+                }
+                if !lifted {
+                    harvest_accums(inner, fragment, conv, guard, out);
                 }
             }
             Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::ForEach { body, .. } => {
@@ -677,6 +1163,10 @@ struct Converter {
     /// `(array, i, Some(j), replacement)`: `array[i][j]` → replacement;
     /// `(array, i, None, replacement)`: `array[i]` → replacement.
     index_renames: Vec<(String, String, Option<String>, IrExpr)>,
+    /// The enclosing program, for inlining straight-line helper calls.
+    program: Arc<Program>,
+    /// Current helper-inlining depth, bounded against recursive helpers.
+    depth: Cell<usize>,
 }
 
 impl Converter {
@@ -749,6 +1239,12 @@ impl Converter {
                 for a in args {
                     out.push(self.convert(a)?);
                 }
+                // User-defined helpers are inlined (§6.1): straight-line
+                // `let` bindings followed by a single return, substituted
+                // through. Library functions pass straight to the IR.
+                if let Some(f) = self.program.function(func) {
+                    return self.inline_helper(f, &out);
+                }
                 Some(IrExpr::Call(func.clone(), out))
             }
             Expr::MethodCall {
@@ -769,6 +1265,41 @@ impl Converter {
             }
             _ => None,
         }
+    }
+
+    /// Inline a straight-line helper (`let` bindings then `return e`) by
+    /// sequential substitution of its parameters and locals. Helpers with
+    /// any other statement shape are not expressible.
+    fn inline_helper(&self, f: &Function, args: &[IrExpr]) -> Option<IrExpr> {
+        if self.depth.get() >= 4 || f.params.len() != args.len() {
+            return None;
+        }
+        // Helper bodies convert in their own scope: no loop renames.
+        let clean = Converter {
+            renames: HashMap::new(),
+            index_renames: Vec::new(),
+            program: self.program.clone(),
+            depth: Cell::new(self.depth.get() + 1),
+        };
+        let mut env: HashMap<String, IrExpr> = f
+            .params
+            .iter()
+            .map(|(n, _)| n.clone())
+            .zip(args.iter().cloned())
+            .collect();
+        for stmt in &f.body.stmts {
+            match stmt {
+                Stmt::Let { name, init, .. } => {
+                    let e = subst_ir(&clean.convert(init)?, &env);
+                    env.insert(name.clone(), e);
+                }
+                Stmt::Return { value: Some(v), .. } => {
+                    return Some(subst_ir(&clean.convert(v)?, &env));
+                }
+                _ => return None,
+            }
+        }
+        None
     }
 }
 

@@ -109,18 +109,55 @@ fn db_select_equivalence() {
 
 #[test]
 fn untranslatable_fragments_fail_cleanly() {
+    use casper::report::FailureReason;
     let all = all_benchmarks();
-    for name in [
-        "stats/convolve",
-        "phoenix/kmeans_assign",
-        "fiji/trails_window",
-    ] {
+    // The three permanent paper-suite holes (loops inside transformer
+    // bodies) plus the two deliberately untranslatable extension-suite
+    // fragments (distinct-count needs iteration-history state, EMA is an
+    // order-dependent fold). Each must land in the ledger with the right
+    // failure class — and never with a bogus verified summary.
+    let expectations = [
+        ("stats/convolve", FailureReason::InnerDataLoop),
+        ("phoenix/pca_cov", FailureReason::InnerDataLoop),
+        ("phoenix/matrix_multiply", FailureReason::InnerDataLoop),
+        ("sessionize/unique_visitors", FailureReason::SearchExhausted),
+        ("clickstream/session_ema", FailureReason::SearchExhausted),
+    ];
+    for (name, want) in expectations {
         let b = all.iter().find(|b| b.name == name).unwrap();
         let report = Casper::new(fast_config())
             .translate_source(b.source)
             .unwrap();
         assert_eq!(report.translated_count(), 0, "{name} must not translate");
+        let fr = report.for_function(b.func).expect("fragment report");
+        let FragmentOutcome::Failed(reason) = &fr.outcome else {
+            panic!("{name}: expected a failure outcome");
+        };
+        assert_eq!(reason, &want, "{name}: wrong failure class");
     }
+}
+
+#[test]
+fn sessionize_vip_bytes_equivalence() {
+    // Nested-aggregate showcase: the VIP membership scan folds into an
+    // inline aggregate guarding the byte accumulator.
+    check_equivalence("sessionize/vip_bytes");
+}
+
+#[test]
+fn sessionize_hits_by_hour_equivalence() {
+    check_equivalence("sessionize/hits_by_hour");
+}
+
+#[test]
+fn clickstream_windowed_weighted_sum_equivalence() {
+    // The trails-window shape: inner window loop lifted into the mapper.
+    check_equivalence("clickstream/windowed_weighted_sum");
+}
+
+#[test]
+fn clickstream_spend_by_campaign_equivalence() {
+    check_equivalence("clickstream/spend_by_campaign");
 }
 
 #[test]

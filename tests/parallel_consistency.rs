@@ -16,6 +16,10 @@ fn translate(workers: usize) -> TranslationReport {
 }
 
 fn translate_with_engine(workers: usize, engine: casper_ir::Engine) -> TranslationReport {
+    translate_src(SUITE_SRC, workers, engine)
+}
+
+fn translate_src(src: &str, workers: usize, engine: casper_ir::Engine) -> TranslationReport {
     // A generous timeout keeps the only legitimate source of
     // serial/parallel divergence — deadline truncation — out of play.
     let config = CasperConfig {
@@ -28,7 +32,7 @@ fn translate_with_engine(workers: usize, engine: casper_ir::Engine) -> Translati
     .with_parallelism(workers)
     .with_engine(engine);
     Casper::new(config)
-        .translate_source(SUITE_SRC)
+        .translate_source(src)
         .expect("suite source compiles")
 }
 
@@ -455,6 +459,99 @@ fn fused_stage_stats_deterministic_and_shuffle_preserving() {
         fragments_executed += 1;
     }
     assert_eq!(fragments_executed, 6, "all six suite fragments must run");
+}
+
+/// The determinism contract extended to the post-paper suites: the
+/// nested-aggregate and windowed fragments of `sessionize` and
+/// `clickstream` must translate to bit-identical artifacts across both
+/// expression engines and worker counts 1/2/4/8, and the fused data
+/// plane must agree with the per-operator interpreted executor (outputs
+/// and shuffle accounting) on benchmark-generated data.
+#[test]
+fn extension_suite_fragments_consistent_across_engines_and_workers() {
+    use mapreduce::Context;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use suites::all_benchmarks;
+
+    let names = [
+        "sessionize/vip_bytes",
+        "sessionize/hits_by_hour",
+        "clickstream/windowed_weighted_sum",
+        "clickstream/rank_above_history",
+    ];
+    let all = all_benchmarks();
+    for name in names {
+        let b = all.iter().find(|b| b.name == name).unwrap();
+        let reference = translate_src(b.source, 1, casper_ir::Engine::default());
+        let ref_fp = fingerprint(&reference);
+        assert!(reference.translated_count() >= 1, "{name} must translate");
+        for workers in [2, 4, 8] {
+            let parallel = translate_src(b.source, workers, casper_ir::Engine::default());
+            assert_eq!(
+                ref_fp,
+                fingerprint(&parallel),
+                "{name}: artifacts diverged at {workers} workers"
+            );
+        }
+        for workers in [1, 4] {
+            let tree = translate_src(b.source, workers, casper_ir::Engine::ClosureTree);
+            assert_eq!(
+                ref_fp,
+                fingerprint(&tree),
+                "{name}: artifacts diverged on the closure-tree engine \
+                 at {workers} workers"
+            );
+        }
+
+        // Fused vs interpreted execution on the benchmark's own data,
+        // evaluated from the fragment's pre-loop state (which seeds the
+        // output accumulators the reduce stage may fall back to).
+        let fr = reference.for_function(b.func).expect("fragment report");
+        let FragmentOutcome::Translated { program, .. } = &fr.outcome else {
+            panic!("{name} did not translate");
+        };
+        let source = std::sync::Arc::new(seqlang::compile(b.source).unwrap());
+        let frag = analyzer::identify_fragments(&source)
+            .into_iter()
+            .find(|f| f.func == b.func)
+            .expect("fragment");
+        let mut rng = StdRng::seed_from_u64(7);
+        let state = frag
+            .pre_loop_state(&(b.gen)(&mut rng, 200))
+            .expect("pre-loop state");
+        let plan = &program.variants[0].plan;
+        let serial_ctx = Context::with_parallelism(1, 8);
+        let fused = plan.execute(&serial_ctx, &state).expect("fused exec");
+        for workers in [2, 4, 8] {
+            let ctx = Context::with_parallelism(workers, 8);
+            let out = plan.execute(&ctx, &state).expect("fused exec");
+            assert_eq!(
+                fused, out,
+                "{name}: fused outputs diverge at {workers} workers"
+            );
+            assert_eq!(
+                serial_ctx.stats(),
+                ctx.stats(),
+                "{name}: stage stats diverge at {workers} workers"
+            );
+        }
+        let interp_ctx = Context::with_parallelism(4, 8);
+        let interp = plan
+            .execute_interpreted(&interp_ctx, &state)
+            .expect("interpreted exec");
+        assert_eq!(fused, interp, "{name}: fused vs interpreted diverge");
+        assert_eq!(
+            serial_ctx.stats().total_shuffled_bytes(),
+            interp_ctx.stats().total_shuffled_bytes(),
+            "{name}: fusion changed shuffle bytes"
+        );
+        assert_eq!(
+            serial_ctx.stats().shuffle_count(),
+            interp_ctx.stats().shuffle_count(),
+            "{name}: fusion changed shuffle count"
+        );
+    }
 }
 
 #[test]

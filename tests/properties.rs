@@ -146,7 +146,7 @@ fn gen_int_expr(gen: &mut Gen, depth: usize) -> IrExpr {
             _ => IrExpr::var("missing"),
         };
     }
-    if roll < 75 {
+    if roll < 70 {
         let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod]
             [(gen.next_u64() % 5) as usize];
         IrExpr::bin(
@@ -154,14 +154,43 @@ fn gen_int_expr(gen: &mut Gen, depth: usize) -> IrExpr {
             gen_int_expr(gen, depth - 1),
             gen_int_expr(gen, depth - 1),
         )
-    } else if roll < 90 {
+    } else if roll < 84 {
         IrExpr::If(
             Box::new(gen_bool_expr(gen, depth - 1)),
             Box::new(gen_int_expr(gen, depth - 1)),
             Box::new(gen_int_expr(gen, depth - 1)),
         )
-    } else {
+    } else if roll < 92 {
         IrExpr::Un(UnOp::Neg, Box::new(gen_int_expr(gen, depth - 1)))
+    } else {
+        gen_agg_expr(gen, depth)
+    }
+}
+
+/// Inline-aggregate expressions: fold over the state collection `ys`
+/// (the common case), over `g` (bound but not a collection — a typed
+/// error), or over an unbound name (an unbound-variable error). The body
+/// references the element parameter `a` half the time, so shadowing and
+/// the param/state resolution order are both exercised.
+fn gen_agg_expr(gen: &mut Gen, depth: usize) -> IrExpr {
+    use casper_ir::expr::AggOp;
+    let op = [AggOp::Add, AggOp::Min, AggOp::Max][(gen.next_u64() % 3) as usize];
+    let over = match gen.next_u64() % 8 {
+        0 => "g",
+        1 => "missing",
+        _ => "ys",
+    };
+    let body = if gen.next_u64().is_multiple_of(2) {
+        IrExpr::bin(BinOp::Add, IrExpr::var("a"), gen_int_expr(gen, depth - 1))
+    } else {
+        gen_int_expr(gen, depth - 1)
+    };
+    IrExpr::Agg {
+        op,
+        init: Box::new(gen_int_expr(gen, depth - 1)),
+        over: over.into(),
+        param: "a".into(),
+        body: Box::new(body),
     }
 }
 
@@ -598,13 +627,16 @@ proptest! {
         v1 in -9i64..9,
         v2 in -9i64..9,
         g in -9i64..9,
+        ys in prop::collection::vec(-9i64..9, 0..5),
     ) {
         use casper_ir::bytecode::Chunk;
         use casper_ir::compile::CompiledReduceLambda;
         use casper_ir::Engine;
 
+        let ys_val = Value::List(ys.iter().copied().map(Value::Int).collect());
         let mut state = Env::new();
         state.set("g", Value::Int(g));
+        state.set("ys", ys_val.clone());
 
         let chunk = Chunk::compile(&e, &["v1", "v2"]);
         let vm = chunk
@@ -621,6 +653,7 @@ proptest! {
 
         let mut env = Env::new();
         env.set("g", Value::Int(g));
+        env.set("ys", ys_val);
         env.set("v1", Value::Int(v1));
         env.set("v2", Value::Int(v2));
         let walk = e.eval(&env).map_err(|err| err.to_string());
@@ -641,6 +674,7 @@ proptest! {
         val in arb_int_expr(),
         body in arb_int_expr(),
         xs in prop::collection::vec(-9i64..9, 0..8),
+        ys in prop::collection::vec(-9i64..9, 0..5),
         g in -9i64..9,
     ) {
         use casper_ir::compile::CompiledSummary;
@@ -663,6 +697,7 @@ proptest! {
 
         let mut state = Env::new();
         state.set("xs", Value::Array(xs.into_iter().map(Value::Int).collect()));
+        state.set("ys", Value::List(ys.into_iter().map(Value::Int).collect()));
         state.set("g", Value::Int(g));
         state.set("out", Value::Map(vec![]));
 
