@@ -1,16 +1,22 @@
-//! Runtime benchmark for the execution data plane: fused+compiled plan
-//! execution vs the compiled-unfused and tree-walking executors, over
-//! scaled suite-style workloads (wordcount, a TPC-H Q6-style guarded
-//! aggregation, row-wise mean, a join dot-product), plus the iterative
-//! plan-cache comparison. Headline numbers (per-record ns and the
-//! fused-vs-tree-walk / fused-vs-unfused speedups) are written to
+//! Runtime benchmark for the execution data plane: the buffered fused
+//! executor vs the boxed-`Value` golden reference, the compiled-unfused
+//! ablation and the tree-walking executor, over scaled suite-style
+//! workloads (wordcount, a TPC-H Q6-style guarded aggregation, row-wise
+//! mean, a join dot-product), plus the iterative plan-cache comparison.
+//! Headline numbers (per-record ns, records/sec/core, the speedup
+//! ratios, and the physical shuffle-byte counters) are written to
 //! `BENCH_runtime.json` at the workspace root.
 //!
 //! Dataset sizes are `RUNTIME_BENCH_BASE` records (default 1500, the
-//! harness's `MEASURE_N`) times per-workload scale factors of 10x–1000x.
-//! The tree-walking executor clones the full program state per record,
-//! so it is only measured at the smallest scale; the fused plane runs at
-//! every scale. Set `RUNTIME_BENCH_BASE=60` (CI smoke) for a fast run.
+//! harness's `MEASURE_N`) times per-workload scale factors of 10x–10000x
+//! (the 10000x point pushes past ten million records). The tree-walking
+//! executor clones the full program state per record, so it is only
+//! measured at the smallest scale; the fused plane runs at every scale.
+//! At the largest scale of every workload the buffered outputs are also
+//! checked bit-identical to the boxed reference at 1/2/4/8 workers, and
+//! the fused-vs-unfused ratio is asserted ≥ 1.0 — fusion must never lose
+//! to the per-operator plane again. Set `RUNTIME_BENCH_BASE=60` (CI
+//! smoke) for a fast run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -21,7 +27,7 @@ use casper_ir::lambda::{Emit, MapLambda, ReduceLambda};
 use casper_ir::mr::{DataSource, MrExpr, OutputKind, ProgramSummary};
 use codegen::{CompiledPlan, PlanCache};
 use mapreduce::sim::simulate_job;
-use mapreduce::{ClusterSpec, Context, Framework};
+use mapreduce::{ClusterSpec, Context, Framework, MemoryTraffic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqlang::ast::BinOp;
@@ -106,7 +112,9 @@ fn tpch_q6_style() -> Workload {
             st.set("revenue", Value::Double(0.0));
             st
         },
-        scales: &[10, 100, 1000],
+        // The 10000x point (15M records at the default base) is the
+        // tens-of-millions scale target for the buffered plane.
+        scales: &[10, 100, 1000, 10000],
     }
 }
 
@@ -254,30 +262,52 @@ struct ScaleResult {
     scale: usize,
     records: usize,
     fused_ns: f64,
+    boxed_ns: f64,
     unfused_ns: Option<f64>,
     tree_walk_ns: Option<f64>,
+    records_per_sec_per_core: f64,
+    shuffle_bytes: u64,
+    bytes_moved: u64,
+    value_allocs: u64,
+    arena_hwm_bytes: u64,
     outputs_identical: bool,
 }
 
 struct WorkloadResult {
     name: &'static str,
     plan_compile_us: f64,
+    /// Largest-scale buffered outputs checked bit-identical to the boxed
+    /// reference at every swept worker count.
+    worker_sweep_identical: bool,
     scales: Vec<ScaleResult>,
 }
+
+const SWEEP_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 fn measure_workload(w: &Workload, base: usize) -> WorkloadResult {
     let compile_started = Instant::now();
     let plan = CompiledPlan::new(w.summary.clone(), w.props.clone());
     let plan_compile_us = compile_started.elapsed().as_secs_f64() * 1e6;
 
+    let workers = 4usize;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(workers);
     let mut scales = Vec::new();
+    let mut worker_sweep_identical = true;
     for (si, &scale) in w.scales.iter().enumerate() {
         let n = base * scale;
         let state = (w.state_for)(n);
-        let ctx = Context::with_parallelism(4, 8);
+        let ctx = Context::with_parallelism(workers, 8);
 
         let fused = time_per_run(|| {
             plan.execute(&ctx, &state).expect("fused execution");
+        });
+        // The boxed golden reference is the pre-columnar fused plane: its
+        // per-record time is the floor the buffered executor must beat.
+        let boxed = time_per_run(|| {
+            plan.execute_boxed(&ctx, &state).expect("boxed execution");
         });
         let per = |d: Duration| d.as_secs_f64() * 1e9 / n as f64;
 
@@ -289,14 +319,20 @@ fn measure_workload(w: &Workload, base: usize) -> WorkloadResult {
             plan.execute_compiled_unfused(&ctx, &state)
                 .expect("unfused execution");
         });
-        let unfused_ns = Some(per(unfused));
-        // Output identity is checked at EVERY scale against the unfused
-        // executor; the tree walk joins the comparison (and the timing)
-        // only at the smallest scale — its per-record state clone is
-        // quadratic in the dataset and the thing being replaced.
+        let fused_ns = per(fused);
+        let unfused_ns = per(unfused);
+
+        // One clean fused run for the memory-traffic counters.
+        ctx.reset_stats();
         let a = plan.execute(&ctx, &state).unwrap();
+        let traffic = MemoryTraffic::of(&ctx.stats());
+
+        // Output identity is checked at EVERY scale against the boxed
+        // reference and the unfused executor; the tree walk joins the
+        // comparison (and the timing) only at the smallest scale.
+        let b = plan.execute_boxed(&ctx, &state).unwrap();
         let c2 = plan.execute_compiled_unfused(&ctx, &state).unwrap();
-        let mut outputs_identical = a == c2;
+        let mut outputs_identical = a == b && a == c2;
         let mut tree_walk_ns = None;
         if si == 0 {
             let tree = time_per_run(|| {
@@ -304,22 +340,51 @@ fn measure_workload(w: &Workload, base: usize) -> WorkloadResult {
                     .expect("interpreted execution");
             });
             tree_walk_ns = Some(per(tree));
-            let b = plan.execute_interpreted(&ctx, &state).unwrap();
-            outputs_identical = outputs_identical && a == b;
+            let t = plan.execute_interpreted(&ctx, &state).unwrap();
+            outputs_identical = outputs_identical && a == t;
         }
         assert!(outputs_identical, "{}: executors diverge", w.name);
+        if si + 1 == w.scales.len() {
+            // The fused plane must never lose to the per-operator plane
+            // at scale — the regression this rework closes.
+            assert!(
+                unfused_ns / fused_ns >= 1.0,
+                "{}: fused slower than unfused at largest scale \
+                 ({fused_ns:.1} vs {unfused_ns:.1} ns/rec)",
+                w.name
+            );
+            // Worker sweep: the buffered plane must be bit-identical to
+            // the boxed reference at every parallelism level.
+            for &wk in &SWEEP_WORKERS {
+                let cw = Context::with_parallelism(wk, 8);
+                let out = plan.execute(&cw, &state).unwrap();
+                worker_sweep_identical = worker_sweep_identical && out == b;
+            }
+            assert!(
+                worker_sweep_identical,
+                "{}: buffered outputs diverge from boxed across worker counts",
+                w.name
+            );
+        }
         scales.push(ScaleResult {
             scale,
             records: n,
-            fused_ns: per(fused),
-            unfused_ns,
+            fused_ns,
+            boxed_ns: per(boxed),
+            unfused_ns: Some(unfused_ns),
             tree_walk_ns,
+            records_per_sec_per_core: 1e9 / fused_ns / cores as f64,
+            shuffle_bytes: traffic.bytes_shuffled,
+            bytes_moved: traffic.bytes_moved,
+            value_allocs: traffic.value_allocs,
+            arena_hwm_bytes: traffic.arena_hwm_bytes,
             outputs_identical,
         });
     }
     WorkloadResult {
         name: w.name,
         plan_compile_us,
+        worker_sweep_identical,
         scales,
     }
 }
@@ -450,6 +515,10 @@ fn fmt_opt(v: Option<f64>) -> String {
 fn write_artifact(base: usize, results: &[WorkloadResult], cache: &CacheResult) {
     let mut workloads = String::new();
     let mut min_fused_vs_tree: f64 = f64::INFINITY;
+    let mut min_fused_vs_unfused_at_largest: f64 = f64::INFINITY;
+    let mut min_fused_vs_boxed_at_largest: f64 = f64::INFINITY;
+    let mut max_records_per_sec_per_core: f64 = 0.0;
+    let mut largest_scale_records: u64 = 0;
     // The fusion-isolating headline comes from the workload with a real
     // narrow chain; single-map pipelines are structurally identical
     // fused and unfused.
@@ -464,30 +533,52 @@ fn write_artifact(base: usize, results: &[WorkloadResult], cache: &CacheResult) 
         for (si, s) in w.scales.iter().enumerate() {
             let fused_vs_tree = s.tree_walk_ns.map(|t| t / s.fused_ns);
             let fused_vs_unfused = s.unfused_ns.map(|u| u / s.fused_ns);
+            let fused_vs_boxed = s.boxed_ns / s.fused_ns;
             if let Some(r) = fused_vs_tree {
                 min_fused_vs_tree = min_fused_vs_tree.min(r);
             }
+            if si + 1 == w.scales.len() {
+                if let Some(r) = fused_vs_unfused {
+                    min_fused_vs_unfused_at_largest = min_fused_vs_unfused_at_largest.min(r);
+                }
+                min_fused_vs_boxed_at_largest = min_fused_vs_boxed_at_largest.min(fused_vs_boxed);
+                max_records_per_sec_per_core =
+                    max_records_per_sec_per_core.max(s.records_per_sec_per_core);
+                largest_scale_records = largest_scale_records.max(s.records as u64);
+            }
             scales.push_str(&format!(
                 "        {{\"scale\": {}, \"records\": {}, \"fused_per_record_ns\": {:.1}, \
-                 \"unfused_per_record_ns\": {}, \"tree_walk_per_record_ns\": {}, \
+                 \"boxed_per_record_ns\": {:.1}, \"unfused_per_record_ns\": {}, \
+                 \"tree_walk_per_record_ns\": {}, \"fused_vs_boxed\": {:.2}, \
                  \"fused_vs_tree_walk\": {}, \"fused_vs_unfused\": {}, \
+                 \"records_per_sec_per_core\": {:.0}, \"shuffle_bytes\": {}, \
+                 \"bytes_moved\": {}, \"value_allocs\": {}, \"arena_hwm_bytes\": {}, \
                  \"outputs_identical\": {}}}{}\n",
                 s.scale,
                 s.records,
                 s.fused_ns,
+                s.boxed_ns,
                 fmt_opt(s.unfused_ns),
                 fmt_opt(s.tree_walk_ns),
+                fused_vs_boxed,
                 fmt_opt(fused_vs_tree),
                 fmt_opt(fused_vs_unfused),
+                s.records_per_sec_per_core,
+                s.shuffle_bytes,
+                s.bytes_moved,
+                s.value_allocs,
+                s.arena_hwm_bytes,
                 s.outputs_identical,
                 if si + 1 < w.scales.len() { "," } else { "" },
             ));
         }
         workloads.push_str(&format!(
             "    {{\n      \"name\": \"{}\",\n      \"plan_compile_us\": {:.1},\n      \
+             \"worker_sweep\": {{\"workers\": [1, 2, 4, 8], \"identical_to_boxed\": {}}},\n      \
              \"scales\": [\n{}      ]\n    }}{}\n",
             w.name,
             w.plan_compile_us,
+            w.worker_sweep_identical,
             scales,
             if wi + 1 < results.len() { "," } else { "" },
         ));
@@ -495,13 +586,21 @@ fn write_artifact(base: usize, results: &[WorkloadResult], cache: &CacheResult) 
     let json = format!(
         "{{\n  \"base_records\": {base},\n  \"workloads\": [\n{workloads}  ],\n  \
          \"headline\": {{\n    \"min_fused_vs_tree_walk\": {:.2},\n    \
-         \"chain_fused_vs_unfused\": {:.2}\n  }},\n  \"iterative_cache\": {{\n    \
+         \"chain_fused_vs_unfused\": {:.2},\n    \
+         \"min_fused_vs_boxed_at_largest\": {:.2},\n    \
+         \"min_fused_vs_unfused_at_largest\": {:.2},\n    \
+         \"max_records_per_sec_per_core\": {:.0},\n    \
+         \"largest_scale_records\": {}\n  }},\n  \"iterative_cache\": {{\n    \
          \"workload\": \"pagerank_contribs\",\n    \"records\": {},\n    \
          \"iterations\": {},\n    \"uncached_wall_ms\": {:.2},\n    \
          \"cached_wall_ms\": {:.2},\n    \"cache_hits\": {},\n    \
          \"sim_uncached_s\": {:.3},\n    \"sim_cached_s\": {:.3}\n  }}\n}}\n",
         min_fused_vs_tree,
         chain_fused_vs_unfused,
+        min_fused_vs_boxed_at_largest,
+        min_fused_vs_unfused_at_largest,
+        max_records_per_sec_per_core,
+        largest_scale_records,
         cache.records,
         cache.iterations,
         cache.uncached_wall.as_secs_f64() * 1e3,
@@ -545,17 +644,24 @@ fn bench_runtime(c: &mut Criterion) {
     for w in &results {
         for s in &w.scales {
             println!(
-                "runtime/{} @{}x ({} records): fused {:.0} ns/rec{}{}",
+                "runtime/{} @{}x ({} records): fused {:.0} ns/rec ({:.2}M rec/s/core), \
+                 boxed {:.0} ns/rec ({:.1}x){}{}; shuffle {} B sem / {} B moved, {} allocs",
                 w.name,
                 s.scale,
                 s.records,
                 s.fused_ns,
+                s.records_per_sec_per_core / 1e6,
+                s.boxed_ns,
+                s.boxed_ns / s.fused_ns,
                 s.unfused_ns
                     .map(|u| format!(", unfused {u:.0} ns/rec ({:.1}x)", u / s.fused_ns))
                     .unwrap_or_default(),
                 s.tree_walk_ns
                     .map(|t| format!(", tree-walk {t:.0} ns/rec ({:.1}x)", t / s.fused_ns))
                     .unwrap_or_default(),
+                s.shuffle_bytes,
+                s.bytes_moved,
+                s.value_allocs,
             );
         }
     }

@@ -10,9 +10,16 @@
 //! no `Env::clone`, no name hashing, no tree walk, no materialized
 //! dataset per operator.
 //!
-//! Three execution modes coexist:
+//! Four execution modes coexist:
 //!
-//! * [`CompiledPlan::execute`] — the fused, compiled data plane (default);
+//! * [`CompiledPlan::execute`] — the fused, compiled data plane
+//!   (default), running over buffer-backed partitions
+//!   ([`mapreduce::BufRdd`]): records live in contiguous [`ValueBuf`]s,
+//!   narrow passes copy cells between buffers instead of materializing
+//!   boxed `Value`s, and the shuffle moves raw byte ranges;
+//! * [`CompiledPlan::execute_boxed`] — the same fused stages over boxed
+//!   `Vec<(Value, Value)>` partitions: the differential golden reference
+//!   for the buffered plane;
 //! * [`CompiledPlan::execute_compiled_unfused`] — compiled λs but one
 //!   engine stage per operator (isolates the fusion win);
 //! * [`CompiledPlan::execute_interpreted`] — the tree-walking golden
@@ -37,8 +44,10 @@ use casper_ir::compile::{CompiledMapLambda, CompiledReduceLambda};
 use casper_ir::expr::IrExpr;
 use casper_ir::lambda::{MapLambda, ReduceLambda};
 use casper_ir::mr::{DataShape, DataSource, MrExpr, OutputBinding, OutputKind, ProgramSummary};
+use mapreduce::bufrdd::{rows_per_partition, BufRdd, PassStats};
 use mapreduce::rdd::{PairRdd, Rdd};
 use mapreduce::{Context, StageKind, StageStats};
+use seqlang::buf::{RecordArena, ValueBuf};
 use seqlang::env::Env;
 use seqlang::error::{Error, Result};
 use seqlang::value::Value;
@@ -130,9 +139,10 @@ pub struct PlanCache {
     /// meaningful within one lowering, so a cache handed to a different
     /// plan is cleared instead of serving the wrong plan's results.
     owner: Option<u64>,
-    entries: HashMap<usize, (u64, PairRdd<Value, Value>)>,
-    /// Ingested source frames feeding fused narrow chains.
-    frames: HashMap<usize, (u64, Rdd<Frame>)>,
+    entries: HashMap<usize, (u64, BufRdd)>,
+    /// Ingested source frames feeding fused narrow chains (width-arity
+    /// buffers).
+    frames: HashMap<usize, (u64, BufRdd)>,
     /// Cross-execution memo of per-variable content hashes, validated by
     /// the env's `(identity, write stamp)` pair: iterative drivers mutate
     /// a handful of variables per iteration, and only those are
@@ -158,7 +168,7 @@ impl PlanCache {
         self.misses
     }
 
-    fn lookup(&mut self, id: usize, fp: u64) -> Option<PairRdd<Value, Value>> {
+    fn lookup(&mut self, id: usize, fp: u64) -> Option<BufRdd> {
         match self.entries.get(&id) {
             Some((stored, rdd)) if *stored == fp => {
                 self.hits += 1;
@@ -171,11 +181,11 @@ impl PlanCache {
         }
     }
 
-    fn store(&mut self, id: usize, fp: u64, rdd: PairRdd<Value, Value>) {
+    fn store(&mut self, id: usize, fp: u64, rdd: BufRdd) {
         self.entries.insert(id, (fp, rdd));
     }
 
-    fn lookup_frames(&mut self, id: usize, fp: u64) -> Option<Rdd<Frame>> {
+    fn lookup_frames(&mut self, id: usize, fp: u64) -> Option<BufRdd> {
         match self.frames.get(&id) {
             Some((stored, rdd)) if *stored == fp => {
                 self.hits += 1;
@@ -188,7 +198,7 @@ impl PlanCache {
         }
     }
 
-    fn store_frames(&mut self, id: usize, fp: u64, rdd: Rdd<Frame>) {
+    fn store_frames(&mut self, id: usize, fp: u64, rdd: BufRdd) {
         self.frames.insert(id, (fp, rdd));
     }
 
@@ -385,9 +395,86 @@ impl CompiledPlan {
         Ok(out)
     }
 
-    /// Ingest a source's λ frames, serving them from the cache when the
-    /// source collection is unchanged — the cut-point that makes
-    /// iterative plans stop re-running their input pipeline.
+    /// Execute the same fused pipelines on the boxed-`Value` data plane —
+    /// the differential golden reference for the buffered executor. Every
+    /// record is a heap `Vec<Value>` frame and every emission a cloned
+    /// pair, exactly as the plane worked before the columnar rework; no
+    /// caching, so results always come from a fresh run.
+    pub fn execute_boxed(&self, ctx: &Arc<Context>, state: &Env) -> Result<Env> {
+        let mut out = Env::new();
+        for (binding, stage) in self.summary.bindings.iter().zip(&self.pipelines) {
+            let pairs = self.run_fused_boxed(ctx, state, stage)?;
+            bind_outputs(binding, &pairs.collect_sorted(), state, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Execute one fused stage on boxed `Value`s (no cache) — see
+    /// [`execute_boxed`](CompiledPlan::execute_boxed).
+    fn run_fused_boxed(
+        &self,
+        ctx: &Arc<Context>,
+        state: &Env,
+        stage: &FusedStage,
+    ) -> Result<PairRdd<Value, Value>> {
+        match stage {
+            FusedStage::Source { src, .. } => ingest_pairs(ctx, state, src),
+            FusedStage::Narrow { input, maps, .. } => {
+                let label = format!("fused[mapx{}]", maps.len());
+                match input {
+                    NarrowInput::Source { src, .. } => {
+                        let frames = Rdd::parallelize(ctx, source_frames(state, src)?);
+                        frames.map_partitions(&label, |part: &[Frame]| {
+                            let mut out = Vec::with_capacity(part.len());
+                            let mut cur = Vec::new();
+                            let mut next = Vec::new();
+                            for row in part {
+                                cur.clear();
+                                maps[0].apply_into(row, state, &mut cur)?;
+                                chain_maps(&maps[1..], state, &mut cur, &mut next)?;
+                                out.append(&mut cur);
+                            }
+                            Ok(out)
+                        })
+                    }
+                    NarrowInput::Stage(inner) => {
+                        let pairs = self.run_fused_boxed(ctx, state, inner)?;
+                        pairs.map_partitions(&label, |part: &[(Value, Value)]| {
+                            let mut out = Vec::with_capacity(part.len());
+                            let mut cur = Vec::new();
+                            let mut next = Vec::new();
+                            for (k, v) in part {
+                                cur.clear();
+                                cur.push((k.clone(), v.clone()));
+                                chain_maps(maps, state, &mut cur, &mut next)?;
+                                out.append(&mut cur);
+                            }
+                            Ok(out)
+                        })
+                    }
+                }
+            }
+            FusedStage::Wide {
+                input,
+                combiner,
+                props,
+                ..
+            } => {
+                let pairs = self.run_fused_boxed(ctx, state, input)?;
+                run_wide(&pairs, combiner, *props, state)
+            }
+            FusedStage::Join { left, right, .. } => {
+                let l = self.run_fused_boxed(ctx, state, left)?;
+                let r = self.run_fused_boxed(ctx, state, right)?;
+                Ok(join_pairs(&l, &r))
+            }
+        }
+    }
+
+    /// Ingest a source's λ frames into width-`arity` partition buffers,
+    /// serving them from the cache when the source collection is
+    /// unchanged — the cut-point that makes iterative plans stop
+    /// re-running their input pipeline.
     fn ingest_frames(
         &self,
         ctx: &Arc<Context>,
@@ -395,7 +482,7 @@ impl CompiledPlan {
         src_id: usize,
         src: &DataSource,
         cache: &mut Option<CacheCtx<'_>>,
-    ) -> Result<Rdd<Frame>> {
+    ) -> Result<BufRdd> {
         let fp = cache
             .as_mut()
             .map(|cc| cc.fingerprint(state, &self.stage_deps[src_id]));
@@ -410,21 +497,26 @@ impl CompiledPlan {
                 return Ok(rdd);
             }
         }
-        let frames = Rdd::parallelize(ctx, source_frames(state, src)?);
+        let width = src.shape.arity();
+        let frames = BufRdd::from_built_partitions(ctx, width, source_frame_bufs(ctx, state, src)?);
         if let (Some(cc), Some(fp)) = (cache.as_mut(), fp) {
             cc.cache.store_frames(src_id, fp, frames.clone());
         }
         Ok(frames)
     }
 
-    /// Execute one fused stage, consulting and refreshing the cache.
+    /// Execute one fused stage on the buffered data plane, consulting and
+    /// refreshing the cache. Records never leave their partition buffer
+    /// except to cross a shuffle; λs read rows through borrowed
+    /// [`seqlang::buf::ValueRef`] views and write emissions straight into
+    /// the output buffer.
     fn run_fused(
         &self,
         ctx: &Arc<Context>,
         state: &Env,
         stage: &FusedStage,
         cache: &mut Option<CacheCtx<'_>>,
-    ) -> Result<PairRdd<Value, Value>> {
+    ) -> Result<BufRdd> {
         let fp = cache
             .as_mut()
             .map(|cc| cc.fingerprint(state, &self.stage_deps[stage.id()]));
@@ -441,41 +533,61 @@ impl CompiledPlan {
             }
         }
         let result = match stage {
-            FusedStage::Source { src, .. } => ingest_pairs(ctx, state, src)?,
+            FusedStage::Source { src, .. } => ingest_pairs_buf(ctx, state, src)?,
             FusedStage::Narrow { input, maps, .. } => {
                 let label = format!("fused[mapx{}]", maps.len());
-                match input {
+                // An upstream wide/join stage produces width-2 pair
+                // buffers, which ARE the `[k, v]` frames the next λ
+                // binds — no repacking at the seam.
+                let frames = match input {
                     NarrowInput::Source { id: src_id, src } => {
-                        let frames = self.ingest_frames(ctx, state, *src_id, src, cache)?;
-                        frames.map_partitions(&label, |part: &[Frame]| {
-                            let mut out = Vec::with_capacity(part.len());
-                            let mut cur = Vec::new();
-                            let mut next = Vec::new();
-                            for row in part {
-                                cur.clear();
-                                maps[0].apply_into(row, state, &mut cur)?;
-                                chain_maps(&maps[1..], state, &mut cur, &mut next)?;
-                                out.append(&mut cur);
-                            }
-                            Ok(out)
-                        })?
+                        self.ingest_frames(ctx, state, *src_id, src, cache)?
                     }
-                    NarrowInput::Stage(inner) => {
-                        let pairs = self.run_fused(ctx, state, inner, cache)?;
-                        pairs.map_partitions(&label, |part: &[(Value, Value)]| {
-                            let mut out = Vec::with_capacity(part.len());
-                            let mut cur = Vec::new();
-                            let mut next = Vec::new();
-                            for (k, v) in part {
-                                cur.clear();
-                                cur.push((k.clone(), v.clone()));
-                                chain_maps(maps, state, &mut cur, &mut next)?;
-                                out.append(&mut cur);
+                    NarrowInput::Stage(inner) => self.run_fused(ctx, state, inner, cache)?,
+                };
+                frames.map_partitions(&label, |part: &ValueBuf| {
+                    let mut out = ValueBuf::with_capacity(2, part.len());
+                    let mut arena = RecordArena::new();
+                    if let [only] = &maps[..] {
+                        for row in 0..part.len() {
+                            only.apply_into_buf(part, row, state, &mut out, &mut arena)?;
+                        }
+                        Ok((
+                            out,
+                            PassStats {
+                                allocs: arena.allocs,
+                                arena_hwm_bytes: 0,
+                            },
+                        ))
+                    } else {
+                        // Chain per record through two scratch buffers,
+                        // cleared between records so their footprint stays
+                        // bounded by the widest single record.
+                        let mut cur = ValueBuf::new(2);
+                        let mut next = ValueBuf::new(2);
+                        for row in 0..part.len() {
+                            cur.clear();
+                            maps[0].apply_into_buf(part, row, state, &mut cur, &mut arena)?;
+                            for m in &maps[1..] {
+                                next.clear();
+                                for r in 0..cur.len() {
+                                    m.apply_into_buf(&cur, r, state, &mut next, &mut arena)?;
+                                }
+                                std::mem::swap(&mut cur, &mut next);
                             }
-                            Ok(out)
-                        })?
+                            for r in 0..cur.len() {
+                                out.copy_row_from(&cur, r);
+                            }
+                        }
+                        Ok((
+                            out,
+                            PassStats {
+                                allocs: arena.allocs,
+                                arena_hwm_bytes: cur.hwm_bytes().max(next.hwm_bytes()),
+                            },
+                        ))
                     }
-                }
+                })?
             }
             FusedStage::Wide {
                 input,
@@ -484,12 +596,18 @@ impl CompiledPlan {
                 ..
             } => {
                 let pairs = self.run_fused(ctx, state, input, cache)?;
-                run_wide(&pairs, combiner, *props, state)?
+                if props.both() {
+                    pairs.try_reduce_by_key(combiner.fast_combine(), |a, b| {
+                        combiner.combine(a, b, state)
+                    })?
+                } else {
+                    pairs.try_group_fold(|a, b| combiner.combine(a, b, state))?
+                }
             }
             FusedStage::Join { left, right, .. } => {
                 let l = self.run_fused(ctx, state, left, cache)?;
                 let r = self.run_fused(ctx, state, right, cache)?;
-                join_pairs(&l, &r)
+                l.join_pairs(&r)
             }
         };
         if let (Some(cc), Some(fp)) = (cache.as_mut(), fp) {
@@ -792,6 +910,95 @@ fn ingest_pairs(
     Ok(Rdd::parallelize(ctx, pairs))
 }
 
+/// Buffered twin of [`ingest_pairs`]: a bare indexed source becomes
+/// width-2 `[i, e]` partition buffers directly — same rows, same
+/// semantic bytes, no boxed pair materialization.
+fn ingest_pairs_buf(ctx: &Arc<Context>, state: &Env, src: &DataSource) -> Result<BufRdd> {
+    if src.shape != DataShape::Indexed {
+        return Err(Error::runtime(
+            "bare non-indexed data source reached codegen without a map",
+        ));
+    }
+    let parts = source_frame_bufs(ctx, state, src)?;
+    Ok(BufRdd::from_built_partitions(ctx, 2, parts))
+}
+
+/// Buffered twin of [`source_frames`]: build width-`arity` partition
+/// buffers chunked exactly like `Rdd::parallelize` (so partition
+/// boundaries, and therefore shuffle bucketing and error adjudication,
+/// match the boxed plane). 2-D shape errors surface before any buffer is
+/// built, preserving the boxed error-before-stage order.
+fn source_frame_bufs(ctx: &Arc<Context>, state: &Env, src: &DataSource) -> Result<Vec<ValueBuf>> {
+    let var = &src.var;
+    let coll = state
+        .get(var)
+        .ok_or_else(|| Error::runtime(format!("input `{var}` missing")))?;
+    let elems = coll
+        .elements()
+        .ok_or_else(|| Error::runtime(format!("input `{var}` is not a collection")))?;
+    let width = src.shape.arity();
+    match src.shape {
+        DataShape::Flat => {
+            let per = rows_per_partition(ctx, elems.len());
+            Ok(elems
+                .chunks(per)
+                .map(|chunk| {
+                    let mut buf = ValueBuf::with_capacity(width, chunk.len());
+                    for e in chunk {
+                        buf.push_value(e);
+                    }
+                    buf
+                })
+                .collect())
+        }
+        DataShape::Indexed => {
+            let per = rows_per_partition(ctx, elems.len());
+            Ok(elems
+                .chunks(per)
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let mut buf = ValueBuf::with_capacity(width, chunk.len());
+                    for (j, e) in chunk.iter().enumerate() {
+                        buf.push_value(&Value::Int((ci * per + j) as i64));
+                        buf.push_value(e);
+                    }
+                    buf
+                })
+                .collect())
+        }
+        DataShape::Indexed2D => {
+            let mut inners: Vec<&[Value]> = Vec::with_capacity(elems.len());
+            for row in elems {
+                inners.push(
+                    row.elements()
+                        .ok_or_else(|| Error::runtime(format!("`{var}` is not 2-D")))?,
+                );
+            }
+            let n: usize = inners.iter().map(|r| r.len()).sum();
+            let per = rows_per_partition(ctx, n);
+            let mut parts = Vec::new();
+            let mut buf = ValueBuf::with_capacity(width, per.min(n));
+            for (i, inner) in inners.iter().enumerate() {
+                for (j, e) in inner.iter().enumerate() {
+                    if buf.len() == per {
+                        parts.push(std::mem::replace(
+                            &mut buf,
+                            ValueBuf::with_capacity(width, per),
+                        ));
+                    }
+                    buf.push_value(&Value::Int(i as i64));
+                    buf.push_value(&Value::Int(j as i64));
+                    buf.push_value(e);
+                }
+            }
+            if !buf.is_empty() {
+                parts.push(buf);
+            }
+            Ok(parts)
+        }
+    }
+}
+
 /// Build per-record λ frames for a data source: `Flat` rows are `[e]`,
 /// `Indexed` rows `[i, e]`, `Indexed2D` rows `[i, j, e]`.
 fn source_frames(state: &Env, src: &DataSource) -> Result<Vec<Frame>> {
@@ -1084,13 +1291,23 @@ mod tests {
         ProgramSummary::single("counts", expr, OutputKind::AssocMap)
     }
 
-    /// All three execution modes must agree exactly, including on error
+    /// All four execution modes must agree exactly, including on error
     /// outcomes.
     fn assert_modes_agree(plan: &CompiledPlan, state: &Env) {
         let c = ctx();
         let fused = plan.execute(&c, state);
+        let boxed = plan.execute_boxed(&c, state);
         let unfused = plan.execute_compiled_unfused(&c, state);
         let interp = plan.execute_interpreted(&c, state);
+        match (&fused, &boxed) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "buffered vs boxed outputs diverge"),
+            (Err(a), Err(b)) => assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "buffered vs boxed errors diverge"
+            ),
+            _ => panic!("buffered {fused:?} vs boxed {boxed:?}"),
+        }
         match (&fused, &interp) {
             (Ok(a), Ok(b)) => assert_eq!(a, b, "fused vs interpreted outputs diverge"),
             (Err(_), Err(_)) => {}
@@ -1348,6 +1565,7 @@ mod tests {
         state.set("s", Value::Int(0));
         let c = ctx();
         assert!(plan.execute(&c, &state).is_err());
+        assert!(plan.execute_boxed(&c, &state).is_err());
         assert!(plan.execute_compiled_unfused(&c, &state).is_err());
         assert!(plan.execute_interpreted(&c, &state).is_err());
         // Reduce-side faults propagate too.

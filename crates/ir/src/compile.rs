@@ -46,6 +46,7 @@
 //! ```
 
 use seqlang::ast::{BinOp, UnOp};
+use seqlang::buf::{FastCombine, RecordArena, ValueBuf};
 use seqlang::error::{Error, Result};
 use seqlang::interp::{eval_binop, eval_free_function, eval_pure_method};
 use seqlang::value::Value;
@@ -93,11 +94,62 @@ impl ExprProgram {
     }
 }
 
+/// Where a compiled emit expression gets its value from, decided at
+/// compile time. `Slot` and `Const` let the buffer-backed data plane copy
+/// cells between partition buffers without ever materializing a `Value`;
+/// only `Dynamic` expressions fall back to the expression engine.
+enum EmitSrc {
+    /// The bare λ parameter at this frame slot.
+    Slot(usize),
+    /// A literal, materialized once at compile time.
+    Const(Value),
+    /// Anything else: run the compiled expression program.
+    Dynamic,
+}
+
+impl EmitSrc {
+    fn classify<P: AsRef<str>>(e: &IrExpr, params: &[P]) -> EmitSrc {
+        match e {
+            IrExpr::Var(name) => match params.iter().rposition(|p| p.as_ref() == name) {
+                Some(slot) => EmitSrc::Slot(slot),
+                None => EmitSrc::Dynamic,
+            },
+            IrExpr::ConstInt(n) => EmitSrc::Const(Value::Int(*n)),
+            IrExpr::ConstDouble(x) => EmitSrc::Const(Value::Double(x.0)),
+            IrExpr::ConstBool(b) => EmitSrc::Const(Value::Bool(*b)),
+            IrExpr::ConstStr(s) => EmitSrc::Const(Value::str(s.as_str())),
+            _ => EmitSrc::Dynamic,
+        }
+    }
+}
+
 /// One compiled emit statement of a map transformer.
 struct CompiledEmit {
     cond: Option<ExprProgram>,
+    cond_src: Option<EmitSrc>,
     key: ExprProgram,
+    key_src: EmitSrc,
     val: ExprProgram,
+    val_src: EmitSrc,
+}
+
+/// A pending output cell of the buffered λ application: computed in
+/// source order (key before value, so error identity matches the boxed
+/// path) but committed to the output buffer only once both exist.
+enum PendingCell<'a> {
+    Copy(usize),
+    Borrowed(&'a Value),
+    Owned(Value),
+}
+
+impl PendingCell<'_> {
+    fn commit(self, src: &ValueBuf, row: usize, out: &mut ValueBuf) {
+        match self {
+            PendingCell::Copy(slot) => out.copy_cell_from(src, row, slot),
+            PendingCell::Borrowed(v) => out.push_value(v),
+            PendingCell::Owned(v) => out.push_value(&v),
+        }
+    }
 }
 
 /// A map transformer λm lowered once to slot-resolved closures: parameter
@@ -179,6 +231,118 @@ impl CompiledMapLambda {
         }
         Ok(())
     }
+
+    /// Apply the λ to row `row` of a partition buffer, appending the
+    /// emitted key/value cells to `out` — the buffered counterpart of
+    /// [`apply_into`](Self::apply_into), with identical value, error, and
+    /// evaluation-order semantics. Slot and constant emits copy cells
+    /// directly between buffers; only dynamic expressions materialize the
+    /// record into `arena` (once per record, lazily) and box their result.
+    pub fn apply_into_buf(
+        &self,
+        src: &ValueBuf,
+        row: usize,
+        state: &Env,
+        out: &mut ValueBuf,
+        arena: &mut RecordArena,
+    ) -> Result<()> {
+        if src.width() != self.arity {
+            return Err(Error::runtime(format!(
+                "map λ expects {} params, record has {} fields",
+                self.arity,
+                src.width()
+            )));
+        }
+        let mut have_locals = false;
+        for emit in &self.emits {
+            let fire = match (&emit.cond_src, &emit.cond) {
+                (None, _) => true,
+                (Some(EmitSrc::Slot(slot)), _) => src
+                    .get(row, *slot)
+                    .as_bool()
+                    .ok_or_else(|| Error::runtime("emit guard not a bool"))?,
+                (Some(EmitSrc::Const(v)), _) => v
+                    .as_bool()
+                    .ok_or_else(|| Error::runtime("emit guard not a bool"))?,
+                (Some(EmitSrc::Dynamic), Some(c)) => {
+                    materialize_locals(src, row, arena, &mut have_locals);
+                    let frame = Frame {
+                        locals: &arena.locals,
+                        state,
+                    };
+                    c.run(&frame)?
+                        .as_bool()
+                        .ok_or_else(|| Error::runtime("emit guard not a bool"))?
+                }
+                (Some(EmitSrc::Dynamic), None) => unreachable!("dynamic cond without program"),
+            };
+            if !fire {
+                continue;
+            }
+            let key = self.pending_cell(
+                &emit.key_src,
+                &emit.key,
+                src,
+                row,
+                state,
+                arena,
+                &mut have_locals,
+            )?;
+            let val = self.pending_cell(
+                &emit.val_src,
+                &emit.val,
+                src,
+                row,
+                state,
+                arena,
+                &mut have_locals,
+            )?;
+            key.commit(src, row, out);
+            val.commit(src, row, out);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn pending_cell<'e>(
+        &self,
+        src_kind: &'e EmitSrc,
+        program: &ExprProgram,
+        src: &ValueBuf,
+        row: usize,
+        state: &Env,
+        arena: &mut RecordArena,
+        have_locals: &mut bool,
+    ) -> Result<PendingCell<'e>> {
+        Ok(match src_kind {
+            EmitSrc::Slot(slot) => PendingCell::Copy(*slot),
+            EmitSrc::Const(v) => PendingCell::Borrowed(v),
+            EmitSrc::Dynamic => {
+                materialize_locals(src, row, arena, have_locals);
+                let frame = Frame {
+                    locals: &arena.locals,
+                    state,
+                };
+                let v = program.run(&frame)?;
+                arena.allocs += 1;
+                PendingCell::Owned(v)
+            }
+        })
+    }
+}
+
+/// Materialize the record's cells into the arena frame, once per record
+/// (`have_locals` latches). Counts one `Value` materialization per field.
+fn materialize_locals(src: &ValueBuf, row: usize, arena: &mut RecordArena, have_locals: &mut bool) {
+    if *have_locals {
+        return;
+    }
+    arena.begin_record();
+    for col in 0..src.width() {
+        arena.locals.push(src.get(row, col).to_value());
+    }
+    arena.allocs += src.width() as u64;
+    *have_locals = true;
 }
 
 /// A reduce transformer λr lowered once to a slot-resolved closure;
@@ -186,6 +350,7 @@ impl CompiledMapLambda {
 pub struct CompiledReduceLambda {
     body: ExprProgram,
     free_vars: Vec<String>,
+    fast: Option<FastCombine>,
 }
 
 impl CompiledReduceLambda {
@@ -202,12 +367,23 @@ impl CompiledReduceLambda {
         CompiledReduceLambda {
             body: compile_reduce(lambda, engine),
             free_vars: free,
+            fast: classify_fast_combine(lambda),
         }
     }
 
     /// State variables the λ body reads besides `v1`/`v2`.
     pub fn free_vars(&self) -> &[String] {
         &self.free_vars
+    }
+
+    /// The raw-cell combine operator this λ lowers to, when its body is a
+    /// commutative-associative numeric primitive over exactly the two
+    /// parameters. The buffered reducer applies it in place on inline
+    /// cells; any cell pairing the fast path declines (and any λ this
+    /// returns `None` for) goes through [`combine`](Self::combine), so
+    /// value and error semantics are unchanged.
+    pub fn fast_combine(&self) -> Option<FastCombine> {
+        self.fast
     }
 
     /// Combine two values.
@@ -341,14 +517,51 @@ fn compile_map(lambda: &MapLambda, engine: Engine) -> Vec<CompiledEmit> {
                 .cond
                 .as_ref()
                 .map(|c| ExprProgram::compile(c, &lambda.params, engine)),
+            cond_src: emit
+                .cond
+                .as_ref()
+                .map(|c| EmitSrc::classify(c, &lambda.params)),
             key: ExprProgram::compile(&emit.key, &lambda.params, engine),
+            key_src: EmitSrc::classify(&emit.key, &lambda.params),
             val: ExprProgram::compile(&emit.val, &lambda.params, engine),
+            val_src: EmitSrc::classify(&emit.val, &lambda.params),
         })
         .collect()
 }
 
 fn compile_reduce(lambda: &ReduceLambda, engine: Engine) -> ExprProgram {
     ExprProgram::compile(&lambda.body, &lambda.params, engine)
+}
+
+/// Recognise reduce bodies of the shape `v1 ⊕ v2` (`+`, `-`, `*`) or
+/// `min(v1, v2)` / `max(v1, v2)` — the exact parameter order matters for
+/// `-`. These are the only bodies whose semantics [`FastCombine`]
+/// reproduces bit-for-bit on inline numeric cells (wrapping `Int`
+/// arithmetic, `Double` promotion, Rust `min`/`max`); `/` and `%` are
+/// excluded because they carry error paths.
+fn classify_fast_combine(lambda: &ReduceLambda) -> Option<FastCombine> {
+    let slot = |e: &IrExpr| match e {
+        IrExpr::Var(name) => lambda.params.iter().rposition(|p| p == name),
+        _ => None,
+    };
+    match &lambda.body {
+        IrExpr::Bin(op, l, r) if slot(l) == Some(0) && slot(r) == Some(1) => match op {
+            BinOp::Add => Some(FastCombine::Add),
+            BinOp::Sub => Some(FastCombine::Sub),
+            BinOp::Mul => Some(FastCombine::Mul),
+            _ => None,
+        },
+        IrExpr::Call(name, args)
+            if args.len() == 2 && slot(&args[0]) == Some(0) && slot(&args[1]) == Some(1) =>
+        {
+            match name.as_str() {
+                "min" => Some(FastCombine::Min),
+                "max" => Some(FastCombine::Max),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
 }
 
 fn run_stage(stage: &Stage, state: &Env) -> Result<Vec<Row>> {
@@ -823,6 +1036,126 @@ mod tests {
         let missing = state(&[("s", Value::Int(0))]);
         assert!(compiled.eval(&missing).is_err());
         assert!(crate::eval::EvalCtx::new(&missing).eval_mr(inner).is_err());
+    }
+
+    #[test]
+    fn buffered_apply_matches_boxed_apply() {
+        // One guarded dynamic emit, one slot/const emit: exercises every
+        // EmitSrc kind plus guard evaluation from a cell.
+        let lambda = MapLambda::new(
+            vec!["k", "v"],
+            vec![
+                Emit::guarded(
+                    IrExpr::bin(BinOp::Gt, IrExpr::var("v"), IrExpr::var("cut")),
+                    IrExpr::var("k"),
+                    IrExpr::bin(BinOp::Mul, IrExpr::var("v"), IrExpr::int(2)),
+                ),
+                Emit::unconditional(IrExpr::ConstStr("tag".into()), IrExpr::var("v")),
+            ],
+        );
+        let compiled = CompiledMapLambda::compile(&lambda);
+        let st = state(&[("cut", Value::Int(1))]);
+
+        let rows = vec![
+            vec![Value::str("a"), Value::Int(3)],
+            vec![Value::str("b"), Value::Int(0)],
+            vec![Value::str("c"), Value::Int(9)],
+        ];
+        let mut src = ValueBuf::new(2);
+        for r in &rows {
+            src.push_row(r);
+        }
+
+        let mut boxed = Vec::new();
+        for r in &rows {
+            compiled.apply_into(r, &st, &mut boxed).unwrap();
+        }
+        let mut out = ValueBuf::new(2);
+        let mut arena = RecordArena::new();
+        for row in 0..src.len() {
+            compiled
+                .apply_into_buf(&src, row, &st, &mut out, &mut arena)
+                .unwrap();
+        }
+        let buffered: Vec<(Value, Value)> = (0..out.len())
+            .map(|i| (out.value_at(i, 0), out.value_at(i, 1)))
+            .collect();
+        assert_eq!(boxed, buffered);
+        // Dynamic guard + dynamic val force locals materialization and one
+        // boxed temporary per fired dynamic emit.
+        assert!(arena.allocs > 0);
+
+        // Arity mismatch errors identically.
+        let narrow = {
+            let mut b = ValueBuf::new(1);
+            b.push_row(&[Value::Int(1)]);
+            b
+        };
+        let buf_err = compiled
+            .apply_into_buf(&narrow, 0, &st, &mut out, &mut arena)
+            .unwrap_err();
+        let boxed_err = compiled
+            .apply_into(&[Value::Int(1)], &st, &mut boxed)
+            .unwrap_err();
+        assert_eq!(buf_err.to_string(), boxed_err.to_string());
+
+        // Non-bool guards error identically too.
+        let bad = MapLambda::new(
+            vec!["v"],
+            vec![Emit::guarded(
+                IrExpr::var("v"),
+                IrExpr::int(0),
+                IrExpr::var("v"),
+            )],
+        );
+        let bad_c = CompiledMapLambda::compile(&bad);
+        let mut one = ValueBuf::new(1);
+        one.push_row(&[Value::Int(7)]);
+        let e1 = bad_c
+            .apply_into(&[Value::Int(7)], &st, &mut boxed)
+            .unwrap_err();
+        let e2 = bad_c
+            .apply_into_buf(&one, 0, &st, &mut out, &mut arena)
+            .unwrap_err();
+        assert_eq!(e1.to_string(), e2.to_string());
+    }
+
+    #[test]
+    fn fast_combine_classification() {
+        let fast = |r: &ReduceLambda| CompiledReduceLambda::compile(r).fast_combine();
+        assert_eq!(
+            fast(&ReduceLambda::binop(BinOp::Add)),
+            Some(FastCombine::Add)
+        );
+        assert_eq!(
+            fast(&ReduceLambda::binop(BinOp::Sub)),
+            Some(FastCombine::Sub)
+        );
+        assert_eq!(
+            fast(&ReduceLambda::binop(BinOp::Mul)),
+            Some(FastCombine::Mul)
+        );
+        // Division has an error path; never fast.
+        assert_eq!(fast(&ReduceLambda::binop(BinOp::Div)), None);
+        let minl = ReduceLambda::new(IrExpr::Call(
+            "min".into(),
+            vec![IrExpr::var("v1"), IrExpr::var("v2")],
+        ));
+        assert_eq!(fast(&minl), Some(FastCombine::Min));
+        // Swapped parameter order must not classify (Sub is not commutative).
+        let swapped = ReduceLambda::new(IrExpr::bin(
+            BinOp::Sub,
+            IrExpr::var("v2"),
+            IrExpr::var("v1"),
+        ));
+        assert_eq!(fast(&swapped), None);
+        // A body with free state variables is not a raw-cell combine.
+        let with_free = ReduceLambda::new(IrExpr::bin(
+            BinOp::Add,
+            IrExpr::var("v1"),
+            IrExpr::var("bias"),
+        ));
+        assert_eq!(fast(&with_free), None);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!   execution.
 //! * [`sample`] — first-k input sampling for the runtime monitor (§5.2).
 
+pub mod bufrdd;
 pub mod context;
 pub mod framework;
 pub mod rdd;
@@ -30,10 +31,11 @@ pub mod sample;
 pub mod sim;
 pub mod stats;
 
+pub use bufrdd::{BufRdd, PassStats};
 pub use context::Context;
 pub use framework::Framework;
 pub use rdd::{PairRdd, Rdd};
-pub use sim::{ClusterSpec, SimClock};
+pub use sim::{ClusterSpec, MemoryTraffic, SimClock};
 pub use stats::{JobStats, StageKind, StageStats};
 
 /// Serialized-size model for records flowing through the engine.

@@ -28,13 +28,15 @@ pub struct Rdd<T> {
 /// A dataset of key/value pairs, unlocked for shuffle operations.
 pub type PairRdd<K, V> = Rdd<(K, V)>;
 
-/// Run `f` over every partition in parallel on the context's worker pool,
-/// collecting one result per partition in partition order.
-fn par_map_partitions<T, U, F>(ctx: &Context, parts: &[Vec<T>], f: F) -> Vec<U>
+/// Run `f` over every partition (any `Sync` per-partition container) in
+/// parallel on the context's worker pool, collecting one result per
+/// partition in partition order. Shared by the boxed `Rdd` and the
+/// buffer-backed [`crate::bufrdd::BufRdd`] data planes.
+pub(crate) fn par_parts<P, U, F>(ctx: &Context, parts: &[P], f: F) -> Vec<U>
 where
-    T: Send + Sync,
+    P: Sync,
     U: Send,
-    F: Fn(&[T]) -> U + Send + Sync,
+    F: Fn(&P) -> U + Send + Sync,
 {
     let n = parts.len();
     let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
@@ -43,7 +45,7 @@ where
     }
     let workers = ctx.workers.min(n);
     if workers <= 1 {
-        return parts.iter().map(|p| f(p)).collect();
+        return parts.iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<parking_lot::Mutex<&mut Option<U>>> =
@@ -65,10 +67,21 @@ where
         .collect()
 }
 
+/// Run `f` over every partition in parallel on the context's worker pool,
+/// collecting one result per partition in partition order.
+fn par_map_partitions<T, U, F>(ctx: &Context, parts: &[Vec<T>], f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Send + Sync,
+{
+    par_parts(ctx, parts, |p| f(p))
+}
+
 /// Like [`par_map_partitions`], but each partition is *moved* into `f` —
 /// used where the serial code would consume its input (the shuffle's
 /// bucketing pass) so parallelism doesn't force per-record clones.
-fn par_consume_partitions<T, U, F>(ctx: &Context, parts: Vec<T>, f: F) -> Vec<U>
+pub(crate) fn par_consume_partitions<T, U, F>(ctx: &Context, parts: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,

@@ -48,6 +48,18 @@ pub struct StageStats {
     pub bytes_out: u64,
     /// Bytes that crossed the (simulated) network in a shuffle.
     pub bytes_shuffled: u64,
+    /// Boxed `Value` materializations the stage performed (λ temporaries,
+    /// fallback combines). The buffer-backed data plane drives this toward
+    /// zero on numeric workloads; the boxed plane reports zero (it does
+    /// not instrument itself) — compare `bytes_moved` instead.
+    pub value_allocs: u64,
+    /// Physical bytes the stage copied between partition buffers (the
+    /// shuffle byte-move volume, as opposed to the *semantic*
+    /// `bytes_shuffled` the cost model prices).
+    pub bytes_moved: u64,
+    /// High-water mark of any partition arena used by the stage
+    /// (max over partitions — deterministic across worker counts).
+    pub arena_hwm_bytes: u64,
     /// Stage was served from a cache cut-point instead of recomputed; the
     /// cluster simulator charges nothing for it.
     pub cached: bool,
@@ -62,7 +74,19 @@ impl StageStats {
             records_out: 0,
             bytes_out: 0,
             bytes_shuffled: 0,
+            value_allocs: 0,
+            bytes_moved: 0,
+            arena_hwm_bytes: 0,
             cached: false,
+        }
+    }
+
+    /// Boxed `Value` materializations per input record.
+    pub fn allocs_per_record(&self) -> f64 {
+        if self.records_in == 0 {
+            0.0
+        } else {
+            self.value_allocs as f64 / self.records_in as f64
         }
     }
 
@@ -94,6 +118,25 @@ impl JobStats {
         self.stages.iter().map(|s| s.records_in).sum()
     }
 
+    /// Physical bytes copied between partition buffers across all stages.
+    pub fn total_bytes_moved(&self) -> u64 {
+        self.stages.iter().map(|s| s.bytes_moved).sum()
+    }
+
+    /// Boxed `Value` materializations across all stages.
+    pub fn total_value_allocs(&self) -> u64 {
+        self.stages.iter().map(|s| s.value_allocs).sum()
+    }
+
+    /// Peak partition-arena footprint over the whole job.
+    pub fn max_arena_hwm_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.arena_hwm_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
     pub fn stage_count(&self) -> usize {
         self.stages.len()
     }
@@ -120,6 +163,10 @@ impl JobStats {
                     records_out: scale(s.records_out),
                     bytes_out: scale(s.bytes_out),
                     bytes_shuffled: scale(s.bytes_shuffled),
+                    value_allocs: scale(s.value_allocs),
+                    bytes_moved: scale(s.bytes_moved),
+                    // Peak arena usage scales with partition size.
+                    arena_hwm_bytes: scale(s.arena_hwm_bytes),
                     cached: s.cached,
                 })
                 .collect(),
@@ -135,18 +182,28 @@ impl fmt::Display for JobStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<24} {:>12} {:>12} {:>14} {:>14}",
-            "stage", "records_in", "records_out", "bytes_out", "bytes_shuffled"
+            "{:<24} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12} {:>10}",
+            "stage",
+            "records_in",
+            "records_out",
+            "bytes_out",
+            "bytes_shuffled",
+            "bytes_moved",
+            "allocs",
+            "arena_hwm"
         )?;
         for s in &self.stages {
             writeln!(
                 f,
-                "{:<24} {:>12} {:>12} {:>14} {:>14}",
+                "{:<24} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12} {:>10}",
                 format!("{} [{}]", s.label, s.kind),
                 s.records_in,
                 s.records_out,
                 s.bytes_out,
-                s.bytes_shuffled
+                s.bytes_shuffled,
+                s.bytes_moved,
+                s.value_allocs,
+                s.arena_hwm_bytes
             )?;
         }
         Ok(())

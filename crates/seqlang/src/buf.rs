@@ -1,0 +1,971 @@
+//! Contiguous partition storage: tagged rows with inline payloads and
+//! offset-indexed side arenas, replacing `Vec<Value>` in the hot data
+//! plane.
+//!
+//! A [`ValueBuf`] holds fixed-width rows of cells. Each cell is one tag
+//! byte plus one 64-bit word: `Int`/`Double`/`Bool`/`Unit` live inline in
+//! the word, strings live in an interned byte arena (the word indexes a
+//! span table), and structured values (arrays, lists, maps, structs,
+//! tuples) spill to a boxed side arena. Shuffles move these arenas as byte
+//! ranges — rebasing span/slot indices — instead of cloning `Value`s, and
+//! reducers combine numeric cells in place without materializing.
+//!
+//! Cell-level hash, ordering, and byte accounting mirror `Value`'s
+//! bit-for-bit, so a buffer-backed executor buckets, sorts, and charges
+//! shuffles identically to the boxed golden reference.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Cell tags. `Unit..Str` match `Value`'s ordering tags; `Boxed` cells
+/// carry their semantic tag in the boxed `Value` itself.
+pub const TAG_UNIT: u8 = 0;
+pub const TAG_INT: u8 = 1;
+pub const TAG_DOUBLE: u8 = 2;
+pub const TAG_BOOL: u8 = 3;
+pub const TAG_STR: u8 = 4;
+pub const TAG_BOXED: u8 = 5;
+
+/// A borrowed view of one cell. Inline payloads are decoded; strings
+/// borrow from the byte arena; structured values borrow the boxed slot.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueRef<'a> {
+    Unit,
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    Str(&'a str),
+    Boxed(&'a Value),
+}
+
+impl<'a> ValueRef<'a> {
+    /// Materialize into an owned `Value` (allocates for strings and
+    /// clones boxed payloads).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Unit => Value::Unit,
+            ValueRef::Int(n) => Value::Int(n),
+            ValueRef::Double(x) => Value::Double(x),
+            ValueRef::Bool(b) => Value::Bool(b),
+            ValueRef::Str(s) => Value::Str(Arc::from(s)),
+            ValueRef::Boxed(v) => v.clone(),
+        }
+    }
+
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            ValueRef::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The same ordering tag `Value::tag` assigns to the materialized
+    /// value.
+    fn sem_tag(self) -> u8 {
+        match self {
+            ValueRef::Unit => 0,
+            ValueRef::Int(_) => 1,
+            ValueRef::Double(_) => 2,
+            ValueRef::Bool(_) => 3,
+            ValueRef::Str(_) => 4,
+            ValueRef::Boxed(v) => v.tag(),
+        }
+    }
+
+    /// Total order identical to `Value::cmp` on the materialized values.
+    pub fn total_cmp(self, other: ValueRef<'_>) -> Ordering {
+        use ValueRef::*;
+        match (self, other) {
+            (Unit, Unit) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(&b),
+            (Double(a), Double(b)) => a.total_cmp(&b),
+            (Bool(a), Bool(b)) => a.cmp(&b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Boxed(a), Boxed(b)) => a.cmp(b),
+            (a, b) => a.sem_tag().cmp(&b.sem_tag()),
+        }
+    }
+
+    /// Feed the hasher exactly as `Value::hash` would for the
+    /// materialized value, so `DefaultHasher` bucketing matches the boxed
+    /// data plane bit-for-bit.
+    pub fn hash_value<H: Hasher>(self, state: &mut H) {
+        match self {
+            ValueRef::Boxed(v) => v.hash(state),
+            inline => {
+                inline.sem_tag().hash(state);
+                match inline {
+                    ValueRef::Unit => {}
+                    ValueRef::Int(n) => n.hash(state),
+                    ValueRef::Double(x) => x.to_bits().hash(state),
+                    ValueRef::Bool(b) => b.hash(state),
+                    ValueRef::Str(s) => s.hash(state),
+                    ValueRef::Boxed(_) => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Serialized size under the paper's cost model — identical to
+    /// `Value::size_bytes` on the materialized value.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            ValueRef::Unit => 1,
+            ValueRef::Int(_) => 4,
+            ValueRef::Double(_) => 8,
+            ValueRef::Bool(_) => 10,
+            ValueRef::Str(_) => 40,
+            ValueRef::Boxed(v) => v.size_bytes(),
+        }
+    }
+}
+
+/// In-place combine operators the reducer can run on raw cells without
+/// materializing `Value`s. Semantics mirror the interpreter's `eval_binop`
+/// (`Int⊕Int` wraps, mixed numerics promote to `Double`) and the modelled
+/// `min`/`max` free functions; any pairing outside those falls back to the
+/// caller's materializing combine (`None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastCombine {
+    Add,
+    Sub,
+    Mul,
+    Min,
+    Max,
+}
+
+impl FastCombine {
+    /// Apply to two cells, returning the raw `(tag, word)` of the result,
+    /// or `None` when the cells are outside the inline numeric fast path.
+    pub fn apply(self, a: ValueRef<'_>, b: ValueRef<'_>) -> Option<(u8, u64)> {
+        use FastCombine::*;
+        match (a, b) {
+            (ValueRef::Int(x), ValueRef::Int(y)) => Some(match self {
+                Add => (TAG_INT, x.wrapping_add(y) as u64),
+                Sub => (TAG_INT, x.wrapping_sub(y) as u64),
+                Mul => (TAG_INT, x.wrapping_mul(y) as u64),
+                Min => (TAG_INT, x.min(y) as u64),
+                Max => (TAG_INT, x.max(y) as u64),
+            }),
+            (ValueRef::Int(_) | ValueRef::Double(_), ValueRef::Int(_) | ValueRef::Double(_)) => {
+                let x = match a {
+                    ValueRef::Int(n) => n as f64,
+                    ValueRef::Double(d) => d,
+                    _ => unreachable!(),
+                };
+                let y = match b {
+                    ValueRef::Int(n) => n as f64,
+                    ValueRef::Double(d) => d,
+                    _ => unreachable!(),
+                };
+                let r = match self {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Min => x.min(y),
+                    Max => x.max(y),
+                };
+                Some((TAG_DOUBLE, r.to_bits()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Reusable per-partition scratch for lambda temporaries: a materialized
+/// locals frame that resets between records (capacity retained — the
+/// "bump arena" for the boxed boundary into the bytecode VM) plus an
+/// allocation counter feeding `StageStats`.
+#[derive(Debug, Default)]
+pub struct RecordArena {
+    /// Materialized λ frame for the current record.
+    pub locals: Vec<Value>,
+    /// `Value` materializations performed through this arena.
+    pub allocs: u64,
+}
+
+impl RecordArena {
+    pub fn new() -> RecordArena {
+        RecordArena::default()
+    }
+
+    /// Reset between records; keeps capacity.
+    pub fn begin_record(&mut self) {
+        self.locals.clear();
+    }
+}
+
+fn str_hash(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// Cheap multiply-mix hasher for the data plane's index maps, whose keys
+/// are either 64-bit content hashes (already uniform — SipHashing them
+/// again is pure overhead) or raw `(tag, word)` cells. Exactness never
+/// depends on this hash: the maps compare full keys on collision.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CellHasher(u64);
+
+impl Hasher for CellHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.0 = (self.0 ^ n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+/// `BuildHasher` for [`CellHasher`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BuildCellHasher;
+
+impl BuildHasher for BuildCellHasher {
+    type Hasher = CellHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> CellHasher {
+        CellHasher(0)
+    }
+}
+
+/// Index map keyed by a precomputed 64-bit content hash.
+pub type HashIndexMap<V> = HashMap<u64, V, BuildCellHasher>;
+
+/// Index map keyed by a raw `(tag, word)` cell — the reducer's exact
+/// fast path when span ids are unique (see [`ValueBuf::spans_unique`]).
+pub type CellIndexMap<V> = HashMap<(u8, u64), V, BuildCellHasher>;
+
+/// Monotone buffer generations: each `ValueBuf` lifetime (construction,
+/// `clear`, clone) gets a fresh id so cross-buffer span-copy memos can
+/// tell whether their source's span table is still the one they indexed.
+static BUF_GEN: AtomicU64 = AtomicU64::new(1);
+
+fn next_gen() -> u64 {
+    BUF_GEN.fetch_add(1, AtomicOrdering::Relaxed)
+}
+
+/// Contiguous fixed-width rows of tagged cells with string and boxed side
+/// arenas. See the module docs for the layout.
+#[derive(Debug, Default)]
+pub struct ValueBuf {
+    width: usize,
+    tags: Vec<u8>,
+    words: Vec<u64>,
+    /// Interned UTF-8 arena; `TAG_STR` words index `str_spans`.
+    str_bytes: Vec<u8>,
+    str_spans: Vec<(u32, u32)>,
+    /// Content-hash → span ids, for interning. Invalidated (not
+    /// maintained) by raw bulk appends; rebuilt lazily on next intern.
+    intern: HashIndexMap<Vec<u32>>,
+    intern_dirty: bool,
+    /// False while every `TAG_STR` cell's word is the unique span for its
+    /// content (interned pushes preserve this); raw bulk appends duplicate
+    /// spans and set it. Rebuilding the intern map does not rewrite cells,
+    /// so once set it stays set until `clear`.
+    spans_dup: bool,
+    /// This buffer's span-table generation (see [`BUF_GEN`]).
+    gen_id: u64,
+    /// Span-copy memo: generation of the one source buffer it covers
+    /// (0 = none) and src span id → this buffer's interned span id + 1.
+    memo_src: u64,
+    memo: Vec<u32>,
+    /// Side arena for structured values; `TAG_BOXED` words index it.
+    boxed: Vec<Value>,
+    /// Semantic payload bytes of all cells (the `Value::size_bytes`
+    /// model), maintained incrementally so stage accounting is O(1).
+    sem_cell_bytes: u64,
+    /// High-water mark of the physical arena footprint.
+    hwm_bytes: u64,
+}
+
+impl Clone for ValueBuf {
+    /// Clones contents under a fresh generation id: memos other buffers
+    /// hold against the original must not apply to a clone whose span
+    /// table can then diverge.
+    fn clone(&self) -> ValueBuf {
+        ValueBuf {
+            width: self.width,
+            tags: self.tags.clone(),
+            words: self.words.clone(),
+            str_bytes: self.str_bytes.clone(),
+            str_spans: self.str_spans.clone(),
+            intern: self.intern.clone(),
+            intern_dirty: self.intern_dirty,
+            spans_dup: self.spans_dup,
+            gen_id: next_gen(),
+            memo_src: self.memo_src,
+            memo: self.memo.clone(),
+            boxed: self.boxed.clone(),
+            sem_cell_bytes: self.sem_cell_bytes,
+            hwm_bytes: self.hwm_bytes,
+        }
+    }
+}
+
+impl ValueBuf {
+    pub fn new(width: usize) -> ValueBuf {
+        assert!(width > 0, "ValueBuf width must be positive");
+        ValueBuf {
+            width,
+            gen_id: next_gen(),
+            ..ValueBuf::default()
+        }
+    }
+
+    pub fn with_capacity(width: usize, rows: usize) -> ValueBuf {
+        let mut b = ValueBuf::new(width);
+        b.tags.reserve(rows * width);
+        b.words.reserve(rows * width);
+        b
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of complete rows.
+    pub fn len(&self) -> usize {
+        debug_assert!(
+            self.tags.len().is_multiple_of(self.width),
+            "ValueBuf holds a partial row"
+        );
+        self.tags.len() / self.width
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Drop all rows and arena contents, retaining capacity — the
+    /// between-records / between-batches bump-arena reset.
+    pub fn clear(&mut self) {
+        self.tags.clear();
+        self.words.clear();
+        self.str_bytes.clear();
+        self.str_spans.clear();
+        self.intern.clear();
+        self.intern_dirty = false;
+        self.spans_dup = false;
+        self.gen_id = next_gen();
+        self.memo_src = 0;
+        self.memo.clear();
+        self.boxed.clear();
+        self.sem_cell_bytes = 0;
+    }
+
+    /// True while every pair of `TAG_STR` cells with equal content shares
+    /// one span id, which makes raw `(tag, word)` equality coincide with
+    /// `Value` equality for all non-boxed cells. Interned pushes and
+    /// copies preserve this; the raw shuffle paths
+    /// ([`Self::push_row_raw_from`], [`Self::append_raw`]) surrender it
+    /// until the next `clear`.
+    pub fn spans_unique(&self) -> bool {
+        !self.spans_dup
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.len(), "row {row} out of bounds ({})", self.len());
+        debug_assert!(col < self.width, "col {col} out of bounds ({})", self.width);
+        row * self.width + col
+    }
+
+    #[inline]
+    fn str_at(&self, span: u32) -> &str {
+        debug_assert!(
+            (span as usize) < self.str_spans.len(),
+            "string span {span} out of bounds ({})",
+            self.str_spans.len()
+        );
+        let (off, len) = self.str_spans[span as usize];
+        debug_assert!(
+            off as usize + len as usize <= self.str_bytes.len(),
+            "string span ({off},{len}) exceeds arena ({})",
+            self.str_bytes.len()
+        );
+        let bytes = &self.str_bytes[off as usize..(off + len) as usize];
+        // Arena bytes are only ever written from &str, so this is UTF-8.
+        std::str::from_utf8(bytes).expect("string arena corrupted")
+    }
+
+    fn rebuild_intern(&mut self) {
+        self.intern.clear();
+        for id in 0..self.str_spans.len() as u32 {
+            let h = str_hash(self.str_at(id));
+            self.intern.entry(h).or_default().push(id);
+        }
+        self.intern_dirty = false;
+    }
+
+    /// Intern a string, returning its span id. Equal strings pushed
+    /// through this path share one span.
+    fn intern_str(&mut self, s: &str) -> u32 {
+        if self.intern_dirty {
+            self.rebuild_intern();
+        }
+        let h = str_hash(s);
+        if let Some(ids) = self.intern.get(&h) {
+            for &id in ids {
+                if self.str_at(id) == s {
+                    return id;
+                }
+            }
+        }
+        assert!(
+            self.str_bytes.len() + s.len() <= u32::MAX as usize,
+            "string arena exceeds u32 offsets"
+        );
+        let off = self.str_bytes.len() as u32;
+        self.str_bytes.extend_from_slice(s.as_bytes());
+        let id = self.str_spans.len() as u32;
+        self.str_spans.push((off, s.len() as u32));
+        self.intern.entry(h).or_default().push(id);
+        id
+    }
+
+    #[inline]
+    fn push_cell(&mut self, tag: u8, word: u64, sem: u64) {
+        self.tags.push(tag);
+        self.words.push(word);
+        self.sem_cell_bytes += sem;
+    }
+
+    fn note_hwm(&mut self) {
+        let fp = self.footprint_bytes();
+        if fp > self.hwm_bytes {
+            self.hwm_bytes = fp;
+        }
+    }
+
+    /// Append one cell. Callers must keep pushes aligned to `width`
+    /// (checked by `len`'s debug assertion on the next row access).
+    pub fn push_value(&mut self, v: &Value) {
+        match v {
+            Value::Unit => self.push_cell(TAG_UNIT, 0, 1),
+            Value::Int(n) => self.push_cell(TAG_INT, *n as u64, 4),
+            Value::Double(x) => self.push_cell(TAG_DOUBLE, x.to_bits(), 8),
+            Value::Bool(b) => self.push_cell(TAG_BOOL, *b as u64, 10),
+            Value::Str(s) => {
+                let id = self.intern_str(s);
+                self.push_cell(TAG_STR, id as u64, 40);
+            }
+            other => {
+                let slot = self.boxed.len() as u64;
+                let sem = other.size_bytes();
+                self.boxed.push(other.clone());
+                self.push_cell(TAG_BOXED, slot, sem);
+            }
+        }
+        self.note_hwm();
+    }
+
+    /// Append one full row of owned values.
+    pub fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.width, "row width mismatch");
+        for v in row {
+            self.push_value(v);
+        }
+    }
+
+    /// Borrowed view of one cell.
+    pub fn get(&self, row: usize, col: usize) -> ValueRef<'_> {
+        let i = self.idx(row, col);
+        match self.tags[i] {
+            TAG_UNIT => ValueRef::Unit,
+            TAG_INT => ValueRef::Int(self.words[i] as i64),
+            TAG_DOUBLE => ValueRef::Double(f64::from_bits(self.words[i])),
+            TAG_BOOL => ValueRef::Bool(self.words[i] != 0),
+            TAG_STR => ValueRef::Str(self.str_at(self.words[i] as u32)),
+            TAG_BOXED => {
+                let slot = self.words[i] as usize;
+                debug_assert!(
+                    slot < self.boxed.len(),
+                    "boxed slot {slot} out of bounds ({})",
+                    self.boxed.len()
+                );
+                ValueRef::Boxed(&self.boxed[slot])
+            }
+            t => unreachable!("invalid cell tag {t}"),
+        }
+    }
+
+    /// Materialize one cell into an owned `Value`.
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.get(row, col).to_value()
+    }
+
+    /// Materialize a whole row into `out` (cleared first).
+    pub fn materialize_row(&self, row: usize, out: &mut Vec<Value>) {
+        out.clear();
+        for col in 0..self.width {
+            out.push(self.value_at(row, col));
+        }
+    }
+
+    /// Translate a span of `src` into this buffer's arena, interning on
+    /// first sight and memoizing the mapping so repeated copies from the
+    /// same source (the per-partition pass pattern) skip the content hash.
+    fn translate_span(&mut self, src: &ValueBuf, sid: u32) -> u32 {
+        if src.gen_id == 0 {
+            // Default-constructed source: no generation to key a memo on.
+            return self.intern_str(src.str_at(sid));
+        }
+        if self.memo_src != src.gen_id {
+            self.memo_src = src.gen_id;
+            self.memo.clear();
+        }
+        if let Some(&m) = self.memo.get(sid as usize) {
+            if m != 0 {
+                return m - 1;
+            }
+        }
+        let id = self.intern_str(src.str_at(sid));
+        if self.memo.len() <= sid as usize {
+            self.memo.resize(sid as usize + 1, 0);
+        }
+        self.memo[sid as usize] = id + 1;
+        id
+    }
+
+    /// Copy one cell from another buffer, re-interning strings into this
+    /// buffer's arena.
+    pub fn copy_cell_from(&mut self, src: &ValueBuf, row: usize, col: usize) {
+        let i = src.idx(row, col);
+        match src.tags[i] {
+            TAG_STR => {
+                let id = self.translate_span(src, src.words[i] as u32);
+                self.push_cell(TAG_STR, id as u64, 40);
+            }
+            TAG_BOXED => {
+                let v = &src.boxed[src.words[i] as usize];
+                let slot = self.boxed.len() as u64;
+                let sem = v.size_bytes();
+                self.boxed.push(v.clone());
+                self.push_cell(TAG_BOXED, slot, sem);
+            }
+            tag => {
+                let sem = src.get(row, col).size_bytes();
+                self.push_cell(tag, src.words[i], sem);
+            }
+        }
+        self.note_hwm();
+    }
+
+    /// Copy one full row from another buffer (interned copy).
+    pub fn copy_row_from(&mut self, src: &ValueBuf, row: usize) {
+        debug_assert_eq!(src.width, self.width, "row copy across widths");
+        for col in 0..self.width {
+            self.copy_cell_from(src, row, col);
+        }
+    }
+
+    /// Append one row from another buffer as raw bytes: string bytes and
+    /// boxed slots are moved without intern lookups (span dedup is
+    /// skipped; this buffer's intern map goes dirty). Returns the
+    /// physical bytes moved. This is the shuffle scatter path.
+    pub fn push_row_raw_from(&mut self, src: &ValueBuf, row: usize) -> u64 {
+        debug_assert_eq!(src.width, self.width, "raw row copy across widths");
+        let mut moved = 0u64;
+        for col in 0..self.width {
+            let i = src.idx(row, col);
+            moved += 9; // tag byte + payload word
+            match src.tags[i] {
+                TAG_STR => {
+                    let s = src.str_at(src.words[i] as u32);
+                    assert!(
+                        self.str_bytes.len() + s.len() <= u32::MAX as usize,
+                        "string arena exceeds u32 offsets"
+                    );
+                    let off = self.str_bytes.len() as u32;
+                    self.str_bytes.extend_from_slice(s.as_bytes());
+                    let id = self.str_spans.len() as u32;
+                    self.str_spans.push((off, s.len() as u32));
+                    self.intern_dirty = true;
+                    self.spans_dup = true;
+                    moved += s.len() as u64 + 8;
+                    self.push_cell(TAG_STR, id as u64, 40);
+                }
+                TAG_BOXED => {
+                    let v = &src.boxed[src.words[i] as usize];
+                    let slot = self.boxed.len() as u64;
+                    let sem = v.size_bytes();
+                    self.boxed.push(v.clone());
+                    moved += 8; // slot handle; payload moves by reference
+                    self.push_cell(TAG_BOXED, slot, sem);
+                }
+                tag => {
+                    let sem = src.get(row, col).size_bytes();
+                    self.push_cell(tag, src.words[i], sem);
+                }
+            }
+        }
+        self.note_hwm();
+        moved
+    }
+
+    /// Append another buffer wholesale by splicing its arenas and
+    /// rebasing span/slot indices — the shuffle gather path: no per-value
+    /// clones, no intern lookups (this buffer's intern map goes dirty).
+    /// Returns the physical bytes moved.
+    pub fn append_raw(&mut self, other: &ValueBuf) -> u64 {
+        debug_assert_eq!(other.width, self.width, "append across widths");
+        assert!(
+            self.str_bytes.len() + other.str_bytes.len() <= u32::MAX as usize,
+            "string arena exceeds u32 offsets"
+        );
+        let span_base = self.str_spans.len() as u64;
+        let slot_base = self.boxed.len() as u64;
+        let byte_base = self.str_bytes.len() as u32;
+        self.str_bytes.extend_from_slice(&other.str_bytes);
+        self.str_spans
+            .extend(other.str_spans.iter().map(|&(o, l)| (o + byte_base, l)));
+        self.boxed.extend(other.boxed.iter().cloned());
+        self.tags.extend_from_slice(&other.tags);
+        for (i, &w) in other.words.iter().enumerate() {
+            self.words.push(match other.tags[i] {
+                TAG_STR => w + span_base,
+                TAG_BOXED => w + slot_base,
+                _ => w,
+            });
+        }
+        self.sem_cell_bytes += other.sem_cell_bytes;
+        if !other.str_spans.is_empty() {
+            self.intern_dirty = true;
+            self.spans_dup = true;
+        }
+        self.note_hwm();
+        other.tags.len() as u64 * 9
+            + other.str_bytes.len() as u64
+            + other.str_spans.len() as u64 * 8
+            + other.boxed.len() as u64 * 8
+    }
+
+    /// Raw `(tag, word)` of a cell — the reducer's in-place fast path.
+    pub fn cell_raw(&self, row: usize, col: usize) -> (u8, u64) {
+        let i = self.idx(row, col);
+        (self.tags[i], self.words[i])
+    }
+
+    /// Overwrite a cell with a raw inline payload (numeric/bool/unit tags
+    /// only) — the in-place combine commit.
+    pub fn write_cell_raw(&mut self, row: usize, col: usize, tag: u8, word: u64) {
+        debug_assert!(tag <= TAG_BOOL, "raw writes are inline-only");
+        let i = self.idx(row, col);
+        let old = self.get(row, col).size_bytes();
+        let new = match tag {
+            TAG_UNIT => 1,
+            TAG_INT => 4,
+            TAG_DOUBLE => 8,
+            _ => 10,
+        };
+        self.tags[i] = tag;
+        self.words[i] = word;
+        self.sem_cell_bytes = self.sem_cell_bytes - old + new;
+    }
+
+    /// Overwrite a cell with an owned value (the materializing combine's
+    /// write-back; replaced arena payloads leak until `clear`, which the
+    /// high-water mark makes observable).
+    pub fn write_cell(&mut self, row: usize, col: usize, v: &Value) {
+        let i = self.idx(row, col);
+        let old = self.get(row, col).size_bytes();
+        self.sem_cell_bytes -= old;
+        match v {
+            Value::Unit => {
+                self.tags[i] = TAG_UNIT;
+                self.words[i] = 0;
+                self.sem_cell_bytes += 1;
+            }
+            Value::Int(n) => {
+                self.tags[i] = TAG_INT;
+                self.words[i] = *n as u64;
+                self.sem_cell_bytes += 4;
+            }
+            Value::Double(x) => {
+                self.tags[i] = TAG_DOUBLE;
+                self.words[i] = x.to_bits();
+                self.sem_cell_bytes += 8;
+            }
+            Value::Bool(b) => {
+                self.tags[i] = TAG_BOOL;
+                self.words[i] = *b as u64;
+                self.sem_cell_bytes += 10;
+            }
+            Value::Str(s) => {
+                let id = self.intern_str(s);
+                self.tags[i] = TAG_STR;
+                self.words[i] = id as u64;
+                self.sem_cell_bytes += 40;
+            }
+            other => {
+                let slot = self.boxed.len() as u64;
+                self.sem_cell_bytes += other.size_bytes();
+                self.boxed.push(other.clone());
+                self.tags[i] = TAG_BOXED;
+                self.words[i] = slot;
+            }
+        }
+        self.note_hwm();
+    }
+
+    /// 64-bit content hash of one cell, identical to hashing the
+    /// materialized `Value` with `DefaultHasher`.
+    pub fn cell_hash(&self, row: usize, col: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.get(row, col).hash_value(&mut h);
+        h.finish()
+    }
+
+    /// Compare two cells (possibly across buffers) under `Value`'s total
+    /// order.
+    pub fn cell_cmp(
+        &self,
+        row: usize,
+        col: usize,
+        other: &ValueBuf,
+        orow: usize,
+        ocol: usize,
+    ) -> Ordering {
+        self.get(row, col).total_cmp(other.get(orow, ocol))
+    }
+
+    pub fn cells_eq(
+        &self,
+        row: usize,
+        col: usize,
+        other: &ValueBuf,
+        orow: usize,
+        ocol: usize,
+    ) -> bool {
+        self.cell_cmp(row, col, other, orow, ocol) == Ordering::Equal
+    }
+
+    /// Serialized size of one cell under the paper's cost model.
+    pub fn cell_size_bytes(&self, row: usize, col: usize) -> u64 {
+        self.get(row, col).size_bytes()
+    }
+
+    /// Semantic payload bytes of one row: container overhead 8 plus the
+    /// cells — what `Vec<Value>::size_bytes`-style accounting charges for
+    /// the equivalent boxed row.
+    pub fn row_sem_bytes(&self, row: usize) -> u64 {
+        8 + (0..self.width)
+            .map(|c| self.cell_size_bytes(row, c))
+            .sum::<u64>()
+    }
+
+    /// Semantic payload bytes of all rows (O(1); maintained
+    /// incrementally).
+    pub fn sem_bytes(&self) -> u64 {
+        self.sem_cell_bytes + 8 * self.len() as u64
+    }
+
+    /// Current physical arena footprint in bytes (tags, words, string
+    /// bytes and spans; boxed values charged one slot word each).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.tags.len() as u64 * 9
+            + self.str_bytes.len() as u64
+            + self.str_spans.len() as u64 * 8
+            + self.boxed.len() as u64 * 8
+    }
+
+    /// High-water mark of the physical footprint since construction
+    /// (survives `clear`, so per-record scratch buffers report their
+    /// worst record).
+    pub fn hwm_bytes(&self) -> u64 {
+        self.hwm_bytes
+    }
+
+    /// Materialize every row as an owned `Vec<Value>` (test/collect
+    /// convenience).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len())
+            .map(|r| (0..self.width).map(|c| self.value_at(r, c)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_values() -> Vec<Value> {
+        vec![
+            Value::Unit,
+            Value::Int(-42),
+            Value::Double(2.5),
+            Value::Double(f64::NAN),
+            Value::Bool(true),
+            Value::str("héllo — ünïcode"),
+            Value::str(""),
+            Value::List(vec![Value::Int(1), Value::str("x")]),
+            Value::Map(vec![(Value::str("k"), Value::Int(7))]),
+            Value::pair(Value::str("w"), Value::Int(1)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let vals = sample_values();
+        let mut buf = ValueBuf::new(1);
+        for v in &vals {
+            buf.push_value(v);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&buf.value_at(i, 0), v, "cell {i} diverged");
+        }
+    }
+
+    #[test]
+    fn cell_hash_matches_value_hash() {
+        let vals = sample_values();
+        let mut buf = ValueBuf::new(1);
+        for v in &vals {
+            buf.push_value(v);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            assert_eq!(buf.cell_hash(i, 0), h.finish(), "hash of cell {i} diverged");
+        }
+    }
+
+    #[test]
+    fn cell_cmp_matches_value_cmp() {
+        let vals = sample_values();
+        let mut buf = ValueBuf::new(1);
+        for v in &vals {
+            buf.push_value(v);
+        }
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(
+                    buf.cell_cmp(i, 0, &buf, j, 0),
+                    a.cmp(b),
+                    "cmp({i},{j}) diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cell_size_matches_value_size() {
+        let vals = sample_values();
+        let mut buf = ValueBuf::new(1);
+        for v in &vals {
+            buf.push_value(v);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(buf.cell_size_bytes(i, 0), v.size_bytes());
+        }
+        let expected: u64 = vals.iter().map(|v| 8 + v.size_bytes()).sum();
+        assert_eq!(buf.sem_bytes(), expected);
+    }
+
+    #[test]
+    fn interning_dedupes_equal_strings() {
+        let mut buf = ValueBuf::new(1);
+        for _ in 0..100 {
+            buf.push_value(&Value::str("repeated"));
+        }
+        assert_eq!(buf.str_spans.len(), 1);
+        assert_eq!(buf.str_bytes.len(), "repeated".len());
+    }
+
+    #[test]
+    fn append_raw_rebases_spans_and_slots() {
+        let mut a = ValueBuf::new(2);
+        a.push_row(&[Value::str("left"), Value::Int(1)]);
+        let mut b = ValueBuf::new(2);
+        b.push_row(&[Value::str("right"), Value::List(vec![Value::Int(9)])]);
+        b.push_row(&[Value::str("left"), Value::Double(0.5)]);
+        let moved = a.append_raw(&b);
+        assert!(moved > 0);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.value_at(1, 0), Value::str("right"));
+        assert_eq!(a.value_at(1, 1), Value::List(vec![Value::Int(9)]));
+        assert_eq!(a.value_at(2, 0), Value::str("left"));
+        assert_eq!(a.value_at(2, 1), Value::Double(0.5));
+        // A post-append intern still dedupes against rebased spans.
+        a.push_value(&Value::str("right"));
+        a.push_value(&Value::Int(3));
+        assert_eq!(a.value_at(3, 0), Value::str("right"));
+    }
+
+    #[test]
+    fn fast_combine_mirrors_interpreter_semantics() {
+        let add = FastCombine::Add;
+        // Int ⊕ Int wraps.
+        let (t, w) = add
+            .apply(ValueRef::Int(i64::MAX), ValueRef::Int(1))
+            .unwrap();
+        assert_eq!((t, w as i64), (TAG_INT, i64::MIN));
+        // Mixed numerics promote to Double.
+        let (t, w) = add.apply(ValueRef::Int(1), ValueRef::Double(0.5)).unwrap();
+        assert_eq!(t, TAG_DOUBLE);
+        assert_eq!(f64::from_bits(w), 1.5);
+        // min keeps Int on Int pairs, promotes otherwise.
+        let (t, w) = FastCombine::Min
+            .apply(ValueRef::Int(3), ValueRef::Int(-2))
+            .unwrap();
+        assert_eq!((t, w as i64), (TAG_INT, -2));
+        // Non-numeric pairs decline.
+        assert!(add.apply(ValueRef::Str("a"), ValueRef::Str("b")).is_none());
+    }
+
+    #[test]
+    fn in_place_write_updates_accounting() {
+        let mut buf = ValueBuf::new(2);
+        buf.push_row(&[Value::str("k"), Value::Int(1)]);
+        let before = buf.sem_bytes();
+        buf.write_cell_raw(0, 1, TAG_DOUBLE, 2.0f64.to_bits());
+        assert_eq!(buf.value_at(0, 1), Value::Double(2.0));
+        assert_eq!(buf.sem_bytes(), before + 4); // Int(4) → Double(8)
+        buf.write_cell(0, 1, &Value::str("v"));
+        assert_eq!(buf.sem_bytes(), before + 36); // → Str(40)
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn debug_bounds_check_on_rows() {
+        let mut buf = ValueBuf::new(1);
+        buf.push_value(&Value::Int(1));
+        let _ = buf.get(1, 0);
+    }
+
+    #[test]
+    fn hwm_survives_clear() {
+        let mut buf = ValueBuf::new(1);
+        buf.push_value(&Value::str("some string payload"));
+        let hwm = buf.hwm_bytes();
+        assert!(hwm > 0);
+        buf.clear();
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.hwm_bytes(), hwm);
+        assert_eq!(buf.sem_bytes(), 0);
+    }
+}

@@ -19,6 +19,7 @@
 //!   before generating verification conditions.
 
 pub mod ast;
+pub mod buf;
 pub mod env;
 pub mod error;
 pub mod interp;
@@ -30,6 +31,7 @@ pub mod ty;
 pub mod value;
 
 pub use ast::{BinOp, Block, Expr, Function, Program, Stmt, StructDef, UnOp};
+pub use buf::{FastCombine, RecordArena, ValueBuf, ValueRef};
 pub use env::Env;
 pub use error::{Error, Result};
 pub use interp::{ExecStats, Interp};

@@ -150,7 +150,7 @@ impl Value {
         }
     }
 
-    fn tag(&self) -> u8 {
+    pub(crate) fn tag(&self) -> u8 {
         match self {
             Value::Unit => 0,
             Value::Int(_) => 1,

@@ -461,6 +461,63 @@ fn fused_stage_stats_deterministic_and_shuffle_preserving() {
     assert_eq!(fragments_executed, 6, "all six suite fragments must run");
 }
 
+/// The buffered data plane against its boxed golden reference: every
+/// translated suite variant must produce bit-identical outputs from the
+/// columnar executor at worker counts 1/2/4/8 and from the boxed
+/// executor — the differential contract that lets the byte-moving data
+/// plane replace `Vec<Value>` partitions without a semantic risk.
+#[test]
+fn buffered_and_boxed_planes_bit_identical_across_workers() {
+    use mapreduce::Context;
+    use seqlang::env::Env;
+    use seqlang::value::Value;
+
+    let report = translate(2);
+    let mut state = Env::new();
+    state.set(
+        "xs",
+        Value::List((0..200).map(|i| Value::Int((i * 7 % 83) - 41)).collect()),
+    );
+    state.set(
+        "words",
+        Value::List(
+            (0..150)
+                .map(|i| Value::str(format!("w{}", i % 13)))
+                .collect(),
+        ),
+    );
+    state.set("t", Value::Int(3));
+    state.set("s", Value::Int(0));
+    state.set("m", Value::Int(0));
+    state.set("n", Value::Int(0));
+    state.set("f", Value::Bool(false));
+    state.set("q", Value::Int(0));
+    state.set("counts", Value::Map(vec![]));
+
+    let mut variants_checked = 0usize;
+    for frag in &report.fragments {
+        let FragmentOutcome::Translated { program, .. } = &frag.outcome else {
+            continue;
+        };
+        for variant in &program.variants {
+            let plan = &variant.plan;
+            let bctx = Context::with_parallelism(2, 8);
+            let boxed = plan.execute_boxed(&bctx, &state).expect("boxed exec");
+            for workers in [1, 2, 4, 8] {
+                let ctx = Context::with_parallelism(workers, 8);
+                let buffered = plan.execute(&ctx, &state).expect("buffered exec");
+                assert_eq!(
+                    buffered, boxed,
+                    "{}/{}: buffered diverges from boxed at {workers} workers",
+                    frag.id, variant.name
+                );
+            }
+            variants_checked += 1;
+        }
+    }
+    assert!(variants_checked >= 6, "all suite variants must be swept");
+}
+
 /// The determinism contract extended to the post-paper suites: the
 /// nested-aggregate and windowed fragments of `sessionize` and
 /// `clickstream` must translate to bit-identical artifacts across both

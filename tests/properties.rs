@@ -59,10 +59,10 @@ fn canon(env: &Env) -> Env {
 }
 
 /// The core differential contract of the execution data plane: the
-/// fused+compiled plan, the unfused compiled plan, and the tree-walking
-/// interpreted plan agree exactly (outputs and error outcomes), and all
-/// agree with the IR reference evaluator and `CompiledSummary::eval` up
-/// to multiset canonicalization.
+/// fused buffered plan, the boxed golden reference, the unfused compiled
+/// plan, and the tree-walking interpreted plan agree exactly (outputs
+/// and error outcomes), and all agree with the IR reference evaluator
+/// and `CompiledSummary::eval` up to multiset canonicalization.
 fn assert_data_plane_agrees(summary: &ProgramSummary, props: Vec<CaProperties>, state: &Env) {
     use casper_ir::compile::CompiledSummary;
     use codegen::PlanCache;
@@ -85,6 +85,23 @@ fn assert_data_plane_agrees(summary: &ProgramSummary, props: Vec<CaProperties>, 
         }
         (Err(_), Err(_), Err(_)) => {}
         _ => panic!("plan modes disagree on failure: {fused:?} / {interp:?} / {unfused:?}"),
+    }
+    // The buffered plane against the boxed golden reference: identical
+    // outputs AND identical error messages at every worker count.
+    for workers in [1, 2, 4, 8] {
+        let bctx = Context::with_parallelism(workers, 8);
+        let boxed = plan.execute_boxed(&bctx, state);
+        match (&fused, &boxed) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "buffered vs boxed diverge at {workers} workers")
+            }
+            (Err(a), Err(b)) => assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "buffered vs boxed errors diverge at {workers} workers"
+            ),
+            _ => panic!("buffered vs boxed disagree on failure: {fused:?} / {boxed:?}"),
+        }
     }
     match (&fused, &cached_cold, &cached_warm) {
         (Ok(a), Ok(b), Ok(c)) => {
@@ -220,6 +237,52 @@ fn gen_bool_expr(gen: &mut Gen, depth: usize) -> IrExpr {
     }
 }
 
+/// Strategy producing arbitrary `Value` rows — every tag class the
+/// buffer distinguishes: inline scalars (including NaN, ±0.0, and raw
+/// double bit patterns), empty/unicode/repeated strings, and nested
+/// structured values that spill to the boxed arena.
+struct ArbRows;
+
+fn arb_rows() -> ArbRows {
+    ArbRows
+}
+
+fn gen_value(gen: &mut Gen, depth: usize) -> Value {
+    let variants = if depth == 0 { 7 } else { 10 };
+    match gen.next_u64() % variants {
+        0 => Value::Unit,
+        1 => Value::Int(gen.next_u64() as i64),
+        2 => match gen.next_u64() % 4 {
+            0 => Value::Double(f64::NAN),
+            1 => Value::Double(-0.0),
+            2 => Value::Double((gen.next_u64() % 1000) as f64 / 8.0 - 50.0),
+            _ => Value::Double(f64::from_bits(gen.next_u64())),
+        },
+        3 => Value::Bool(gen.next_u64().is_multiple_of(2)),
+        4 => Value::str(""),
+        5 | 6 => {
+            let words = ["word", "héllo — ünïcode", "a", "bb", "\u{1F600}\u{0301}"];
+            Value::str(words[(gen.next_u64() % words.len() as u64) as usize])
+        }
+        7 => Value::List(
+            (0..gen.next_u64() % 4)
+                .map(|_| gen_value(gen, depth - 1))
+                .collect(),
+        ),
+        8 => Value::pair(gen_value(gen, depth - 1), gen_value(gen, depth - 1)),
+        _ => Value::Map(vec![(gen_value(gen, depth - 1), gen_value(gen, depth - 1))]),
+    }
+}
+
+impl Strategy for ArbRows {
+    type Value = Vec<(Value, Value)>;
+    fn sample(&self, gen: &mut Gen) -> Vec<(Value, Value)> {
+        (0..gen.next_u64() % 24)
+            .map(|_| (gen_value(gen, 2), gen_value(gen, 2)))
+            .collect()
+    }
+}
+
 fn wc_summary() -> ProgramSummary {
     let m = MapLambda::new(
         vec!["w"],
@@ -232,6 +295,57 @@ fn wc_summary() -> ProgramSummary {
 }
 
 proptest! {
+    /// Arbitrary `Value`s round-trip through `ValueBuf` storage and back
+    /// as identity — through every write path the data plane uses:
+    /// interned pushes, interned (memoized) cross-buffer copies, and the
+    /// shuffle's raw scatter/gather byte moves. Semantic byte accounting
+    /// must match the boxed model on every path.
+    #[test]
+    fn value_buf_roundtrip_is_identity(rows in arb_rows()) {
+        use seqlang::buf::ValueBuf;
+
+        let mut buf = ValueBuf::new(2);
+        let mut sem = 0u64;
+        for (k, v) in &rows {
+            buf.push_value(k);
+            buf.push_value(v);
+            sem += 8 + k.size_bytes() + v.size_bytes();
+        }
+        prop_assert_eq!(buf.len(), rows.len());
+        prop_assert_eq!(buf.sem_bytes(), sem, "semantic bytes diverge from the boxed model");
+        prop_assert!(buf.spans_unique(), "interned pushes must keep spans unique");
+
+        // Interned cross-buffer copy (the fused map's span-memoized path)
+        // and raw scatter + gather (the shuffle byte-move protocol).
+        let mut copied = ValueBuf::new(2);
+        let mut scattered = ValueBuf::new(2);
+        for row in 0..buf.len() {
+            copied.copy_row_from(&buf, row);
+            scattered.push_row_raw_from(&buf, row);
+        }
+        let mut gathered = ValueBuf::new(2);
+        gathered.append_raw(&scattered);
+        prop_assert_eq!(gathered.sem_bytes(), sem);
+
+        for (row, (k, v)) in rows.iter().enumerate() {
+            for (col, expect) in [(0, k), (1, v)] {
+                prop_assert_eq!(&buf.value_at(row, col), expect, "push_value roundtrip");
+                prop_assert_eq!(&copied.value_at(row, col), expect, "interned copy roundtrip");
+                prop_assert_eq!(&gathered.value_at(row, col), expect, "raw shuffle roundtrip");
+                // Hash/order fidelity: bucketing and sorting through the
+                // buffer match the boxed plane bit-for-bit.
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::hash::Hash::hash(expect, &mut h);
+                prop_assert_eq!(
+                    buf.cell_hash(row, col),
+                    std::hash::Hasher::finish(&h),
+                    "cell hash diverges from Value::hash"
+                );
+                prop_assert!(buf.cells_eq(row, col, &gathered, row, col));
+            }
+        }
+    }
+
     /// The engine execution of a compiled plan agrees with the IR
     /// reference evaluator on arbitrary integer data.
     #[test]
