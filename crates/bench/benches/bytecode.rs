@@ -542,6 +542,36 @@ fn bench_bytecode(c: &mut Criterion) {
         );
     }
 
+    // The default engine dispatch (bytecode VM + shallow-expression
+    // closure-tree heuristic) must never be the slower engine in any
+    // family. 0.90 tolerance absorbs timer noise on shared hosts while
+    // still catching a real regression (the pre-heuristic screening
+    // family measured 0.87).
+    for r in &screens {
+        assert!(
+            r.vm_vs_closure_tree >= 0.90,
+            "screening {}: default engine is slower than closure-tree ({:.2}x)",
+            r.name,
+            r.vm_vs_closure_tree,
+        );
+    }
+    for r in &maps {
+        assert!(
+            r.vm_vs_closure_tree >= 0.90,
+            "map {}: default engine is slower than closure-tree ({:.2}x)",
+            r.name,
+            r.vm_vs_closure_tree,
+        );
+    }
+    for r in &chains {
+        assert!(
+            r.vm_vs_closure_tree >= 0.90,
+            "chain depth {}: default engine is slower than closure-tree ({:.2}x)",
+            r.depth,
+            r.vm_vs_closure_tree,
+        );
+    }
+
     write_artifact(records, &screens, &maps, &chains);
 }
 

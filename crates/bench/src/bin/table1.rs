@@ -105,6 +105,40 @@ fn main() {
         );
     }
 
+    // The runtime ledger: where the persistent executor's work went per
+    // suite — tasks submitted/executed, steals, parks, queue high-water
+    // mark, and pool-worker busy time.
+    println!(
+        "\nRuntime ledger — {} executor, per suite\n",
+        runs.first().map_or("persistent", |r| r.runtime_mode)
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>8} {:>7} {:>9} {:>10}",
+        "Suite", "Submitted", "Executed", "Steals", "Parks", "Max queue", "Busy (ms)"
+    );
+    for suite in Suite::all() {
+        let mut agg = casper_runtime::ExecutorStats::default();
+        for run in runs.iter().filter(|r| r.suite == suite) {
+            let s = run.runtime_stats;
+            agg.submitted += s.submitted;
+            agg.executed += s.executed;
+            agg.steals += s.steals;
+            agg.parks += s.parks;
+            agg.max_queue_depth = agg.max_queue_depth.max(s.max_queue_depth);
+            agg.worker_busy_ns += s.worker_busy_ns;
+        }
+        println!(
+            "{:<12} {:>10} {:>10} {:>8} {:>7} {:>9} {:>10.2}",
+            suite.name(),
+            agg.submitted,
+            agg.executed,
+            agg.steals,
+            agg.parks,
+            agg.max_queue_depth,
+            agg.worker_busy_ns as f64 / 1e6,
+        );
+    }
+
     // The failure ledger: every untranslated fragment, classified into
     // the §7.1 failure taxonomy (plus whether it ever reached the full
     // verifier), and a per-class roll-up.

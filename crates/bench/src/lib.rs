@@ -65,6 +65,11 @@ pub struct BenchRun {
     /// Every fragment of this benchmark that failed to translate, with
     /// its classified failure reason (the table-1 failure ledger).
     pub failures: Vec<FragmentFailure>,
+    /// Pool label the translation's parallel phases ran on.
+    pub runtime_mode: &'static str,
+    /// Persistent-executor counter deltas for the whole translation —
+    /// the raw material of table 1's per-suite runtime ledger.
+    pub runtime_stats: casper_runtime::ExecutorStats,
 }
 
 /// One untranslated fragment and why it was left behind.
@@ -180,6 +185,8 @@ pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
         speedup: speedups,
         output_correct,
         failures,
+        runtime_mode: report.runtime_mode,
+        runtime_stats: report.runtime_stats,
     }
 }
 

@@ -29,5 +29,6 @@
 pub mod pipeline;
 pub mod report;
 
+pub use casper_runtime::{ExecutorStats, RuntimeMode};
 pub use pipeline::{search_verdict, Casper, CasperConfig};
 pub use report::{FragmentOutcome, FragmentReport, TranslationReport};

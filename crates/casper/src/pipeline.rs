@@ -12,13 +12,13 @@
 //! reproduces the sequential behavior exactly — the configuration the
 //! paper's ablations assume.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use analyzer::fragment::Fragment;
 use analyzer::identify_fragments;
 use casper_ir::mr::ProgramSummary;
+use casper_runtime::{run_indexed, Priority, RuntimeMode};
 use codegen::{generated_code, CompiledPlan, Dialect, GeneratedProgram, Variant};
 use cost::model::{prune_dominated, static_cost};
 use cost::CostWeights;
@@ -46,6 +46,11 @@ pub struct CasperConfig {
     /// divided among concurrent fragments so the two pools compose
     /// without oversubscribing the machine.
     pub parallelism: usize,
+    /// Which pool every parallel phase runs on: the persistent
+    /// work-stealing executor (default) or fresh scoped pools per call
+    /// (the pre-runtime ablation baseline). Reports and generated
+    /// programs are bit-identical either way.
+    pub runtime: RuntimeMode,
 }
 
 impl Default for CasperConfig {
@@ -57,6 +62,7 @@ impl Default for CasperConfig {
             static_pruning: true,
             weights: CostWeights::default(),
             parallelism: synthesis::default_parallelism(),
+            runtime: RuntimeMode::default(),
         }
     }
 }
@@ -91,6 +97,17 @@ impl CasperConfig {
     pub fn with_engine(mut self, engine: casper_ir::Engine) -> CasperConfig {
         self.find.engine = engine;
         self.verify.engine = engine;
+        self
+    }
+
+    /// Run every parallel phase — fragment translation, candidate
+    /// screening, obligation checking — under one [`RuntimeMode`].
+    /// `RuntimeMode::ScopedLegacy` restores the per-call scoped pools;
+    /// outcomes are bit-identical, only scheduling differs.
+    pub fn with_runtime(mut self, mode: RuntimeMode) -> CasperConfig {
+        self.runtime = mode;
+        self.find.runtime = mode;
+        self.verify.runtime = mode;
         self
     }
 }
@@ -128,12 +145,15 @@ impl Casper {
     /// ```
     pub fn translate_source(&self, src: &str) -> Result<TranslationReport> {
         let started = Instant::now();
+        let rt_before = casper_runtime::global().stats();
         let program = Arc::new(seqlang::compile(src)?);
         let fragments = identify_fragments(&program);
         let reports = self.translate_fragments(&fragments);
         Ok(TranslationReport {
             fragments: reports,
             wall_time: started.elapsed(),
+            runtime_mode: self.config.runtime.name(),
+            runtime_stats: casper_runtime::global().stats().since(&rt_before),
         })
     }
 
@@ -157,20 +177,11 @@ impl Casper {
 
         let n = fragments.len();
         let mut out: Vec<Option<FragmentReport>> = (0..n).map(|_| None).collect();
-        let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<&mut Option<FragmentReport>>> =
             out.iter_mut().map(Mutex::new).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let report = inner.translate_fragment(&fragments[i]);
-                    **slots[i].lock().expect("report slot") = Some(report);
-                });
-            }
+        run_indexed(self.config.runtime, workers, Priority::Normal, n, &|i| {
+            let report = inner.translate_fragment(&fragments[i]);
+            **slots[i].lock().expect("report slot") = Some(report);
         });
         out.into_iter()
             .map(|slot| slot.expect("fragment translated"))
@@ -180,6 +191,7 @@ impl Casper {
     /// Translate a single fragment.
     pub fn translate_fragment(&self, fragment: &Fragment) -> FragmentReport {
         let started = Instant::now();
+        let rt_before = casper_runtime::global().stats();
 
         // Fast structural failures (§7.1's taxonomy).
         if fragment.features.inner_data_loop {
@@ -206,6 +218,8 @@ impl Casper {
             report.verdict_cache_hits = verifier.cache_hits();
             report.verdict_cache_misses = verifier.cache_misses();
             report.engine = self.config.find.engine.name();
+            report.runtime_mode = self.config.runtime.name();
+            report.runtime_stats = casper_runtime::global().stats().since(&rt_before);
         };
         let summaries = match outcome {
             FindOutcome::Found(s) => s,
@@ -303,6 +317,7 @@ impl Casper {
             started.elapsed(),
         );
         report.engine = self.config.find.engine.name();
+        report.runtime_mode = self.config.runtime.name();
         report
     }
 

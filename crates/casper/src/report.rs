@@ -118,6 +118,17 @@ pub struct FragmentReport {
     ///
     /// [`verify_wall`]: FragmentReport::verify_wall
     pub screen_wall: Duration,
+    /// Label of the pool the fragment's parallel phases ran on
+    /// (`"persistent"` or `"scoped-legacy"`).
+    pub runtime_mode: &'static str,
+    /// Persistent-executor counter deltas observed while this fragment
+    /// translated: helper tasks submitted, steals, queue-depth
+    /// high-water mark, pool-worker busy time. Zero under the serial
+    /// path and the scoped-legacy ablation (neither touches the
+    /// executor). When fragments translate concurrently the deltas
+    /// overlap — they attribute *pool* activity to the fragment's time
+    /// window, not exclusively to its own tasks.
+    pub runtime_stats: casper_runtime::ExecutorStats,
 }
 
 impl FragmentReport {
@@ -150,6 +161,8 @@ impl FragmentReport {
             cpu_time,
             engine: casper_ir::Engine::default().name(),
             screen_wall,
+            runtime_mode: casper_runtime::RuntimeMode::default().name(),
+            runtime_stats: casper_runtime::ExecutorStats::default(),
         }
     }
 
@@ -187,6 +200,13 @@ pub struct TranslationReport {
     ///
     /// [`total_compile_time`]: TranslationReport::total_compile_time
     pub wall_time: Duration,
+    /// Label of the pool the translation's parallel phases ran on
+    /// (`"persistent"` or `"scoped-legacy"`).
+    pub runtime_mode: &'static str,
+    /// Persistent-executor counter deltas across the whole translation —
+    /// the per-suite runtime ledger `table1` prints. Zero under the
+    /// serial path and the scoped-legacy ablation.
+    pub runtime_stats: casper_runtime::ExecutorStats,
 }
 
 impl TranslationReport {

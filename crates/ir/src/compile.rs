@@ -81,6 +81,21 @@ enum ExprProgram {
 impl ExprProgram {
     fn compile<P: AsRef<str>>(e: &IrExpr, params: &[P], engine: Engine) -> ExprProgram {
         match engine {
+            // Size/shape heuristic: shallow expressions stay on the
+            // closure-tree path even under the bytecode engine. For a
+            // tiny body the VM cannot win — the emitter's pool-dedup
+            // compile costs more than boxing a few closures (screening
+            // compiles every candidate and evaluates it a handful of
+            // times), and per-run the scratch-stack round trip of a
+            // non-linear chunk dwarfs its few instructions. The bill
+            // only tips toward the VM on deeper trees, where flat
+            // dispatch amortizes both. Decided on the *expression*, not
+            // the chunk, so the losing path is never compiled. Both
+            // lowerings are bit-identical in values and errors; only
+            // the time split changes.
+            Engine::Bytecode if tree_weight(e) <= TINY_EXPR_WEIGHT => {
+                ExprProgram::Tree(compile_expr(e, params))
+            }
             Engine::Bytecode => ExprProgram::Vm(Chunk::compile(e, params)),
             Engine::ClosureTree => ExprProgram::Tree(compile_expr(e, params)),
         }
@@ -91,6 +106,38 @@ impl ExprProgram {
             ExprProgram::Vm(chunk) => chunk.run(f.locals, f.state),
             ExprProgram::Tree(func) => func(f),
         }
+    }
+}
+
+/// Expressions at or below this weight compile to closure trees even
+/// under [`Engine::Bytecode`] — see the heuristic note in
+/// [`ExprProgram::compile`]. Calibrated against the bytecode bench:
+/// screening candidates (tiny guarded emits and aggregate bodies) land
+/// below it, the depth-8 reduce chain (17 nodes, where the VM already
+/// wins 1.3x) lands above.
+const TINY_EXPR_WEIGHT: usize = 16;
+
+/// The size/shape weight driving the engine-dispatch heuristic: node
+/// count, with an inline aggregate charged double for its body — the
+/// body re-runs once per collection element, so its depth counts more
+/// toward where flat VM dispatch starts paying off.
+fn tree_weight(e: &IrExpr) -> usize {
+    match e {
+        IrExpr::ConstInt(_)
+        | IrExpr::ConstDouble(_)
+        | IrExpr::ConstBool(_)
+        | IrExpr::ConstStr(_)
+        | IrExpr::Var(_) => 1,
+        IrExpr::Field(base, _) | IrExpr::TupleGet(base, _) | IrExpr::Un(_, base) => {
+            1 + tree_weight(base)
+        }
+        IrExpr::Tuple(es) | IrExpr::Call(_, es) => 1 + es.iter().map(tree_weight).sum::<usize>(),
+        IrExpr::Method(base, _, es) => {
+            1 + tree_weight(base) + es.iter().map(tree_weight).sum::<usize>()
+        }
+        IrExpr::Bin(_, l, r) => 1 + tree_weight(l) + tree_weight(r),
+        IrExpr::If(c, t, e2) => 1 + tree_weight(c) + tree_weight(t) + tree_weight(e2),
+        IrExpr::Agg { init, body, .. } => 2 + tree_weight(init) + 2 * tree_weight(body),
     }
 }
 

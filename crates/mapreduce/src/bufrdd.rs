@@ -22,7 +22,9 @@
 
 use std::sync::Arc;
 
-use seqlang::buf::{CellIndexMap, FastCombine, HashIndexMap, ValueBuf, TAG_BOXED};
+use seqlang::buf::{
+    CellIndexMap, FastCombine, HashIndexMap, ValueBuf, INTERN_MIN_PARTITION_ROWS, TAG_BOXED,
+};
 use seqlang::value::Value;
 
 use crate::context::Context;
@@ -113,6 +115,7 @@ impl BufRdd {
         let mut parts = Vec::new();
         for chunk in pairs.chunks(per) {
             let mut buf = ValueBuf::with_capacity(2, chunk.len());
+            buf.set_string_interning(chunk.len() >= INTERN_MIN_PARTITION_ROWS);
             for (k, v) in chunk {
                 buf.push_value(k);
                 buf.push_value(v);
@@ -194,6 +197,7 @@ impl BufRdd {
         let records_in = self.count();
         let fold = |p: &ValueBuf| -> std::result::Result<(ValueBuf, u64), E> {
             let mut out = ValueBuf::with_capacity(2, p.len());
+            out.set_string_interning(p.len() >= INTERN_MIN_PARTITION_ROWS);
             // Two key indexes. While the source's spans are unique
             // (interned map output), a non-boxed key's raw `(tag, word)`
             // *is* its identity — one exact map probe, no content hashing
@@ -218,7 +222,7 @@ impl BufRdd {
                         }
                     }
                 } else {
-                    let dsts = index.entry(p.cell_hash(row, 0)).or_default();
+                    let dsts = index.entry(p.cell_hash_fast(row, 0)).or_default();
                     match dsts
                         .iter()
                         .copied()
@@ -271,6 +275,7 @@ impl BufRdd {
             let mut order: Vec<u32> = (0..buf.len() as u32).collect();
             order.sort_by(|&x, &y| buf.cell_cmp(x as usize, 0, &buf, y as usize, 0));
             let mut sorted = ValueBuf::with_capacity(2, buf.len());
+            sorted.set_string_interning(buf.len() >= INTERN_MIN_PARTITION_ROWS);
             for r in order {
                 sorted.copy_row_from(&buf, r as usize);
             }
@@ -317,7 +322,7 @@ impl BufRdd {
             let mut index: HashIndexMap<Vec<u32>> = HashIndexMap::default();
             let mut groups: Vec<Vec<u32>> = Vec::new();
             for row in 0..p.len() {
-                let gids = index.entry(p.cell_hash(row, 0)).or_default();
+                let gids = index.entry(p.cell_hash_fast(row, 0)).or_default();
                 match gids
                     .iter()
                     .copied()
@@ -346,6 +351,7 @@ impl BufRdd {
         let work: Vec<(ValueBuf, Vec<Vec<u32>>)> = shuffled.into_iter().zip(grouped).collect();
         let folded = par_parts(&self.ctx, &work, |(p, groups)| {
             let mut out = ValueBuf::with_capacity(2, groups.len());
+            out.set_string_interning(groups.len() >= INTERN_MIN_PARTITION_ROWS);
             let mut allocs = 0u64;
             for rows in groups {
                 let mut acc = p.value_at(rows[0] as usize, 1);
@@ -398,14 +404,14 @@ impl BufRdd {
             let mut index: HashIndexMap<Vec<u32>> = HashIndexMap::default();
             for row in 0..rp.len() {
                 index
-                    .entry(rp.cell_hash(row, 0))
+                    .entry(rp.cell_hash_fast(row, 0))
                     .or_default()
                     .push(row as u32);
             }
             let mut raw = ValueBuf::new(2);
             let mut allocs = 0u64;
             for lrow in 0..lp.len() {
-                if let Some(rows) = index.get(&lp.cell_hash(lrow, 0)) {
+                if let Some(rows) = index.get(&lp.cell_hash_fast(lrow, 0)) {
                     for &rrow in rows {
                         if lp.cells_eq(lrow, 0, rp, rrow as usize, 0) {
                             let v = lp.value_at(lrow, 1);

@@ -11,8 +11,9 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use casper_runtime::Priority;
 
 use crate::context::Context;
 use crate::stats::{StageKind, StageStats};
@@ -47,20 +48,11 @@ where
     if workers <= 1 {
         return parts.iter().map(f).collect();
     }
-    let next = AtomicUsize::new(0);
     let slots: Vec<parking_lot::Mutex<&mut Option<U>>> =
         out.iter_mut().map(parking_lot::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = f(&parts[i]);
-                **slots[i].lock() = Some(result);
-            });
-        }
+    casper_runtime::run_indexed(ctx.runtime, workers, Priority::Low, n, &|i| {
+        let result = f(&parts[i]);
+        **slots[i].lock() = Some(result);
     });
     out.into_iter()
         .map(|o| o.expect("partition processed"))
@@ -100,21 +92,12 @@ where
         .map(|p| parking_lot::Mutex::new(Some(p)))
         .collect();
     let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
     let slots: Vec<parking_lot::Mutex<&mut Option<U>>> =
         out.iter_mut().map(parking_lot::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let input = inputs[i].lock().take().expect("partition taken once");
-                let result = f(input);
-                **slots[i].lock() = Some(result);
-            });
-        }
+    casper_runtime::run_indexed(ctx.runtime, workers, Priority::Low, n, &|i| {
+        let input = inputs[i].lock().take().expect("partition taken once");
+        let result = f(input);
+        **slots[i].lock() = Some(result);
     });
     out.into_iter()
         .map(|o| o.expect("partition processed"))

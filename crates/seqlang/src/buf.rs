@@ -201,8 +201,13 @@ impl RecordArena {
     }
 }
 
+/// Content hash for the intern map. This hash is purely internal —
+/// lookups compare the actual bytes on collision and nothing about
+/// bucketing or output order depends on it — so it uses the cheap
+/// multiply-mix [`CellHasher`] rather than `DefaultHasher`'s SipHash,
+/// which dominated ingest cost on string-heavy workloads.
 fn str_hash(s: &str) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = CellHasher::default();
     s.hash(&mut h);
     h.finish()
 }
@@ -258,6 +263,15 @@ pub type HashIndexMap<V> = HashMap<u64, V, BuildCellHasher>;
 /// fast path when span ids are unique (see [`ValueBuf::spans_unique`]).
 pub type CellIndexMap<V> = HashMap<(u8, u64), V, BuildCellHasher>;
 
+/// Per-partition row count below which string interning is not worth its
+/// content hash: small partitions fit in cache either way, so the dedup
+/// that pays for itself at scale (smaller arenas, the reducer's exact
+/// span path) only adds a per-record hash+probe on ingest. Builders of
+/// record-scaled buffers compare their expected row count against this
+/// and switch the buffer to raw span appends below it (see
+/// [`ValueBuf::set_string_interning`]).
+pub const INTERN_MIN_PARTITION_ROWS: usize = 8192;
+
 /// Monotone buffer generations: each `ValueBuf` lifetime (construction,
 /// `clear`, clone) gets a fresh id so cross-buffer span-copy memos can
 /// tell whether their source's span table is still the one they indexed.
@@ -286,6 +300,13 @@ pub struct ValueBuf {
     /// spans and set it. Rebuilding the intern map does not rewrite cells,
     /// so once set it stays set until `clear`.
     spans_dup: bool,
+    /// True when string pushes skip the intern map and append a fresh
+    /// span each time — the regime for partitions below
+    /// [`INTERN_MIN_PARTITION_ROWS`], where the dedup never amortizes its
+    /// per-record content hash. Purely physical: values, ordering, and
+    /// semantic byte accounting are unchanged (`spans_dup` already routes
+    /// consumers to content comparison).
+    intern_disabled: bool,
     /// This buffer's span-table generation (see [`BUF_GEN`]).
     gen_id: u64,
     /// Span-copy memo: generation of the one source buffer it covers
@@ -315,6 +336,7 @@ impl Clone for ValueBuf {
             intern: self.intern.clone(),
             intern_dirty: self.intern_dirty,
             spans_dup: self.spans_dup,
+            intern_disabled: self.intern_disabled,
             gen_id: next_gen(),
             memo_src: self.memo_src,
             memo: self.memo.clone(),
@@ -362,6 +384,13 @@ impl ValueBuf {
     /// Drop all rows and arena contents, retaining capacity — the
     /// between-records / between-batches bump-arena reset.
     pub fn clear(&mut self) {
+        // A new generation is only needed when this buffer's span table
+        // changes: if no span ever existed under the current id, no
+        // cross-buffer memo can reference it, and skipping the bump keeps
+        // string-free per-record scratch resets free of atomic traffic.
+        if !self.str_spans.is_empty() {
+            self.gen_id = next_gen();
+        }
         self.tags.clear();
         self.words.clear();
         self.str_bytes.clear();
@@ -369,11 +398,19 @@ impl ValueBuf {
         self.intern.clear();
         self.intern_dirty = false;
         self.spans_dup = false;
-        self.gen_id = next_gen();
         self.memo_src = 0;
         self.memo.clear();
         self.boxed.clear();
         self.sem_cell_bytes = 0;
+    }
+
+    /// Switch string pushes between interned (dedup through the content
+    /// hash — the default) and raw span appends. Builders of
+    /// record-scaled buffers disable interning below
+    /// [`INTERN_MIN_PARTITION_ROWS`]; the choice is physical only and
+    /// never observable through values or semantic accounting.
+    pub fn set_string_interning(&mut self, on: bool) {
+        self.intern_disabled = !on;
     }
 
     /// True while every pair of `TAG_STR` cells with equal content shares
@@ -446,6 +483,34 @@ impl ValueBuf {
         id
     }
 
+    /// Append `s` to the byte arena as a fresh span without consulting
+    /// the intern map — the under-threshold ingest path and the raw
+    /// shuffle scatter. Leaves the intern map stale (rebuilt lazily on
+    /// the next interned push) and surrenders span uniqueness.
+    fn push_str_span_raw(&mut self, s: &str) -> u32 {
+        assert!(
+            self.str_bytes.len() + s.len() <= u32::MAX as usize,
+            "string arena exceeds u32 offsets"
+        );
+        let off = self.str_bytes.len() as u32;
+        self.str_bytes.extend_from_slice(s.as_bytes());
+        let id = self.str_spans.len() as u32;
+        self.str_spans.push((off, s.len() as u32));
+        self.intern_dirty = true;
+        self.spans_dup = true;
+        id
+    }
+
+    /// Store `s` under the buffer's current interning policy.
+    #[inline]
+    fn store_str(&mut self, s: &str) -> u32 {
+        if self.intern_disabled {
+            self.push_str_span_raw(s)
+        } else {
+            self.intern_str(s)
+        }
+    }
+
     #[inline]
     fn push_cell(&mut self, tag: u8, word: u64, sem: u64) {
         self.tags.push(tag);
@@ -469,7 +534,7 @@ impl ValueBuf {
             Value::Double(x) => self.push_cell(TAG_DOUBLE, x.to_bits(), 8),
             Value::Bool(b) => self.push_cell(TAG_BOOL, *b as u64, 10),
             Value::Str(s) => {
-                let id = self.intern_str(s);
+                let id = self.store_str(s);
                 self.push_cell(TAG_STR, id as u64, 40);
             }
             other => {
@@ -556,7 +621,11 @@ impl ValueBuf {
         let i = src.idx(row, col);
         match src.tags[i] {
             TAG_STR => {
-                let id = self.translate_span(src, src.words[i] as u32);
+                let id = if self.intern_disabled {
+                    self.push_str_span_raw(src.str_at(src.words[i] as u32))
+                } else {
+                    self.translate_span(src, src.words[i] as u32)
+                };
                 self.push_cell(TAG_STR, id as u64, 40);
             }
             TAG_BOXED => {
@@ -595,17 +664,8 @@ impl ValueBuf {
             match src.tags[i] {
                 TAG_STR => {
                     let s = src.str_at(src.words[i] as u32);
-                    assert!(
-                        self.str_bytes.len() + s.len() <= u32::MAX as usize,
-                        "string arena exceeds u32 offsets"
-                    );
-                    let off = self.str_bytes.len() as u32;
-                    self.str_bytes.extend_from_slice(s.as_bytes());
-                    let id = self.str_spans.len() as u32;
-                    self.str_spans.push((off, s.len() as u32));
-                    self.intern_dirty = true;
-                    self.spans_dup = true;
                     moved += s.len() as u64 + 8;
+                    let id = self.push_str_span_raw(s);
                     self.push_cell(TAG_STR, id as u64, 40);
                 }
                 TAG_BOXED => {
@@ -715,7 +775,7 @@ impl ValueBuf {
                 self.sem_cell_bytes += 10;
             }
             Value::Str(s) => {
-                let id = self.intern_str(s);
+                let id = self.store_str(s);
                 self.tags[i] = TAG_STR;
                 self.words[i] = id as u64;
                 self.sem_cell_bytes += 40;
@@ -732,9 +792,20 @@ impl ValueBuf {
     }
 
     /// 64-bit content hash of one cell, identical to hashing the
-    /// materialized `Value` with `DefaultHasher`.
+    /// materialized `Value` with `DefaultHasher`. Shuffle bucketing uses
+    /// this so buffer partitioning is bit-identical to the boxed plane's.
     pub fn cell_hash(&self, row: usize, col: usize) -> u64 {
         let mut h = DefaultHasher::new();
+        self.get(row, col).hash_value(&mut h);
+        h.finish()
+    }
+
+    /// Cheap multiply-mix content hash of one cell, for the data plane's
+    /// *internal* dedup indexes (reduce fold, group, join probes), whose
+    /// exactness comes from full cell comparison on collision — nothing
+    /// observable depends on this hash, so it skips SipHash.
+    pub fn cell_hash_fast(&self, row: usize, col: usize) -> u64 {
+        let mut h = CellHasher::default();
         self.get(row, col).hash_value(&mut h);
         h.finish()
     }

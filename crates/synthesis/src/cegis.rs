@@ -51,7 +51,7 @@
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -62,6 +62,7 @@ use analyzer::vc::{outputs_match, VerificationTask};
 use casper_ir::bytecode::Engine;
 use casper_ir::compile::CompiledSummary;
 use casper_ir::mr::ProgramSummary;
+use casper_runtime::{run_indexed, Priority, RuntimeMode};
 use seqlang::env::Env;
 
 use crate::enumerate::{CandidateStream, Chunk};
@@ -134,6 +135,11 @@ pub struct FindConfig {
     /// the knob CI smoke runs use to bound wall time without making the
     /// outcome depend on machine speed.
     pub max_candidates: Option<u64>,
+    /// Which pool screens candidate chunks when `parallelism > 1`: the
+    /// persistent work-stealing executor (default) or a fresh scoped
+    /// pool per chunk (the pre-runtime ablation baseline). Outcomes are
+    /// identical either way.
+    pub runtime: RuntimeMode,
 }
 
 impl Default for FindConfig {
@@ -147,6 +153,7 @@ impl Default for FindConfig {
             dedup: true,
             engine: Engine::default(),
             max_candidates: None,
+            runtime: RuntimeMode::default(),
         }
     }
 }
@@ -522,11 +529,12 @@ fn adjudicate(
     }
 }
 
-/// Observe a candidate chunk across a scoped worker pool. Work is dealt
-/// by an atomic cursor; results land in per-candidate slots so the
-/// caller sees them in enumeration order regardless of completion
-/// order. Workers cooperatively cancel once the deadline passes, and
-/// each adds its busy time to `busy_ns` for the CPU-time accounting in
+/// Observe a candidate chunk on the configured worker pool. Work is
+/// dealt by an atomic cursor (owned by the runtime); results land in
+/// per-candidate slots so the caller sees them in enumeration order
+/// regardless of completion order. Participants cooperatively cancel
+/// once the deadline passes, and each observation adds its elapsed time
+/// to `busy_ns` for the CPU-time accounting in
 /// [`SearchReport::cpu_time`]. `None` slots mean the deadline hit first.
 #[allow(clippy::too_many_arguments)]
 fn observe_chunk_parallel(
@@ -535,36 +543,26 @@ fn observe_chunk_parallel(
     phi: &[usize],
     engine: Engine,
     workers: usize,
+    mode: RuntimeMode,
     deadline: Instant,
     busy_ns: &AtomicU64,
 ) -> Vec<Option<Observation>> {
     let n = chunk.len();
     let mut out: Vec<Option<Observation>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
     let cancel = AtomicBool::new(false);
     let slots: Vec<Mutex<&mut Option<Observation>>> = out.iter_mut().map(Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| {
-                let busy = Instant::now();
-                loop {
-                    if cancel.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    if Instant::now() >= deadline {
-                        cancel.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                    let obs = observe_candidate(chunk[i], basis, phi, engine);
-                    **slots[i].lock().expect("slot lock") = Some(obs);
-                }
-                busy_ns.fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            });
+    run_indexed(mode, workers, Priority::Normal, n, &|i| {
+        if cancel.load(Ordering::Relaxed) {
+            return;
         }
+        if Instant::now() >= deadline {
+            cancel.store(true, Ordering::Relaxed);
+            return;
+        }
+        let busy = Instant::now();
+        let obs = observe_candidate(chunk[i], basis, phi, engine);
+        busy_ns.fetch_add(busy.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        **slots[i].lock().expect("slot lock") = Some(obs);
     });
     out
 }
@@ -585,6 +583,7 @@ fn synthesize_stream(
     report: &mut SearchReport,
     deadline: Instant,
     workers: usize,
+    mode: RuntimeMode,
     dedup: bool,
     engine: Engine,
     max_candidates: Option<u64>,
@@ -626,8 +625,9 @@ fn synthesize_stream(
                 .collect()
         } else {
             let round = Instant::now();
-            let obs =
-                observe_chunk_parallel(&chunk, basis, phi, engine, workers, deadline, busy_ns);
+            let obs = observe_chunk_parallel(
+                &chunk, basis, phi, engine, workers, mode, deadline, busy_ns,
+            );
             *parallel_wall += round.elapsed();
             obs
         };
@@ -771,6 +771,7 @@ pub fn find_summary(
                 &mut report,
                 deadline,
                 workers,
+                config.runtime,
                 config.dedup,
                 config.engine,
                 config.max_candidates,

@@ -46,6 +46,7 @@ use casper_ir::bytecode::Engine;
 use casper_ir::compile::{CompiledMrExpr, CompiledSummary};
 use casper_ir::eval::EvalCtx;
 use casper_ir::mr::{MrExpr, ProgramSummary};
+use casper_runtime::{run_indexed, Priority, RuntimeMode};
 use seqlang::env::Env;
 use seqlang::error::Result;
 
@@ -154,6 +155,12 @@ pub struct VerifyConfig {
     /// or the closure trees kept as the differential reference. Verdicts,
     /// counter-examples, and proofs are bit-identical either way.
     pub engine: Engine,
+    /// Which pool checks obligations when `parallelism > 1`: the
+    /// persistent work-stealing executor (default, at `Priority::High`
+    /// so obligations never queue behind bulk work) or a fresh scoped
+    /// pool per call (the pre-runtime ablation baseline). Verdicts are
+    /// identical either way.
+    pub runtime: RuntimeMode,
 }
 
 impl Default for VerifyConfig {
@@ -165,6 +172,7 @@ impl Default for VerifyConfig {
             parallelism: default_verify_parallelism(),
             parallel_min_obligations: PARALLEL_MIN_OBLIGATIONS,
             engine: Engine::default(),
+            runtime: RuntimeMode::default(),
         }
     }
 }
@@ -333,8 +341,14 @@ impl<'f> Verifier<'f> {
         } else {
             let round = Instant::now();
             let busy_ns = AtomicU64::new(0);
-            let fail =
-                first_failure_parallel(&basis.entries, &eval, basis.rel_tol, workers, &busy_ns);
+            let fail = first_failure_parallel(
+                &basis.entries,
+                &eval,
+                basis.rel_tol,
+                workers,
+                self.config.runtime,
+                &busy_ns,
+            );
             parallel_wall = round.elapsed();
             busy = Duration::from_nanos(busy_ns.load(Ordering::Relaxed));
             fail
@@ -391,39 +405,32 @@ fn entry_fails(entry: &VcEntry, eval: &dyn Fn(&Env) -> Result<Env>, rel_tol: f64
     }
 }
 
-/// Find the lowest-indexed failing obligation on a scoped worker pool.
-/// Work is dealt by an atomic cursor; a shared minimum lets workers skip
-/// obligations beyond the best failure found so far. The returned index
-/// is the same one the serial walk finds, at any worker count.
+/// Find the lowest-indexed failing obligation on the configured worker
+/// pool. Work is dealt by an atomic cursor (owned by the runtime); a
+/// shared minimum lets participants skip obligations beyond the best
+/// failure found so far. The returned index is the same one the serial
+/// walk finds, at any worker count. Obligations run at
+/// [`Priority::High`] so a verify never starves behind queued shuffle
+/// or screening work.
 fn first_failure_parallel(
     entries: &[VcEntry],
     eval: &(dyn Fn(&Env) -> Result<Env> + Sync),
     rel_tol: f64,
     workers: usize,
+    mode: RuntimeMode,
     busy_ns: &AtomicU64,
 ) -> Option<usize> {
     let n = entries.len();
-    let next = AtomicUsize::new(0);
     let best = AtomicUsize::new(usize::MAX);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| {
-                let started = Instant::now();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    if i >= best.load(Ordering::Relaxed) {
-                        continue; // a lower failure already decides
-                    }
-                    if entry_fails(&entries[i], eval, rel_tol) {
-                        best.fetch_min(i, Ordering::Relaxed);
-                    }
-                }
-                busy_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            });
+    run_indexed(mode, workers, Priority::High, n, &|i| {
+        if i >= best.load(Ordering::Relaxed) {
+            return; // a lower failure already decides
         }
+        let started = Instant::now();
+        if entry_fails(&entries[i], eval, rel_tol) {
+            best.fetch_min(i, Ordering::Relaxed);
+        }
+        busy_ns.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
     });
     match best.load(Ordering::Relaxed) {
         usize::MAX => None,

@@ -38,6 +38,7 @@ pub mod fullverify;
 pub mod proof;
 
 pub use algebra::{ca_properties, CaProperties};
+pub use casper_runtime::RuntimeMode;
 pub use fullverify::{
     default_verify_parallelism, full_verify, Verification, Verifier, VerifyConfig, VerifyResult,
 };
