@@ -60,6 +60,15 @@ struct Workload {
     state_for: fn(usize) -> Env,
     /// Scale factors over the base record count.
     scales: &'static [usize],
+    /// Assert fused ≥ boxed at EVERY published scale (not just fused ≥
+    /// unfused at the largest) — set on the workloads whose whole
+    /// pipeline stays in the raw-cell regime, where fusion must win
+    /// outright even on cache-resident partitions.
+    fused_beats_boxed: bool,
+    /// Ceiling on fused-path `Value` materializations per input record,
+    /// asserted at every scale. `Some(0.01)` pins a workload to the raw
+    /// `(tag, word)` regime.
+    max_allocs_per_record: Option<f64>,
 }
 
 fn wordcount() -> Workload {
@@ -82,6 +91,8 @@ fn wordcount() -> Workload {
             st
         },
         scales: &[10, 100, 1000],
+        fused_beats_boxed: false,
+        max_allocs_per_record: None,
     }
 }
 
@@ -115,6 +126,8 @@ fn tpch_q6_style() -> Workload {
         // The 10000x point (15M records at the default base) is the
         // tens-of-millions scale target for the buffered plane.
         scales: &[10, 100, 1000, 10000],
+        fused_beats_boxed: true,
+        max_allocs_per_record: Some(0.01),
     }
 }
 
@@ -157,6 +170,8 @@ fn row_wise_mean() -> Workload {
             st
         },
         scales: &[10, 100],
+        fused_beats_boxed: true,
+        max_allocs_per_record: Some(0.01),
     }
 }
 
@@ -206,6 +221,8 @@ fn map_chain() -> Workload {
             st
         },
         scales: &[10, 100, 1000],
+        fused_beats_boxed: true,
+        max_allocs_per_record: Some(0.01),
     }
 }
 
@@ -239,6 +256,8 @@ fn dot_join() -> Workload {
             st
         },
         scales: &[10, 100],
+        fused_beats_boxed: false,
+        max_allocs_per_record: None,
     }
 }
 
@@ -344,6 +363,28 @@ fn measure_workload(w: &Workload, base: usize) -> WorkloadResult {
             outputs_identical = outputs_identical && a == t;
         }
         assert!(outputs_identical, "{}: executors diverge", w.name);
+        let boxed_ns = per(boxed);
+        if w.fused_beats_boxed {
+            // Raw-cell workloads: the buffered plane must beat the boxed
+            // reference outright at EVERY published scale, not just the
+            // cache-cold largest one.
+            assert!(
+                boxed_ns / fused_ns >= 1.0,
+                "{}: fused slower than boxed at scale {scale} \
+                 ({fused_ns:.1} vs {boxed_ns:.1} ns/rec)",
+                w.name
+            );
+        }
+        if let Some(ceiling) = w.max_allocs_per_record {
+            let per_rec = traffic.value_allocs as f64 / n as f64;
+            assert!(
+                per_rec <= ceiling,
+                "{}: {per_rec:.3} Value allocs/record at scale {scale} \
+                 exceeds the {ceiling} ceiling ({} allocs, {n} records)",
+                w.name,
+                traffic.value_allocs
+            );
+        }
         if si + 1 == w.scales.len() {
             // The fused plane must never lose to the per-operator plane
             // at scale — the regression this rework closes.
@@ -370,7 +411,7 @@ fn measure_workload(w: &Workload, base: usize) -> WorkloadResult {
             scale,
             records: n,
             fused_ns,
-            boxed_ns: per(boxed),
+            boxed_ns,
             unfused_ns: Some(unfused_ns),
             tree_walk_ns,
             records_per_sec_per_core: 1e9 / fused_ns / cores as f64,

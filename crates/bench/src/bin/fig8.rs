@@ -25,6 +25,7 @@ fn main() {
         find: FindConfig {
             timeout: Duration::from_secs(45),
             max_solutions: 16,
+            top_k: 16,
             ..FindConfig::default()
         },
         ..CasperConfig::default()

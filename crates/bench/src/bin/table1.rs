@@ -139,6 +139,45 @@ fn main() {
         );
     }
 
+    // The tuning ledger: what the cost-based optimizer did per suite —
+    // how many verified candidates it had to choose from (under the
+    // sweep's top-k budget), how often it departed from the
+    // first-verified plan, and how its predicted variant-controlled
+    // cost compared with the cost observed from recorded stage stats.
+    let k_used = config.find.top_k;
+    println!("\nOptimizer tuning ledger — top-k = {k_used}, per suite\n");
+    println!(
+        "{:<12} {:>6} {:>10} {:>9} {:>10} {:>10}",
+        "Suite", "Plans", "Verified", "Switched", "Pred (s)", "Obs (s)"
+    );
+    for suite in Suite::all() {
+        let mut plans = 0usize;
+        let mut verified = 0usize;
+        let mut switched = 0usize;
+        let mut pred = 0.0f64;
+        let mut obs = 0.0f64;
+        for t in runs
+            .iter()
+            .filter(|r| r.suite == suite)
+            .filter_map(|r| r.tuning.as_ref())
+        {
+            plans += 1;
+            verified += t.candidates_verified;
+            switched += t.switched as usize;
+            pred += t.predicted_s;
+            obs += t.observed_s;
+        }
+        println!(
+            "{:<12} {:>6} {:>10} {:>9} {:>10.4} {:>10.4}",
+            suite.name(),
+            plans,
+            verified,
+            format!("{switched}/{plans}"),
+            pred,
+            obs,
+        );
+    }
+
     // The failure ledger: every untranslated fragment, classified into
     // the §7.1 failure taxonomy (plus whether it ever reached the full
     // verifier), and a per-class roll-up.

@@ -48,6 +48,7 @@ fn main() {
             let config = FindConfig {
                 timeout: Duration::from_secs(10),
                 max_solutions: 4,
+                top_k: 4,
                 incremental,
                 ..FindConfig::default()
             };

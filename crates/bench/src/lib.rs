@@ -31,6 +31,7 @@ pub fn sweep_config() -> CasperConfig {
         find: FindConfig {
             timeout: Duration::from_secs(12),
             max_solutions: 6,
+            top_k: 6,
             ..FindConfig::default()
         },
         ..CasperConfig::default()
@@ -70,6 +71,34 @@ pub struct BenchRun {
     /// Persistent-executor counter deltas for the whole translation —
     /// the raw material of table 1's per-suite runtime ledger.
     pub runtime_stats: casper_runtime::ExecutorStats,
+    /// Optimizer decisions for the primary fragment — the raw material
+    /// of table 1's per-suite tuning ledger. `None` when the primary
+    /// fragment did not translate or could not be measured.
+    pub tuning: Option<TuningRun>,
+}
+
+/// What the cost-based optimizer did for one benchmark's primary
+/// fragment: how many verified candidates it had to choose from, which
+/// one it ran, and how its prediction compared with the cost observed
+/// from the recorded stage statistics.
+pub struct TuningRun {
+    /// Verified summaries that survived pruning and were lowered into
+    /// runnable plan variants.
+    pub candidates_verified: usize,
+    /// `FindConfig::top_k` the sweep ran with (the candidate budget).
+    pub top_k: usize,
+    /// Variant index the cost model picked before execution (0 = the
+    /// first-verified plan, i.e. what a k=1 search would have run).
+    pub picked: usize,
+    /// The optimizer departed from the first-verified plan — either at
+    /// choice time (`picked != 0`) or via a mid-run re-tune.
+    pub switched: bool,
+    /// Predicted variant-controlled cost for the running plan, seconds
+    /// on the simulated paper cluster.
+    pub predicted_s: f64,
+    /// The same cost priced from the stage statistics the run actually
+    /// recorded.
+    pub observed_s: f64,
 }
 
 /// One untranslated fragment and why it was left behind.
@@ -156,6 +185,7 @@ pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
     let mut ops = 0;
     let mut speedups = None;
     let mut output_correct = true;
+    let mut tuning = None;
 
     if let Some(frag_report) = report.for_function(b.func) {
         fragment_loc = frag_report.loc;
@@ -165,6 +195,7 @@ pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
             let (sp, ok) = measure(b, program);
             speedups = sp;
             output_correct = ok;
+            tuning = measure_tuning(b, program, config.find.top_k);
         }
     }
 
@@ -187,7 +218,36 @@ pub fn run_benchmark(b: &Benchmark, config: &CasperConfig) -> BenchRun {
         failures,
         runtime_mode: report.runtime_mode,
         runtime_stats: report.runtime_stats,
+        tuning,
     }
+}
+
+/// Run the primary fragment once through the tuned driver to record the
+/// optimizer's decision trail: the variant it picked, and predicted vs
+/// observed variant-controlled cost on the paper cluster.
+fn measure_tuning(
+    b: &Benchmark,
+    program: &codegen::GeneratedProgram,
+    top_k: usize,
+) -> Option<TuningRun> {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let state = (b.gen)(&mut rng, MEASURE_N);
+    let ctx = Context::with_parallelism(4, 8);
+    ctx.reset_stats();
+    let mut cache = codegen::ProgramCache::new();
+    let mut tuning = codegen::TuningState::new();
+    program
+        .run_tuned(&ctx, &state, &mut cache, &mut tuning)
+        .ok()?;
+    let d = tuning.trace.first()?;
+    Some(TuningRun {
+        candidates_verified: program.variants.len(),
+        top_k,
+        picked: d.running,
+        switched: d.running != 0 || d.switched_to.is_some(),
+        predicted_s: d.predicted_seconds,
+        observed_s: d.observed_seconds,
+    })
 }
 
 /// Execute the generated program and the sequential fragment on the same

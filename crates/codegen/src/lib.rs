@@ -22,5 +22,7 @@ pub mod monitor;
 pub mod plan;
 
 pub use emit::{generated_code, Dialect};
-pub use monitor::{GeneratedProgram, PlanChoice, ProgramCache, Variant};
+pub use monitor::{
+    GeneratedProgram, PlanChoice, ProgramCache, TuningDecision, TuningState, Variant,
+};
 pub use plan::{alias_free, CompiledPlan, PlanCache};

@@ -10,8 +10,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cost::model::dynamic_cost;
+use cost::sym::{StageClass, StageEstimate};
 use cost::CostWeights;
-use mapreduce::Context;
+use mapreduce::sim::{simulate_job, simulate_job_with_skew};
+use mapreduce::{ClusterSpec, Context, Framework, JobStats, StageKind, StageStats};
 use seqlang::env::Env;
 use seqlang::error::Result;
 use seqlang::value::Value;
@@ -36,8 +38,13 @@ impl Variant {
 pub struct PlanChoice {
     /// Index of the selected variant.
     pub chosen: usize,
-    /// Estimated cost of every variant, by index.
+    /// Abstract byte-volume cost of every variant (Eqns 2–4 evaluated on
+    /// the sample), by index.
     pub costs: Vec<f64>,
+    /// Estimated wall-clock seconds of every variant, by index: the
+    /// parameterized cost priced on the monitor's cluster model. This is
+    /// the quantity the monitor minimizes.
+    pub predicted_seconds: Vec<f64>,
 }
 
 /// Per-variant [`PlanCache`]s for iterative execution of a generated
@@ -59,12 +66,85 @@ impl ProgramCache {
     }
 }
 
+/// One re-tuning decision of an iterative run — the deterministic audit
+/// trail of the monitor's observe/compare/switch loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningDecision {
+    /// Which call to [`GeneratedProgram::run_tuned`] this was (0-based).
+    pub iteration: usize,
+    /// The variant that executed this iteration.
+    pub running: usize,
+    /// The monitor's predicted cost for `running`: variant-controlled
+    /// seconds on the cluster model. Constant framework overheads and the
+    /// input scan are identical for every variant and on both sides of
+    /// the comparison, so they are excluded — at small scale they would
+    /// drown the signal.
+    pub predicted_seconds: f64,
+    /// The observed cost: this iteration's recorded stage statistics,
+    /// normalized to the model's semantic volumes, priced on the same
+    /// cluster model with the same exclusions, seconds.
+    pub observed_seconds: f64,
+    /// `observed / predicted` (1.0 when the prediction was zero).
+    pub ratio: f64,
+    /// `Some(v)` when the divergence exceeded the threshold and the
+    /// monitor re-tuned: the *next* iteration runs variant `v`.
+    pub switched_to: Option<usize>,
+}
+
+/// Mutable monitor state threaded through an iterative driver: the
+/// sticky variant choice plus the decision trace. Deterministic — every
+/// field derives from recorded stage statistics and the cost model, so
+/// two runs over the same data produce identical traces at any worker
+/// count.
+#[derive(Debug, Clone)]
+pub struct TuningState {
+    /// The variant the next iteration will run; `None` until the first
+    /// call picks one.
+    pub current: Option<usize>,
+    /// Iterations executed so far.
+    pub iteration: usize,
+    /// Re-tune when `observed/predicted` leaves
+    /// `[1/divergence_ratio, divergence_ratio]`.
+    pub divergence_ratio: f64,
+    /// One entry per iteration.
+    pub trace: Vec<TuningDecision>,
+}
+
+impl Default for TuningState {
+    fn default() -> Self {
+        TuningState {
+            current: None,
+            iteration: 0,
+            divergence_ratio: 2.0,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl TuningState {
+    pub fn new() -> TuningState {
+        TuningState::default()
+    }
+
+    /// How many times the monitor switched variants mid-run.
+    pub fn retune_count(&self) -> usize {
+        self.trace
+            .iter()
+            .filter(|d| d.switched_to.is_some())
+            .count()
+    }
+}
+
 /// A generated program: verified variants + the sampling monitor.
 pub struct GeneratedProgram {
     pub variants: Vec<Variant>,
     /// First-k sample size (the paper samples the first 5000 values).
     pub sample_k: usize,
     pub weights: CostWeights,
+    /// Cluster model the monitor prices parameterized costs with.
+    pub cluster: ClusterSpec,
+    /// Framework whose overheads the pricing assumes.
+    pub framework: Framework,
 }
 
 impl GeneratedProgram {
@@ -73,39 +153,103 @@ impl GeneratedProgram {
             variants,
             sample_k: 5000,
             weights: CostWeights::default(),
+            cluster: ClusterSpec::paper(),
+            framework: Framework::Spark,
         }
     }
 
-    /// Run the monitor only: sample, estimate, choose (no execution).
+    /// Run the monitor only: sample, estimate, price, choose (no
+    /// execution). Every variant's parameterized cost is instantiated
+    /// from the first-k sample and priced into estimated wall clock on
+    /// the cluster model; the cheapest predicted variant wins, ties
+    /// break to the lowest index (the cheapest-by-static-cost candidate,
+    /// since the enumerator streams cheapest-first).
     pub fn choose(&self, state: &Env) -> PlanChoice {
-        let sample_state = self.sample_state(state);
+        self.appraise(state).0
+    }
+
+    /// The full appraisal behind [`choose`](GeneratedProgram::choose):
+    /// the choice plus each variant's *variant-controlled* cost in
+    /// seconds — total predicted wall clock minus the cost of the same
+    /// stage structure with every variant-dependent counter zeroed
+    /// (framework overheads and the input scan remain in the baseline).
+    /// The tuner compares those: terms identical for every variant would
+    /// otherwise drown the predicted-vs-observed signal at small scale.
+    fn appraise(&self, state: &Env) -> (PlanChoice, Vec<f64>) {
+        self.appraise_with_k(state, self.sample_k)
+    }
+
+    /// [`appraise`](GeneratedProgram::appraise) with an explicit sample
+    /// size; `usize::MAX` estimates on the full input (re-calibration).
+    fn appraise_with_k(&self, state: &Env, k: usize) -> (PlanChoice, Vec<f64>) {
+        let sample_state = self.sample_state(state, k);
         let true_counts = |var: &str| -> f64 {
             state
                 .get(var)
                 .and_then(|v| v.elements().map(|e| e.len() as f64))
                 .unwrap_or(0.0)
         };
-        let costs: Vec<f64> = self
-            .variants
-            .iter()
-            .map(|v| {
-                dynamic_cost(
-                    &v.plan.summary,
-                    &sample_state,
-                    &true_counts,
-                    &v.non_ca_flags(),
-                    &self.weights,
-                )
-                .cost
-            })
-            .collect();
-        let chosen = costs
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("costs are finite"))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        PlanChoice { chosen, costs }
+        let mut costs = Vec::with_capacity(self.variants.len());
+        let mut predicted_seconds = Vec::with_capacity(self.variants.len());
+        let mut predicted_data = Vec::with_capacity(self.variants.len());
+        for v in &self.variants {
+            let report = dynamic_cost(
+                &v.plan.summary,
+                &sample_state,
+                &true_counts,
+                &v.non_ca_flags(),
+                &self.weights,
+            );
+            costs.push(report.cost);
+            let (total, data) = self.price_profile(&report.profile.stages);
+            predicted_seconds.push(total);
+            predicted_data.push(data);
+        }
+        let mut chosen = 0usize;
+        for (i, s) in predicted_seconds.iter().enumerate() {
+            if *s < predicted_seconds[chosen] {
+                chosen = i;
+            }
+        }
+        (
+            PlanChoice {
+                chosen,
+                costs,
+                predicted_seconds,
+            },
+            predicted_data,
+        )
+    }
+
+    /// Price a calibrated profile into estimated wall-clock seconds:
+    /// convert each [`StageEstimate`] into synthetic engine stage
+    /// statistics and run them through the cluster simulator, with each
+    /// stage's measured key skew applied as a straggler multiplier.
+    /// Returns `(total seconds, variant-controlled seconds)` — the
+    /// latter with the structure's constant framework overheads and the
+    /// variant-independent input scan subtracted.
+    fn price_profile(&self, stages: &[StageEstimate]) -> (f64, f64) {
+        let mut job = JobStats::default();
+        let mut skews = Vec::with_capacity(stages.len());
+        for est in stages {
+            let kind = match est.class {
+                StageClass::Input => StageKind::Input,
+                StageClass::Map => StageKind::Map,
+                StageClass::Shuffle => StageKind::Shuffle,
+                StageClass::Join => StageKind::Join,
+            };
+            let mut s = StageStats::new(kind, "predicted");
+            s.records_in = est.records_in.round() as u64;
+            s.records_out = est.records_out.round() as u64;
+            s.bytes_out = est.bytes_out.round() as u64;
+            s.bytes_shuffled = est.bytes_shuffled.round() as u64;
+            job.stages.push(s);
+            skews.push(est.skew);
+        }
+        let total = simulate_job_with_skew(&job, &skews, &self.cluster, self.framework).seconds;
+        let base =
+            simulate_job_with_skew(&masked(&job), &skews, &self.cluster, self.framework).seconds;
+        (total, total - base)
     }
 
     /// Execute: monitor picks the cheapest variant, which then runs on
@@ -131,6 +275,87 @@ impl GeneratedProgram {
         let plan_cache = cache.caches.entry(choice.chosen).or_default();
         let outputs = plan.execute_cached(ctx, state, plan_cache)?;
         Ok((outputs, choice))
+    }
+
+    /// Iterative execution with mid-run re-tuning (§7.4's dynamic
+    /// tuning): run the sticky current variant, price this iteration's
+    /// *recorded* stage statistics on the same cluster model the
+    /// prediction used, and when observation diverges from prediction by
+    /// more than `tuning.divergence_ratio` the first-k sample was
+    /// unrepresentative — re-estimate every variant's cost parameters on
+    /// the full input (already paid for by this iteration) and switch
+    /// the next iteration to the recalibrated winner. Every decision
+    /// lands in `tuning.trace`. Fully-cached iterations observe ~zero
+    /// cost and are exempt from the divergence check (a cache hit is not
+    /// evidence the model was wrong).
+    pub fn run_tuned(
+        &self,
+        ctx: &Arc<Context>,
+        state: &Env,
+        cache: &mut ProgramCache,
+        tuning: &mut TuningState,
+    ) -> Result<(Env, PlanChoice)> {
+        let (choice, predicted_data) = self.appraise(state);
+        let running = match tuning.current {
+            Some(v) if v < self.variants.len() => v,
+            _ => {
+                tuning.current = Some(choice.chosen);
+                choice.chosen
+            }
+        };
+        let stages_before = ctx.stats().stages.len();
+        let plan_cache = cache.caches.entry(running).or_default();
+        let outputs = self.variants[running]
+            .plan
+            .execute_cached(ctx, state, plan_cache)?;
+        let observed_stats = normalized(&JobStats {
+            stages: ctx.stats().stages.split_off(stages_before),
+        });
+        let live = observed_stats.stages.iter().any(|s| !s.cached);
+        let predicted = predicted_data.get(running).copied().unwrap_or(0.0);
+        let observed_total = simulate_job(&observed_stats, &self.cluster, self.framework).seconds;
+        let observed_base =
+            simulate_job(&masked(&observed_stats), &self.cluster, self.framework).seconds;
+        let observed = observed_total - observed_base;
+        let ratio = if predicted > 0.0 {
+            observed / predicted
+        } else if observed > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        let mut switched_to = None;
+        if live && (ratio > tuning.divergence_ratio || ratio < 1.0 / tuning.divergence_ratio) {
+            // The sample mispredicted; re-estimate on the full input and
+            // re-rank every variant under the recalibrated model.
+            let (_, recalibrated) = self.appraise_with_k(state, usize::MAX);
+            let mut best = 0usize;
+            for (j, p) in recalibrated.iter().enumerate() {
+                if *p < recalibrated[best] {
+                    best = j;
+                }
+            }
+            if best != running {
+                switched_to = Some(best);
+                tuning.current = Some(best);
+            }
+        }
+        tuning.trace.push(TuningDecision {
+            iteration: tuning.iteration,
+            running,
+            predicted_seconds: predicted,
+            observed_seconds: observed,
+            ratio,
+            switched_to,
+        });
+        tuning.iteration += 1;
+        Ok((
+            outputs,
+            PlanChoice {
+                chosen: running,
+                ..choice
+            },
+        ))
     }
 
     /// Execute with the alias guard (§3.2): when input collections alias,
@@ -162,8 +387,8 @@ impl GeneratedProgram {
     }
 
     /// Build the sampled state: every source collection truncated to the
-    /// first k values.
-    fn sample_state(&self, state: &Env) -> Env {
+    /// first `k` values.
+    fn sample_state(&self, state: &Env, k: usize) -> Env {
         let mut sampled = state.clone();
         let mut source_vars: Vec<String> = Vec::new();
         for v in &self.variants {
@@ -179,11 +404,11 @@ impl GeneratedProgram {
             if let Some(v) = sampled.get(&var).cloned() {
                 let truncated = match v {
                     Value::List(mut xs) => {
-                        xs.truncate(self.sample_k);
+                        xs.truncate(k);
                         Value::List(xs)
                     }
                     Value::Array(mut xs) => {
-                        xs.truncate(self.sample_k);
+                        xs.truncate(k);
                         Value::Array(xs)
                     }
                     other => other,
@@ -193,6 +418,52 @@ impl GeneratedProgram {
         }
         sampled
     }
+}
+
+/// The same stage structure with every *variant-dependent* counter
+/// zeroed: input scans keep their counters (every variant reads the same
+/// input), all other stages lose theirs. Pricing it yields the constant
+/// framework overheads plus the scan, so `priced(stats) -
+/// priced(masked(stats))` isolates the cost the choice of variant
+/// actually controls.
+fn masked(stats: &JobStats) -> JobStats {
+    JobStats {
+        stages: stats
+            .stages
+            .iter()
+            .map(|s| {
+                if s.kind == StageKind::Input {
+                    s.clone()
+                } else {
+                    let mut z = StageStats::new(s.kind, s.label.clone());
+                    z.cached = s.cached;
+                    z
+                }
+            })
+            .collect(),
+    }
+}
+
+/// A worker-invariant view of an observed stage delta, commensurate with
+/// the predicted profile. The engine records a `reduceByKey` shuffle's
+/// bytes *after* map-side combining — a residue that shrinks with
+/// combining and varies with the partition count — while the model
+/// prices the semantic pre-combine volume. Replace each shuffle's byte
+/// counter with the upstream stage's emitted bytes (its deterministic
+/// pre-combine volume); every other counter the simulator prices is
+/// already partition-independent.
+fn normalized(stats: &JobStats) -> JobStats {
+    let mut out = stats.clone();
+    for i in 1..out.stages.len() {
+        if out.stages[i].kind != StageKind::Shuffle {
+            continue;
+        }
+        let prev = &out.stages[i - 1];
+        if prev.records_out == out.stages[i].records_in && prev.bytes_out > 0 {
+            out.stages[i].bytes_shuffled = prev.bytes_out;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -349,11 +620,106 @@ mod tests {
     }
 
     #[test]
+    fn choice_reports_predicted_wall_clock() {
+        let prog = GeneratedProgram::new(vec![solution_b(), solution_c()]);
+        let choice = prog.choose(&stringmatch_state(0.95, 2000));
+        assert_eq!(choice.predicted_seconds.len(), 2);
+        assert!(choice
+            .predicted_seconds
+            .iter()
+            .all(|s| s.is_finite() && *s > 0.0));
+        // The chosen variant is the predicted-seconds argmin.
+        let min = choice
+            .predicted_seconds
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(choice.predicted_seconds[choice.chosen], min);
+    }
+
+    /// A state whose first `prefix` records are all non-matching and the
+    /// rest all matching: the first-k sample is unrepresentative, so the
+    /// monitor's initial pick diverges from the observed cost and the
+    /// tuner must switch variants mid-run.
+    fn skewed_prefix_state(prefix: usize, n: usize) -> Env {
+        let words: Vec<Value> = (0..n)
+            .map(|i| {
+                if i < prefix {
+                    Value::str(format!("w{i}"))
+                } else {
+                    Value::str("cat")
+                }
+            })
+            .collect();
+        let mut st = Env::new();
+        st.set("text", Value::List(words));
+        st.set("key1", Value::str("cat"));
+        st.set("key2", Value::str("dog"));
+        st.set("f1", Value::Bool(false));
+        st.set("f2", Value::Bool(false));
+        st
+    }
+
+    #[test]
+    fn tuner_switches_variants_when_observation_diverges() {
+        let mut prog = GeneratedProgram::new(vec![solution_b(), solution_c()]);
+        prog.sample_k = 100;
+        let ctx = Context::with_parallelism(4, 8);
+        let state = skewed_prefix_state(100, 4000);
+        let mut cache = ProgramCache::new();
+        let mut tuning = TuningState::new();
+
+        // Iteration 0: the all-miss sample makes (c) look free; the data
+        // beyond the prefix is 97% matches, so the observed shuffle is
+        // orders of magnitude over the prediction → switch to (b).
+        let (out0, c0) = prog
+            .run_tuned(&ctx, &state, &mut cache, &mut tuning)
+            .unwrap();
+        assert_eq!(prog.variants[c0.chosen].name, "c", "{c0:?}");
+        assert_eq!(out0.get("f1"), Some(&Value::Bool(true)));
+        let d0 = &tuning.trace[0];
+        assert!(d0.ratio > tuning.divergence_ratio, "{d0:?}");
+        assert_eq!(d0.switched_to, Some(0), "{d0:?}");
+
+        // Iteration 1: the sticky choice is now (b); same (correct)
+        // output.
+        let (out1, c1) = prog
+            .run_tuned(&ctx, &state, &mut cache, &mut tuning)
+            .unwrap();
+        assert_eq!(prog.variants[c1.chosen].name, "b", "{c1:?}");
+        assert_eq!(out1.get("f1"), Some(&Value::Bool(true)));
+        assert_eq!(out1.get("f2"), Some(&Value::Bool(false)));
+        assert_eq!(tuning.retune_count(), 1);
+        assert_eq!(tuning.trace.len(), 2);
+    }
+
+    #[test]
+    fn tuner_is_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            let mut prog = GeneratedProgram::new(vec![solution_b(), solution_c()]);
+            prog.sample_k = 100;
+            let ctx = Context::with_parallelism(workers, workers * 2);
+            let state = skewed_prefix_state(100, 4000);
+            let mut cache = ProgramCache::new();
+            let mut tuning = TuningState::new();
+            for _ in 0..3 {
+                prog.run_tuned(&ctx, &state, &mut cache, &mut tuning)
+                    .unwrap();
+            }
+            tuning.trace
+        };
+        let base = run(1);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers), base, "trace diverged at {workers} workers");
+        }
+    }
+
+    #[test]
     fn sampling_truncates_large_inputs() {
         let mut prog = GeneratedProgram::new(vec![solution_c()]);
         prog.sample_k = 10;
         let state = stringmatch_state(1.0, 100_000);
-        let sampled = prog.sample_state(&state);
+        let sampled = prog.sample_state(&state, prog.sample_k);
         assert_eq!(sampled.get("text").unwrap().elements().unwrap().len(), 10);
     }
 }

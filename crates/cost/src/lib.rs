@@ -27,7 +27,7 @@ pub mod model;
 pub mod sym;
 
 pub use model::{dynamic_cost, static_cost, CostModel, DynCostReport};
-pub use sym::SymCost;
+pub use sym::{ParamCost, StageClass, StageEstimate, SymCost};
 
 /// The paper's cost-model weights (§5.1).
 #[derive(Debug, Clone, Copy, PartialEq)]

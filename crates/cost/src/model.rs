@@ -9,7 +9,7 @@ use seqlang::env::Env;
 use seqlang::ty::Type;
 use seqlang::value::Value;
 
-use crate::sym::SymCost;
+use crate::sym::{ParamCost, StageClass, StageEstimate, SymCost};
 use crate::CostWeights;
 
 /// The cost model: weights plus a type environment for static sizing.
@@ -170,6 +170,10 @@ pub struct DynCostReport {
     pub probabilities: Vec<f64>,
     /// Estimated unique keys at each reduce.
     pub unique_keys: Vec<f64>,
+    /// The parameterized cost: every stage's record count, byte volume,
+    /// selectivity, key cardinality and skew, extrapolated from the
+    /// sample — what the cluster model prices into wall-clock seconds.
+    pub profile: ParamCost,
 }
 
 /// Evaluate the cost model numerically against a *sampled* pre-loop state
@@ -191,6 +195,7 @@ pub fn dynamic_cost(
         cost: 0.0,
         probabilities: Vec::new(),
         unique_keys: Vec::new(),
+        profile: ParamCost::default(),
     };
     let mut reduce_counter = 0usize;
     for binding in &summary.bindings {
@@ -220,7 +225,14 @@ fn walk_dynamic(
     match expr {
         MrExpr::Data(src) => {
             let rows = ctx.eval_mr(expr).unwrap_or_default();
-            (rows, true_counts(&src.var))
+            let n = true_counts(&src.var);
+            let mut est = StageEstimate::new(StageClass::Input);
+            est.records_in = n;
+            est.records_out = n;
+            est.bytes_out = avg_row_bytes(&rows) * n;
+            est.selectivity = 1.0;
+            report.profile.stages.push(est);
+            (rows, n)
         }
         MrExpr::Map(inner, _lambda) => {
             let (rows_in, n_in) = walk_dynamic(
@@ -236,6 +248,12 @@ fn walk_dynamic(
             let (bytes_out, selectivity) = sample_ratios(&rows_in, &rows_out);
             report.probabilities.push(selectivity);
             report.cost += weights.wm * n_in * bytes_out;
+            let mut est = StageEstimate::new(StageClass::Map);
+            est.records_in = n_in;
+            est.records_out = n_in * selectivity;
+            est.bytes_out = n_in * bytes_out;
+            est.selectivity = selectivity;
+            report.profile.stages.push(est);
             (rows_out, n_in * selectivity)
         }
         MrExpr::Reduce(inner, _lambda) => {
@@ -266,6 +284,23 @@ fn walk_dynamic(
                 distinct
             };
             report.unique_keys.push(est_keys);
+            let mut est = StageEstimate::new(StageClass::Shuffle);
+            est.records_in = n_in;
+            est.records_out = est_keys;
+            est.bytes_out = est_keys * in_size;
+            est.bytes_shuffled = n_in * in_size;
+            est.selectivity = if n_in > 0.0 { est_keys / n_in } else { 0.0 };
+            est.distinct_keys = est_keys;
+            // A CA reduce is combined map-side: each partition forwards
+            // one residue per key, so a hot key never concentrates load
+            // on the busiest reducer. Only non-CA reduces shuffle their
+            // raw records and inherit the key skew as a straggler.
+            est.skew = if eps > 1.0 {
+                max_key_share(&rows_in)
+            } else {
+                0.0
+            };
+            report.profile.stages.push(est);
             (rows_out, est_keys)
         }
         MrExpr::Join(l, r) => {
@@ -284,6 +319,25 @@ fn walk_dynamic(
             let size = avg_row_bytes(&rows_out);
             report.cost += weights.wj * n_l * n_r * selectivity * size;
             let est = n_l * n_r * selectivity;
+            let mut stage = StageEstimate::new(StageClass::Join);
+            stage.records_in = n_l + n_r;
+            stage.records_out = est;
+            stage.bytes_out = est * size;
+            // Both join inputs cross the wire.
+            stage.bytes_shuffled = n_l * avg_row_bytes(&rows_l) + n_r * avg_row_bytes(&rows_r);
+            stage.selectivity = selectivity;
+            let distinct = distinct_keys(&rows_out) as f64;
+            stage.distinct_keys = if !rows_out.is_empty() && distinct >= rows_out.len() as f64 {
+                est
+            } else {
+                distinct
+            };
+            // The busiest join reducer receives every record (from both
+            // sides) that hashes to its hottest key — measure the share
+            // on the shuffled inputs, not on the join's output.
+            let combined: Vec<Vec<Value>> = rows_l.iter().chain(rows_r.iter()).cloned().collect();
+            stage.skew = max_key_share(&combined);
+            report.profile.stages.push(stage);
             (rows_out, est)
         }
     }
@@ -313,6 +367,40 @@ fn avg_row_bytes(rows: &[Vec<Value>]) -> f64 {
         .map(|r| 8 + r.iter().map(Value::size_bytes).sum::<u64>())
         .sum();
     bytes as f64 / rows.len() as f64
+}
+
+/// The key of a sampled key/value row: the first field for pair-shaped
+/// rows, the whole row otherwise.
+fn row_key(row: &[Value]) -> &[Value] {
+    if row.len() == 2 {
+        &row[..1]
+    } else {
+        row
+    }
+}
+
+/// Per-key multiplicities of the sampled rows.
+fn key_counts(rows: &[Vec<Value>]) -> HashMap<&[Value], usize> {
+    let mut counts: HashMap<&[Value], usize> = HashMap::new();
+    for row in rows {
+        *counts.entry(row_key(row)).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn distinct_keys(rows: &[Vec<Value>]) -> usize {
+    key_counts(rows).len()
+}
+
+/// The largest single key's share of the sampled rows — the skew
+/// parameter of the parameterized cost ([`StageEstimate::skew`]): the
+/// busiest reducer processes at least this fraction of the shuffle.
+fn max_key_share(rows: &[Vec<Value>]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let max = key_counts(rows).values().copied().max().unwrap_or(0);
+    max as f64 / rows.len() as f64
 }
 
 /// Drop statically dominated candidates: keep a summary only if no other

@@ -45,8 +45,13 @@
 //! assert_eq!(out, casper_ir::eval::eval_summary(&summary, &state).unwrap());
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use seqlang::ast::{BinOp, UnOp};
-use seqlang::buf::{FastCombine, RecordArena, ValueBuf};
+use seqlang::buf::{
+    FastCombine, RecordArena, StateCellEntry, ValueBuf, TAG_BOOL, TAG_BOXED, TAG_DOUBLE, TAG_INT,
+    TAG_UNIT,
+};
 use seqlang::error::{Error, Result};
 use seqlang::interp::{eval_binop, eval_free_function, eval_pure_method};
 use seqlang::value::Value;
@@ -144,12 +149,18 @@ fn tree_weight(e: &IrExpr) -> usize {
 /// Where a compiled emit expression gets its value from, decided at
 /// compile time. `Slot` and `Const` let the buffer-backed data plane copy
 /// cells between partition buffers without ever materializing a `Value`;
-/// only `Dynamic` expressions fall back to the expression engine.
+/// `Cell` evaluates a small arithmetic/comparison tree directly over raw
+/// `(tag, word)` cells (punting to the expression engine per record when
+/// an operand is not inline-numeric or an error path is hit); only
+/// `Dynamic` expressions always fall back to the expression engine.
 enum EmitSrc {
     /// The bare λ parameter at this frame slot.
     Slot(usize),
     /// A literal, materialized once at compile time.
     Const(Value),
+    /// A raw-cell program over slots, inline constants, and resolved
+    /// state scalars.
+    Cell(CellExpr),
     /// Anything else: run the compiled expression program.
     Dynamic,
 }
@@ -167,6 +178,223 @@ impl EmitSrc {
             IrExpr::ConstStr(s) => EmitSrc::Const(Value::str(s.as_str())),
             _ => EmitSrc::Dynamic,
         }
+    }
+
+    /// [`classify`](Self::classify), then try to lower a `Dynamic`
+    /// binary-operator tree to a raw-cell program. State variables the
+    /// program reads are registered in `state_vars` (deduplicated); the λ
+    /// resolves them to cells once per partition pass.
+    fn classify_cell<P: AsRef<str>>(
+        e: &IrExpr,
+        params: &[P],
+        state_vars: &mut Vec<String>,
+    ) -> EmitSrc {
+        match EmitSrc::classify(e, params) {
+            EmitSrc::Dynamic => match e {
+                IrExpr::Bin(op, _, _) if cell_op_supported(*op) => {
+                    match CellExpr::classify(e, params, state_vars) {
+                        Some(prog) => EmitSrc::Cell(prog),
+                        None => EmitSrc::Dynamic,
+                    }
+                }
+                _ => EmitSrc::Dynamic,
+            },
+            other => other,
+        }
+    }
+}
+
+/// A small expression lowered to run directly over raw `(tag, word)`
+/// cells — no `Value` materialization, no frame, no boxing. Evaluation
+/// returns `None` ("punt") whenever the raw semantics could diverge from
+/// [`eval_binop`] — non-inline operands, error paths like integer
+/// division by zero — and the caller falls back to the expression engine
+/// for that record, so values *and* errors stay bit-identical.
+enum CellExpr {
+    /// λ-parameter cell at this slot (punts on non-inline tags).
+    Slot(usize),
+    /// Resolved state scalar at this index of the λ's state-cell frame.
+    State(usize),
+    /// An inline literal cell.
+    Const(u8, u64),
+    Bin(BinOp, Box<CellExpr>, Box<CellExpr>),
+}
+
+/// Operators [`cell_binop`] reproduces bit-for-bit on inline cells.
+/// `And`/`Or` are excluded (short-circuit evaluation order), as are the
+/// string/collection operators.
+fn cell_op_supported(op: BinOp) -> bool {
+    use BinOp::*;
+    matches!(
+        op,
+        Add | Sub
+            | Mul
+            | Div
+            | Mod
+            | Lt
+            | Gt
+            | Le
+            | Ge
+            | Eq
+            | Ne
+            | BitAnd
+            | BitOr
+            | BitXor
+            | Shl
+            | Shr
+    )
+}
+
+impl CellExpr {
+    fn classify<P: AsRef<str>>(
+        e: &IrExpr,
+        params: &[P],
+        state_vars: &mut Vec<String>,
+    ) -> Option<CellExpr> {
+        match e {
+            IrExpr::Var(name) => match params.iter().rposition(|p| p.as_ref() == name) {
+                Some(slot) => Some(CellExpr::Slot(slot)),
+                None => {
+                    let idx = match state_vars.iter().position(|v| v == name) {
+                        Some(i) => i,
+                        None => {
+                            state_vars.push(name.clone());
+                            state_vars.len() - 1
+                        }
+                    };
+                    Some(CellExpr::State(idx))
+                }
+            },
+            IrExpr::ConstInt(n) => Some(CellExpr::Const(TAG_INT, *n as u64)),
+            IrExpr::ConstDouble(x) => Some(CellExpr::Const(TAG_DOUBLE, x.0.to_bits())),
+            IrExpr::ConstBool(b) => Some(CellExpr::Const(TAG_BOOL, *b as u64)),
+            IrExpr::Bin(op, l, r) if cell_op_supported(*op) => {
+                let lc = CellExpr::classify(l, params, state_vars)?;
+                let rc = CellExpr::classify(r, params, state_vars)?;
+                Some(CellExpr::Bin(*op, Box::new(lc), Box::new(rc)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluate over row `row` of `src` and the λ's resolved state cells.
+    /// `None` = punt to the expression engine for this record.
+    fn eval(&self, src: &ValueBuf, row: usize, state_cells: &[(u8, u64)]) -> Option<(u8, u64)> {
+        match self {
+            CellExpr::Slot(slot) => {
+                let c = src.cell_raw(row, *slot);
+                if c.0 <= TAG_BOOL {
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+            CellExpr::State(idx) => {
+                let c = state_cells[*idx];
+                if c.0 == TAG_BOXED {
+                    None
+                } else {
+                    Some(c)
+                }
+            }
+            CellExpr::Const(tag, word) => Some((*tag, *word)),
+            CellExpr::Bin(op, l, r) => {
+                let a = l.eval(src, row, state_cells)?;
+                let b = r.eval(src, row, state_cells)?;
+                cell_binop(*op, a, b)
+            }
+        }
+    }
+}
+
+/// [`eval_binop`] over raw inline cells. Mirrors the `Value` semantics
+/// exactly: wrapping `Int` arithmetic, `Double` promotion when either
+/// operand is a double, orderings through `f64` even for `Int`/`Int`,
+/// `num_eq` equality. Returns `None` on every path where `eval_binop`
+/// would error (integer div/mod by zero, non-numeric comparison
+/// operands, unsupported pairings) — the caller's fallback reproduces
+/// the exact error.
+fn cell_binop(op: BinOp, l: (u8, u64), r: (u8, u64)) -> Option<(u8, u64)> {
+    use BinOp::*;
+    let (lt, lw) = l;
+    let (rt, rw) = r;
+    let num = |t: u8, w: u64| -> Option<f64> {
+        match t {
+            TAG_INT => Some(w as i64 as f64),
+            TAG_DOUBLE => Some(f64::from_bits(w)),
+            _ => None,
+        }
+    };
+    match op {
+        Add | Sub | Mul if lt == TAG_INT && rt == TAG_INT => {
+            let (a, b) = (lw as i64, rw as i64);
+            let v = match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                _ => a.wrapping_mul(b),
+            };
+            Some((TAG_INT, v as u64))
+        }
+        Div | Mod if lt == TAG_INT && rt == TAG_INT => {
+            let (a, b) = (lw as i64, rw as i64);
+            if b == 0 {
+                return None; // the engine raises "division/modulo by zero"
+            }
+            let v = match op {
+                Div => a.wrapping_div(b),
+                _ => a.wrapping_rem(b),
+            };
+            Some((TAG_INT, v as u64))
+        }
+        Add | Sub | Mul | Div | Mod => {
+            let (a, b) = (num(lt, lw)?, num(rt, rw)?);
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => a % b,
+            };
+            Some((TAG_DOUBLE, v.to_bits()))
+        }
+        Lt | Gt | Le | Ge => {
+            // Int/Int orderings also go through f64 — exactly eval_binop.
+            let (a, b) = (num(lt, lw)?, num(rt, rw)?);
+            let v = match op {
+                Lt => a < b,
+                Gt => a > b,
+                Le => a <= b,
+                _ => a >= b,
+            };
+            Some((TAG_BOOL, v as u64))
+        }
+        Eq | Ne => {
+            let eq = match (lt, rt) {
+                (TAG_INT, TAG_INT) => lw as i64 == rw as i64,
+                (TAG_INT, TAG_DOUBLE) | (TAG_DOUBLE, TAG_INT) | (TAG_DOUBLE, TAG_DOUBLE) => {
+                    // num_eq: numeric pairs compare as f64 (NaN ≠ NaN,
+                    // 0.0 == -0.0), matching Value's PartialEq on Double.
+                    num(lt, lw)? == num(rt, rw)?
+                }
+                (TAG_BOOL, TAG_BOOL) => (lw != 0) == (rw != 0),
+                (TAG_UNIT, TAG_UNIT) => true,
+                // Inline cross-variant values are never equal.
+                _ => false,
+            };
+            Some((TAG_BOOL, (if op == Eq { eq } else { !eq }) as u64))
+        }
+        BitAnd | BitOr | BitXor | Shl | Shr if lt == TAG_INT && rt == TAG_INT => {
+            let (a, b) = (lw as i64, rw as i64);
+            let v = match op {
+                BitAnd => a & b,
+                BitOr => a | b,
+                BitXor => a ^ b,
+                Shl => a.wrapping_shl(b as u32),
+                _ => a.wrapping_shr(b as u32),
+            };
+            Some((TAG_INT, v as u64))
+        }
+        _ => None,
     }
 }
 
@@ -186,6 +414,7 @@ struct CompiledEmit {
 enum PendingCell<'a> {
     Copy(usize),
     Borrowed(&'a Value),
+    Raw(u8, u64),
     Owned(Value),
 }
 
@@ -194,6 +423,7 @@ impl PendingCell<'_> {
         match self {
             PendingCell::Copy(slot) => out.copy_cell_from(src, row, slot),
             PendingCell::Borrowed(v) => out.push_value(v),
+            PendingCell::Raw(tag, word) => out.push_raw_cell(tag, word),
             PendingCell::Owned(v) => out.push_value(&v),
         }
     }
@@ -208,7 +438,18 @@ pub struct CompiledMapLambda {
     arity: usize,
     emits: Vec<CompiledEmit>,
     free_vars: Vec<String>,
+    /// State variables the λ's cell programs read, in registration order;
+    /// resolved to raw cells once per (arena, state) pass.
+    cell_state_vars: Vec<String>,
+    /// Whether any emit lowered to a [`EmitSrc::Cell`] program.
+    has_cell_emits: bool,
+    /// Process-unique compile id keying the arena's state-cell cache.
+    id: u64,
 }
+
+/// Compile ids for [`CompiledMapLambda`]; only used as cache keys, never
+/// ordered or persisted, so a relaxed global counter is fine.
+static NEXT_LAMBDA_ID: AtomicU64 = AtomicU64::new(1);
 
 impl CompiledMapLambda {
     /// Lower `lambda` with the default engine (the bytecode VM).
@@ -228,10 +469,19 @@ impl CompiledMapLambda {
             emit.val.free_vars(&mut free);
         }
         free.retain(|v| !lambda.params.iter().any(|p| p == v));
+        let (emits, cell_state_vars) = compile_map(lambda, engine);
+        let has_cell_emits = emits.iter().any(|e| {
+            matches!(e.cond_src, Some(EmitSrc::Cell(_)))
+                || matches!(e.key_src, EmitSrc::Cell(_))
+                || matches!(e.val_src, EmitSrc::Cell(_))
+        });
         CompiledMapLambda {
             arity: lambda.params.len(),
-            emits: compile_map(lambda, engine),
+            emits,
             free_vars: free,
+            cell_state_vars,
+            has_cell_emits,
+            id: NEXT_LAMBDA_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -301,6 +551,13 @@ impl CompiledMapLambda {
             )));
         }
         let mut have_locals = false;
+        // Resolve the cell programs' state scalars once per (arena, state)
+        // pass; `usize::MAX` = no resolved frame needed.
+        let cell_idx = if self.has_cell_emits && !self.cell_state_vars.is_empty() {
+            self.state_cell_index(arena, state)
+        } else {
+            usize::MAX
+        };
         for emit in &self.emits {
             let fire = match (&emit.cond_src, &emit.cond) {
                 (None, _) => true,
@@ -311,6 +568,24 @@ impl CompiledMapLambda {
                 (Some(EmitSrc::Const(v)), _) => v
                     .as_bool()
                     .ok_or_else(|| Error::runtime("emit guard not a bool"))?,
+                (Some(EmitSrc::Cell(prog)), Some(c)) => {
+                    let res = prog.eval(src, row, resolved_cells(arena, cell_idx));
+                    match res {
+                        Some((TAG_BOOL, w)) => w != 0,
+                        // Punt (or a non-bool guard value): the engine
+                        // reproduces the exact value or error.
+                        _ => {
+                            materialize_locals(src, row, arena, &mut have_locals);
+                            let frame = Frame {
+                                locals: &arena.locals,
+                                state,
+                            };
+                            c.run(&frame)?
+                                .as_bool()
+                                .ok_or_else(|| Error::runtime("emit guard not a bool"))?
+                        }
+                    }
+                }
                 (Some(EmitSrc::Dynamic), Some(c)) => {
                     materialize_locals(src, row, arena, &mut have_locals);
                     let frame = Frame {
@@ -321,7 +596,9 @@ impl CompiledMapLambda {
                         .as_bool()
                         .ok_or_else(|| Error::runtime("emit guard not a bool"))?
                 }
-                (Some(EmitSrc::Dynamic), None) => unreachable!("dynamic cond without program"),
+                (Some(EmitSrc::Cell(_) | EmitSrc::Dynamic), None) => {
+                    unreachable!("computed cond without program")
+                }
             };
             if !fire {
                 continue;
@@ -333,6 +610,7 @@ impl CompiledMapLambda {
                 row,
                 state,
                 arena,
+                cell_idx,
                 &mut have_locals,
             )?;
             let val = self.pending_cell(
@@ -342,12 +620,45 @@ impl CompiledMapLambda {
                 row,
                 state,
                 arena,
+                cell_idx,
                 &mut have_locals,
             )?;
             key.commit(src, row, out);
             val.commit(src, row, out);
         }
         Ok(())
+    }
+
+    /// Index of this λ's resolved state-cell frame in `arena`, resolving
+    /// it on first use. Values with no inline cell form (strings,
+    /// collections, unbound names) resolve to a punt sentinel, so the
+    /// per-record fallback reproduces their exact semantics.
+    fn state_cell_index(&self, arena: &mut RecordArena, state: &Env) -> usize {
+        let env_ptr = state as *const Env as usize;
+        if let Some(i) = arena
+            .state_cells
+            .iter()
+            .position(|e| e.owner == self.id && e.env_ptr == env_ptr)
+        {
+            return i;
+        }
+        let cells = self
+            .cell_state_vars
+            .iter()
+            .map(|name| match state.get(name) {
+                Some(Value::Int(n)) => (TAG_INT, *n as u64),
+                Some(Value::Double(x)) => (TAG_DOUBLE, x.to_bits()),
+                Some(Value::Bool(b)) => (TAG_BOOL, *b as u64),
+                Some(Value::Unit) => (TAG_UNIT, 0),
+                _ => (TAG_BOXED, 0),
+            })
+            .collect();
+        arena.state_cells.push(StateCellEntry {
+            owner: self.id,
+            env_ptr,
+            cells,
+        });
+        arena.state_cells.len() - 1
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -359,11 +670,28 @@ impl CompiledMapLambda {
         row: usize,
         state: &Env,
         arena: &mut RecordArena,
+        cell_idx: usize,
         have_locals: &mut bool,
     ) -> Result<PendingCell<'e>> {
         Ok(match src_kind {
             EmitSrc::Slot(slot) => PendingCell::Copy(*slot),
             EmitSrc::Const(v) => PendingCell::Borrowed(v),
+            EmitSrc::Cell(prog) => {
+                let res = prog.eval(src, row, resolved_cells(arena, cell_idx));
+                match res {
+                    Some((tag, word)) => PendingCell::Raw(tag, word),
+                    None => {
+                        materialize_locals(src, row, arena, have_locals);
+                        let frame = Frame {
+                            locals: &arena.locals,
+                            state,
+                        };
+                        let v = program.run(&frame)?;
+                        arena.allocs += 1;
+                        PendingCell::Owned(v)
+                    }
+                }
+            }
             EmitSrc::Dynamic => {
                 materialize_locals(src, row, arena, have_locals);
                 let frame = Frame {
@@ -375,6 +703,16 @@ impl CompiledMapLambda {
                 PendingCell::Owned(v)
             }
         })
+    }
+}
+
+/// The λ's resolved state-cell frame, or the empty frame when the λ's
+/// cell programs read no state.
+fn resolved_cells(arena: &RecordArena, cell_idx: usize) -> &[(u8, u64)] {
+    if cell_idx == usize::MAX {
+        &[]
+    } else {
+        &arena.state_cells[cell_idx].cells
     }
 }
 
@@ -555,8 +893,9 @@ fn compile_stage(expr: &MrExpr, engine: Engine) -> Stage {
     }
 }
 
-fn compile_map(lambda: &MapLambda, engine: Engine) -> Vec<CompiledEmit> {
-    lambda
+fn compile_map(lambda: &MapLambda, engine: Engine) -> (Vec<CompiledEmit>, Vec<String>) {
+    let mut state_vars = Vec::new();
+    let emits = lambda
         .emits
         .iter()
         .map(|emit| CompiledEmit {
@@ -567,13 +906,14 @@ fn compile_map(lambda: &MapLambda, engine: Engine) -> Vec<CompiledEmit> {
             cond_src: emit
                 .cond
                 .as_ref()
-                .map(|c| EmitSrc::classify(c, &lambda.params)),
+                .map(|c| EmitSrc::classify_cell(c, &lambda.params, &mut state_vars)),
             key: ExprProgram::compile(&emit.key, &lambda.params, engine),
-            key_src: EmitSrc::classify(&emit.key, &lambda.params),
+            key_src: EmitSrc::classify_cell(&emit.key, &lambda.params, &mut state_vars),
             val: ExprProgram::compile(&emit.val, &lambda.params, engine),
-            val_src: EmitSrc::classify(&emit.val, &lambda.params),
+            val_src: EmitSrc::classify_cell(&emit.val, &lambda.params, &mut state_vars),
         })
-        .collect()
+        .collect();
+    (emits, state_vars)
 }
 
 fn compile_reduce(lambda: &ReduceLambda, engine: Engine) -> ExprProgram {
@@ -1087,15 +1427,20 @@ mod tests {
 
     #[test]
     fn buffered_apply_matches_boxed_apply() {
-        // One guarded dynamic emit, one slot/const emit: exercises every
-        // EmitSrc kind plus guard evaluation from a cell.
+        // One guarded dynamic emit, one slot/const emit: exercises the
+        // Dynamic EmitSrc kind plus guard evaluation from a cell. The
+        // `abs` call keeps guard and value off the raw-cell path.
         let lambda = MapLambda::new(
             vec!["k", "v"],
             vec![
                 Emit::guarded(
-                    IrExpr::bin(BinOp::Gt, IrExpr::var("v"), IrExpr::var("cut")),
+                    IrExpr::bin(
+                        BinOp::Gt,
+                        IrExpr::Call("abs".into(), vec![IrExpr::var("v")]),
+                        IrExpr::var("cut"),
+                    ),
                     IrExpr::var("k"),
-                    IrExpr::bin(BinOp::Mul, IrExpr::var("v"), IrExpr::int(2)),
+                    IrExpr::Call("abs".into(), vec![IrExpr::var("v")]),
                 ),
                 Emit::unconditional(IrExpr::ConstStr("tag".into()), IrExpr::var("v")),
             ],
@@ -1165,6 +1510,101 @@ mod tests {
             .apply_into_buf(&one, 0, &st, &mut out, &mut arena)
             .unwrap_err();
         assert_eq!(e1.to_string(), e2.to_string());
+    }
+
+    #[test]
+    fn cell_program_emits_match_boxed_and_stay_raw() {
+        // Guard, key, and value all lower to raw-cell programs: the guard
+        // compares a Double slot against a Double state scalar, the key
+        // is an Int modulo, the value promotes Int·Double — the
+        // tpch_q6/map_chain shapes.
+        let lambda = MapLambda::new(
+            vec!["k", "v"],
+            vec![Emit::guarded(
+                IrExpr::bin(BinOp::Gt, IrExpr::var("v"), IrExpr::var("cut")),
+                IrExpr::bin(BinOp::Mod, IrExpr::var("k"), IrExpr::int(4)),
+                IrExpr::bin(BinOp::Mul, IrExpr::var("v"), IrExpr::var("rate")),
+            )],
+        );
+        let compiled = CompiledMapLambda::compile(&lambda);
+        let st = state(&[("cut", Value::Double(1.5)), ("rate", Value::Double(0.25))]);
+        let rows: Vec<Vec<Value>> = (0..8)
+            .map(|i| vec![Value::Int(i), Value::Double(i as f64 * 0.7)])
+            .collect();
+        let mut src = ValueBuf::new(2);
+        for r in &rows {
+            src.push_row(r);
+        }
+        let mut boxed = Vec::new();
+        for r in &rows {
+            compiled.apply_into(r, &st, &mut boxed).unwrap();
+        }
+        let mut out = ValueBuf::new(2);
+        let mut arena = RecordArena::new();
+        for row in 0..src.len() {
+            compiled
+                .apply_into_buf(&src, row, &st, &mut out, &mut arena)
+                .unwrap();
+        }
+        let buffered: Vec<(Value, Value)> = (0..out.len())
+            .map(|i| (out.value_at(i, 0), out.value_at(i, 1)))
+            .collect();
+        assert_eq!(boxed, buffered);
+        assert!(!boxed.is_empty());
+        // The whole pass stayed in the raw (tag, word) regime.
+        assert_eq!(arena.allocs, 0);
+    }
+
+    #[test]
+    fn cell_program_punts_on_errors_and_non_inline_operands() {
+        // v / z: the raw-cell path must punt on z = 0 so the engine
+        // raises the exact division error the boxed path raises.
+        let div = MapLambda::new(
+            vec!["v"],
+            vec![Emit::unconditional(
+                IrExpr::int(0),
+                IrExpr::bin(BinOp::Div, IrExpr::var("v"), IrExpr::var("z")),
+            )],
+        );
+        let c = CompiledMapLambda::compile(&div);
+        let mut one = ValueBuf::new(1);
+        one.push_row(&[Value::Int(7)]);
+        let mut out = ValueBuf::new(2);
+        let mut boxed = Vec::new();
+
+        let zero = state(&[("z", Value::Int(0))]);
+        let mut arena = RecordArena::new();
+        let e1 = c
+            .apply_into(&[Value::Int(7)], &zero, &mut boxed)
+            .unwrap_err();
+        let e2 = c
+            .apply_into_buf(&one, 0, &zero, &mut out, &mut arena)
+            .unwrap_err();
+        assert_eq!(e1.to_string(), e2.to_string());
+
+        // A string-valued state operand punts per record; the type error
+        // is identical either way.
+        let strst = state(&[("z", Value::str("nope"))]);
+        let mut arena2 = RecordArena::new();
+        let e3 = c
+            .apply_into(&[Value::Int(7)], &strst, &mut boxed)
+            .unwrap_err();
+        let e4 = c
+            .apply_into_buf(&one, 0, &strst, &mut out, &mut arena2)
+            .unwrap_err();
+        assert_eq!(e3.to_string(), e4.to_string());
+
+        // Nonzero divisor: the raw path engages with an identical
+        // quotient and zero materializations.
+        let two = state(&[("z", Value::Int(2))]);
+        let mut arena3 = RecordArena::new();
+        boxed.clear();
+        c.apply_into(&[Value::Int(7)], &two, &mut boxed).unwrap();
+        let mut out2 = ValueBuf::new(2);
+        c.apply_into_buf(&one, 0, &two, &mut out2, &mut arena3)
+            .unwrap();
+        assert_eq!(boxed[0].1, out2.value_at(0, 1));
+        assert_eq!(arena3.allocs, 0);
     }
 
     #[test]

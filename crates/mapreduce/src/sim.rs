@@ -105,14 +105,35 @@ impl MemoryTraffic {
 
 /// Price a job's stage statistics on a cluster running `framework`.
 pub fn simulate_job(stats: &JobStats, spec: &ClusterSpec, framework: Framework) -> SimClock {
+    simulate_job_with_skew(stats, &[], spec, framework)
+}
+
+/// Like [`simulate_job`], but stage `i`'s wide work is stretched by the
+/// key skew `skews[i]`: the largest single key's fraction of the stage's
+/// input records (`0` = unknown/uniform, priced exactly like
+/// `simulate_job`). A shuffle's parallel speedup is bounded by its key
+/// distribution — the busiest reducer processes at least `share` of the
+/// records on one core and receives `share` of the bytes over one node's
+/// link, so the stage runs at `max(1, share·cores)` /
+/// `max(1, share·nodes)` times its perfectly-balanced time. This is the
+/// straggler model behind the paper's skewed StringMatch crossover
+/// (Figure 8(b)): solution (c) funnels every match to one key and stops
+/// scaling, which the runtime monitor's parameterized cost predicts.
+pub fn simulate_job_with_skew(
+    stats: &JobStats,
+    skews: &[f64],
+    spec: &ClusterSpec,
+    framework: Framework,
+) -> SimClock {
     let cores = spec.total_cores();
     let mut seconds = framework.job_overhead_s();
-    for stage in &stats.stages {
+    for (i, stage) in stats.stages.iter().enumerate() {
         // Cache cut-points serve a materialized result: no CPU, disk, or
         // network is spent recomputing them.
         if stage.cached {
             continue;
         }
+        let share = skews.get(i).copied().unwrap_or(0.0);
         match stage.kind {
             StageKind::Input => {
                 // HDFS scan, parallel across nodes.
@@ -132,9 +153,10 @@ pub fn simulate_job(stats: &JobStats, spec: &ClusterSpec, framework: Framework) 
                 let cpu = stage.records_in as f64
                     * spec.cpu_s_per_record
                     * framework.record_cost_factor();
-                seconds += cpu / cores;
+                seconds += cpu / cores * (share * cores).max(1.0);
                 let wire = stage.bytes_shuffled as f64 * framework.shuffle_cost_factor();
-                seconds += wire / (spec.net_bytes_per_s * spec.nodes as f64);
+                seconds += wire / (spec.net_bytes_per_s * spec.nodes as f64)
+                    * (share * spec.nodes as f64).max(1.0);
                 seconds += framework.stage_overhead_s();
             }
             StageKind::Collect => {
@@ -248,6 +270,33 @@ mod tests {
         assert!(hadoop > flink);
         // Spark and Flink are close; both beat Hadoop by a wide margin.
         assert!(hadoop / spark > 1.3);
+    }
+
+    #[test]
+    fn skew_stretches_shuffles() {
+        let stats = job(1_000_000_000, 5_000_000_000);
+        let spec = ClusterSpec::paper();
+        let flat = simulate_job(&stats, &spec, Framework::Spark).seconds;
+        // Stage order in `job`: input, map, shuffle. A single hot key
+        // (share = 1.0) serializes the whole shuffle.
+        let hot = simulate_job_with_skew(&stats, &[0.0, 0.0, 1.0], &spec, Framework::Spark).seconds;
+        assert!(hot > flat * 5.0, "hot {hot} vs flat {flat}");
+        // A perfectly uniform spread (share = 1/cores) prices like the
+        // unskewed job.
+        let uniform = simulate_job_with_skew(
+            &stats,
+            &[0.0, 0.0, 1.0 / spec.total_cores()],
+            &spec,
+            Framework::Spark,
+        )
+        .seconds;
+        assert!(
+            (uniform - flat).abs() / flat < 0.05,
+            "uniform {uniform} vs flat {flat}"
+        );
+        // Empty skew slice = the plain simulator, bit-identical.
+        let empty = simulate_job_with_skew(&stats, &[], &spec, Framework::Spark).seconds;
+        assert_eq!(empty, flat);
     }
 
     #[test]

@@ -178,6 +178,23 @@ impl FastCombine {
     }
 }
 
+/// Free state variables of one compiled λ resolved to raw inline cells,
+/// cached on the arena so the resolution (a name-hash lookup per
+/// variable) happens once per partition pass instead of once per record.
+/// `env_ptr` keys the entry to the state env it was resolved against;
+/// an arena must not outlive the env it cached (arenas are per-pass
+/// scratch, so in practice the env always outlives them).
+#[derive(Debug)]
+pub struct StateCellEntry {
+    /// Compile-time id of the λ that owns this resolution.
+    pub owner: u64,
+    /// Address of the state env the cells were resolved against.
+    pub env_ptr: usize,
+    /// One `(tag, word)` cell per registered state variable;
+    /// `(TAG_BOXED, 0)` marks a variable that has no inline cell form.
+    pub cells: Vec<(u8, u64)>,
+}
+
 /// Reusable per-partition scratch for lambda temporaries: a materialized
 /// locals frame that resets between records (capacity retained — the
 /// "bump arena" for the boxed boundary into the bytecode VM) plus an
@@ -188,6 +205,9 @@ pub struct RecordArena {
     pub locals: Vec<Value>,
     /// `Value` materializations performed through this arena.
     pub allocs: u64,
+    /// Per-λ resolved state cells (see [`StateCellEntry`]). A handful of
+    /// λs share one arena at most, so lookups are a linear scan.
+    pub state_cells: Vec<StateCellEntry>,
 }
 
 impl RecordArena {
@@ -523,6 +543,21 @@ impl ValueBuf {
         if fp > self.hwm_bytes {
             self.hwm_bytes = fp;
         }
+    }
+
+    /// Append one raw inline cell (numeric/bool/unit tags only) — the
+    /// cell-program emit path, which never materializes a `Value`.
+    #[inline]
+    pub fn push_raw_cell(&mut self, tag: u8, word: u64) {
+        debug_assert!(tag <= TAG_BOOL, "raw pushes are inline-only");
+        let sem = match tag {
+            TAG_UNIT => 1,
+            TAG_INT => 4,
+            TAG_DOUBLE => 8,
+            _ => 10,
+        };
+        self.push_cell(tag, word, sem);
+        self.note_hwm();
     }
 
     /// Append one cell. Callers must keep pushes aligned to `width`

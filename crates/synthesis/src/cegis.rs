@@ -111,6 +111,14 @@ pub struct FindConfig {
     /// (the paper keeps searching the class exhaustively; a cap keeps our
     /// enumerator's long tail in check while preserving multiplicity).
     pub max_solutions: usize,
+    /// How many cost-ordered verified candidates the search hands to the
+    /// optimizer. Candidates stream cheapest-first (the enumerator orders
+    /// by symbolic upper-bound cost), so the first `top_k` verified ARE
+    /// the top-k cost-ordered summaries; the search stops at
+    /// `min(top_k, max_solutions)`. `1` = take the first verified
+    /// candidate, bit-identical to a single-solution search — the
+    /// optimizer's escape hatch.
+    pub top_k: usize,
     /// Disable the grammar hierarchy (Table 3's ablation): search only
     /// the top class.
     pub incremental: bool,
@@ -148,6 +156,7 @@ impl Default for FindConfig {
             synth: SynthConfig::default(),
             timeout: Duration::from_secs(60),
             max_solutions: 12,
+            top_k: 3,
             incremental: true,
             parallelism: default_parallelism(),
             dedup: true,
@@ -794,7 +803,7 @@ pub fn find_summary(
                     }
                     if verdict.verified {
                         delta.push(cand);
-                        if delta.len() >= config.max_solutions {
+                        if delta.len() >= config.top_k.max(1).min(config.max_solutions) {
                             seal(&mut report, parallel_wall);
                             return (FindOutcome::Found(delta), report);
                         }

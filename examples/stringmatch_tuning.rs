@@ -12,6 +12,7 @@ use rand::SeedableRng;
 use seqlang::env::Env;
 use seqlang::value::Value;
 use suites::data;
+use synthesis::FindConfig;
 
 const SOURCE: &str = r#"
     fn string_match(text: list<string>, key1: string, key2: string) -> bool {
@@ -26,7 +27,18 @@ const SOURCE: &str = r#"
 "#;
 
 fn main() {
-    let report = Casper::new(CasperConfig::default())
+    // A wide candidate budget: `top_k` is how many cost-ordered verified
+    // summaries the search hands to the optimizer (the default of 3 is
+    // tuned for the sweep; the demo wants the whole solution family so
+    // the monitor has encodings to switch between).
+    let config = CasperConfig {
+        find: FindConfig {
+            top_k: 12,
+            ..FindConfig::default()
+        },
+        ..CasperConfig::default()
+    };
+    let report = Casper::new(config)
         .translate_source(SOURCE)
         .expect("compiles");
     let frag = report.for_function("string_match").expect("fragment");

@@ -17,6 +17,7 @@ fn fast_config() -> CasperConfig {
         find: FindConfig {
             timeout: Duration::from_secs(15),
             max_solutions: 4,
+            top_k: 4,
             ..FindConfig::default()
         },
         ..CasperConfig::default()

@@ -787,3 +787,181 @@ fn cpu_time_accounting_is_populated() {
                 .unwrap()
     );
 }
+
+/// One comparable line per translated fragment capturing everything the
+/// optimizer decides: the top-k candidate order, every variant's
+/// sampled byte cost and predicted wall clock (as exact bit patterns),
+/// the plan choice, and the re-tune decision trace of a two-iteration
+/// tuned driver. Any nondeterminism in enumeration order, costing, or
+/// the observe/compare/switch loop changes this trace.
+fn optimizer_trace(report: &TranslationReport, state: &seqlang::env::Env) -> Vec<String> {
+    use codegen::{ProgramCache, TuningState};
+    use mapreduce::Context;
+
+    report
+        .fragments
+        .iter()
+        .filter_map(|f| {
+            let FragmentOutcome::Translated { program, .. } = &f.outcome else {
+                return None;
+            };
+            let choice = program.choose(state);
+            let mut line = format!(
+                "{} variants=[{}] chosen={} costs={:?} predicted={:?}",
+                f.id,
+                program
+                    .variants
+                    .iter()
+                    .map(|v| v.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                choice.chosen,
+                choice.costs.iter().map(|c| c.to_bits()).collect::<Vec<_>>(),
+                choice
+                    .predicted_seconds
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .collect::<Vec<_>>(),
+            );
+            let ctx = Context::with_parallelism(4, 8);
+            let mut cache = ProgramCache::new();
+            let mut tuning = TuningState::new();
+            for _ in 0..2 {
+                program
+                    .run_tuned(&ctx, state, &mut cache, &mut tuning)
+                    .expect("tuned iteration");
+            }
+            for d in &tuning.trace {
+                line.push_str(&format!(
+                    " | it{} run={} pred={:x} obs={:x} ratio={:x} switch={:?}",
+                    d.iteration,
+                    d.running,
+                    d.predicted_seconds.to_bits(),
+                    d.observed_seconds.to_bits(),
+                    d.ratio.to_bits(),
+                    d.switched_to,
+                ));
+            }
+            Some(line)
+        })
+        .collect()
+}
+
+/// A state covering every suite fragment's inputs and pre-loop outputs.
+fn cover_state() -> seqlang::env::Env {
+    use seqlang::env::Env;
+    use seqlang::value::Value;
+
+    let mut state = Env::new();
+    state.set(
+        "xs",
+        Value::List((0..200).map(|i| Value::Int((i * 7 % 83) - 41)).collect()),
+    );
+    state.set(
+        "words",
+        Value::List(
+            (0..150)
+                .map(|i| Value::str(format!("w{}", i % 13)))
+                .collect(),
+        ),
+    );
+    state.set("t", Value::Int(3));
+    state.set("s", Value::Int(0));
+    state.set("m", Value::Int(0));
+    state.set("n", Value::Int(0));
+    state.set("f", Value::Bool(false));
+    state.set("q", Value::Int(0));
+    state.set("counts", Value::Map(vec![]));
+    state
+}
+
+/// The optimizer's determinism contract: top-k enumeration order, cost
+/// estimates, plan choice, and re-tune decisions are bit-identical
+/// across {serial, scoped-legacy, persistent} × 1/2/4/8 synthesis
+/// workers and both IR engines — and the tuned driver's observed costs
+/// and switch decisions do not depend on the *engine's* worker count
+/// either.
+#[test]
+fn optimizer_decisions_deterministic_across_runtimes_engines_and_workers() {
+    use casper_runtime::RuntimeMode;
+    use codegen::{ProgramCache, TuningState};
+    use mapreduce::Context;
+
+    let state = cover_state();
+    let serial = translate(1);
+    let ref_trace = optimizer_trace(&serial, &state);
+    assert!(!ref_trace.is_empty(), "suite must translate fragments");
+    // The contract is only meaningful if some fragment retained several
+    // verified variants for the monitor to choose between.
+    assert!(
+        serial.fragments.iter().any(|f| matches!(
+            &f.outcome,
+            FragmentOutcome::Translated { program, .. } if program.variants.len() >= 2
+        )),
+        "top-k search must hand the monitor a real choice somewhere"
+    );
+
+    for mode in [RuntimeMode::Persistent, RuntimeMode::ScopedLegacy] {
+        for workers in [1, 2, 4, 8] {
+            let config = CasperConfig {
+                find: FindConfig {
+                    timeout: Duration::from_secs(300),
+                    ..FindConfig::default()
+                },
+                ..CasperConfig::default()
+            }
+            .with_parallelism(workers)
+            .with_runtime(mode);
+            let report = Casper::new(config)
+                .translate_source(SUITE_SRC)
+                .expect("suite source compiles");
+            assert_eq!(
+                ref_trace,
+                optimizer_trace(&report, &state),
+                "optimizer decisions diverged under {} at {workers} workers",
+                mode.name()
+            );
+        }
+    }
+    for workers in [1, 4] {
+        let tree = translate_with_engine(workers, casper_ir::Engine::ClosureTree);
+        assert_eq!(
+            ref_trace,
+            optimizer_trace(&tree, &state),
+            "optimizer decisions diverged on the closure-tree engine \
+             at {workers} workers"
+        );
+    }
+
+    // Engine-worker-count invariance of the tuned driver itself: the
+    // normalized observed costs (and therefore every ratio and switch
+    // decision) must not depend on how many workers executed the plan.
+    let tuned = |engine_workers: usize| -> Vec<String> {
+        serial
+            .fragments
+            .iter()
+            .filter_map(|f| {
+                let FragmentOutcome::Translated { program, .. } = &f.outcome else {
+                    return None;
+                };
+                let ctx = Context::with_parallelism(engine_workers, 8);
+                let mut cache = ProgramCache::new();
+                let mut tuning = TuningState::new();
+                for _ in 0..2 {
+                    program
+                        .run_tuned(&ctx, &state, &mut cache, &mut tuning)
+                        .expect("tuned iteration");
+                }
+                Some(format!("{} {:?}", f.id, tuning.trace))
+            })
+            .collect()
+    };
+    let base = tuned(1);
+    for engine_workers in [2, 4, 8] {
+        assert_eq!(
+            base,
+            tuned(engine_workers),
+            "tuned decisions diverged at {engine_workers} engine workers"
+        );
+    }
+}
